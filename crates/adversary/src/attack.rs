@@ -1,0 +1,254 @@
+//! The colluding-attack taxonomy of §2.2.
+//!
+//! Two moles cooperate: a **source mole** `S` injecting bogus reports and a
+//! **forwarding mole** `X` on the path manipulating marks. The paper
+//! enumerates seven attack classes; [`AttackKind`] names them and
+//! [`AttackPlan`] configures a concrete, composable instance for the
+//! forwarding mole to execute.
+
+use core::fmt;
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// The seven colluding attack classes of §2.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// 1) The mole does not mark packets it forwards.
+    NoMark,
+    /// 2) The mole inserts faked marks (bogus IDs / garbage MACs).
+    MarkInsertion,
+    /// 3) The mole removes marks left by upstream nodes.
+    MarkRemoval,
+    /// 4) The mole re-orders existing marks.
+    MarkReorder,
+    /// 5) The mole alters existing marks, invalidating them.
+    MarkAlter,
+    /// 6) The mole selectively drops packets whose marks would expose it.
+    SelectiveDrop,
+    /// 7) `S` and `X` swap identities (they know each other's keys).
+    IdentitySwap,
+}
+
+impl AttackKind {
+    /// All seven attack classes, in taxonomy order.
+    pub fn all() -> [AttackKind; 7] {
+        [
+            AttackKind::NoMark,
+            AttackKind::MarkInsertion,
+            AttackKind::MarkRemoval,
+            AttackKind::MarkReorder,
+            AttackKind::MarkAlter,
+            AttackKind::SelectiveDrop,
+            AttackKind::IdentitySwap,
+        ]
+    }
+
+    /// The paper's name for the attack.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AttackKind::NoMark => "no-mark",
+            AttackKind::MarkInsertion => "mark-insertion",
+            AttackKind::MarkRemoval => "mark-removal",
+            AttackKind::MarkReorder => "mark-reordering",
+            AttackKind::MarkAlter => "mark-altering",
+            AttackKind::SelectiveDrop => "selective-dropping",
+            AttackKind::IdentitySwap => "identity-swapping",
+        }
+    }
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which existing marks a mark-removal attack strips.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RemovalStrategy {
+    /// Remove every accumulated mark.
+    All,
+    /// Remove the first `k` (most-upstream) marks — the §3 example that
+    /// makes extended AMS trace to an innocent node.
+    FirstK(usize),
+    /// Remove marks whose plain IDs are in this set (blind against
+    /// anonymous IDs).
+    Ids(BTreeSet<u16>),
+}
+
+/// Which existing marks a mark-altering attack corrupts.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlterStrategy {
+    /// Corrupt every existing mark's MAC.
+    All,
+    /// Corrupt the mark at this index, if present.
+    Index(usize),
+    /// Corrupt marks whose plain IDs are in this set.
+    Ids(BTreeSet<u16>),
+}
+
+/// A concrete, composable attack configuration for a forwarding mole.
+///
+/// Multiple manipulations may be active at once (§2.3: the mole may use
+/// "any one or a combination" of the attacks). Manipulations are applied in
+/// the listed order: drop-decision, removal, re-ordering, altering,
+/// insertion; the marking decision (own mark / swapped mark / no mark)
+/// happens last, like an honest node marking after processing.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AttackPlan {
+    /// Drop packets that carry a plain-ID mark from any of these nodes
+    /// (selective dropping; ineffective against anonymous IDs).
+    pub drop_if_marked_by: BTreeSet<u16>,
+    /// Strip marks per strategy.
+    pub remove: Option<RemovalStrategy>,
+    /// Shuffle surviving marks.
+    pub reorder: bool,
+    /// Corrupt surviving marks per strategy.
+    pub alter: Option<AlterStrategy>,
+    /// Insert this many faked marks (random IDs, garbage MACs).
+    pub insert_fake: usize,
+    /// Insert faked marks impersonating these specific (innocent) nodes.
+    pub frame_ids: Vec<u16>,
+    /// How the mole itself marks packets it forwards.
+    pub marking: MoleMarking,
+}
+
+/// How a mole handles its own marking duty.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MoleMarking {
+    /// Leave no mark at all (no-mark attack).
+    #[default]
+    Silent,
+    /// Mark honestly with its own identity (to blend in).
+    Honest,
+    /// Alternate between its own identity and a colluding partner's
+    /// (identity swapping) with probability 1/2 each.
+    SwapWithPartner,
+}
+
+impl AttackPlan {
+    /// A plan that performs no manipulation and never marks — the baseline
+    /// "quiet mole".
+    pub fn passive() -> Self {
+        AttackPlan::default()
+    }
+
+    /// Builds the canonical single-attack plan used in the attack matrix.
+    pub fn canonical(kind: AttackKind, upstream_ids: &[u16]) -> Self {
+        let mut plan = AttackPlan::passive();
+        match kind {
+            AttackKind::NoMark => {
+                plan.marking = MoleMarking::Silent;
+            }
+            AttackKind::MarkInsertion => {
+                plan.insert_fake = 3;
+                plan.marking = MoleMarking::Honest;
+            }
+            AttackKind::MarkRemoval => {
+                plan.remove = Some(RemovalStrategy::FirstK(2));
+                plan.marking = MoleMarking::Honest;
+            }
+            AttackKind::MarkReorder => {
+                plan.reorder = true;
+                plan.marking = MoleMarking::Honest;
+            }
+            AttackKind::MarkAlter => {
+                plan.alter = Some(AlterStrategy::Index(0));
+                plan.marking = MoleMarking::Honest;
+            }
+            AttackKind::SelectiveDrop => {
+                // Drop packets marked by the most-upstream legitimate nodes
+                // so the traceback stops at an innocent downstream node.
+                plan.drop_if_marked_by = upstream_ids.iter().copied().collect();
+                plan.marking = MoleMarking::Honest;
+            }
+            AttackKind::IdentitySwap => {
+                plan.marking = MoleMarking::SwapWithPartner;
+            }
+        }
+        plan
+    }
+
+    /// The attack classes this plan exercises.
+    pub fn kinds(&self) -> Vec<AttackKind> {
+        let mut kinds = Vec::new();
+        if !self.drop_if_marked_by.is_empty() {
+            kinds.push(AttackKind::SelectiveDrop);
+        }
+        if self.remove.is_some() {
+            kinds.push(AttackKind::MarkRemoval);
+        }
+        if self.reorder {
+            kinds.push(AttackKind::MarkReorder);
+        }
+        if self.alter.is_some() {
+            kinds.push(AttackKind::MarkAlter);
+        }
+        if self.insert_fake > 0 || !self.frame_ids.is_empty() {
+            kinds.push(AttackKind::MarkInsertion);
+        }
+        match self.marking {
+            MoleMarking::Silent => kinds.push(AttackKind::NoMark),
+            MoleMarking::SwapWithPartner => kinds.push(AttackKind::IdentitySwap),
+            MoleMarking::Honest => {}
+        }
+        kinds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_kinds() {
+        let all = AttackKind::all();
+        assert_eq!(all.len(), 7);
+        let names: BTreeSet<&str> = all.iter().map(|k| k.as_str()).collect();
+        assert_eq!(names.len(), 7, "names must be distinct");
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        for k in AttackKind::all() {
+            assert_eq!(k.to_string(), k.as_str());
+        }
+    }
+
+    #[test]
+    fn canonical_plans_report_their_kind() {
+        for kind in AttackKind::all() {
+            let plan = AttackPlan::canonical(kind, &[1, 2]);
+            assert!(plan.kinds().contains(&kind), "{kind}: {:?}", plan.kinds());
+        }
+    }
+
+    #[test]
+    fn passive_plan_is_no_mark_only() {
+        let plan = AttackPlan::passive();
+        assert_eq!(plan.kinds(), vec![AttackKind::NoMark]);
+    }
+
+    #[test]
+    fn composite_plan_lists_all_kinds() {
+        let plan = AttackPlan {
+            drop_if_marked_by: [1].into(),
+            remove: Some(RemovalStrategy::All),
+            reorder: true,
+            alter: Some(AlterStrategy::All),
+            insert_fake: 1,
+            frame_ids: vec![5],
+            marking: MoleMarking::SwapWithPartner,
+        };
+        let kinds = plan.kinds();
+        assert_eq!(kinds.len(), 6);
+        assert!(!kinds.contains(&AttackKind::NoMark));
+    }
+
+    #[test]
+    fn canonical_selective_drop_targets_upstream() {
+        let plan = AttackPlan::canonical(AttackKind::SelectiveDrop, &[7, 8, 9]);
+        assert_eq!(plan.drop_if_marked_by, [7, 8, 9].into());
+    }
+}

@@ -1,0 +1,654 @@
+//! Mole behaviors: the source mole `S` and the forwarding mole `X`.
+//!
+//! Moles are fully compromised nodes (§2.2): the adversary holds their keys
+//! and re-programs them arbitrarily. Colluding moles additionally share
+//! each other's keys (enabling identity swapping).
+
+use rand::Rng;
+
+use pnm_core::{MarkingScheme, NodeContext};
+use pnm_crypto::{MacKey, MacTag};
+use pnm_wire::{Location, Mark, MarkId, NodeId, Packet, Report};
+
+use crate::attack::{AlterStrategy, AttackPlan, MoleMarking, RemovalStrategy};
+
+/// Draws a uniform value in `[0, 1)` from a dyn-compatible RNG.
+fn random_unit(rng: &mut dyn Rng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A compromised source node injecting bogus reports (§2.2, Figure 1).
+///
+/// Each injected report differs in content (identical copies would be
+/// suppressed as duplicates by legitimate forwarders, §2.3).
+#[derive(Clone, Debug)]
+pub struct SourceMole {
+    /// The mole's own identity.
+    pub id: NodeId,
+    /// Its (compromised) key.
+    pub key: MacKey,
+    /// Claimed event location for forged reports.
+    pub fake_location: Location,
+    /// Number of faked marks pre-loaded onto each injected packet
+    /// (source-side mark insertion).
+    pub preload_fake_marks: usize,
+    /// Innocent nodes to frame with forged (invalid-MAC) marks.
+    pub frame_ids: Vec<u16>,
+    seq: u64,
+}
+
+impl SourceMole {
+    /// Creates a source mole.
+    pub fn new(id: NodeId, key: MacKey) -> Self {
+        SourceMole {
+            id,
+            key,
+            fake_location: Location::new(0.0, 0.0),
+            preload_fake_marks: 0,
+            frame_ids: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Configures source-side mark insertion.
+    pub fn with_fake_marks(mut self, count: usize) -> Self {
+        self.preload_fake_marks = count;
+        self
+    }
+
+    /// Configures framing of specific innocent nodes.
+    pub fn with_frame_ids(mut self, ids: Vec<u16>) -> Self {
+        self.frame_ids = ids;
+        self
+    }
+
+    /// Forges the next bogus report and wraps it in a packet, applying any
+    /// configured source-side mark insertion.
+    pub fn inject(&mut self, rng: &mut dyn Rng) -> Packet {
+        let seq = self.seq;
+        self.seq += 1;
+        let event = format!("bogus-event-{seq}-{:08x}", rng.next_u64() as u32).into_bytes();
+        let report = Report::new(event, self.fake_location, seq);
+        let mut pkt = Packet::new(report);
+        for _ in 0..self.preload_fake_marks {
+            pkt.push_mark(random_fake_mark(rng));
+        }
+        for &fid in &self.frame_ids {
+            pkt.push_mark(forged_mark_for(NodeId(fid), rng));
+        }
+        pkt
+    }
+
+    /// Number of reports injected so far.
+    pub fn injected(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// A faked mark with a random claimed ID and garbage MAC.
+fn random_fake_mark(rng: &mut dyn Rng) -> Mark {
+    let id = NodeId((rng.next_u64() % u16::MAX as u64) as u16);
+    forged_mark_for(id, rng)
+}
+
+/// A forged mark impersonating `id` — the MAC is garbage since the
+/// attacker lacks `k_id`.
+fn forged_mark_for(id: NodeId, rng: &mut dyn Rng) -> Mark {
+    let mut mac = [0u8; 8];
+    for b in &mut mac {
+        *b = (rng.next_u64() & 0xff) as u8;
+    }
+    Mark::plain(id, MacTag::from_bytes(&mac))
+}
+
+/// What a forwarding mole did with one packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MoleAction {
+    /// Packet forwarded (possibly manipulated).
+    Forwarded,
+    /// Packet dropped (selective dropping).
+    Dropped,
+}
+
+/// A compromised forwarding node executing an [`AttackPlan`] (§2.3's `X`).
+#[derive(Clone, Debug)]
+pub struct ForwardingMole {
+    /// The mole's own identity.
+    pub id: NodeId,
+    /// Its (compromised) key.
+    pub key: MacKey,
+    /// The colluding partner whose identity it may assume (usually the
+    /// source mole).
+    pub partner: Option<(NodeId, MacKey)>,
+    /// The manipulation plan.
+    pub plan: AttackPlan,
+    drops: u64,
+    forwards: u64,
+}
+
+impl ForwardingMole {
+    /// Creates a forwarding mole with a plan.
+    pub fn new(id: NodeId, key: MacKey, plan: AttackPlan) -> Self {
+        ForwardingMole {
+            id,
+            key,
+            partner: None,
+            plan,
+            drops: 0,
+            forwards: 0,
+        }
+    }
+
+    /// Registers a colluding partner (shares keys — identity swapping).
+    pub fn with_partner(mut self, id: NodeId, key: MacKey) -> Self {
+        self.partner = Some((id, key));
+        self
+    }
+
+    /// Processes one packet per the plan. Returns [`MoleAction::Dropped`]
+    /// and leaves the packet unusable if the plan drops it; otherwise
+    /// manipulates the packet in place and returns
+    /// [`MoleAction::Forwarded`].
+    ///
+    /// `scheme` is the marking discipline legitimate nodes follow; the mole
+    /// uses it when it wants to leave a *valid* mark (honest or swapped),
+    /// since a valid mark must be indistinguishable from a legitimate one.
+    pub fn process(
+        &mut self,
+        packet: &mut Packet,
+        scheme: &dyn MarkingScheme,
+        rng: &mut dyn Rng,
+    ) -> MoleAction {
+        // 1) Selective dropping: only plain IDs are visible to the mole.
+        if !self.plan.drop_if_marked_by.is_empty() {
+            let exposed = packet.marks.iter().any(|m| match m.id {
+                MarkId::Plain(id) => self.plan.drop_if_marked_by.contains(&id.raw()),
+                MarkId::Anon(_) => false, // opaque — PNM's whole point
+            });
+            if exposed {
+                self.drops += 1;
+                return MoleAction::Dropped;
+            }
+        }
+
+        // 2) Mark removal.
+        if let Some(strategy) = &self.plan.remove {
+            match strategy {
+                RemovalStrategy::All => packet.marks.clear(),
+                RemovalStrategy::FirstK(k) => {
+                    let k = (*k).min(packet.marks.len());
+                    packet.marks.drain(0..k);
+                }
+                RemovalStrategy::Ids(ids) => {
+                    packet.marks.retain(|m| match m.id {
+                        MarkId::Plain(id) => !ids.contains(&id.raw()),
+                        MarkId::Anon(_) => true,
+                    });
+                }
+            }
+        }
+
+        // 3) Re-ordering: Fisher-Yates shuffle.
+        if self.plan.reorder && packet.marks.len() >= 2 {
+            for i in (1..packet.marks.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                packet.marks.swap(i, j);
+            }
+        }
+
+        // 4) Mark altering: corrupt MACs (or scramble unauthenticated ids).
+        if let Some(strategy) = &self.plan.alter {
+            let corrupt = |m: &mut Mark, rng: &mut dyn Rng| match (&mut m.mac, m.id) {
+                (Some(mac), _) => m.mac = Some(mac.corrupted()),
+                (None, MarkId::Plain(_)) => {
+                    m.id = MarkId::Plain(NodeId((rng.next_u64() % u16::MAX as u64) as u16));
+                }
+                (None, MarkId::Anon(_)) => {}
+            };
+            match strategy {
+                AlterStrategy::All => {
+                    for m in &mut packet.marks {
+                        corrupt(m, rng);
+                    }
+                }
+                AlterStrategy::Index(i) => {
+                    if let Some(m) = packet.marks.get_mut(*i) {
+                        corrupt(m, rng);
+                    }
+                }
+                AlterStrategy::Ids(ids) => {
+                    for m in &mut packet.marks {
+                        if let MarkId::Plain(id) = m.id {
+                            if ids.contains(&id.raw()) {
+                                corrupt(m, rng);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5) Mark insertion. Fakes are *prepended*: claiming an upstream
+        // position is what (falsely) shifts the traceback away from the
+        // mole in position-ordered schemes.
+        for _ in 0..self.plan.insert_fake {
+            packet.marks.insert(0, random_fake_mark(rng));
+        }
+        for &fid in &self.plan.frame_ids {
+            packet.marks.insert(0, forged_mark_for(NodeId(fid), rng));
+        }
+
+        // 6) The mole's own marking decision.
+        match self.plan.marking {
+            MoleMarking::Silent => {}
+            MoleMarking::Honest => {
+                let ctx = NodeContext::new(self.id, self.key);
+                scheme.mark(&ctx, packet, rng);
+            }
+            MoleMarking::SwapWithPartner => {
+                let use_partner = self.partner.is_some() && random_unit(rng) < 0.5;
+                let ctx = match (&self.partner, use_partner) {
+                    (Some((pid, pkey)), true) => NodeContext::new(*pid, *pkey),
+                    _ => NodeContext::new(self.id, self.key),
+                };
+                scheme.mark(&ctx, packet, rng);
+            }
+        }
+
+        self.forwards += 1;
+        MoleAction::Forwarded
+    }
+
+    /// Packets dropped so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwards(&self) -> u64 {
+        self.forwards
+    }
+}
+
+/// A forwarding mole that rotates through several attack plans, switching
+/// every `switch_every` packets — modeling an adaptive adversary probing
+/// for a manipulation the scheme mishandles.
+#[derive(Clone, Debug)]
+pub struct AdaptiveMole {
+    inner: ForwardingMole,
+    plans: Vec<AttackPlan>,
+    switch_every: u64,
+    processed: u64,
+}
+
+impl AdaptiveMole {
+    /// Creates an adaptive mole cycling through `plans`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` is empty or `switch_every` is zero.
+    pub fn new(id: NodeId, key: MacKey, plans: Vec<AttackPlan>, switch_every: u64) -> Self {
+        assert!(!plans.is_empty(), "need at least one plan");
+        assert!(switch_every > 0, "switch interval must be positive");
+        let first = plans[0].clone();
+        AdaptiveMole {
+            inner: ForwardingMole::new(id, key, first),
+            plans,
+            switch_every,
+            processed: 0,
+        }
+    }
+
+    /// Registers a colluding partner (forwarded to the inner mole).
+    pub fn with_partner(mut self, id: NodeId, key: MacKey) -> Self {
+        self.inner = self.inner.with_partner(id, key);
+        self
+    }
+
+    /// The plan currently in force.
+    pub fn current_plan(&self) -> &AttackPlan {
+        &self.inner.plan
+    }
+
+    /// Processes one packet under the current plan, rotating plans on
+    /// schedule.
+    pub fn process(
+        &mut self,
+        packet: &mut Packet,
+        scheme: &dyn MarkingScheme,
+        rng: &mut dyn Rng,
+    ) -> MoleAction {
+        let phase = (self.processed / self.switch_every) as usize % self.plans.len();
+        self.inner.plan = self.plans[phase].clone();
+        self.processed += 1;
+        self.inner.process(packet, scheme, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::AttackKind;
+    use pnm_core::{MarkingConfig, NestedMarking, ProbabilisticNestedMarking};
+    use pnm_crypto::KeyStore;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys() -> KeyStore {
+        KeyStore::derive_from_master(b"adversary-test", 20)
+    }
+
+    fn honest_nested_packet(ks: &KeyStore, hops: std::ops::Range<u16>, seq: u64) -> Packet {
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(seq);
+        let report = Report::new(format!("r{seq}").into_bytes(), Location::default(), seq);
+        let mut pkt = Packet::new(report);
+        for i in hops {
+            let ctx = NodeContext::new(NodeId(i), *ks.key(i).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+        pkt
+    }
+
+    #[test]
+    fn source_mole_reports_differ() {
+        let ks = keys();
+        let mut s = SourceMole::new(NodeId(0), *ks.key(0).unwrap());
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = s.inject(&mut rng);
+        let b = s.inject(&mut rng);
+        assert_ne!(a.report.to_bytes(), b.report.to_bytes());
+        assert_eq!(s.injected(), 2);
+    }
+
+    #[test]
+    fn source_mole_preloads_fake_marks() {
+        let ks = keys();
+        let mut s = SourceMole::new(NodeId(0), *ks.key(0).unwrap()).with_fake_marks(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pkt = s.inject(&mut rng);
+        assert_eq!(pkt.mark_count(), 4);
+    }
+
+    #[test]
+    fn source_mole_frames_specific_nodes() {
+        let ks = keys();
+        let mut s = SourceMole::new(NodeId(0), *ks.key(0).unwrap()).with_frame_ids(vec![7, 8]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pkt = s.inject(&mut rng);
+        let framed: Vec<u16> = pkt
+            .marks
+            .iter()
+            .filter_map(|m| m.id.as_plain().map(|n| n.raw()))
+            .collect();
+        assert_eq!(framed, vec![7, 8]);
+    }
+
+    #[test]
+    fn removal_first_k() {
+        let ks = keys();
+        let mut pkt = honest_nested_packet(&ks, 0..5, 0);
+        let plan = AttackPlan {
+            remove: Some(RemovalStrategy::FirstK(2)),
+            ..AttackPlan::passive()
+        };
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut mole = ForwardingMole::new(NodeId(10), *ks.key(10).unwrap(), plan);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            mole.process(&mut pkt, &scheme, &mut rng),
+            MoleAction::Forwarded
+        );
+        assert_eq!(pkt.mark_count(), 3);
+        assert_eq!(pkt.marks[0].id.as_plain(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn removal_all_and_by_id() {
+        let ks = keys();
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+
+        let mut pkt = honest_nested_packet(&ks, 0..5, 0);
+        let mut mole = ForwardingMole::new(
+            NodeId(10),
+            *ks.key(10).unwrap(),
+            AttackPlan {
+                remove: Some(RemovalStrategy::All),
+                ..AttackPlan::passive()
+            },
+        );
+        mole.process(&mut pkt, &scheme, &mut rng);
+        assert_eq!(pkt.mark_count(), 0);
+
+        let mut pkt = honest_nested_packet(&ks, 0..5, 1);
+        let mut mole = ForwardingMole::new(
+            NodeId(10),
+            *ks.key(10).unwrap(),
+            AttackPlan {
+                remove: Some(RemovalStrategy::Ids([1, 3].into())),
+                ..AttackPlan::passive()
+            },
+        );
+        mole.process(&mut pkt, &scheme, &mut rng);
+        let ids: Vec<u16> = pkt
+            .marks
+            .iter()
+            .filter_map(|m| m.id.as_plain().map(|n| n.raw()))
+            .collect();
+        assert_eq!(ids, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn reorder_shuffles() {
+        let ks = keys();
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pkt = honest_nested_packet(&ks, 0..10, 0);
+        let before = pkt.marks.clone();
+        let mut mole = ForwardingMole::new(
+            NodeId(10),
+            *ks.key(10).unwrap(),
+            AttackPlan {
+                reorder: true,
+                ..AttackPlan::passive()
+            },
+        );
+        mole.process(&mut pkt, &scheme, &mut rng);
+        assert_eq!(pkt.mark_count(), 10);
+        assert_ne!(pkt.marks, before, "shuffle with 10 marks should differ");
+        // Same multiset of marks.
+        let mut a = before.iter().map(|m| format!("{m}")).collect::<Vec<_>>();
+        let mut b = pkt.marks.iter().map(|m| format!("{m}")).collect::<Vec<_>>();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn alter_corrupts_macs() {
+        let ks = keys();
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut pkt = honest_nested_packet(&ks, 0..4, 0);
+        let original = pkt.marks[0].mac;
+        let mut mole = ForwardingMole::new(
+            NodeId(10),
+            *ks.key(10).unwrap(),
+            AttackPlan {
+                alter: Some(AlterStrategy::Index(0)),
+                ..AttackPlan::passive()
+            },
+        );
+        mole.process(&mut pkt, &scheme, &mut rng);
+        assert_ne!(pkt.marks[0].mac, original);
+        assert_eq!(pkt.mark_count(), 4);
+    }
+
+    #[test]
+    fn insertion_appends_fakes() {
+        let ks = keys();
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut pkt = honest_nested_packet(&ks, 0..2, 0);
+        let mut mole = ForwardingMole::new(
+            NodeId(10),
+            *ks.key(10).unwrap(),
+            AttackPlan {
+                insert_fake: 5,
+                frame_ids: vec![9],
+                ..AttackPlan::passive()
+            },
+        );
+        mole.process(&mut pkt, &scheme, &mut rng);
+        assert_eq!(pkt.mark_count(), 8);
+    }
+
+    #[test]
+    fn selective_drop_sees_plain_ids() {
+        let ks = keys();
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = AttackPlan {
+            drop_if_marked_by: [0].into(),
+            ..AttackPlan::passive()
+        };
+        let mut mole = ForwardingMole::new(NodeId(10), *ks.key(10).unwrap(), plan);
+        // Packet marked by node 0 -> dropped.
+        let mut pkt = honest_nested_packet(&ks, 0..3, 0);
+        assert_eq!(
+            mole.process(&mut pkt, &scheme, &mut rng),
+            MoleAction::Dropped
+        );
+        // Packet marked by 1,2 only -> forwarded.
+        let mut pkt = honest_nested_packet(&ks, 1..3, 1);
+        assert_eq!(
+            mole.process(&mut pkt, &scheme, &mut rng),
+            MoleAction::Forwarded
+        );
+        assert_eq!(mole.drops(), 1);
+        assert_eq!(mole.forwards(), 1);
+    }
+
+    #[test]
+    fn selective_drop_blind_to_anonymous_ids() {
+        // The same attack against PNM: the mole cannot see who marked, so
+        // packets marked by its victim sail through.
+        let ks = keys();
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = AttackPlan {
+            drop_if_marked_by: [0, 1, 2].into(),
+            ..AttackPlan::passive()
+        };
+        let mut mole = ForwardingMole::new(NodeId(10), *ks.key(10).unwrap(), plan);
+        let report = Report::new(b"r".to_vec(), Location::default(), 0);
+        let mut pkt = Packet::new(report);
+        for i in 0..3u16 {
+            let ctx = NodeContext::new(NodeId(i), *ks.key(i).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+        assert_eq!(pkt.mark_count(), 3);
+        assert_eq!(
+            mole.process(&mut pkt, &scheme, &mut rng),
+            MoleAction::Forwarded,
+            "anonymous marks must be opaque to the mole"
+        );
+    }
+
+    #[test]
+    fn identity_swap_uses_both_keys() {
+        let ks = keys();
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = AttackPlan {
+            marking: MoleMarking::SwapWithPartner,
+            ..AttackPlan::passive()
+        };
+        let mut mole = ForwardingMole::new(NodeId(10), *ks.key(10).unwrap(), plan)
+            .with_partner(NodeId(0), *ks.key(0).unwrap());
+        // Over many packets, both identities should appear; verify via the
+        // sink (anon ids are opaque here, so check by verifying chains).
+        let verifier = pnm_core::SinkVerifier::new(ks.clone());
+        let mut seen = std::collections::BTreeSet::new();
+        for seq in 0..40u64 {
+            let report = Report::new(format!("r{seq}").into_bytes(), Location::default(), seq);
+            let mut pkt = Packet::new(report);
+            mole.process(&mut pkt, &scheme, &mut rng);
+            let chain = verifier.verify(&pkt, pnm_core::VerifyMode::Nested);
+            for n in chain.nodes {
+                seen.insert(n.raw());
+            }
+        }
+        assert!(seen.contains(&10), "own identity used: {seen:?}");
+        assert!(seen.contains(&0), "partner identity used: {seen:?}");
+    }
+
+    #[test]
+    fn honest_marking_leaves_valid_mark() {
+        let ks = keys();
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = AttackPlan {
+            marking: MoleMarking::Honest,
+            ..AttackPlan::passive()
+        };
+        let mut mole = ForwardingMole::new(NodeId(10), *ks.key(10).unwrap(), plan);
+        let mut pkt = honest_nested_packet(&ks, 0..2, 0);
+        mole.process(&mut pkt, &scheme, &mut rng);
+        let verifier = pnm_core::SinkVerifier::new(ks);
+        let chain = verifier.verify(&pkt, pnm_core::VerifyMode::Nested);
+        assert!(chain.fully_verified());
+        assert_eq!(chain.most_downstream(), Some(NodeId(10)));
+    }
+
+    #[test]
+    fn adaptive_mole_rotates_plans() {
+        let ks = keys();
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let plans = vec![
+            AttackPlan::canonical(AttackKind::NoMark, &[]),
+            AttackPlan::canonical(AttackKind::MarkRemoval, &[]),
+        ];
+        let mut mole = AdaptiveMole::new(NodeId(10), *ks.key(10).unwrap(), plans, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut remove_phase_seen = false;
+        for seq in 0..8u64 {
+            let mut pkt = honest_nested_packet(&ks, 0..3, seq);
+            let before = pkt.mark_count();
+            mole.process(&mut pkt, &scheme, &mut rng);
+            // Phase 0/1 per pair of packets: NoMark leaves marks intact;
+            // MarkRemoval(FirstK(2)) strips two and marks honestly.
+            if (seq / 2) % 2 == 1 {
+                remove_phase_seen = true;
+                assert_eq!(pkt.mark_count(), before - 2 + 1, "seq {seq}");
+            } else {
+                assert_eq!(pkt.mark_count(), before, "seq {seq}");
+            }
+        }
+        assert!(remove_phase_seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one plan")]
+    fn adaptive_mole_rejects_empty_plans() {
+        let ks = keys();
+        let _ = AdaptiveMole::new(NodeId(1), *ks.key(1).unwrap(), vec![], 5);
+    }
+
+    #[test]
+    fn canonical_plan_for_each_kind_runs() {
+        let ks = keys();
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        for kind in AttackKind::all() {
+            let plan = AttackPlan::canonical(kind, &[0, 1]);
+            let mut mole = ForwardingMole::new(NodeId(10), *ks.key(10).unwrap(), plan)
+                .with_partner(NodeId(0), *ks.key(0).unwrap());
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut pkt = honest_nested_packet(&ks, 0..4, 0);
+            let _ = mole.process(&mut pkt, &scheme, &mut rng);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Analytical model of mark collection (§6.1, Figure 4).
+//!
+//! Each of `n` forwarders marks each packet independently with probability
+//! `p`. The sink has collected node `i`'s mark within `L` packets with
+//! probability `1 − (1−p)^L`, independently across nodes, so
+//!
+//! ```text
+//! P(all n marks collected within L packets) = (1 − (1−p)^L)^n
+//! ```
+//!
+//! Expanding by the binomial theorem gives the inclusion–exclusion form the
+//! paper's technical report uses:
+//! `Σ_k (−1)^k C(n,k) (1−p)^{kL}`. Both are implemented and tested against
+//! each other.
+
+use crate::combinatorics::{binomial, pow_one_minus};
+
+/// P(the sink has ≥1 mark from **all** `n` forwarders within `l` packets),
+/// for per-packet marking probability `p` — the Figure 4 curve.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or not finite.
+///
+/// # Examples
+///
+/// ```
+/// use pnm_analysis::collection::collection_probability;
+///
+/// // Paper (§6.1): n=10, np=3 → after 13 packets ≈ 90% collected.
+/// let p90 = collection_probability(10, 0.3, 13);
+/// assert!((0.85..0.95).contains(&p90));
+/// ```
+pub fn collection_probability(n: u32, p: f64, l: u64) -> f64 {
+    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p = {p}");
+    if n == 0 {
+        return 1.0;
+    }
+    let miss = pow_one_minus(p, l); // (1-p)^L
+    (1.0 - miss).powi(n as i32)
+}
+
+/// The same probability via the inclusion–exclusion expansion — used as a
+/// cross-check of [`collection_probability`] (and mirrors the paper's
+/// technical-report formula).
+pub fn collection_probability_inclusion_exclusion(n: u32, p: f64, l: u64) -> f64 {
+    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p = {p}");
+    let mut acc = 0.0f64;
+    let miss = pow_one_minus(p, l);
+    for k in 0..=n as u64 {
+        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+        acc += sign * binomial(n as u64, k) * miss.powi(k as i32);
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// Expected number of packets until the sink holds marks from all `n`
+/// forwarders: the maximum of `n` i.i.d. geometric variables,
+/// `E = Σ_{k=1..n} (−1)^{k+1} C(n,k) / (1 − (1−p)^k)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+pub fn expected_packets_to_collect_all(n: u32, p: f64) -> f64 {
+    assert!(p.is_finite() && p > 0.0 && p <= 1.0, "p = {p}");
+    let mut acc = 0.0f64;
+    for k in 1..=n as u64 {
+        let sign = if k % 2 == 1 { 1.0 } else { -1.0 };
+        let geom = 1.0 - pow_one_minus(p, k);
+        acc += sign * binomial(n as u64, k) / geom;
+    }
+    acc
+}
+
+/// Smallest packet count `L` with collection probability at least
+/// `confidence` — e.g. the paper's "13 packets for 90% at n = 10".
+///
+/// # Panics
+///
+/// Panics if `confidence` is not in `(0, 1)` or `p` not in `(0, 1]`.
+pub fn packets_for_confidence(n: u32, p: f64, confidence: f64) -> u64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence = {confidence}"
+    );
+    assert!(p.is_finite() && p > 0.0 && p <= 1.0, "p = {p}");
+    if n == 0 {
+        return 0;
+    }
+    // Solve (1-(1-p)^L)^n >= c  ⇔  L >= ln(1 - c^{1/n}) / ln(1-p).
+    let per_node = 1.0 - confidence.powf(1.0 / n as f64);
+    if p >= 1.0 {
+        return 1;
+    }
+    let l = per_node.ln() / (1.0 - p).ln();
+    let mut guess = l.ceil().max(1.0) as u64;
+    // Guard against floating point at the boundary.
+    while collection_probability(n, p, guess) < confidence {
+        guess += 1;
+    }
+    while guess > 1 && collection_probability(n, p, guess - 1) >= confidence {
+        guess -= 1;
+    }
+    guess
+}
+
+/// P(two specific nodes both mark the same packet) = `p²` — the event that
+/// directly orders a pair of adjacent forwarders (no intermediate node can
+/// transitively order them).
+pub fn co_mark_probability(p: f64) -> f64 {
+    p * p
+}
+
+/// P(a specific adjacent pair is *never* co-marked within `l` packets)
+/// `= (1 − p²)^l` — the dominant failure mode of unequivocal source
+/// identification (Figure 6's failure counts).
+pub fn adjacent_pair_failure_probability(p: f64, l: u64) -> f64 {
+    pow_one_minus(co_mark_probability(p), l)
+}
+
+/// Approximate P(the sink fails to unequivocally identify the source
+/// within `l` packets) for an `n`-hop path.
+///
+/// Unequivocal identification requires a *unique* node with no observed
+/// upstream neighbor. Node `V_k` (k = 2..n, 1-indexed) acquires an
+/// upstream edge in a packet iff `V_k` marks it **and** at least one of
+/// its `k−1` upstream nodes marks it, which happens per packet with
+/// probability `p · (1 − (1−p)^{k−1})`. Treating nodes as independent:
+///
+/// ```text
+/// P(fail) ≈ 1 − Π_{k=2..n} (1 − (1 − p(1−(1−p)^{k−1}))^l)
+/// ```
+///
+/// The `k = 2` term `(1−p²)^l` — the first two forwarders never co-marked —
+/// dominates, which is why the failure curves flatten with path length in
+/// Figure 6. This tracks the simulated Figure 6 shape (see EXPERIMENTS.md).
+pub fn unequivocal_failure_probability(n: u32, p: f64, l: u64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let mut success = 1.0f64;
+    for k in 2..=n as u64 {
+        let upstream_marks = 1.0 - pow_one_minus(p, k - 1);
+        let per_packet = p * upstream_marks;
+        let never_ordered = pow_one_minus(per_packet, l);
+        success *= 1.0 - never_ordered;
+    }
+    (1.0 - success).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_figure4_anchors() {
+        // §6.1: np = 3. "For a path containing 10 nodes, after receiving 13
+        // packets, the sink has about 90% probability of having collected
+        // all marks. It takes 33 and 54 packets to achieve the 90%
+        // confidence for paths of 20, 30 hops respectively."
+        assert_eq!(packets_for_confidence(10, 3.0 / 10.0, 0.90), 13);
+        let l20 = packets_for_confidence(20, 3.0 / 20.0, 0.90);
+        assert!((31..=35).contains(&l20), "l20 = {l20}");
+        let l30 = packets_for_confidence(30, 3.0 / 30.0, 0.90);
+        assert!((52..=56).contains(&l30), "l30 = {l30}");
+    }
+
+    #[test]
+    fn headline_claim_50_packets_20_hops() {
+        // "within about 50 packets, it can track down a mole up to 20 hops
+        // away": with 55 packets the sink has >99% of all 20 marks (§6.2).
+        let p = collection_probability(20, 3.0 / 20.0, 55);
+        assert!(p > 0.99, "p = {p}");
+    }
+
+    #[test]
+    fn closed_form_equals_inclusion_exclusion() {
+        for n in [1u32, 5, 10, 20, 30] {
+            let p = 3.0 / n as f64;
+            let p = p.min(1.0);
+            for l in [1u64, 5, 13, 33, 54, 100] {
+                let a = collection_probability(n, p, l);
+                let b = collection_probability_inclusion_exclusion(n, p, l);
+                assert!((a - b).abs() < 1e-9, "n={n} l={l}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_packets() {
+        let mut prev = 0.0;
+        for l in 0..200 {
+            let v = collection_probability(20, 0.15, l);
+            assert!(v >= prev - 1e-15, "l={l}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(collection_probability(0, 0.5, 10), 1.0);
+        assert_eq!(collection_probability(5, 0.5, 0), 0.0);
+        assert_eq!(collection_probability(5, 1.0, 1), 1.0);
+        assert_eq!(collection_probability(5, 0.0, 1000), 0.0);
+    }
+
+    #[test]
+    fn expected_packets_single_node_is_geometric_mean() {
+        // n=1: E = 1/p.
+        assert!((expected_packets_to_collect_all(1, 0.25) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_packets_coupon_collector_shape() {
+        // n=10, p=0.3: E ≈ Σ … ; sanity: between 1/p and n/p.
+        let e = expected_packets_to_collect_all(10, 0.3);
+        assert!(e > 1.0 / 0.3 && e < 10.0 / 0.3, "e = {e}");
+        // Monotone in n.
+        assert!(expected_packets_to_collect_all(20, 0.3) > e);
+    }
+
+    #[test]
+    fn expected_vs_quantile_consistency() {
+        // The 50% quantile should be below the mean for this right-skewed
+        // distribution's typical parameters.
+        let e = expected_packets_to_collect_all(20, 0.15);
+        let q50 = packets_for_confidence(20, 0.15, 0.50);
+        assert!((q50 as f64) < e * 1.2, "q50={q50}, e={e}");
+    }
+
+    #[test]
+    fn failure_probability_anchors_match_figure6() {
+        // Fig 6 anchors (see DESIGN.md): n=20, L=200 → ~1% failures;
+        // n=30, L=200 → noticeable; n=50, L=800 → <10%.
+        let f20 = unequivocal_failure_probability(20, 3.0 / 20.0, 200);
+        assert!(f20 < 0.05, "f20 = {f20}");
+        let f30_200 = unequivocal_failure_probability(30, 3.0 / 30.0, 200);
+        let f30_400 = unequivocal_failure_probability(30, 3.0 / 30.0, 400);
+        assert!(f30_400 < f30_200);
+        let f50 = unequivocal_failure_probability(50, 3.0 / 50.0, 800);
+        assert!(f50 < 0.12, "f50 = {f50}");
+    }
+
+    #[test]
+    fn co_mark_and_pair_failure() {
+        assert_eq!(co_mark_probability(0.5), 0.25);
+        assert!((adjacent_pair_failure_probability(0.5, 1) - 0.75).abs() < 1e-12);
+        assert_eq!(unequivocal_failure_probability(1, 0.3, 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p = ")]
+    fn invalid_probability_rejected() {
+        let _ = collection_probability(5, 1.5, 10);
+    }
+}

@@ -1,0 +1,134 @@
+//! Numerically careful combinatorics helpers used by the analytical
+//! models.
+
+/// Binomial coefficient `C(n, k)` as `f64`, computed multiplicatively to
+/// avoid factorial overflow. Exact for all values representable in `f64`.
+///
+/// Returns `0.0` when `k > n`.
+///
+/// # Examples
+///
+/// ```
+/// use pnm_analysis::combinatorics::binomial;
+///
+/// assert_eq!(binomial(5, 2), 10.0);
+/// assert_eq!(binomial(50, 25), 126410606437752.0);
+/// ```
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64;
+        acc /= (i + 1) as f64;
+    }
+    acc
+}
+
+/// `ln C(n, k)` via `ln_gamma`, stable for large arguments.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(n!)` using Stirling's series for large `n` and exact products for
+/// small `n`.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 32 {
+        return (2..=n).map(|i| (i as f64).ln()).sum();
+    }
+    // Stirling: ln n! ≈ n ln n − n + ½ ln(2πn) + 1/(12n) − 1/(360n³).
+    let x = n as f64;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+/// `(1 - p)^l` computed in log space to stay accurate for tiny `p` and
+/// large `l`.
+pub fn pow_one_minus(p: f64, l: u64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    if p >= 1.0 {
+        return if l == 0 { 1.0 } else { 0.0 };
+    }
+    ((l as f64) * (1.0 - p).ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(4, 0), 1.0);
+        assert_eq!(binomial(4, 4), 1.0);
+        assert_eq!(binomial(4, 2), 6.0);
+        assert_eq!(binomial(10, 3), 120.0);
+        assert_eq!(binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..30u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_rule() {
+        for n in 1..40u64 {
+            for k in 1..n {
+                let lhs = binomial(n, k);
+                let rhs = binomial(n - 1, k - 1) + binomial(n - 1, k);
+                assert!((lhs - rhs).abs() <= 1e-6 * lhs.max(1.0), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn ln_binomial_matches_binomial() {
+        for (n, k) in [(10u64, 3u64), (50, 25), (100, 10), (300, 150)] {
+            let direct = binomial(n, k).ln();
+            let viagamma = ln_binomial(n, k);
+            assert!(
+                (direct - viagamma).abs() < 1e-6 * direct.abs().max(1.0),
+                "n={n} k={k}: {direct} vs {viagamma}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_exact_small() {
+        let exact: f64 = (2..=10u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(10) - exact).abs() < 1e-12);
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+    }
+
+    #[test]
+    fn stirling_accuracy() {
+        // Compare Stirling region against exact summation.
+        let exact: f64 = (2..=100u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(100) - exact).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pow_one_minus_accuracy() {
+        assert!((pow_one_minus(0.5, 2) - 0.25).abs() < 1e-12);
+        assert_eq!(pow_one_minus(1.0, 5), 0.0);
+        assert_eq!(pow_one_minus(1.0, 0), 1.0);
+        assert_eq!(pow_one_minus(0.0, 1000), 1.0);
+        // Tiny p, large l: (1-1e-9)^1e6 ≈ exp(-1e-3).
+        let v = pow_one_minus(1e-9, 1_000_000);
+        assert!((v - (-1e-3f64).exp()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Analytical models and statistics for the PNM reproduction.
+//!
+//! Implements the paper's §6.1 analysis — the probability that the sink has
+//! collected at least one mark from every forwarder within `L` packets
+//! (Figure 4) — plus the derived quantities the other figures rest on, and
+//! general summary-statistics utilities for the Monte-Carlo harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use pnm_analysis::collection::{collection_probability, packets_for_confidence};
+//!
+//! // The paper's Figure 4 anchor: n = 10, np = 3 → 13 packets for 90%.
+//! assert_eq!(packets_for_confidence(10, 0.3, 0.90), 13);
+//! assert!(collection_probability(10, 0.3, 13) >= 0.90);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod combinatorics;
+pub mod overhead;
+pub mod stats;
+
+pub use collection::{
+    adjacent_pair_failure_probability, co_mark_probability, collection_probability,
+    collection_probability_inclusion_exclusion, expected_packets_to_collect_all,
+    packets_for_confidence, unequivocal_failure_probability,
+};
+pub use combinatorics::{binomial, ln_binomial, ln_factorial, pow_one_minus};
+pub use overhead::{
+    anon_mark_bytes, nested_overhead_bytes, nested_vs_pnm_crossover, plain_mark_bytes,
+    pnm_overhead_bytes,
+};
+pub use stats::{percentile, OnlineStats};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::collection::{
+        collection_probability, collection_probability_inclusion_exclusion, packets_for_confidence,
+    };
+    use crate::combinatorics::binomial;
+    use crate::stats::OnlineStats;
+
+    proptest! {
+        /// The closed form and the inclusion–exclusion expansion agree for
+        /// all parameters, within the cancellation error inherent to the
+        /// alternating sum (its terms reach C(n, n/2), so float error can
+        /// be ~C(n, n/2)·ε even though the true value is tiny).
+        #[test]
+        fn collection_forms_agree(n in 1u32..40, p in 0.01f64..1.0, l in 0u64..200) {
+            let a = collection_probability(n, p, l);
+            let b = collection_probability_inclusion_exclusion(n, p, l);
+            let cancellation = binomial(n as u64, n as u64 / 2) * 1e-14;
+            let tol = 1e-9 + cancellation;
+            prop_assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+        }
+
+        /// Probabilities are valid and monotone in l.
+        #[test]
+        fn collection_probability_valid(n in 0u32..50, p in 0.0f64..=1.0, l in 0u64..500) {
+            let v = collection_probability(n, p, l);
+            prop_assert!((0.0..=1.0).contains(&v));
+            let v2 = collection_probability(n, p, l + 10);
+            prop_assert!(v2 >= v - 1e-12);
+        }
+
+        /// packets_for_confidence returns the *least* satisfying L.
+        #[test]
+        fn quantile_is_tight(n in 1u32..30, p in 0.05f64..0.9, c in 0.5f64..0.99) {
+            let l = packets_for_confidence(n, p, c);
+            prop_assert!(collection_probability(n, p, l) >= c);
+            if l > 1 {
+                prop_assert!(collection_probability(n, p, l - 1) < c);
+            }
+        }
+
+        /// Binomial coefficients satisfy the Vandermonde-style ratio
+        /// C(n,k)·(n−k) == C(n,k+1)·(k+1).
+        #[test]
+        fn binomial_ratio(n in 0u64..60, k in 0u64..60) {
+            prop_assume!(k < n);
+            let lhs = binomial(n, k) * (n - k) as f64;
+            let rhs = binomial(n, k + 1) * (k + 1) as f64;
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.max(1.0));
+        }
+
+        /// Welford statistics never produce negative variance and keep
+        /// min ≤ mean ≤ max.
+        #[test]
+        fn stats_invariants(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s: OnlineStats = values.iter().copied().collect();
+            prop_assert!(s.variance() >= 0.0);
+            prop_assert!(s.min() <= s.mean() + 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+    }
+}

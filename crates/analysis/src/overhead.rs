@@ -1,0 +1,86 @@
+//! Closed-form per-packet marking overhead (the §4 trade-off in bytes).
+//!
+//! Wire costs come from `pnm-wire`'s canonical encoding: every packet
+//! carries a 2-byte mark count; a plain-ID mark costs
+//! `1 (kind) + 2 (id) + 1 (len) + w (MAC)` bytes and an anonymous-ID mark
+//! `1 + 8 + 1 + w`. The expected overhead follows directly from the
+//! marking probability.
+
+/// Bytes of a plain-ID mark with a `w`-byte MAC.
+pub fn plain_mark_bytes(mac_width: usize) -> usize {
+    1 + 2 + 1 + mac_width
+}
+
+/// Bytes of an anonymous-ID mark with a `w`-byte MAC.
+pub fn anon_mark_bytes(mac_width: usize) -> usize {
+    1 + 8 + 1 + mac_width
+}
+
+/// Expected per-packet overhead of deterministic nested marking over an
+/// `n`-hop path (every hop marks with a plain ID).
+pub fn nested_overhead_bytes(n: usize, mac_width: usize) -> f64 {
+    2.0 + n as f64 * plain_mark_bytes(mac_width) as f64
+}
+
+/// Expected per-packet overhead of PNM over an `n`-hop path with marking
+/// probability `p` (anonymous IDs).
+pub fn pnm_overhead_bytes(n: usize, p: f64, mac_width: usize) -> f64 {
+    2.0 + n as f64 * p * anon_mark_bytes(mac_width) as f64
+}
+
+/// Path length above which PNM (at fixed mean marks `np̄`) is cheaper than
+/// deterministic nested marking: the crossover of the two lines above.
+/// Returns `None` if PNM is cheaper everywhere (it is, for `np̄` small
+/// enough that `np̄ · (10 + w) < n · (4 + w)` already at `n = 1`).
+pub fn nested_vs_pnm_crossover(target_marks: f64, mac_width: usize) -> Option<usize> {
+    // Nested grows ~ n(4+w); PNM stays ~ np̄(10+w). Crossover at
+    // n = np̄ (10+w)/(4+w).
+    let n = target_marks * anon_mark_bytes(mac_width) as f64 / plain_mark_bytes(mac_width) as f64;
+    if n <= 1.0 {
+        None
+    } else {
+        Some(n.ceil() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_byte_formulas() {
+        assert_eq!(plain_mark_bytes(8), 12);
+        assert_eq!(anon_mark_bytes(8), 18);
+    }
+
+    #[test]
+    fn nested_grows_linearly() {
+        let w = 8;
+        assert_eq!(nested_overhead_bytes(10, w), 2.0 + 120.0);
+        assert_eq!(nested_overhead_bytes(50, w), 2.0 + 600.0);
+    }
+
+    #[test]
+    fn pnm_flat_at_fixed_np() {
+        let w = 8;
+        // np = 3 regardless of n: overhead constant at 2 + 3·18 = 56.
+        for n in [10usize, 20, 30, 50] {
+            let p = 3.0 / n as f64;
+            let o = pnm_overhead_bytes(n, p, w);
+            assert!((o - 56.0).abs() < 1e-9, "n={n}: {o}");
+        }
+    }
+
+    #[test]
+    fn crossover_matches_lines() {
+        let w = 8;
+        let x = nested_vs_pnm_crossover(3.0, w).expect("crossover exists");
+        // 3·18/12 = 4.5 → 5 hops.
+        assert_eq!(x, 5);
+        // Below the crossover nested is cheaper; above, PNM wins.
+        let below = 4usize;
+        assert!(nested_overhead_bytes(below, w) < pnm_overhead_bytes(below, 3.0 / below as f64, w));
+        let above = 6usize;
+        assert!(nested_overhead_bytes(above, w) > pnm_overhead_bytes(above, 3.0 / above as f64, w));
+    }
+}

@@ -1,0 +1,77 @@
+//! Alternative traceback approaches — the §8 comparison points.
+//!
+//! "Besides packet marking, there are two more approaches for traceback,
+//! namely logging and notification." This crate implements simplified but
+//! faithful versions of both so the trade-offs the PNM paper claims can be
+//! *measured* rather than asserted:
+//!
+//! | Approach | In-band? | Node storage | Control messages | Abusable by moles |
+//! |---|---|---|---|---|
+//! | [`logging`] (hash-based, \[9]) | no | O(log capacity) digests | 2 per node per traced packet | lies in query responses |
+//! | [`notification`] (ICMP-style, \[2]) | no | none | 1 extra routed packet per notification | fabricated forwarding claims |
+//! | PNM (`pnm-core`) | **yes** | **none** | **none** | provably not (Theorem 4) |
+//!
+//! The head-to-head experiment is `pnm-sim`'s `regen-figures baselines`
+//! table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod logging;
+pub mod notification;
+
+pub use analysis::{
+    logging_query_messages, logging_storage_bytes, logging_window,
+    notification_byte_hops_per_packet, pnm_byte_hops_per_packet,
+};
+pub use logging::{logging_traceback, PacketLog, QueryResponder, RespondPolicy};
+pub use notification::{
+    notify, should_notify, verify_notification, Notification, NotificationSink, NOTIFICATION_BYTES,
+};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::logging::{logging_traceback, QueryResponder};
+    use crate::notification::{notify, verify_notification};
+    use pnm_crypto::KeyStore;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Honest logging traceback returns exactly the forwarding set as
+        /// long as nothing evicted.
+        #[test]
+        fn honest_logging_is_exact(
+            path in proptest::collection::btree_set(0u16..30, 1..10),
+            packet in proptest::collection::vec(any::<u8>(), 1..64),
+        ) {
+            let mut responders: Vec<QueryResponder> =
+                (0..30).map(|_| QueryResponder::honest(64)).collect();
+            for &id in &path {
+                responders[id as usize].log.record(&packet);
+            }
+            let (claimed, messages) = logging_traceback(&mut responders, &packet);
+            let expect: Vec<u16> = path.into_iter().collect();
+            prop_assert_eq!(claimed, expect);
+            prop_assert_eq!(messages, 60);
+        }
+
+        /// Notifications verify under the right key and only that key.
+        #[test]
+        fn notification_sender_authentic(
+            reporter in 0u16..16,
+            other in 0u16..16,
+            packet in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let ks = KeyStore::derive_from_master(b"prop-notify", 16);
+            let n = notify(ks.key(reporter).unwrap(), reporter, &packet);
+            prop_assert!(verify_notification(ks.key(reporter).unwrap(), &n));
+            if other != reporter {
+                prop_assert!(!verify_notification(ks.key(other).unwrap(), &n));
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Logging-based traceback (after Snoeren et al., "Hash-Based IP
+//! Traceback” — the paper's reference \[9]).
+//!
+//! Each node stores digests of recently forwarded packets; to trace a
+//! packet, the sink *queries* nodes ("did you forward this digest?") and
+//! stitches the positive answers into a path. The PNM paper's two
+//! criticisms, both modeled here:
+//!
+//! 1. **Storage** — low-end sensors have tiny memories, so digest tables
+//!    are small and evict ([`PacketLog`] is bounded; evicted evidence is
+//!    gone).
+//! 2. **Insecure signaling** — query/response messages are a new attack
+//!    surface: a mole simply *lies* in its responses
+//!    ([`RespondPolicy`]), denying forwarding to hide, or claiming
+//!    forwarding to frame.
+
+use std::collections::{HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use pnm_crypto::{Digest, Sha256};
+
+/// A node's bounded forwarded-packet digest log.
+#[derive(Clone, Debug)]
+pub struct PacketLog {
+    capacity: usize,
+    seen: HashSet<Digest>,
+    order: VecDeque<Digest>,
+    /// Total packets ever logged (for overhead accounting).
+    pub logged_total: u64,
+}
+
+impl PacketLog {
+    /// Creates a log holding up to `capacity` digests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        PacketLog {
+            capacity,
+            seen: HashSet::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            logged_total: 0,
+        }
+    }
+
+    /// Records a forwarded packet's bytes.
+    pub fn record(&mut self, packet_bytes: &[u8]) {
+        let d = Sha256::digest(packet_bytes);
+        if self.seen.contains(&d) {
+            return;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.order.push_back(d);
+        self.seen.insert(d);
+        self.logged_total += 1;
+    }
+
+    /// Whether the log (still) remembers the packet.
+    pub fn remembers(&self, packet_bytes: &[u8]) -> bool {
+        self.seen.contains(&Sha256::digest(packet_bytes))
+    }
+
+    /// Digests currently held.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` if nothing is logged.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Bytes of storage the log occupies (32 B per digest).
+    pub fn storage_bytes(&self) -> usize {
+        self.order.len() * 32
+    }
+}
+
+/// How a node answers traceback queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RespondPolicy {
+    /// Answer truthfully from the log.
+    Honest,
+    /// Always deny having forwarded anything (a hiding mole).
+    DenyAll,
+    /// Always claim having forwarded everything (framing noise).
+    ConfirmAll,
+}
+
+/// One node's traceback-query endpoint.
+#[derive(Clone, Debug)]
+pub struct QueryResponder {
+    /// The node's log.
+    pub log: PacketLog,
+    /// Its (possibly malicious) answer policy.
+    pub policy: RespondPolicy,
+    /// Queries answered (message-overhead accounting).
+    pub queries_answered: u64,
+}
+
+impl QueryResponder {
+    /// An honest responder with the given log capacity.
+    pub fn honest(capacity: usize) -> Self {
+        QueryResponder {
+            log: PacketLog::new(capacity),
+            policy: RespondPolicy::Honest,
+            queries_answered: 0,
+        }
+    }
+
+    /// A responder with an explicit policy.
+    pub fn with_policy(capacity: usize, policy: RespondPolicy) -> Self {
+        QueryResponder {
+            log: PacketLog::new(capacity),
+            policy,
+            queries_answered: 0,
+        }
+    }
+
+    /// Answers "did you forward this packet?".
+    pub fn answer(&mut self, packet_bytes: &[u8]) -> bool {
+        self.queries_answered += 1;
+        match self.policy {
+            RespondPolicy::Honest => self.log.remembers(packet_bytes),
+            RespondPolicy::DenyAll => false,
+            RespondPolicy::ConfirmAll => true,
+        }
+    }
+}
+
+/// The sink-side logging traceback: query every node about one packet and
+/// return the claimed forwarding set, plus the number of query/response
+/// messages spent (2 per node: one query, one response).
+///
+/// With honest nodes and un-evicted logs this yields exactly the
+/// forwarding path (unordered — ordering requires topology knowledge).
+/// With lying moles the result is wrong in whatever direction the mole
+/// chose — the insecurity the PNM paper points out.
+pub fn logging_traceback(
+    responders: &mut [QueryResponder],
+    packet_bytes: &[u8],
+) -> (Vec<u16>, u64) {
+    let mut claimed = Vec::new();
+    let mut messages = 0u64;
+    for (id, r) in responders.iter_mut().enumerate() {
+        messages += 2;
+        if r.answer(packet_bytes) {
+            claimed.push(id as u16);
+        }
+    }
+    (claimed, messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_and_remembers() {
+        let mut log = PacketLog::new(8);
+        log.record(b"pkt-1");
+        assert!(log.remembers(b"pkt-1"));
+        assert!(!log.remembers(b"pkt-2"));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.storage_bytes(), 32);
+    }
+
+    #[test]
+    fn log_eviction_loses_evidence() {
+        let mut log = PacketLog::new(2);
+        log.record(b"a");
+        log.record(b"b");
+        log.record(b"c"); // evicts "a"
+        assert!(!log.remembers(b"a"), "evidence lost as the paper warns");
+        assert!(log.remembers(b"b"));
+        assert!(log.remembers(b"c"));
+        assert_eq!(log.logged_total, 3);
+    }
+
+    #[test]
+    fn duplicate_records_are_idempotent() {
+        let mut log = PacketLog::new(4);
+        log.record(b"a");
+        log.record(b"a");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.logged_total, 1);
+    }
+
+    #[test]
+    fn honest_traceback_finds_the_path() {
+        let mut responders: Vec<QueryResponder> =
+            (0..10).map(|_| QueryResponder::honest(64)).collect();
+        // The packet traversed nodes 2, 3, 4.
+        for id in [2usize, 3, 4] {
+            responders[id].log.record(b"the-packet");
+        }
+        let (claimed, messages) = logging_traceback(&mut responders, b"the-packet");
+        assert_eq!(claimed, vec![2, 3, 4]);
+        assert_eq!(messages, 20, "2 messages per node queried");
+    }
+
+    #[test]
+    fn denying_mole_breaks_the_path() {
+        let mut responders: Vec<QueryResponder> =
+            (0..10).map(|_| QueryResponder::honest(64)).collect();
+        for id in [2usize, 3, 4] {
+            responders[id].log.record(b"the-packet");
+        }
+        responders[3].policy = RespondPolicy::DenyAll;
+        let (claimed, _) = logging_traceback(&mut responders, b"the-packet");
+        // The path now has a hole at the mole: traceback is cut.
+        assert_eq!(claimed, vec![2, 4]);
+    }
+
+    #[test]
+    fn confirming_mole_frames_itself_into_paths() {
+        let mut responders: Vec<QueryResponder> =
+            (0..10).map(|_| QueryResponder::honest(64)).collect();
+        for id in [2usize, 3] {
+            responders[id].log.record(b"the-packet");
+        }
+        responders[7].policy = RespondPolicy::ConfirmAll;
+        let (claimed, _) = logging_traceback(&mut responders, b"the-packet");
+        // Node 7 appears on a path it never touched — noise the sink
+        // cannot distinguish (the signaling is unauthenticated w.r.t. the
+        // actual forwarding event).
+        assert_eq!(claimed, vec![2, 3, 7]);
+    }
+
+    #[test]
+    fn query_overhead_scales_with_network_size() {
+        for n in [10usize, 100, 1000] {
+            let mut responders: Vec<QueryResponder> =
+                (0..n).map(|_| QueryResponder::honest(4)).collect();
+            let (_, messages) = logging_traceback(&mut responders, b"x");
+            assert_eq!(messages, 2 * n as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = PacketLog::new(0);
+    }
+}

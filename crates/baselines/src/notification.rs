@@ -1,0 +1,189 @@
+//! Notification-based traceback (after Bellovin's ICMP traceback — the
+//! paper's reference \[2]).
+//!
+//! Each forwarder, with probability `q`, sends the sink a separate
+//! *notification* message: "I forwarded a packet with this digest."
+//! The sink correlates notifications per packet to reconstruct paths.
+//! The PNM paper's criticisms, modeled here:
+//!
+//! 1. **Control-message overhead** — every notification is an extra
+//!    packet that must itself be forwarded to the sink (costing energy
+//!    along its whole route), unlike PNM's in-band marks.
+//! 2. **Abusable signaling** — a mole can emit notifications for packets
+//!    it never forwarded, framing innocent-looking paths; authenticating
+//!    the notification's *sender* does not authenticate the claimed
+//!    forwarding *event*.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use pnm_crypto::{Digest, HmacSha256, MacKey, MacTag, Sha256};
+
+/// A notification message: "node `reporter` forwarded packet `digest`".
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Notification {
+    /// Claimed forwarder.
+    pub reporter: u16,
+    /// Digest of the packet allegedly forwarded.
+    pub digest: Digest,
+    /// MAC under the reporter's sink key (sender authenticity only!).
+    pub mac: MacTag,
+}
+
+/// Size of one notification on the wire (id + digest + 8-byte MAC).
+pub const NOTIFICATION_BYTES: usize = 2 + 32 + 8;
+
+const DOMAIN_NOTIFY: &[u8] = b"pnm/notify/v1";
+
+/// Builds an authenticated notification.
+pub fn notify(key: &MacKey, reporter: u16, packet_bytes: &[u8]) -> Notification {
+    let digest = Sha256::digest(packet_bytes);
+    let mut h = HmacSha256::new(key.as_bytes());
+    h.update(DOMAIN_NOTIFY);
+    h.update(&reporter.to_be_bytes());
+    h.update(digest.as_bytes());
+    let mac = MacTag::from_bytes(&h.finalize().as_bytes()[..8]);
+    Notification {
+        reporter,
+        digest,
+        mac,
+    }
+}
+
+/// Verifies a notification's *sender* (not the claimed event).
+pub fn verify_notification(key: &MacKey, n: &Notification) -> bool {
+    let expected = {
+        let mut h = HmacSha256::new(key.as_bytes());
+        h.update(DOMAIN_NOTIFY);
+        h.update(&n.reporter.to_be_bytes());
+        h.update(n.digest.as_bytes());
+        MacTag::from_bytes(&h.finalize().as_bytes()[..8])
+    };
+    expected == n.mac
+}
+
+/// Decides probabilistically whether a forwarder notifies for a packet.
+pub fn should_notify(q: f64, rng: &mut dyn Rng) -> bool {
+    debug_assert!((0.0..=1.0).contains(&q));
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u < q
+}
+
+/// The sink's notification correlator: groups verified notifications per
+/// packet digest.
+#[derive(Clone, Debug, Default)]
+pub struct NotificationSink {
+    /// digest → reporters (in arrival order).
+    by_packet: std::collections::HashMap<Digest, Vec<u16>>,
+    /// Notifications rejected for bad MACs.
+    pub rejected: u64,
+    /// Total accepted.
+    pub accepted: u64,
+}
+
+impl NotificationSink {
+    /// Creates an empty correlator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests a notification, verifying sender authenticity against the
+    /// reporter's key.
+    pub fn ingest(&mut self, key: &MacKey, n: &Notification) {
+        if !verify_notification(key, n) {
+            self.rejected += 1;
+            return;
+        }
+        self.accepted += 1;
+        self.by_packet.entry(n.digest).or_default().push(n.reporter);
+    }
+
+    /// The reporters who claimed to forward `packet_bytes`.
+    pub fn reporters_for(&self, packet_bytes: &[u8]) -> &[u16] {
+        self.by_packet
+            .get(&Sha256::digest(packet_bytes))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct packets with at least one notification.
+    pub fn packets_seen(&self) -> usize {
+        self.by_packet.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnm_crypto::KeyStore;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys() -> KeyStore {
+        KeyStore::derive_from_master(b"notify-test", 16)
+    }
+
+    #[test]
+    fn notification_round_trip() {
+        let ks = keys();
+        let n = notify(ks.key(3).unwrap(), 3, b"pkt");
+        assert!(verify_notification(ks.key(3).unwrap(), &n));
+        // Wrong key: rejected.
+        assert!(!verify_notification(ks.key(4).unwrap(), &n));
+    }
+
+    #[test]
+    fn sink_correlates_per_packet() {
+        let ks = keys();
+        let mut sink = NotificationSink::new();
+        for id in [2u16, 5, 9] {
+            let n = notify(ks.key(id).unwrap(), id, b"pkt-A");
+            sink.ingest(ks.key(id).unwrap(), &n);
+        }
+        let n = notify(ks.key(7).unwrap(), 7, b"pkt-B");
+        sink.ingest(ks.key(7).unwrap(), &n);
+        assert_eq!(sink.reporters_for(b"pkt-A"), &[2, 5, 9]);
+        assert_eq!(sink.reporters_for(b"pkt-B"), &[7]);
+        assert_eq!(sink.packets_seen(), 2);
+        assert_eq!(sink.accepted, 4);
+    }
+
+    #[test]
+    fn tampered_notification_rejected() {
+        let ks = keys();
+        let mut sink = NotificationSink::new();
+        let mut n = notify(ks.key(2).unwrap(), 2, b"pkt");
+        n.mac = n.mac.corrupted();
+        sink.ingest(ks.key(2).unwrap(), &n);
+        assert_eq!(sink.rejected, 1);
+        assert!(sink.reporters_for(b"pkt").is_empty());
+    }
+
+    #[test]
+    fn mole_frames_itself_into_never_seen_packets() {
+        // The §8 abuse: a mole notifies for a packet it never forwarded.
+        // The MAC is valid (it's really the mole speaking), so the sink
+        // accepts it — the *event* is unverifiable.
+        let ks = keys();
+        let mut sink = NotificationSink::new();
+        let mole = 11u16;
+        let fabricated = notify(ks.key(mole).unwrap(), mole, b"some-victims-packet");
+        sink.ingest(ks.key(mole).unwrap(), &fabricated);
+        assert_eq!(sink.reporters_for(b"some-victims-packet"), &[mole]);
+    }
+
+    #[test]
+    fn notification_probability_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..20_000)
+            .filter(|_| should_notify(0.05, &mut rng))
+            .count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.05).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn wire_size_constant_is_consistent() {
+        // id (2) + digest (32) + mac (8).
+        assert_eq!(NOTIFICATION_BYTES, 42);
+    }
+}

@@ -1,0 +1,81 @@
+//! Crypto substrate throughput — grounding the paper's §4.2 feasibility
+//! argument ("an Athlon 1.6G CPU can do 2.5 million hashes per second").
+//!
+//! Series: SHA-256 bulk throughput, small-message HMAC (the marking MAC),
+//! anonymous-ID computation, and MAC verification.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pnm_crypto::{anon_id, HmacSha256, MacKey, Sha256};
+
+fn sha256_bulk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256_bulk");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Sha256::digest(black_box(data)))
+        });
+    }
+    g.finish();
+}
+
+fn hmac_small_messages(c: &mut Criterion) {
+    // Marking MACs cover a report (~30 B) plus accumulated marks; bench the
+    // realistic sizes a forwarder and the sink actually hash.
+    let mut g = c.benchmark_group("hmac_mark_sizes");
+    let key = MacKey::derive(b"bench", 1);
+    for size in [32usize, 64, 128, 256] {
+        let msg = vec![0x5au8; size];
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &msg, |b, msg| {
+            b.iter(|| key.mark_mac(black_box(msg), 8))
+        });
+    }
+    g.finish();
+}
+
+fn hmac_rate(c: &mut Criterion) {
+    // The paper's anchor: millions of keyed hashes per second on a 2001-era
+    // CPU. One element = one HMAC over a 64-byte message.
+    let key = b"sink-side-key-material";
+    let msg = [0u8; 64];
+    let mut g = c.benchmark_group("hmac_rate");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hmac_sha256_64B", |b| {
+        b.iter(|| HmacSha256::mac(black_box(key), black_box(&msg)))
+    });
+    g.finish();
+}
+
+fn anon_id_computation(c: &mut Criterion) {
+    let key = MacKey::derive(b"bench", 7);
+    let report = vec![0x77u8; 30];
+    let mut g = c.benchmark_group("anon_id");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("anon_id_30B_report", |b| {
+        b.iter(|| anon_id(black_box(&key), black_box(&report), black_box(1234)))
+    });
+    g.finish();
+}
+
+fn mac_verification(c: &mut Criterion) {
+    let key = MacKey::derive(b"bench", 2);
+    let msg = vec![0x11u8; 96];
+    let tag = key.mark_mac(&msg, 8);
+    c.bench_function("verify_mark_mac_96B", |b| {
+        b.iter(|| key.verify_mark_mac(black_box(&msg), black_box(&tag)))
+    });
+}
+
+criterion_group!(
+    benches,
+    sha256_bulk,
+    hmac_small_messages,
+    hmac_rate,
+    anon_id_computation,
+    mac_verification
+);
+criterion_main!(benches);

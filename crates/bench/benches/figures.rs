@@ -1,0 +1,69 @@
+//! One bench target per paper figure/table: each benchmark regenerates a
+//! reduced-scale version of the corresponding experiment, so `cargo bench`
+//! exercises the full evaluation pipeline end to end. (Full-scale
+//! regeneration is the `regen-figures` binary in `pnm-sim`.)
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pnm_sim::{attack_matrix, fig4, fig5, identification_sweep, latency_table, AttackScenario};
+
+fn figure4(c: &mut Criterion) {
+    c.bench_function("figures/fig4_analytic_80pkts", |b| {
+        b.iter(|| fig4(black_box(80)))
+    });
+}
+
+fn figure5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig5_sim_30runs", |b| b.iter(|| fig5(black_box(30), 20)));
+    g.finish();
+}
+
+fn figures6and7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig67_sweep_3runs", |b| {
+        b.iter(|| identification_sweep(black_box(3)))
+    });
+    g.finish();
+}
+
+fn attack_matrix_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("attack_matrix_8hops_150pkts", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            attack_matrix(&AttackScenario {
+                path_len: 8,
+                mole_position: 4,
+                packets: 150,
+                seed,
+            })
+        })
+    });
+    g.finish();
+}
+
+fn latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("latency_table_200pkts", |b| {
+        b.iter(|| latency_table(black_box(200), 50.0, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    figure4,
+    figure5,
+    figures6and7,
+    attack_matrix_table,
+    latency
+);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Per-hop marking cost and per-packet byte overhead — the trade-off that
+//! motivates probabilistic marking (§4: nested marking's "drawback of
+//! large message overhead").
+//!
+//! Series: per-hop mark cost for each scheme; end-of-path packet size for
+//! nested vs PNM as the path grows; MAC-width ablation (DESIGN.md §6.1).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pnm_core::{MarkingConfig, NodeContext};
+use pnm_crypto::MacKey;
+use pnm_sim::SchemeKind;
+use pnm_wire::{Location, NodeId, Packet, Report};
+
+fn fresh_packet() -> Packet {
+    Packet::new(Report::new(
+        b"bench-report".to_vec(),
+        Location::new(1.0, 2.0),
+        42,
+    ))
+}
+
+/// One hop's marking work, per scheme (deterministic p=1 so every
+/// iteration actually marks).
+fn per_hop_marking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("per_hop_marking");
+    let cfg = MarkingConfig::builder()
+        .marking_probability(1.0)
+        .mac_width(8)
+        .build();
+    for kind in SchemeKind::all() {
+        let scheme = kind.build(cfg);
+        let ctx = NodeContext::new(NodeId(3), MacKey::derive(b"bench", 3));
+        g.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter_batched(
+                fresh_packet,
+                |mut pkt| {
+                    scheme.mark(black_box(&ctx), &mut pkt, &mut rng);
+                    pkt
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Packet byte overhead at the sink after an n-hop path: nested (marks
+/// every hop) vs PNM (np = 3). This is the paper's overhead argument as a
+/// measured series.
+fn path_overhead_bytes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("path_overhead_bytes");
+    for n in [10u16, 20, 30] {
+        for kind in [SchemeKind::Nested, SchemeKind::Pnm] {
+            let cfg = MarkingConfig::builder()
+                .target_marks_per_packet(3.0, n as usize)
+                .build();
+            let cfg = if kind == SchemeKind::Nested {
+                MarkingConfig::builder().marking_probability(1.0).build()
+            } else {
+                cfg
+            };
+            let scheme = kind.build(cfg);
+            let id = format!("{}_n{}", kind.name(), n);
+            g.bench_function(BenchmarkId::from_parameter(id), |b| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    let mut pkt = fresh_packet();
+                    for hop in 0..n {
+                        let ctx =
+                            NodeContext::new(NodeId(hop), MacKey::derive(b"bench", hop as u64));
+                        scheme.mark(&ctx, &mut pkt, &mut rng);
+                    }
+                    black_box(pkt.marking_overhead())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// MAC-width ablation: marking cost and packet size at widths 4/8/16/32.
+fn mac_width_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mac_width_ablation");
+    for width in [4usize, 8, 16, 32] {
+        let cfg = MarkingConfig::builder()
+            .marking_probability(1.0)
+            .mac_width(width)
+            .build();
+        let scheme = SchemeKind::Pnm.build(cfg);
+        g.bench_function(BenchmarkId::from_parameter(width), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let ctx = NodeContext::new(NodeId(1), MacKey::derive(b"bench", 1));
+            b.iter_batched(
+                fresh_packet,
+                |mut pkt| {
+                    scheme.mark(&ctx, &mut pkt, &mut rng);
+                    black_box(pkt.encoded_len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Wire-format serialization round-trip for a fully marked packet.
+fn wire_round_trip(c: &mut Criterion) {
+    let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+    let scheme = SchemeKind::Pnm.build(cfg);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut pkt = fresh_packet();
+    for hop in 0..20u16 {
+        let ctx = NodeContext::new(NodeId(hop), MacKey::derive(b"bench", hop as u64));
+        scheme.mark(&ctx, &mut pkt, &mut rng);
+    }
+    let bytes = pkt.to_bytes();
+    c.bench_function("packet_encode_20_marks", |b| {
+        b.iter(|| black_box(&pkt).to_bytes())
+    });
+    c.bench_function("packet_decode_20_marks", |b| {
+        b.iter(|| Packet::from_bytes(black_box(&bytes)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    per_hop_marking,
+    path_overhead_bytes,
+    mac_width_ablation,
+    wire_round_trip
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Substrate-level benchmarks: en-route filtering, route reconstruction
+//! at scale, GPSR planarization/routing, and the traceback-baseline
+//! comparison pipeline.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pnm_core::RouteReconstructor;
+use pnm_filter::{en_route_check, endorse, forge_report, sink_check, KeyPool, KeyRing};
+use pnm_net::{gabriel_graph, gpsr_route, Topology};
+use pnm_wire::{Location, NodeId, Report};
+
+fn sef_checks(c: &mut Criterion) {
+    let pool = KeyPool::new(b"bench-sef", 10, 8);
+    let report = Report::new(b"event".to_vec(), Location::new(1.0, 1.0), 7);
+    // Legitimate endorsement set.
+    let mut rings: Vec<KeyRing> = Vec::new();
+    let mut parts = std::collections::HashSet::new();
+    for node in 0..1000u16 {
+        let r = pool.assign_ring(node, 4);
+        if parts.insert(r.partition) {
+            rings.push(r);
+            if rings.len() == 5 {
+                break;
+            }
+        }
+    }
+    let refs: Vec<&KeyRing> = rings.iter().collect();
+    let legit = endorse(&report, &refs, 5).expect("endorsed");
+    let mut rng = StdRng::seed_from_u64(1);
+    let forged = forge_report(&report, &refs[..1], 5, 10, &mut rng);
+    let checker = pool.assign_ring(500, 4);
+
+    let mut g = c.benchmark_group("sef");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("endorse_t5", |b| {
+        b.iter(|| endorse(black_box(&report), black_box(&refs), 5))
+    });
+    g.bench_function("en_route_check_legit", |b| {
+        b.iter(|| en_route_check(black_box(&checker), black_box(&legit), 5))
+    });
+    g.bench_function("en_route_check_forged", |b| {
+        b.iter(|| en_route_check(black_box(&checker), black_box(&forged), 5))
+    });
+    g.bench_function("sink_check", |b| {
+        b.iter(|| sink_check(black_box(&pool), black_box(&legit), 5))
+    });
+    g.finish();
+}
+
+fn reconstruction_scale(c: &mut Criterion) {
+    // Order-matrix maintenance and localization at growing node counts.
+    let mut g = c.benchmark_group("reconstruction");
+    g.sample_size(20);
+    for n in [50u16, 200, 1000] {
+        // Pre-build a chain's worth of random 3-mark chains.
+        let mut rng = StdRng::seed_from_u64(3);
+        use rand::RngExt;
+        let chains: Vec<Vec<NodeId>> = (0..500)
+            .map(|_| {
+                let mut ids: Vec<u16> = (0..3).map(|_| rng.random_range(0..n)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids.into_iter().map(NodeId).collect()
+            })
+            .collect();
+        g.bench_function(BenchmarkId::new("observe_and_localize", n), |b| {
+            b.iter(|| {
+                let mut r = RouteReconstructor::new();
+                for chain in &chains {
+                    r.observe_chain(chain);
+                }
+                black_box(r.localize())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn gpsr_benches(c: &mut Criterion) {
+    let topo = Topology::random_geometric(300, 200.0, 28.0, 11);
+    let mut g = c.benchmark_group("gpsr");
+    g.sample_size(20);
+    g.bench_function("gabriel_graph_300", |b| {
+        b.iter(|| gabriel_graph(black_box(&topo)))
+    });
+    // The farthest routable node.
+    let src = (0..300u16)
+        .filter(|&s| gpsr_route(&topo, s).is_some())
+        .max_by_key(|&s| gpsr_route(&topo, s).map(|p| p.len()).unwrap_or(0))
+        .expect("routable node");
+    g.bench_function("gpsr_route_longest", |b| {
+        b.iter(|| gpsr_route(black_box(&topo), black_box(src)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sef_checks, reconstruction_scale, gpsr_benches);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! End-to-end traceback cost: a complete honest run (inject → mark →
+//! verify → reconstruct → localize) and a complete attack-cell
+//! evaluation, at the paper's parameters.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pnm_adversary::AttackKind;
+use pnm_sim::{evaluate_cell, run_honest_path, AttackScenario, PathScenario, SchemeKind};
+
+/// A full 50-packet honest PNM run at n = 10/20/30 (the Figure 5 inner
+/// loop).
+fn honest_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("honest_run_50pkts");
+    g.sample_size(20);
+    for n in [10u16, 20, 30] {
+        let scenario = PathScenario::paper(n);
+        g.bench_function(BenchmarkId::from_parameter(n), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_honest_path(black_box(&scenario), SchemeKind::Pnm, 50, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Basic nested marking: single-packet traceback on a 20-hop path —
+/// the §4.1 fast path.
+fn nested_single_packet(c: &mut Criterion) {
+    let scenario = PathScenario::paper(20);
+    c.bench_function("nested_single_packet_20hops", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_honest_path(black_box(&scenario), SchemeKind::Nested, 1, seed)
+        })
+    });
+}
+
+/// One attack-matrix cell (PNM vs selective dropping, 300 packets) —
+/// the cost of a full adversarial evaluation.
+fn attack_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attack_cell_300pkts");
+    g.sample_size(10);
+    for attack in [AttackKind::SelectiveDrop, AttackKind::MarkRemoval] {
+        g.bench_function(BenchmarkId::from_parameter(attack.as_str()), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                evaluate_cell(
+                    SchemeKind::Pnm,
+                    attack,
+                    &AttackScenario {
+                        path_len: 10,
+                        mole_position: 5,
+                        packets: 300,
+                        seed,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, honest_run, nested_single_packet, attack_cell);
+criterion_main!(benches);

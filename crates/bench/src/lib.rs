@@ -1,0 +1,12 @@
+//! Criterion benchmark harness for the PNM reproduction.
+//!
+//! All benchmarks live in `benches/`:
+//!
+//! - `crypto_throughput` — SHA-256 / HMAC / anonymous-ID rates (§4.2
+//!   feasibility anchors).
+//! - `marking_overhead` — per-hop marking cost, packet byte overhead,
+//!   MAC-width ablation.
+//! - `sink_verification` — anonymous-ID table build (1000–4000 nodes),
+//!   per-packet verification, topology-aware resolution ablation (§7).
+//! - `traceback_e2e` — full honest runs and attack-cell evaluations.
+//! - `figures` — reduced-scale regeneration of every paper figure/table.

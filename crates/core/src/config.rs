@@ -1,0 +1,163 @@
+//! Marking-scheme configuration.
+
+use serde::{Deserialize, Serialize};
+
+use pnm_crypto::DEFAULT_MAC_LEN;
+
+/// Configuration shared by all marking schemes.
+///
+/// Built with [`MarkingConfig::builder`]; the defaults mirror the paper's
+/// evaluation settings (§6.2): truncated 8-byte MACs and a marking
+/// probability tuned so each packet carries 3 marks on average.
+///
+/// # Examples
+///
+/// ```
+/// use pnm_core::MarkingConfig;
+///
+/// let cfg = MarkingConfig::builder()
+///     .mac_width(8)
+///     .target_marks_per_packet(3.0, 20)
+///     .build();
+/// assert!((cfg.marking_probability - 0.15).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MarkingConfig {
+    /// Truncated MAC width in bytes (1..=32).
+    pub mac_width: usize,
+    /// Per-hop marking probability `p` for probabilistic schemes
+    /// (deterministic schemes ignore it).
+    pub marking_probability: f64,
+}
+
+impl MarkingConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> MarkingConfigBuilder {
+        MarkingConfigBuilder::default()
+    }
+
+    /// The paper's default: 8-byte MACs, p chosen for `np = 3` on a path of
+    /// `n` forwarders (§6.2: "set the marking probability p such that a
+    /// packet always carries 3 marks on average").
+    pub fn paper_default(path_len: usize) -> Self {
+        Self::builder()
+            .target_marks_per_packet(3.0, path_len)
+            .build()
+    }
+}
+
+impl Default for MarkingConfig {
+    fn default() -> Self {
+        MarkingConfig {
+            mac_width: DEFAULT_MAC_LEN,
+            marking_probability: 1.0,
+        }
+    }
+}
+
+/// Builder for [`MarkingConfig`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MarkingConfigBuilder {
+    mac_width: Option<usize>,
+    marking_probability: Option<f64>,
+}
+
+impl MarkingConfigBuilder {
+    /// Sets the truncated MAC width in bytes.
+    pub fn mac_width(&mut self, width: usize) -> &mut Self {
+        self.mac_width = Some(width);
+        self
+    }
+
+    /// Sets the per-hop marking probability directly.
+    pub fn marking_probability(&mut self, p: f64) -> &mut Self {
+        self.marking_probability = Some(p);
+        self
+    }
+
+    /// Sets `p = target / path_len` (clamped to 1.0), the paper's way of
+    /// fixing the mean marks per packet `np`.
+    pub fn target_marks_per_packet(&mut self, target: f64, path_len: usize) -> &mut Self {
+        let p = if path_len == 0 {
+            1.0
+        } else {
+            (target / path_len as f64).min(1.0)
+        };
+        self.marking_probability = Some(p);
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MAC width is outside `1..=32` or the probability is
+    /// outside `[0, 1]` or non-finite.
+    pub fn build(&self) -> MarkingConfig {
+        let mac_width = self.mac_width.unwrap_or(DEFAULT_MAC_LEN);
+        assert!(
+            (1..=32).contains(&mac_width),
+            "mac_width must be 1..=32, got {mac_width}"
+        );
+        let p = self.marking_probability.unwrap_or(1.0);
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "marking_probability must be in [0,1], got {p}"
+        );
+        MarkingConfig {
+            mac_width,
+            marking_probability: p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let cfg = MarkingConfig::default();
+        assert_eq!(cfg.mac_width, DEFAULT_MAC_LEN);
+        assert_eq!(cfg.marking_probability, 1.0);
+    }
+
+    #[test]
+    fn paper_default_sets_np_3() {
+        for n in [10usize, 20, 30] {
+            let cfg = MarkingConfig::paper_default(n);
+            let np = cfg.marking_probability * n as f64;
+            assert!((np - 3.0).abs() < 1e-9, "n={n}: np={np}");
+        }
+    }
+
+    #[test]
+    fn short_paths_clamp_probability() {
+        let cfg = MarkingConfig::paper_default(2);
+        assert_eq!(cfg.marking_probability, 1.0);
+        let cfg = MarkingConfig::paper_default(0);
+        assert_eq!(cfg.marking_probability, 1.0);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let cfg = MarkingConfig::builder()
+            .mac_width(4)
+            .marking_probability(0.25)
+            .build();
+        assert_eq!(cfg.mac_width, 4);
+        assert_eq!(cfg.marking_probability, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "mac_width")]
+    fn zero_mac_width_rejected() {
+        let _ = MarkingConfig::builder().mac_width(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "marking_probability")]
+    fn bad_probability_rejected() {
+        let _ = MarkingConfig::builder().marking_probability(1.5).build();
+    }
+}

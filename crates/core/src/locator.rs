@@ -1,0 +1,245 @@
+//! The end-to-end mole locator: packets in, suspected neighborhoods out.
+//!
+//! [`MoleLocator`] composes [`SinkVerifier`]
+//! and [`RouteReconstructor`] into
+//! the two-step traceback of §4.2: (1) collect marks from enough packets to
+//! reconstruct the route, (2) identify the node(s) whose one-hop
+//! neighborhood must contain a mole. It also tracks *when* identification
+//! became unequivocal, which is the quantity Figures 6 and 7 report.
+
+use pnm_crypto::KeyStore;
+use pnm_wire::{NodeId, Packet};
+
+use crate::reconstruct::{Localization, RouteReconstructor};
+use crate::verify::{AnonTable, SinkVerifier, VerifiedChain, VerifyMode};
+
+/// Streaming mole locator at the sink.
+///
+/// # Examples
+///
+/// ```
+/// use pnm_core::{MarkingConfig, MarkingScheme, MoleLocator, NestedMarking, NodeContext, VerifyMode};
+/// use pnm_crypto::KeyStore;
+/// use pnm_wire::{Location, NodeId, Packet, Report};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let keys = KeyStore::derive_from_master(b"doc", 5);
+/// let scheme = NestedMarking::new(MarkingConfig::default());
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut pkt = Packet::new(Report::new(b"ev".to_vec(), Location::new(0.0, 0.0), 1));
+/// for i in 0..5u16 {
+///     let ctx = NodeContext::new(NodeId(i), *keys.key(i).unwrap());
+///     scheme.mark(&ctx, &mut pkt, &mut rng);
+/// }
+/// let mut locator = MoleLocator::new(keys, VerifyMode::Nested);
+/// locator.ingest(&pkt);
+/// assert_eq!(locator.unequivocal_source(), Some(NodeId(0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MoleLocator {
+    verifier: SinkVerifier,
+    mode: VerifyMode,
+    reconstructor: RouteReconstructor,
+    packets_ingested: usize,
+    first_unequivocal: Option<usize>,
+    /// Cached anon table for the most recent report bytes (PNM verification
+    /// builds one table per distinct report; a source mole must vary report
+    /// content, but retransmissions of the same report can share).
+    cached_table: Option<(Vec<u8>, AnonTable)>,
+}
+
+impl MoleLocator {
+    /// Creates a locator for a deployment's key table and scheme mode.
+    pub fn new(keys: KeyStore, mode: VerifyMode) -> Self {
+        MoleLocator {
+            verifier: SinkVerifier::new(keys),
+            mode,
+            reconstructor: RouteReconstructor::new(),
+            packets_ingested: 0,
+            first_unequivocal: None,
+            cached_table: None,
+        }
+    }
+
+    /// Verifies one packet, folds its chain into the route, and returns the
+    /// verified chain.
+    pub fn ingest(&mut self, packet: &Packet) -> VerifiedChain {
+        self.packets_ingested += 1;
+        let chain = match self.mode {
+            VerifyMode::Nested => {
+                let report_bytes = packet.report.to_bytes();
+                let reuse = self
+                    .cached_table
+                    .as_ref()
+                    .is_some_and(|(rb, _)| *rb == report_bytes);
+                if !reuse {
+                    let table = AnonTable::build(self.verifier.keys(), &report_bytes);
+                    self.cached_table = Some((report_bytes, table));
+                }
+                let (_, table) = self.cached_table.as_ref().expect("just inserted");
+                self.verifier.verify_nested_with_table(packet, table)
+            }
+            mode => self.verifier.verify(packet, mode),
+        };
+        self.reconstructor.observe_chain(&chain.nodes);
+        if self.first_unequivocal.is_none() && self.reconstructor.is_unequivocal() {
+            self.first_unequivocal = Some(self.packets_ingested);
+        }
+        chain
+    }
+
+    /// Single-packet traceback (basic nested marking, §4.1): the suspected
+    /// neighborhood from this one packet alone, without touching the
+    /// streaming state.
+    pub fn locate_single(&self, packet: &Packet) -> Option<NodeId> {
+        self.verifier
+            .verify(packet, VerifyMode::Nested)
+            .most_upstream()
+    }
+
+    /// Current localization decision.
+    pub fn localize(&self) -> Localization {
+        self.reconstructor.localize()
+    }
+
+    /// The unequivocally identified most-upstream node, if reached.
+    pub fn unequivocal_source(&self) -> Option<NodeId> {
+        self.reconstructor.unequivocal_source()
+    }
+
+    /// Packets ingested so far.
+    pub fn packets_ingested(&self) -> usize {
+        self.packets_ingested
+    }
+
+    /// The packet count at which identification first became unequivocal.
+    pub fn first_unequivocal(&self) -> Option<usize> {
+        self.first_unequivocal
+    }
+
+    /// Distinct nodes whose marks have been collected (Figure 5's metric).
+    pub fn observed_count(&self) -> usize {
+        self.reconstructor.observed_count()
+    }
+
+    /// Read access to the underlying reconstructor.
+    pub fn reconstructor(&self) -> &RouteReconstructor {
+        &self.reconstructor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarkingConfig;
+    use crate::scheme::{MarkingScheme, NodeContext, ProbabilisticNestedMarking};
+    use pnm_wire::{Location, Report};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys(n: u16) -> KeyStore {
+        KeyStore::derive_from_master(b"locator-test", n)
+    }
+
+    fn make_packet(
+        ks: &KeyStore,
+        scheme: &dyn MarkingScheme,
+        n: u16,
+        seq: u64,
+        rng: &mut StdRng,
+    ) -> Packet {
+        // Each injected report differs (footnote 4: duplicates are dropped).
+        let report = Report::new(
+            format!("bogus-{seq}").into_bytes(),
+            Location::new(seq as f32, 0.0),
+            seq,
+        );
+        let mut pkt = Packet::new(report);
+        for i in 0..n {
+            let ctx = NodeContext::new(NodeId(i), *ks.key(i).unwrap());
+            scheme.mark(&ctx, &mut pkt, rng);
+        }
+        pkt
+    }
+
+    #[test]
+    fn pnm_stream_converges_to_source() {
+        let n = 10u16;
+        let ks = keys(n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut locator = MoleLocator::new(ks.clone(), VerifyMode::Nested);
+        let mut rng = StdRng::seed_from_u64(11);
+        for seq in 0..200 {
+            let pkt = make_packet(&ks, &scheme, n, seq, &mut rng);
+            locator.ingest(&pkt);
+        }
+        assert_eq!(locator.packets_ingested(), 200);
+        assert_eq!(locator.unequivocal_source(), Some(NodeId(0)));
+        let first = locator.first_unequivocal().expect("converged");
+        assert!(first < 200, "first unequivocal at {first}");
+        assert_eq!(locator.observed_count(), n as usize);
+    }
+
+    #[test]
+    fn convergence_point_is_stable_once_reached() {
+        let n = 10u16;
+        let ks = keys(n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut locator = MoleLocator::new(ks.clone(), VerifyMode::Nested);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut first_seen = None;
+        for seq in 0..300 {
+            let pkt = make_packet(&ks, &scheme, n, seq, &mut rng);
+            locator.ingest(&pkt);
+            if first_seen.is_none() && locator.first_unequivocal().is_some() {
+                first_seen = locator.first_unequivocal();
+            }
+        }
+        assert_eq!(locator.first_unequivocal(), first_seen);
+    }
+
+    #[test]
+    fn deterministic_nested_single_packet() {
+        let n = 20u16;
+        let ks = keys(n);
+        let scheme = crate::scheme::NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pkt = make_packet(&ks, &scheme, n, 0, &mut rng);
+        let locator = MoleLocator::new(ks, VerifyMode::Nested);
+        assert_eq!(locator.locate_single(&pkt), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn ingest_with_no_marks_keeps_no_evidence() {
+        let ks = keys(5);
+        let mut locator = MoleLocator::new(ks, VerifyMode::Nested);
+        let pkt = Packet::new(Report::new(vec![], Location::default(), 0));
+        let chain = locator.ingest(&pkt);
+        assert!(chain.nodes.is_empty());
+        assert_eq!(locator.localize(), Localization::NoEvidence);
+        assert!(locator.unequivocal_source().is_none());
+    }
+
+    #[test]
+    fn table_cache_reused_for_same_report() {
+        // Two identical reports: the second ingest must reuse the cached
+        // anon table (observable only behaviorally: identical results).
+        let n = 8u16;
+        let ks = keys(n);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = Report::new(b"same".to_vec(), Location::default(), 1);
+        let mut pkt = Packet::new(report);
+        for i in 0..n {
+            let ctx = NodeContext::new(NodeId(i), *ks.key(i).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+        let mut locator = MoleLocator::new(ks, VerifyMode::Nested);
+        let c1 = locator.ingest(&pkt);
+        let c2 = locator.ingest(&pkt);
+        assert_eq!(c1, c2);
+        assert!(c1.fully_verified());
+    }
+}

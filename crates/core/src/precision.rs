@@ -1,0 +1,292 @@
+//! Precision refinement via neighbor authentication (§7 "Traceback
+//! Precision", §9 conjecture).
+//!
+//! PNM alone localizes a mole to a *one-hop neighborhood* — a mole "can
+//! claim different identities in communicating with its neighbors". The
+//! paper conjectures precision can improve "to a pair of neighboring
+//! nodes with additional neighbor authentication schemes, e.g., using
+//! pairwise keys". This module implements that extension:
+//!
+//! - Every pair of neighbors shares a pairwise key
+//!   ([`PairwiseKeys::derive`], pre-distributed like the node–sink keys).
+//! - When a node forwards a packet it attaches a **receipt attestation**:
+//!   a MAC under the pairwise key it shares with its *previous hop*,
+//!   binding "I received this exact message from that neighbor"
+//!   ([`attest_receipt`]).
+//! - When the backward walk stops at node `V`, the sink checks `V`'s
+//!   attestation: if valid for claimed predecessor `U`, the packet really
+//!   came from `U`'s radio, so the suspect set narrows from `V`'s whole
+//!   neighborhood to the **pair `{U, V}`** ([`refine_suspects`]) — either
+//!   `U` sent garbage upstream of honest `V`, or `V` lied about what it
+//!   received.
+//!
+//! The sink must know the topology to validate that `U` is actually `V`'s
+//! neighbor (§7 footnote 7).
+
+use std::collections::HashMap;
+
+use pnm_crypto::{HmacSha256, MacKey, MacTag};
+use pnm_wire::NodeId;
+
+/// Domain label for pairwise-key derivation.
+const DOMAIN_PAIRWISE: &[u8] = b"pnm/pairwise/v1";
+/// Domain label for receipt attestations.
+const DOMAIN_RECEIPT: &[u8] = b"pnm/receipt/v1";
+
+/// Pairwise neighbor keys, derived from a deployment master (in practice
+/// established by any pairwise key-establishment scheme; PNM itself
+/// "does not require such keys to work" — this is the precision add-on).
+#[derive(Clone, Debug)]
+pub struct PairwiseKeys {
+    master: Vec<u8>,
+}
+
+impl PairwiseKeys {
+    /// Creates the derivation context from a deployment master secret.
+    pub fn derive(master: &[u8]) -> Self {
+        PairwiseKeys {
+            master: master.to_vec(),
+        }
+    }
+
+    /// The symmetric key shared by neighbors `a` and `b` (order-free).
+    pub fn key(&self, a: NodeId, b: NodeId) -> MacKey {
+        let (lo, hi) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        let mut h = HmacSha256::new(&self.master);
+        h.update(DOMAIN_PAIRWISE);
+        h.update(&lo.to_bytes());
+        h.update(&hi.to_bytes());
+        let d = h.finalize();
+        let mut k = [0u8; 16];
+        k.copy_from_slice(&d.as_bytes()[..16]);
+        MacKey::from_bytes(k)
+    }
+}
+
+/// A receipt attestation: node `receiver` certifies it received message
+/// bytes `M` from `claimed_prev` over their authenticated link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReceiptAttestation {
+    /// Who attests.
+    pub receiver: NodeId,
+    /// The neighbor the message came from.
+    pub claimed_prev: NodeId,
+    /// MAC under the pairwise key.
+    pub mac: MacTag,
+}
+
+/// Computes a receipt attestation for `message_bytes` received by
+/// `receiver` from `prev`.
+pub fn attest_receipt(
+    keys: &PairwiseKeys,
+    receiver: NodeId,
+    prev: NodeId,
+    message_bytes: &[u8],
+    width: usize,
+) -> ReceiptAttestation {
+    let k = keys.key(receiver, prev);
+    let mut h = HmacSha256::new(k.as_bytes());
+    h.update(DOMAIN_RECEIPT);
+    h.update(&receiver.to_bytes());
+    h.update(&prev.to_bytes());
+    h.update(message_bytes);
+    let mac = MacTag::from_bytes(&h.finalize().as_bytes()[..width]);
+    ReceiptAttestation {
+        receiver,
+        claimed_prev: prev,
+        mac,
+    }
+}
+
+/// Verifies a receipt attestation.
+pub fn verify_receipt(
+    keys: &PairwiseKeys,
+    attestation: &ReceiptAttestation,
+    message_bytes: &[u8],
+) -> bool {
+    let expected = attest_receipt(
+        keys,
+        attestation.receiver,
+        attestation.claimed_prev,
+        message_bytes,
+        attestation.mac.len(),
+    );
+    expected.mac == attestation.mac
+}
+
+/// The refined suspect set after the traceback stopped at `stopping_node`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RefinedSuspects {
+    /// Attestation valid and the claimed predecessor is a real neighbor:
+    /// the mole is one of exactly these two nodes.
+    Pair(NodeId, NodeId),
+    /// No (valid) attestation, or the claimed predecessor is not a
+    /// neighbor: fall back to the stopping node's one-hop neighborhood —
+    /// and note the stopping node lied, which itself is incriminating.
+    Neighborhood(Vec<NodeId>),
+}
+
+/// Refines the PNM suspect set using `stopping_node`'s receipt
+/// attestation (if any) and the sink's topology knowledge.
+pub fn refine_suspects(
+    keys: &PairwiseKeys,
+    stopping_node: NodeId,
+    attestation: Option<&ReceiptAttestation>,
+    message_bytes: &[u8],
+    adjacency: &HashMap<u16, Vec<u16>>,
+) -> RefinedSuspects {
+    let neighborhood = || {
+        let mut v = vec![stopping_node];
+        if let Some(n) = adjacency.get(&stopping_node.raw()) {
+            v.extend(n.iter().map(|&x| NodeId(x)));
+        }
+        RefinedSuspects::Neighborhood(v)
+    };
+    let Some(att) = attestation else {
+        return neighborhood();
+    };
+    if att.receiver != stopping_node {
+        return neighborhood();
+    }
+    let is_neighbor = adjacency
+        .get(&stopping_node.raw())
+        .is_some_and(|n| n.contains(&att.claimed_prev.raw()));
+    if !is_neighbor {
+        return neighborhood();
+    }
+    if !verify_receipt(keys, att, message_bytes) {
+        return neighborhood();
+    }
+    RefinedSuspects::Pair(att.claimed_prev, stopping_node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_adjacency(n: u16) -> HashMap<u16, Vec<u16>> {
+        (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i - 1);
+                }
+                if i + 1 < n {
+                    v.push(i + 1);
+                }
+                (i, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pairwise_keys_symmetric_and_distinct() {
+        let pk = PairwiseKeys::derive(b"master");
+        assert_eq!(
+            pk.key(NodeId(3), NodeId(7)).as_bytes(),
+            pk.key(NodeId(7), NodeId(3)).as_bytes()
+        );
+        assert_ne!(
+            pk.key(NodeId(3), NodeId(7)).as_bytes(),
+            pk.key(NodeId(3), NodeId(8)).as_bytes()
+        );
+        let other = PairwiseKeys::derive(b"other-master");
+        assert_ne!(
+            pk.key(NodeId(3), NodeId(7)).as_bytes(),
+            other.key(NodeId(3), NodeId(7)).as_bytes()
+        );
+    }
+
+    #[test]
+    fn receipt_round_trip() {
+        let pk = PairwiseKeys::derive(b"m");
+        let att = attest_receipt(&pk, NodeId(5), NodeId(4), b"message", 8);
+        assert!(verify_receipt(&pk, &att, b"message"));
+        assert!(!verify_receipt(&pk, &att, b"other message"));
+    }
+
+    #[test]
+    fn forged_receipt_rejected() {
+        let pk = PairwiseKeys::derive(b"m");
+        let mut att = attest_receipt(&pk, NodeId(5), NodeId(4), b"msg", 8);
+        att.claimed_prev = NodeId(3); // lie about the sender
+        assert!(!verify_receipt(&pk, &att, b"msg"));
+    }
+
+    #[test]
+    fn valid_attestation_narrows_to_pair() {
+        let pk = PairwiseKeys::derive(b"m");
+        let adj = chain_adjacency(10);
+        let att = attest_receipt(&pk, NodeId(5), NodeId(4), b"msg", 8);
+        let refined = refine_suspects(&pk, NodeId(5), Some(&att), b"msg", &adj);
+        assert_eq!(refined, RefinedSuspects::Pair(NodeId(4), NodeId(5)));
+    }
+
+    #[test]
+    fn missing_attestation_falls_back_to_neighborhood() {
+        let pk = PairwiseKeys::derive(b"m");
+        let adj = chain_adjacency(10);
+        match refine_suspects(&pk, NodeId(5), None, b"msg", &adj) {
+            RefinedSuspects::Neighborhood(v) => {
+                assert_eq!(v, vec![NodeId(5), NodeId(4), NodeId(6)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_neighbor_claim_falls_back() {
+        // A mole claims it heard the packet from a distant node — the sink
+        // knows the topology and rejects the claim.
+        let pk = PairwiseKeys::derive(b"m");
+        let adj = chain_adjacency(10);
+        let att = attest_receipt(&pk, NodeId(5), NodeId(9), b"msg", 8);
+        assert!(matches!(
+            refine_suspects(&pk, NodeId(5), Some(&att), b"msg", &adj),
+            RefinedSuspects::Neighborhood(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_mac_falls_back() {
+        let pk = PairwiseKeys::derive(b"m");
+        let adj = chain_adjacency(10);
+        let mut att = attest_receipt(&pk, NodeId(5), NodeId(4), b"msg", 8);
+        att.mac = att.mac.corrupted();
+        assert!(matches!(
+            refine_suspects(&pk, NodeId(5), Some(&att), b"msg", &adj),
+            RefinedSuspects::Neighborhood(_)
+        ));
+    }
+
+    #[test]
+    fn wrong_receiver_falls_back() {
+        let pk = PairwiseKeys::derive(b"m");
+        let adj = chain_adjacency(10);
+        let att = attest_receipt(&pk, NodeId(6), NodeId(5), b"msg", 8);
+        // Traceback stopped at 5, attestation is 6's.
+        assert!(matches!(
+            refine_suspects(&pk, NodeId(5), Some(&att), b"msg", &adj),
+            RefinedSuspects::Neighborhood(_)
+        ));
+    }
+
+    #[test]
+    fn precision_improvement_quantified() {
+        // Neighborhood of a degree-d node has d+1 suspects; the pair has 2.
+        let pk = PairwiseKeys::derive(b"m");
+        let mut adj = chain_adjacency(10);
+        adj.insert(5, vec![0, 1, 2, 3, 4, 6, 7, 8, 9]); // dense hub
+        let fallback = match refine_suspects(&pk, NodeId(5), None, b"msg", &adj) {
+            RefinedSuspects::Neighborhood(v) => v.len(),
+            _ => unreachable!(),
+        };
+        let att = attest_receipt(&pk, NodeId(5), NodeId(4), b"msg", 8);
+        let refined = match refine_suspects(&pk, NodeId(5), Some(&att), b"msg", &adj) {
+            RefinedSuspects::Pair(..) => 2,
+            _ => unreachable!(),
+        };
+        assert_eq!(fallback, 10);
+        assert_eq!(refined, 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Replay defense (§7 "Replay Attacks").
+//!
+//! A source mole may evade traceback by replaying *captured legitimate
+//! reports*, which already carry a set of valid marks pointing at innocent
+//! nodes. The paper sketches two mitigations, both implemented here:
+//!
+//! - **Duplicate suppression** at each forwarding node: a report seen
+//!   before is dropped ([`DuplicateSuppressor`], bounded memory — low-end
+//!   sensors cannot keep unbounded history).
+//! - **One-time sequence numbers**: each source's reports carry strictly
+//!   fresh sequence numbers; a forwarding node (or the sink) accepts each
+//!   number at most once within a sliding window ([`SequenceWindow`]).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use pnm_crypto::{Digest, Sha256};
+use pnm_wire::NodeId;
+
+/// Bounded-memory duplicate suppression keyed by report digest.
+///
+/// # Examples
+///
+/// ```
+/// use pnm_core::replay::DuplicateSuppressor;
+///
+/// let mut d = DuplicateSuppressor::new(128);
+/// assert!(d.observe(b"report-1"));   // fresh
+/// assert!(!d.observe(b"report-1"));  // replay
+/// ```
+#[derive(Clone, Debug)]
+pub struct DuplicateSuppressor {
+    seen: HashSet<Digest>,
+    order: VecDeque<Digest>,
+    capacity: usize,
+}
+
+impl DuplicateSuppressor {
+    /// Creates a suppressor remembering up to `capacity` recent reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        DuplicateSuppressor {
+            seen: HashSet::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records `report_bytes`; returns `true` if it was fresh (forward it)
+    /// or `false` if it is a replay (drop it).
+    pub fn observe(&mut self, report_bytes: &[u8]) -> bool {
+        let digest = Sha256::digest(report_bytes);
+        if self.seen.contains(&digest) {
+            return false;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.seen.remove(&evicted);
+            }
+        }
+        self.order.push_back(digest);
+        self.seen.insert(digest);
+        true
+    }
+
+    /// Number of distinct reports currently remembered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` if nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// Per-source one-time sequence-number acceptance with a sliding window.
+///
+/// Accepts each `(source, seq)` pair at most once; sequence numbers more
+/// than `window` behind the highest seen are rejected outright (they could
+/// not be distinguished from replays without unbounded state).
+#[derive(Clone, Debug)]
+pub struct SequenceWindow {
+    window: u64,
+    /// source → (highest seq seen, bitmap of the `window` numbers below it).
+    state: HashMap<NodeId, (u64, u64)>,
+}
+
+impl SequenceWindow {
+    /// Creates a window accepting up to 64 out-of-order numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or greater than 64 (the bitmap width).
+    pub fn new(window: u64) -> Self {
+        assert!((1..=64).contains(&window), "window must be 1..=64");
+        SequenceWindow {
+            window,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Attempts to accept `(source, seq)`. Returns `true` exactly once per
+    /// fresh number inside the window.
+    pub fn accept(&mut self, source: NodeId, seq: u64) -> bool {
+        let entry = self.state.entry(source).or_insert((0, 0));
+        let (highest, bitmap) = *entry;
+        if seq > highest {
+            let shift = seq - highest;
+            let new_bitmap = if shift >= 64 {
+                1 // only the new highest is marked
+            } else {
+                (bitmap << shift) | 1
+            };
+            *entry = (seq, new_bitmap);
+            return true;
+        }
+        let behind = highest - seq;
+        if behind >= self.window {
+            return false; // too old to track
+        }
+        let bit = 1u64 << behind;
+        if bitmap & bit != 0 {
+            return false; // already used
+        }
+        entry.1 |= bit;
+        true
+    }
+
+    /// Highest sequence number accepted from `source`, if any.
+    pub fn highest(&self, source: NodeId) -> Option<u64> {
+        self.state.get(&source).map(|(h, _)| *h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppressor_basic() {
+        let mut d = DuplicateSuppressor::new(4);
+        assert!(d.is_empty());
+        assert!(d.observe(b"a"));
+        assert!(d.observe(b"b"));
+        assert!(!d.observe(b"a"));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn suppressor_evicts_oldest() {
+        let mut d = DuplicateSuppressor::new(2);
+        assert!(d.observe(b"a"));
+        assert!(d.observe(b"b"));
+        assert!(d.observe(b"c")); // evicts "a"
+        assert_eq!(d.len(), 2);
+        assert!(d.observe(b"a"), "evicted entry is fresh again");
+        assert!(!d.observe(b"c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = DuplicateSuppressor::new(0);
+    }
+
+    #[test]
+    fn window_accepts_each_number_once() {
+        let mut w = SequenceWindow::new(16);
+        let s = NodeId(3);
+        for seq in 1..=100u64 {
+            assert!(w.accept(s, seq), "seq {seq}");
+            assert!(!w.accept(s, seq), "replay of {seq}");
+        }
+        assert_eq!(w.highest(s), Some(100));
+    }
+
+    #[test]
+    fn window_tolerates_reordering() {
+        let mut w = SequenceWindow::new(8);
+        let s = NodeId(1);
+        assert!(w.accept(s, 10));
+        assert!(w.accept(s, 8)); // late but within window
+        assert!(w.accept(s, 9));
+        assert!(!w.accept(s, 8)); // replay
+        assert!(!w.accept(s, 1)); // beyond window: rejected
+    }
+
+    #[test]
+    fn window_is_per_source() {
+        let mut w = SequenceWindow::new(8);
+        assert!(w.accept(NodeId(1), 5));
+        assert!(w.accept(NodeId(2), 5), "sources independent");
+        assert_eq!(w.highest(NodeId(1)), Some(5));
+        assert_eq!(w.highest(NodeId(3)), None);
+    }
+
+    #[test]
+    fn window_big_jump_resets_bitmap() {
+        let mut w = SequenceWindow::new(32);
+        let s = NodeId(9);
+        assert!(w.accept(s, 1));
+        assert!(w.accept(s, 1000));
+        // 999 is within the 32-wide window below 1000 and unused.
+        assert!(w.accept(s, 999));
+        assert!(!w.accept(s, 1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn oversized_window_rejected() {
+        let _ = SequenceWindow::new(65);
+    }
+
+    #[test]
+    fn replayed_marked_report_blocked_end_to_end() {
+        // The §7 scenario: a captured fully marked report replayed 50×
+        // passes duplicate suppression exactly once.
+        let mut d = DuplicateSuppressor::new(64);
+        let captured = b"captured-legitimate-report";
+        let forwarded = (0..50).filter(|_| d.observe(captured)).count();
+        assert_eq!(forwarded, 1);
+    }
+}

@@ -1,0 +1,430 @@
+//! The [`MarkingScheme`] trait and the five schemes the paper analyzes.
+//!
+//! | Scheme | §  | ID in mark | MAC protects | Probabilistic |
+//! |---|---|---|---|---|
+//! | [`PlainMarking`] | 3 | plain | nothing (no MAC) | yes |
+//! | [`ExtendedAms`] | 3 | plain | report + own ID only | yes |
+//! | [`NestedMarking`] | 4.1 | plain | entire received message + own ID | no (marks every hop) |
+//! | [`ProbabilisticNestedPlainId`] | 4.2 | plain | entire received message + own ID | yes — the "incorrect extension" broken by selective dropping |
+//! | [`ProbabilisticNestedMarking`] | 4.2 | anonymous | entire received message + own anon ID | yes — PNM, the paper's contribution |
+
+use rand::Rng;
+
+use pnm_crypto::{anon_id, MacKey};
+use pnm_wire::{Mark, NodeId, Packet};
+
+use crate::config::MarkingConfig;
+
+/// Everything a forwarding node knows when it marks a packet: its identity
+/// and the key it shares with the sink (§2.1).
+#[derive(Clone, Debug)]
+pub struct NodeContext {
+    /// This node's unique ID.
+    pub id: NodeId,
+    /// The symmetric key shared with the sink.
+    pub key: MacKey,
+}
+
+impl NodeContext {
+    /// Creates a node context.
+    pub fn new(id: NodeId, key: MacKey) -> Self {
+        NodeContext { id, key }
+    }
+}
+
+/// Draws a uniform value in `[0, 1)` from a dyn-compatible RNG.
+pub(crate) fn random_unit(rng: &mut dyn Rng) -> f64 {
+    // 53 random mantissa bits, the standard open-interval construction.
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A packet-marking discipline followed by legitimate forwarding nodes.
+///
+/// Implementations mutate the packet in place as node `ctx` forwards it.
+/// The trait is object-safe so heterogeneous scheme sets can be compared in
+/// one harness.
+pub trait MarkingScheme: Send + Sync {
+    /// Human-readable scheme name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Applies this node's (possibly probabilistic) mark to `packet`.
+    fn mark(&self, ctx: &NodeContext, packet: &mut Packet, rng: &mut dyn Rng);
+
+    /// The per-hop marking probability this scheme uses.
+    fn marking_probability(&self) -> f64 {
+        1.0
+    }
+
+    /// Whether marks carry anonymous IDs (PNM) or plain IDs.
+    fn uses_anonymous_ids(&self) -> bool {
+        false
+    }
+}
+
+/// Computes the nested MAC `H_k(M_{i-1} | id_repr)` over the canonical bytes
+/// of the packet *before* this node's mark is appended.
+fn nested_mac(key: &MacKey, packet: &Packet, id_repr: &[u8], width: usize) -> pnm_crypto::MacTag {
+    let mut msg = packet.to_bytes();
+    msg.extend_from_slice(id_repr);
+    key.mark_mac(&msg, width)
+}
+
+/// Internet-style plain marking (Savage et al., adapted): a forwarder
+/// appends its plain-text ID with no cryptographic protection, with
+/// probability `p`. Trivially forgeable by any mole — the paper's first
+/// baseline (§3).
+#[derive(Clone, Debug)]
+pub struct PlainMarking {
+    config: MarkingConfig,
+}
+
+impl PlainMarking {
+    /// Creates the scheme.
+    pub fn new(config: MarkingConfig) -> Self {
+        PlainMarking { config }
+    }
+}
+
+impl MarkingScheme for PlainMarking {
+    fn name(&self) -> &'static str {
+        "plain"
+    }
+
+    fn mark(&self, ctx: &NodeContext, packet: &mut Packet, rng: &mut dyn Rng) {
+        if random_unit(rng) < self.config.marking_probability {
+            packet.push_mark(Mark::unauthenticated(ctx.id));
+        }
+    }
+
+    fn marking_probability(&self) -> f64 {
+        self.config.marking_probability
+    }
+}
+
+/// Extended Authenticated Marking Scheme (§3): each mark is
+/// `i | H_{k_i}(M | i)` — authenticated, but the MAC binds only the original
+/// report and the marker's own ID, *not* the previously accumulated marks.
+/// Marks can therefore be removed, re-ordered, or selectively dropped
+/// without detection.
+#[derive(Clone, Debug)]
+pub struct ExtendedAms {
+    config: MarkingConfig,
+}
+
+impl ExtendedAms {
+    /// Creates the scheme.
+    pub fn new(config: MarkingConfig) -> Self {
+        ExtendedAms { config }
+    }
+
+    /// The bytes an AMS mark's MAC covers: report plus marker ID.
+    pub fn mac_message(report_bytes: &[u8], id: NodeId) -> Vec<u8> {
+        let mut msg = report_bytes.to_vec();
+        msg.extend_from_slice(&id.to_bytes());
+        msg
+    }
+}
+
+impl MarkingScheme for ExtendedAms {
+    fn name(&self) -> &'static str {
+        "extended-ams"
+    }
+
+    fn mark(&self, ctx: &NodeContext, packet: &mut Packet, rng: &mut dyn Rng) {
+        if random_unit(rng) < self.config.marking_probability {
+            let msg = Self::mac_message(&packet.report.to_bytes(), ctx.id);
+            let mac = ctx.key.mark_mac(&msg, self.config.mac_width);
+            packet.push_mark(Mark::plain(ctx.id, mac));
+        }
+    }
+
+    fn marking_probability(&self) -> f64 {
+        self.config.marking_probability
+    }
+}
+
+/// Basic nested marking (§4.1): every forwarder appends
+/// `i | H_{k_i}(M_{i-1} | i)` where `M_{i-1}` is the *entire* message it
+/// received. Single-packet traceback; large per-packet overhead.
+#[derive(Clone, Debug)]
+pub struct NestedMarking {
+    config: MarkingConfig,
+}
+
+impl NestedMarking {
+    /// Creates the scheme.
+    pub fn new(config: MarkingConfig) -> Self {
+        NestedMarking { config }
+    }
+}
+
+impl MarkingScheme for NestedMarking {
+    fn name(&self) -> &'static str {
+        "nested"
+    }
+
+    fn mark(&self, ctx: &NodeContext, packet: &mut Packet, _rng: &mut dyn Rng) {
+        let mac = nested_mac(&ctx.key, packet, &ctx.id.to_bytes(), self.config.mac_width);
+        packet.push_mark(Mark::plain(ctx.id, mac));
+    }
+}
+
+/// The *incorrect* probabilistic extension of nested marking (§4.2): nested
+/// MACs, plain-text IDs, marking probability `p`. Because the ID list is
+/// visible, a colluding mole can selectively drop packets bearing particular
+/// upstream marks and steer the traceback to an innocent node.
+#[derive(Clone, Debug)]
+pub struct ProbabilisticNestedPlainId {
+    config: MarkingConfig,
+}
+
+impl ProbabilisticNestedPlainId {
+    /// Creates the scheme.
+    pub fn new(config: MarkingConfig) -> Self {
+        ProbabilisticNestedPlainId { config }
+    }
+}
+
+impl MarkingScheme for ProbabilisticNestedPlainId {
+    fn name(&self) -> &'static str {
+        "prob-nested-plain-id"
+    }
+
+    fn mark(&self, ctx: &NodeContext, packet: &mut Packet, rng: &mut dyn Rng) {
+        if random_unit(rng) < self.config.marking_probability {
+            let mac = nested_mac(&ctx.key, packet, &ctx.id.to_bytes(), self.config.mac_width);
+            packet.push_mark(Mark::plain(ctx.id, mac));
+        }
+    }
+
+    fn marking_probability(&self) -> f64 {
+        self.config.marking_probability
+    }
+}
+
+/// Probabilistic Nested Marking — the paper's contribution (§4.2).
+///
+/// With probability `p` a forwarder appends `i' | H_{k_i}(M_{i-1} | i')`
+/// where `i' = H'_{k_i}(M | i)` is an anonymous, per-message ID. Moles can
+/// no longer tell *who* marked a packet, so selective dropping buys them
+/// nothing; the sink recovers real IDs by exhaustive key search.
+#[derive(Clone, Debug)]
+pub struct ProbabilisticNestedMarking {
+    config: MarkingConfig,
+}
+
+impl ProbabilisticNestedMarking {
+    /// Creates the scheme.
+    pub fn new(config: MarkingConfig) -> Self {
+        ProbabilisticNestedMarking { config }
+    }
+
+    /// The paper's evaluation configuration for a path of `n` forwarders:
+    /// `p = 3/n`, 8-byte MACs.
+    pub fn paper_default(path_len: usize) -> Self {
+        Self::new(MarkingConfig::paper_default(path_len))
+    }
+}
+
+impl MarkingScheme for ProbabilisticNestedMarking {
+    fn name(&self) -> &'static str {
+        "pnm"
+    }
+
+    fn mark(&self, ctx: &NodeContext, packet: &mut Packet, rng: &mut dyn Rng) {
+        if random_unit(rng) < self.config.marking_probability {
+            let anon = anon_id(&ctx.key, &packet.report.to_bytes(), ctx.id.raw());
+            let mac = nested_mac(&ctx.key, packet, anon.as_bytes(), self.config.mac_width);
+            packet.push_mark(Mark::anon(anon, mac));
+        }
+    }
+
+    fn marking_probability(&self) -> f64 {
+        self.config.marking_probability
+    }
+
+    fn uses_anonymous_ids(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnm_wire::{Location, Report};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn report() -> Report {
+        Report::new(b"ev".to_vec(), Location::new(1.0, 2.0), 7)
+    }
+
+    fn ctx(id: u16) -> NodeContext {
+        NodeContext::new(NodeId(id), MacKey::derive(b"test-master", id as u64))
+    }
+
+    #[test]
+    fn nested_marks_every_hop() {
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut pkt = Packet::new(report());
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..10 {
+            scheme.mark(&ctx(i), &mut pkt, &mut rng);
+        }
+        assert_eq!(pkt.mark_count(), 10);
+        assert!(pkt.marks.iter().all(|m| m.mac.is_some()));
+        assert!(!scheme.uses_anonymous_ids());
+    }
+
+    #[test]
+    fn nested_mark_ids_in_path_order() {
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut pkt = Packet::new(report());
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..5 {
+            scheme.mark(&ctx(i), &mut pkt, &mut rng);
+        }
+        let ids: Vec<u16> = pkt
+            .marks
+            .iter()
+            .map(|m| m.id.as_plain().unwrap().raw())
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pnm_marks_probabilistically() {
+        let cfg = MarkingConfig::builder().marking_probability(0.3).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut total = 0usize;
+        let trials = 2000;
+        let hops = 10;
+        for _ in 0..trials {
+            let mut pkt = Packet::new(report());
+            for i in 0..hops {
+                scheme.mark(&ctx(i), &mut pkt, &mut rng);
+            }
+            total += pkt.mark_count();
+        }
+        let mean = total as f64 / trials as f64;
+        let expect = 0.3 * hops as f64;
+        assert!(
+            (mean - expect).abs() < 0.15,
+            "mean marks {mean}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn pnm_marks_are_anonymous() {
+        let scheme = ProbabilisticNestedMarking::new(MarkingConfig::default());
+        assert!(scheme.uses_anonymous_ids());
+        let mut pkt = Packet::new(report());
+        let mut rng = StdRng::seed_from_u64(1);
+        scheme.mark(&ctx(3), &mut pkt, &mut rng);
+        assert_eq!(pkt.mark_count(), 1);
+        assert!(pkt.marks[0].id.as_anon().is_some());
+        // The anonymous id must not trivially encode the real id.
+        assert_ne!(pkt.marks[0].id.as_anon().unwrap().as_u64(), 3);
+    }
+
+    #[test]
+    fn pnm_anon_ids_differ_across_reports() {
+        let scheme = ProbabilisticNestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p1 = Packet::new(Report::new(b"a".to_vec(), Location::default(), 1));
+        let mut p2 = Packet::new(Report::new(b"b".to_vec(), Location::default(), 2));
+        scheme.mark(&ctx(3), &mut p1, &mut rng);
+        scheme.mark(&ctx(3), &mut p2, &mut rng);
+        assert_ne!(p1.marks[0].id, p2.marks[0].id);
+    }
+
+    #[test]
+    fn plain_marking_has_no_macs() {
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = PlainMarking::new(cfg);
+        let mut pkt = Packet::new(report());
+        let mut rng = StdRng::seed_from_u64(0);
+        scheme.mark(&ctx(1), &mut pkt, &mut rng);
+        assert_eq!(pkt.mark_count(), 1);
+        assert!(pkt.marks[0].mac.is_none());
+    }
+
+    #[test]
+    fn ams_mac_ignores_previous_marks() {
+        // The defining AMS weakness: the MAC over (report, id) is identical
+        // whether or not earlier marks are present.
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ExtendedAms::new(cfg);
+        let mut rng = StdRng::seed_from_u64(0);
+
+        let mut with_history = Packet::new(report());
+        scheme.mark(&ctx(1), &mut with_history, &mut rng);
+        scheme.mark(&ctx(2), &mut with_history, &mut rng);
+
+        let mut without_history = Packet::new(report());
+        scheme.mark(&ctx(2), &mut without_history, &mut rng);
+
+        assert_eq!(with_history.marks[1], without_history.marks[0]);
+    }
+
+    #[test]
+    fn nested_mac_depends_on_previous_marks() {
+        // The defining nested-marking strength, opposite of the AMS test.
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+
+        let mut with_history = Packet::new(report());
+        scheme.mark(&ctx(1), &mut with_history, &mut rng);
+        scheme.mark(&ctx(2), &mut with_history, &mut rng);
+
+        let mut without_history = Packet::new(report());
+        scheme.mark(&ctx(2), &mut without_history, &mut rng);
+
+        assert_ne!(with_history.marks[1], without_history.marks[0]);
+    }
+
+    #[test]
+    fn zero_probability_never_marks() {
+        let cfg = MarkingConfig::builder().marking_probability(0.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut pkt = Packet::new(report());
+        for i in 0..100 {
+            scheme.mark(&ctx(i), &mut pkt, &mut rng);
+        }
+        assert_eq!(pkt.mark_count(), 0);
+    }
+
+    #[test]
+    fn random_unit_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let u = random_unit(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn schemes_are_object_safe() {
+        let cfg = MarkingConfig::default();
+        let schemes: Vec<Box<dyn MarkingScheme>> = vec![
+            Box::new(PlainMarking::new(cfg)),
+            Box::new(ExtendedAms::new(cfg)),
+            Box::new(NestedMarking::new(cfg)),
+            Box::new(ProbabilisticNestedPlainId::new(cfg)),
+            Box::new(ProbabilisticNestedMarking::new(cfg)),
+        ];
+        let names: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "plain",
+                "extended-ams",
+                "nested",
+                "prob-nested-plain-id",
+                "pnm"
+            ]
+        );
+    }
+}

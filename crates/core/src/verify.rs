@@ -1,0 +1,712 @@
+//! Sink-side mark verification (§4.1 "Traceback", §4.2 "Mark Verification").
+//!
+//! The sink holds every node's key ([`pnm_crypto::KeyStore`]) and verifies a
+//! packet's marks **backwards**: starting from the last mark, it checks
+//! `MAC_i == H_{k_i}(M_{i-1} | id_i)`, where `M_{i-1}` is the packet with
+//! marks `1..i-1` — i.e. each mark's MAC covers everything before it. The
+//! first invalid MAC stops the walk; a mole lies within the one-hop
+//! neighborhood of the last node whose MAC verified.
+//!
+//! For PNM's anonymous IDs the sink first rebuilds the per-report
+//! `i' → i` mapping ([`AnonTable`]) by computing `H'_{k_j}(M | j)` for every
+//! provisioned node `j` — feasible thanks to the sink's computing power and
+//! the low sensor data rate (§4.2). [`TopologyResolver`] implements the §7
+//! optimization that narrows the search to the neighborhood of the
+//! previously verified node.
+
+use std::collections::HashMap;
+
+use pnm_crypto::{anon_id, AnonId, KeyStore};
+use pnm_wire::{Mark, MarkId, NodeId, Packet};
+
+use crate::scheme::ExtendedAms;
+
+/// How the sink interprets a packet's marks, matching the scheme the
+/// network runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VerifyMode {
+    /// Marks are unauthenticated plain IDs; the sink can only trust them.
+    PlainTrust,
+    /// Extended AMS: each MAC independently covers `report | id`.
+    Ams,
+    /// Nested: each MAC covers the entire preceding message (basic nested
+    /// marking, the broken plain-ID probabilistic variant, and PNM).
+    Nested,
+}
+
+/// Why backward verification stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every mark on the packet verified.
+    AllVerified,
+    /// A MAC failed to verify (or its key was unknown / anon-ID
+    /// unresolvable); the offending mark index (packet order) is given.
+    InvalidMac {
+        /// Index into `packet.marks` of the first bad mark (scanning
+        /// backwards from the end).
+        mark_index: usize,
+    },
+    /// The packet carried no marks at all.
+    NoMarks,
+}
+
+/// The outcome of verifying one packet's mark stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifiedChain {
+    /// Real IDs of the nodes whose marks verified, in **path order**
+    /// (upstream first) — the order they appear in the packet.
+    pub nodes: Vec<NodeId>,
+    /// Why verification stopped.
+    pub stop: StopReason,
+    /// Total marks present on the packet.
+    pub total_marks: usize,
+}
+
+impl VerifiedChain {
+    /// The most-upstream verified node, if any — for basic nested marking
+    /// this is the node whose one-hop neighborhood contains a mole (§4.1).
+    pub fn most_upstream(&self) -> Option<NodeId> {
+        self.nodes.first().copied()
+    }
+
+    /// The most-downstream verified node.
+    pub fn most_downstream(&self) -> Option<NodeId> {
+        self.nodes.last().copied()
+    }
+
+    /// `true` if every mark on the packet verified.
+    pub fn fully_verified(&self) -> bool {
+        matches!(self.stop, StopReason::AllVerified) && self.total_marks == self.nodes.len()
+    }
+}
+
+/// Per-report anonymous-ID lookup table (§4.2 "Mark Verification").
+///
+/// Maps `i' = H'_{k_i}(M | i)` back to candidate real IDs. Collisions are
+/// kept as candidate lists and disambiguated by MAC verification, so a hash
+/// collision can never cause a wrong attribution.
+#[derive(Clone, Debug)]
+pub struct AnonTable {
+    map: HashMap<AnonId, Vec<u16>>,
+    /// Number of `H'` evaluations spent building the table.
+    pub hash_count: usize,
+}
+
+impl AnonTable {
+    /// Builds the table for one report over every provisioned node.
+    pub fn build(keys: &KeyStore, report_bytes: &[u8]) -> Self {
+        let mut map: HashMap<AnonId, Vec<u16>> = HashMap::with_capacity(keys.len());
+        let mut hash_count = 0;
+        for (id, key) in keys.iter() {
+            let aid = anon_id(key, report_bytes, id);
+            hash_count += 1;
+            map.entry(aid).or_default().push(id);
+        }
+        AnonTable { map, hash_count }
+    }
+
+    /// Candidate real IDs for an anonymous ID (usually exactly one).
+    pub fn resolve(&self, aid: &AnonId) -> &[u16] {
+        self.map.get(aid).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct anonymous IDs in the table.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The sink's verifier: keys plus the logic for all three verify modes.
+#[derive(Clone, Debug)]
+pub struct SinkVerifier {
+    keys: KeyStore,
+}
+
+impl SinkVerifier {
+    /// Creates a verifier over the deployment's key table.
+    pub fn new(keys: KeyStore) -> Self {
+        SinkVerifier { keys }
+    }
+
+    /// Read access to the key table.
+    pub fn keys(&self) -> &KeyStore {
+        &self.keys
+    }
+
+    /// Verifies a packet's marks under `mode`, returning the chain of
+    /// verified real IDs in path order.
+    pub fn verify(&self, packet: &Packet, mode: VerifyMode) -> VerifiedChain {
+        match mode {
+            VerifyMode::PlainTrust => self.verify_plain(packet),
+            VerifyMode::Ams => self.verify_ams(packet),
+            VerifyMode::Nested => self.verify_nested(packet, None),
+        }
+    }
+
+    /// Nested verification with a pre-built anonymous-ID table (reuse the
+    /// table across marks of the same packet; the caller may also share it
+    /// across packets carrying the same report).
+    pub fn verify_nested_with_table(&self, packet: &Packet, table: &AnonTable) -> VerifiedChain {
+        self.verify_nested(packet, Some(table))
+    }
+
+    /// Plain marks carry no MACs: the sink can only take the IDs at face
+    /// value. All marks "verify".
+    fn verify_plain(&self, packet: &Packet) -> VerifiedChain {
+        let nodes: Vec<NodeId> = packet
+            .marks
+            .iter()
+            .filter_map(|m| m.id.as_plain())
+            .collect();
+        let stop = if packet.marks.is_empty() {
+            StopReason::NoMarks
+        } else {
+            StopReason::AllVerified
+        };
+        VerifiedChain {
+            nodes,
+            stop,
+            total_marks: packet.marks.len(),
+        }
+    }
+
+    /// Extended-AMS verification: every mark checked independently against
+    /// `H_k(report | id)`; invalid marks are skipped (they invalidate
+    /// nothing else — the scheme's fatal weakness).
+    fn verify_ams(&self, packet: &Packet) -> VerifiedChain {
+        let report_bytes = packet.report.to_bytes();
+        let mut nodes = Vec::new();
+        for mark in &packet.marks {
+            let (Some(id), Some(mac)) = (mark.id.as_plain(), &mark.mac) else {
+                continue;
+            };
+            let Some(key) = self.keys.key(id.raw()) else {
+                continue;
+            };
+            let msg = ExtendedAms::mac_message(&report_bytes, id);
+            if key.verify_mark_mac(&msg, mac) {
+                nodes.push(id);
+            }
+        }
+        let stop = if packet.marks.is_empty() {
+            StopReason::NoMarks
+        } else {
+            StopReason::AllVerified
+        };
+        VerifiedChain {
+            nodes,
+            stop,
+            total_marks: packet.marks.len(),
+        }
+    }
+
+    /// Backward nested verification (§4.1): walk marks from last to first;
+    /// each MAC must cover the exact preceding message bytes. Stops at the
+    /// first invalid mark.
+    fn verify_nested(&self, packet: &Packet, table: Option<&AnonTable>) -> VerifiedChain {
+        let total_marks = packet.marks.len();
+        if total_marks == 0 {
+            return VerifiedChain {
+                nodes: Vec::new(),
+                stop: StopReason::NoMarks,
+                total_marks,
+            };
+        }
+
+        let report_bytes = packet.report.to_bytes();
+        // Lazily build the anon table only if an anonymous mark appears.
+        let mut local_table: Option<AnonTable> = None;
+
+        let mut verified_rev: Vec<NodeId> = Vec::new();
+        let mut prefix = Packet {
+            report: packet.report.clone(),
+            marks: packet.marks.clone(),
+        };
+
+        let mut stop = StopReason::AllVerified;
+        for idx in (0..total_marks).rev() {
+            let mark = prefix.marks.pop().expect("mark present by construction");
+            let msg_prefix = prefix.to_bytes();
+            match self.check_mark(&mark, &msg_prefix, &report_bytes, table, &mut local_table) {
+                Some(real_id) => verified_rev.push(real_id),
+                None => {
+                    stop = StopReason::InvalidMac { mark_index: idx };
+                    break;
+                }
+            }
+        }
+
+        verified_rev.reverse();
+        VerifiedChain {
+            nodes: verified_rev,
+            stop,
+            total_marks,
+        }
+    }
+
+    /// Checks one nested mark against the message prefix it must protect.
+    /// Returns the resolved real node ID on success.
+    fn check_mark(
+        &self,
+        mark: &Mark,
+        msg_prefix: &[u8],
+        report_bytes: &[u8],
+        shared_table: Option<&AnonTable>,
+        local_table: &mut Option<AnonTable>,
+    ) -> Option<NodeId> {
+        let mac = mark.mac.as_ref()?;
+        match mark.id {
+            MarkId::Plain(id) => {
+                let key = self.keys.key(id.raw())?;
+                let mut msg = msg_prefix.to_vec();
+                msg.extend_from_slice(&id.to_bytes());
+                key.verify_mark_mac(&msg, mac).then_some(id)
+            }
+            MarkId::Anon(aid) => {
+                let table = match shared_table {
+                    Some(t) => t,
+                    None => local_table
+                        .get_or_insert_with(|| AnonTable::build(&self.keys, report_bytes)),
+                };
+                let mut msg = msg_prefix.to_vec();
+                msg.extend_from_slice(aid.as_bytes());
+                // Disambiguate collisions by MAC: only the true marker's key
+                // verifies.
+                for &cand in table.resolve(&aid) {
+                    let key = self.keys.key(cand)?;
+                    if key.verify_mark_mac(&msg, mac) {
+                        return Some(NodeId(cand));
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Topology-aware anonymous-ID resolution (§7 "Anonymous ID Mapping").
+///
+/// If the sink knows the network topology, it can resolve an anonymous ID
+/// by searching only the neighborhood of the previously verified node,
+/// reducing the per-mark search from O(N) to O(d) hash computations.
+/// Because probabilistic marking means the next marker upstream may be
+/// several hops away, the search expands ring by ring and falls back to a
+/// full scan, so resolution never loses packets — it only gets cheaper.
+#[derive(Clone, Debug)]
+pub struct TopologyResolver {
+    keys: KeyStore,
+    /// adjacency[i] = ids of i's one-hop neighbors.
+    adjacency: HashMap<u16, Vec<u16>>,
+    /// Maximum ring radius before falling back to a full scan.
+    max_radius: usize,
+}
+
+/// Result of a topology-aware resolution, including its cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resolution {
+    /// The resolved real node ID.
+    pub id: NodeId,
+    /// Number of `H'` evaluations performed.
+    pub hash_count: usize,
+}
+
+impl TopologyResolver {
+    /// Creates a resolver from the deployment keys and adjacency lists.
+    pub fn new(keys: KeyStore, adjacency: HashMap<u16, Vec<u16>>) -> Self {
+        TopologyResolver {
+            keys,
+            adjacency,
+            max_radius: 3,
+        }
+    }
+
+    /// Sets how many neighborhood rings to search before the full scan.
+    pub fn with_max_radius(mut self, radius: usize) -> Self {
+        self.max_radius = radius;
+        self
+    }
+
+    /// Resolves `aid` for `report_bytes`, anchored at the previously
+    /// verified node (or `None` for the mark nearest the sink).
+    ///
+    /// Returns `None` only if no provisioned node maps to `aid`.
+    pub fn resolve(
+        &self,
+        report_bytes: &[u8],
+        aid: &AnonId,
+        anchor: Option<NodeId>,
+    ) -> Option<Resolution> {
+        let mut hash_count = 0usize;
+        let mut tried: std::collections::HashSet<u16> = std::collections::HashSet::new();
+
+        if let Some(anchor) = anchor {
+            // Ring-by-ring BFS from the anchor.
+            let mut frontier: Vec<u16> = vec![anchor.raw()];
+            tried.insert(anchor.raw());
+            for _radius in 0..=self.max_radius {
+                for &cand in &frontier {
+                    if let Some(key) = self.keys.key(cand) {
+                        hash_count += 1;
+                        if anon_id(key, report_bytes, cand) == *aid {
+                            return Some(Resolution {
+                                id: NodeId(cand),
+                                hash_count,
+                            });
+                        }
+                    }
+                }
+                let mut next = Vec::new();
+                for &cand in &frontier {
+                    if let Some(neigh) = self.adjacency.get(&cand) {
+                        for &n in neigh {
+                            if tried.insert(n) {
+                                next.push(n);
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+        }
+
+        // Fall back to scanning the remaining nodes.
+        for (id, key) in self.keys.iter() {
+            if tried.contains(&id) {
+                continue;
+            }
+            hash_count += 1;
+            if anon_id(key, report_bytes, id) == *aid {
+                return Some(Resolution {
+                    id: NodeId(id),
+                    hash_count,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarkingConfig;
+    use crate::scheme::{
+        ExtendedAms, MarkingScheme, NestedMarking, NodeContext, PlainMarking,
+        ProbabilisticNestedMarking,
+    };
+    use pnm_crypto::MacKey;
+    use pnm_wire::{Location, Report};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keystore(n: u16) -> KeyStore {
+        KeyStore::derive_from_master(b"verify-test", n)
+    }
+
+    fn report() -> Report {
+        Report::new(b"ev".to_vec(), Location::new(0.0, 0.0), 1)
+    }
+
+    fn ctx(keys: &KeyStore, id: u16) -> NodeContext {
+        NodeContext::new(NodeId(id), *keys.key(id).unwrap())
+    }
+
+    /// Marks a packet along the honest path 0..n with the given scheme.
+    fn marked_packet(keys: &KeyStore, scheme: &dyn MarkingScheme, n: u16, seed: u64) -> Packet {
+        let mut pkt = Packet::new(report());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            scheme.mark(&ctx(keys, i), &mut pkt, &mut rng);
+        }
+        pkt
+    }
+
+    #[test]
+    fn nested_full_chain_verifies() {
+        let keys = keystore(10);
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let pkt = marked_packet(&keys, &scheme, 10, 0);
+        let verifier = SinkVerifier::new(keys);
+        let chain = verifier.verify(&pkt, VerifyMode::Nested);
+        assert!(chain.fully_verified());
+        assert_eq!(chain.nodes.len(), 10);
+        assert_eq!(chain.most_upstream(), Some(NodeId(0)));
+        assert_eq!(chain.most_downstream(), Some(NodeId(9)));
+    }
+
+    #[test]
+    fn nested_tamper_detected_at_tamper_point() {
+        // Corrupt node 3's MAC: marks 3..8 become unverifiable because each
+        // downstream MAC covers the corrupted bytes... no — downstream MACs
+        // covered the *corrupted* packet? They covered the original. After
+        // corruption, every MAC downstream of the tamper (4..) covered the
+        // original mark-3 bytes, so they now mismatch; verification walking
+        // backwards fails immediately at the last mark... unless the
+        // corruption happened before those nodes marked. Here we model an
+        // end-tamper: the adversary corrupts a finished packet, so the
+        // *newest* MACs break first.
+        let keys = keystore(8);
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut pkt = marked_packet(&keys, &scheme, 8, 0);
+        let m = &mut pkt.marks[3];
+        m.mac = Some(m.mac.unwrap().corrupted());
+        let verifier = SinkVerifier::new(keys);
+        let chain = verifier.verify(&pkt, VerifyMode::Nested);
+        // Marks 7,6,5,4 covered the original mark 3; they were computed
+        // over the uncorrupted bytes, so with the corruption in place they
+        // no longer verify: traceback stops at the very end.
+        assert_eq!(chain.nodes.len(), 0);
+        assert_eq!(chain.stop, StopReason::InvalidMac { mark_index: 7 });
+    }
+
+    #[test]
+    fn nested_midpath_tamper_stops_at_tamperer() {
+        // Model the §4.1 scenario: mole at hop x alters upstream marks
+        // *then* downstream nodes mark the altered packet. Traceback must
+        // verify the downstream suffix and stop exactly at the tamper.
+        let keys = keystore(8);
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut pkt = Packet::new(report());
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..4u16 {
+            scheme.mark(&ctx(&keys, i), &mut pkt, &mut rng);
+        }
+        // Mole (between hop 3 and 4) corrupts node 1's mark.
+        let m = &mut pkt.marks[1];
+        m.mac = Some(m.mac.unwrap().corrupted());
+        for i in 4..8u16 {
+            scheme.mark(&ctx(&keys, i), &mut pkt, &mut rng);
+        }
+        let verifier = SinkVerifier::new(keys);
+        let chain = verifier.verify(&pkt, VerifyMode::Nested);
+        // Marks 4..8 verify (they covered the already-corrupted bytes);
+        // marks 0..4 are dead: 3 and 2's MACs covered the *original* mark 1.
+        // Walking backwards: 7,6,5,4 verify, 3 fails.
+        assert_eq!(
+            chain.nodes,
+            vec![NodeId(4), NodeId(5), NodeId(6), NodeId(7)]
+        );
+        assert_eq!(chain.stop, StopReason::InvalidMac { mark_index: 3 });
+        // The mole sits between the last verified node (4) and upstream —
+        // within node 4's one-hop neighborhood, exactly the paper's claim.
+        assert_eq!(chain.most_upstream(), Some(NodeId(4)));
+    }
+
+    #[test]
+    fn nested_mark_removal_detected() {
+        let keys = keystore(6);
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut pkt = marked_packet(&keys, &scheme, 4, 0);
+        // Remove node 1's mark, then let nodes 4,5 mark the mutilated packet.
+        pkt.marks.remove(1);
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in 4..6u16 {
+            scheme.mark(&ctx(&keys, i), &mut pkt, &mut rng);
+        }
+        let verifier = SinkVerifier::new(keys);
+        let chain = verifier.verify(&pkt, VerifyMode::Nested);
+        // 5 and 4 verify; node 3's MAC covered a packet that still had
+        // mark 1, so it fails now.
+        assert_eq!(chain.nodes, vec![NodeId(4), NodeId(5)]);
+        assert!(matches!(chain.stop, StopReason::InvalidMac { .. }));
+    }
+
+    #[test]
+    fn nested_reorder_detected() {
+        let keys = keystore(6);
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut pkt = marked_packet(&keys, &scheme, 6, 0);
+        pkt.marks.swap(1, 2);
+        let verifier = SinkVerifier::new(keys);
+        let chain = verifier.verify(&pkt, VerifyMode::Nested);
+        assert!(!chain.fully_verified());
+    }
+
+    #[test]
+    fn pnm_anonymous_chain_verifies() {
+        let keys = keystore(20);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let pkt = marked_packet(&keys, &scheme, 20, 0);
+        assert_eq!(pkt.mark_count(), 20);
+        let verifier = SinkVerifier::new(keys);
+        let chain = verifier.verify(&pkt, VerifyMode::Nested);
+        assert!(chain.fully_verified());
+        let expect: Vec<NodeId> = (0..20).map(NodeId).collect();
+        assert_eq!(chain.nodes, expect);
+    }
+
+    #[test]
+    fn pnm_partial_marks_verify() {
+        let keys = keystore(30);
+        let scheme = ProbabilisticNestedMarking::paper_default(30);
+        let pkt = marked_packet(&keys, &scheme, 30, 7);
+        let verifier = SinkVerifier::new(keys);
+        let chain = verifier.verify(&pkt, VerifyMode::Nested);
+        assert!(chain.fully_verified());
+        // Verified IDs must be a strictly increasing subsequence of 0..30.
+        let raws: Vec<u16> = chain.nodes.iter().map(|n| n.raw()).collect();
+        assert!(raws.windows(2).all(|w| w[0] < w[1]), "{raws:?}");
+    }
+
+    #[test]
+    fn shared_anon_table_gives_same_answer() {
+        let keys = keystore(15);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let pkt = marked_packet(&keys, &scheme, 15, 3);
+        let verifier = SinkVerifier::new(keys.clone());
+        let table = AnonTable::build(&keys, &pkt.report.to_bytes());
+        assert_eq!(table.hash_count, 15);
+        let with_table = verifier.verify_nested_with_table(&pkt, &table);
+        let without = verifier.verify(&pkt, VerifyMode::Nested);
+        assert_eq!(with_table, without);
+    }
+
+    #[test]
+    fn ams_accepts_individual_marks() {
+        let keys = keystore(5);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ExtendedAms::new(cfg);
+        let pkt = marked_packet(&keys, &scheme, 5, 0);
+        let verifier = SinkVerifier::new(keys);
+        let chain = verifier.verify(&pkt, VerifyMode::Ams);
+        assert_eq!(chain.nodes.len(), 5);
+    }
+
+    #[test]
+    fn ams_mark_removal_goes_undetected() {
+        // The §3 attack: mole removes the two most-upstream marks; the rest
+        // still verify and the sink traces to an innocent node.
+        let keys = keystore(5);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ExtendedAms::new(cfg);
+        let mut pkt = marked_packet(&keys, &scheme, 5, 0);
+        pkt.marks.drain(0..2);
+        let verifier = SinkVerifier::new(keys);
+        let chain = verifier.verify(&pkt, VerifyMode::Ams);
+        assert_eq!(chain.nodes.len(), 3);
+        // Traceback now stops at innocent node 2.
+        assert_eq!(chain.nodes.first(), Some(&NodeId(2)));
+    }
+
+    #[test]
+    fn plain_trusts_everything() {
+        let keys = keystore(3);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = PlainMarking::new(cfg);
+        let mut pkt = marked_packet(&keys, &scheme, 3, 0);
+        // Forge a mark claiming to be node 999 — accepted blindly.
+        pkt.push_mark(Mark::unauthenticated(NodeId(999)));
+        let verifier = SinkVerifier::new(keys);
+        let chain = verifier.verify(&pkt, VerifyMode::PlainTrust);
+        assert_eq!(chain.nodes.len(), 4);
+        assert_eq!(chain.nodes.last(), Some(&NodeId(999)));
+    }
+
+    #[test]
+    fn empty_packet_reports_no_marks() {
+        let keys = keystore(3);
+        let verifier = SinkVerifier::new(keys);
+        let pkt = Packet::new(report());
+        for mode in [VerifyMode::PlainTrust, VerifyMode::Ams, VerifyMode::Nested] {
+            let chain = verifier.verify(&pkt, mode);
+            assert_eq!(chain.stop, StopReason::NoMarks, "{mode:?}");
+            assert!(chain.nodes.is_empty());
+            assert!(chain.most_upstream().is_none());
+        }
+    }
+
+    #[test]
+    fn unknown_plain_id_fails_nested() {
+        let keys = keystore(4);
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut pkt = Packet::new(report());
+        let mut rng = StdRng::seed_from_u64(0);
+        scheme.mark(&ctx(&keys, 0), &mut pkt, &mut rng);
+        // A mark claiming an unprovisioned id.
+        let fake_key = MacKey::derive(b"attacker", 0);
+        let mac = fake_key.mark_mac(&pkt.to_bytes(), 8);
+        pkt.push_mark(Mark::plain(NodeId(4000), mac));
+        let verifier = SinkVerifier::new(keys);
+        let chain = verifier.verify(&pkt, VerifyMode::Nested);
+        assert!(matches!(
+            chain.stop,
+            StopReason::InvalidMac { mark_index: 1 }
+        ));
+        assert!(chain.nodes.is_empty());
+    }
+
+    #[test]
+    fn anon_table_resolves_every_node() {
+        let keys = keystore(100);
+        let rb = report().to_bytes();
+        let table = AnonTable::build(&keys, &rb);
+        assert!(!table.is_empty());
+        for (id, key) in keys.iter() {
+            let aid = anon_id(key, &rb, id);
+            assert!(table.resolve(&aid).contains(&id));
+        }
+        let bogus = AnonId::from_bytes([0xff; 8]);
+        assert!(table.resolve(&bogus).is_empty() || !table.resolve(&bogus).contains(&60000));
+    }
+
+    #[test]
+    fn topology_resolver_prefers_neighbors() {
+        // Chain topology 0-1-2-...-9; resolving node 4 anchored at node 5
+        // must cost far fewer hashes than the 100-node full scan.
+        let keys = keystore(100);
+        let mut adjacency: HashMap<u16, Vec<u16>> = HashMap::new();
+        for i in 0..100u16 {
+            let mut n = Vec::new();
+            if i > 0 {
+                n.push(i - 1);
+            }
+            if i < 99 {
+                n.push(i + 1);
+            }
+            adjacency.insert(i, n);
+        }
+        let rb = report().to_bytes();
+        let aid = anon_id(keys.key(4).unwrap(), &rb, 4);
+        let resolver = TopologyResolver::new(keys, adjacency);
+        let res = resolver
+            .resolve(&rb, &aid, Some(NodeId(5)))
+            .expect("resolves");
+        assert_eq!(res.id, NodeId(4));
+        assert!(res.hash_count <= 8, "hash_count = {}", res.hash_count);
+    }
+
+    #[test]
+    fn topology_resolver_falls_back_to_full_scan() {
+        // Anchor far away: ring search fails, full scan still resolves.
+        let keys = keystore(50);
+        let adjacency: HashMap<u16, Vec<u16>> = (0..50u16).map(|i| (i, vec![])).collect(); // no edges at all
+        let rb = report().to_bytes();
+        let aid = anon_id(keys.key(30).unwrap(), &rb, 30);
+        let resolver = TopologyResolver::new(keys, adjacency);
+        let res = resolver
+            .resolve(&rb, &aid, Some(NodeId(0)))
+            .expect("resolves");
+        assert_eq!(res.id, NodeId(30));
+    }
+
+    #[test]
+    fn topology_resolver_unresolvable_returns_none() {
+        let keys = keystore(5);
+        let adjacency: HashMap<u16, Vec<u16>> = HashMap::new();
+        let rb = report().to_bytes();
+        let resolver = TopologyResolver::new(keys, adjacency);
+        assert!(resolver
+            .resolve(&rb, &AnonId::from_bytes([9; 8]), None)
+            .is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! HMAC-SHA256 (RFC 2104), validated against RFC 4231 test vectors.
+//!
+//! The paper writes `H_k(.)` for "an efficient and secure keyed hash
+//! function" shared between each node and the sink. HMAC over our SHA-256
+//! implementation is the standard instantiation of such a PRF.
+//!
+//! # Examples
+//!
+//! ```
+//! use pnm_crypto::hmac::HmacSha256;
+//!
+//! let tag = HmacSha256::mac(b"key", b"message");
+//! assert!(HmacSha256::verify(b"key", b"message", tag.as_bytes()));
+//! assert!(!HmacSha256::verify(b"key", b"tampered", tag.as_bytes()));
+//! ```
+
+use crate::sha256::{constant_time_eq, Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Incremental HMAC-SHA256 computation.
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Key XOR opad, retained for the outer hash.
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC context keyed with `key`.
+    ///
+    /// Keys longer than the 64-byte block are first hashed, per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = Sha256::digest(key);
+            k[..DIGEST_LEN].copy_from_slice(d.as_bytes());
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner_key = [0u8; BLOCK_LEN];
+        let mut outer_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            inner_key[i] = k[i] ^ IPAD;
+            outer_key[i] = k[i] ^ OPAD;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&inner_key);
+        HmacSha256 { inner, outer_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the computation, returning the 32-byte tag.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// One-shot HMAC of `message` under `key`.
+    pub fn mac(key: &[u8], message: &[u8]) -> Digest {
+        let mut h = HmacSha256::new(key);
+        h.update(message);
+        h.finalize()
+    }
+
+    /// Verifies a (possibly truncated) tag in constant time.
+    ///
+    /// `tag` may be any prefix of the full 32-byte HMAC output, which is how
+    /// sensor-grade truncated MACs are checked.
+    pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+        if tag.is_empty() || tag.len() > DIGEST_LEN {
+            return false;
+        }
+        let full = Self::mac(key, message);
+        constant_time_eq(&full.as_bytes()[..tag.len()], tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 4231 test cases for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = vec![0x0b; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = vec![0xaa; 20];
+        let msg = vec![0xdd; 50];
+        let tag = HmacSha256::mac(&key, &msg);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_4() {
+        let key = hex("0102030405060708090a0b0c0d0e0f10111213141516171819");
+        let msg = vec![0xcd; 50];
+        let tag = HmacSha256::mac(&key, &msg);
+        assert_eq!(
+            tag.to_hex(),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = vec![0xaa; 131];
+        let tag = HmacSha256::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_long_data() {
+        let key = vec![0xaa; 131];
+        let msg: &[u8] = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        let tag = HmacSha256::mac(&key, msg);
+        assert_eq!(
+            tag.to_hex(),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"incremental-key";
+        let msg = b"a message split into several pieces for streaming";
+        let mut h = HmacSha256::new(key);
+        for chunk in msg.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), HmacSha256::mac(key, msg));
+    }
+
+    #[test]
+    fn verify_truncated_tags() {
+        let key = b"k";
+        let msg = b"m";
+        let full = HmacSha256::mac(key, msg);
+        for n in 1..=32 {
+            assert!(
+                HmacSha256::verify(key, msg, &full.as_bytes()[..n]),
+                "len {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key_and_message() {
+        let tag = HmacSha256::mac(b"key", b"msg");
+        assert!(!HmacSha256::verify(b"other", b"msg", tag.as_bytes()));
+        assert!(!HmacSha256::verify(b"key", b"other", tag.as_bytes()));
+    }
+
+    #[test]
+    fn verify_rejects_degenerate_tags() {
+        let tag = HmacSha256::mac(b"key", b"msg");
+        assert!(!HmacSha256::verify(b"key", b"msg", &[]));
+        let mut long = tag.as_bytes().to_vec();
+        long.push(0);
+        assert!(!HmacSha256::verify(b"key", b"msg", &long));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_tags() {
+        let a = HmacSha256::mac(b"key-a", b"msg");
+        let b = HmacSha256::mac(b"key-b", b"msg");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_message_and_key_are_defined() {
+        // HMAC is defined for empty keys and messages; must not panic.
+        let t = HmacSha256::mac(b"", b"");
+        assert_eq!(t.as_bytes().len(), 32);
+    }
+}

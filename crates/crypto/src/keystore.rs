@@ -1,0 +1,168 @@
+//! The sink's key table: raw node id → shared symmetric key (§2.1).
+//!
+//! Every node shares a unique secret key with the sink, pre-loaded before
+//! deployment. The sink "can maintain a lookup table for all node IDs and
+//! keys"; [`KeyStore`] is that table, plus the generation helpers used to
+//! provision a simulated deployment.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::mac::MacKey;
+
+/// Sink-side table of every deployed node's shared key.
+///
+/// # Examples
+///
+/// ```
+/// use pnm_crypto::keystore::KeyStore;
+///
+/// let ks = KeyStore::derive_from_master(b"deployment-master", 100);
+/// assert_eq!(ks.len(), 100);
+/// assert!(ks.key(42).is_some());
+/// assert!(ks.key(100).is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct KeyStore {
+    keys: HashMap<u16, MacKey>,
+}
+
+impl KeyStore {
+    /// Creates an empty key store.
+    pub fn new() -> Self {
+        KeyStore {
+            keys: HashMap::new(),
+        }
+    }
+
+    /// Provisions `n` nodes (ids `0..n`) with keys derived from a master
+    /// secret — deterministic, so simulations are reproducible.
+    pub fn derive_from_master(master: &[u8], n: u16) -> Self {
+        let mut keys = HashMap::with_capacity(n as usize);
+        for id in 0..n {
+            keys.insert(id, MacKey::derive(master, id as u64));
+        }
+        KeyStore { keys }
+    }
+
+    /// Provisions `n` nodes with keys drawn from a seeded RNG.
+    pub fn random(seed: u64, n: u16) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut keys = HashMap::with_capacity(n as usize);
+        for id in 0..n {
+            let mut k = [0u8; 16];
+            rng.fill(&mut k);
+            keys.insert(id, MacKey::from_bytes(k));
+        }
+        KeyStore { keys }
+    }
+
+    /// Registers (or replaces) the key for `id`, returning the previous key
+    /// if one was present.
+    pub fn insert(&mut self, id: u16, key: MacKey) -> Option<MacKey> {
+        self.keys.insert(id, key)
+    }
+
+    /// Looks up the key shared with node `id`.
+    pub fn key(&self, id: u16) -> Option<&MacKey> {
+        self.keys.get(&id)
+    }
+
+    /// Removes a node's key (e.g., after the node is revoked), returning it.
+    pub fn remove(&mut self, id: u16) -> Option<MacKey> {
+        self.keys.remove(&id)
+    }
+
+    /// Number of provisioned nodes.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` if no node is provisioned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates over `(id, key)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &MacKey)> {
+        self.keys.iter().map(|(id, k)| (*id, k))
+    }
+
+    /// Iterates over all provisioned ids in unspecified order.
+    pub fn ids(&self) -> impl Iterator<Item = u16> + '_ {
+        self.keys.keys().copied()
+    }
+}
+
+impl FromIterator<(u16, MacKey)> for KeyStore {
+    fn from_iter<T: IntoIterator<Item = (u16, MacKey)>>(iter: T) -> Self {
+        KeyStore {
+            keys: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(u16, MacKey)> for KeyStore {
+    fn extend<T: IntoIterator<Item = (u16, MacKey)>>(&mut self, iter: T) {
+        self.keys.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_deterministic() {
+        let a = KeyStore::derive_from_master(b"m", 10);
+        let b = KeyStore::derive_from_master(b"m", 10);
+        for id in 0..10 {
+            assert_eq!(a.key(id).unwrap().as_bytes(), b.key(id).unwrap().as_bytes());
+        }
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let a = KeyStore::random(42, 10);
+        let b = KeyStore::random(42, 10);
+        let c = KeyStore::random(43, 10);
+        assert_eq!(a.key(3).unwrap().as_bytes(), b.key(3).unwrap().as_bytes());
+        assert_ne!(a.key(3).unwrap().as_bytes(), c.key(3).unwrap().as_bytes());
+    }
+
+    #[test]
+    fn keys_are_unique_across_nodes() {
+        let ks = KeyStore::derive_from_master(b"m", 200);
+        let mut seen = std::collections::HashSet::new();
+        for (_, k) in ks.iter() {
+            assert!(seen.insert(*k.as_bytes()), "duplicate node key");
+        }
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut ks = KeyStore::new();
+        assert!(ks.is_empty());
+        let k = MacKey::derive(b"m", 1);
+        assert!(ks.insert(7, k).is_none());
+        assert_eq!(ks.len(), 1);
+        assert!(ks.key(7).is_some());
+        assert!(ks.remove(7).is_some());
+        assert!(ks.remove(7).is_none());
+        assert!(ks.is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let pairs: Vec<(u16, MacKey)> = (0..5)
+            .map(|i| (i, MacKey::derive(b"m", i as u64)))
+            .collect();
+        let mut ks: KeyStore = pairs.clone().into_iter().collect();
+        assert_eq!(ks.len(), 5);
+        ks.extend([(9, MacKey::derive(b"m", 9))]);
+        assert_eq!(ks.len(), 6);
+        assert_eq!(ks.ids().count(), 6);
+    }
+}

@@ -1,0 +1,491 @@
+//! A from-scratch implementation of the SHA-256 hash function (FIPS 180-4).
+//!
+//! The paper assumes only "efficient symmetric cryptography (e.g., secure
+//! hash functions)" is available on sensor nodes. This module provides the
+//! hash substrate everything else (HMAC, MACs, anonymous IDs) is built on.
+//! It is a straightforward, allocation-free implementation of the FIPS 180-4
+//! specification and is validated against the NIST test vectors in the unit
+//! tests below.
+//!
+//! # Examples
+//!
+//! ```
+//! use pnm_crypto::sha256::Sha256;
+//!
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(
+//!     digest.to_hex(),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//! ```
+
+use core::fmt;
+
+/// Size of a SHA-256 digest in bytes.
+pub const DIGEST_LEN: usize = 32;
+
+/// Size of the SHA-256 internal block in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// SHA-256 round constants: the first 32 bits of the fractional parts of the
+/// cube roots of the first 64 prime numbers (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash value: the first 32 bits of the fractional parts of the
+/// square roots of the first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// A 32-byte SHA-256 digest.
+///
+/// Implements constant-time equality to avoid timing side channels when
+/// digests are compared as authenticators.
+// Hash/PartialEq stay consistent: constant-time equality decides exactly
+// byte equality, the same relation the derived Hash hashes over.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Copy, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// Returns the digest bytes as a slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Renders the digest as a lowercase hexadecimal string.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(DIGEST_LEN * 2);
+        for b in &self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses a digest from a 64-character hex string.
+    ///
+    /// Returns `None` if the string is not exactly 64 hex characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != DIGEST_LEN * 2 || !s.is_ascii() {
+            return None;
+        }
+        let bytes = s.as_bytes();
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// Truncates the digest to its first `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn truncate(&self, n: usize) -> &[u8] {
+        assert!(n <= DIGEST_LEN, "cannot truncate a 32-byte digest to {n}");
+        &self.0[..n]
+    }
+}
+
+impl PartialEq for Digest {
+    fn eq(&self, other: &Self) -> bool {
+        constant_time_eq(&self.0, &other.0)
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; DIGEST_LEN]> for Digest {
+    fn from(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+}
+
+impl serde::Serialize for Digest {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(&self.0)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Digest {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let bytes: Vec<u8> = serde::Deserialize::deserialize(deserializer)?;
+        let arr: [u8; DIGEST_LEN] = bytes
+            .try_into()
+            .map_err(|_| serde::de::Error::custom("digest must be exactly 32 bytes"))?;
+        Ok(Digest(arr))
+    }
+}
+
+/// Compares two byte slices in time independent of their contents.
+///
+/// Returns `false` immediately if lengths differ (length is not secret).
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Incremental SHA-256 hasher.
+///
+/// Use [`Sha256::digest`] for one-shot hashing, or `update`/`finalize` for
+/// streaming input.
+///
+/// # Examples
+///
+/// ```
+/// use pnm_crypto::sha256::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), Sha256::digest(b"abc"));
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Buffered partial block.
+    buf: [u8; BLOCK_LEN],
+    /// Number of valid bytes in `buf`.
+    buf_len: usize,
+    /// Total message length in bytes processed so far.
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Sha256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sha256")
+            .field("total_len", &self.total_len)
+            .field("buf_len", &self.buf_len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher in the initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// One-shot convenience: hashes `data` and returns the digest.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        // Fill the partial block first.
+        if self.buf_len > 0 {
+            let want = BLOCK_LEN - self.buf_len;
+            let take = want.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        // Process full blocks directly from the input.
+        while data.len() >= BLOCK_LEN {
+            let (block, rest) = data.split_at(BLOCK_LEN);
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finishes the hash computation and returns the digest.
+    ///
+    /// Consumes the hasher; clone it first if you need to continue hashing.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Append 0x80 then zero-pad to 56 mod 64, then the 64-bit length.
+        let mut pad = [0u8; BLOCK_LEN * 2];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            BLOCK_LEN + 56 - self.buf_len
+        };
+        let mut tail = Vec::with_capacity(pad_len + 8);
+        tail.extend_from_slice(&pad[..pad_len]);
+        tail.extend_from_slice(&bit_len.to_be_bytes());
+        // Careful: update() must not count padding toward total_len, but
+        // total_len is already captured in bit_len, so further counting is
+        // harmless.
+        self.update_padding(&tail);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// Identical to `update` but used only for padding (keeps `finalize`
+    /// readable; padding never needs `total_len` again).
+    fn update_padding(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let want = BLOCK_LEN - self.buf_len;
+            let take = want.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= BLOCK_LEN {
+            let (block, rest) = data.split_at(BLOCK_LEN);
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        debug_assert!(data.is_empty(), "padding must end on a block boundary");
+    }
+
+    /// SHA-256 compression function over one 64-byte block.
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NIST / well-known SHA-256 test vectors.
+    const VECTORS: &[(&[u8], &str)] = &[
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+        (
+            b"The quick brown fox jumps over the lazy dog",
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592",
+        ),
+    ];
+
+    #[test]
+    fn nist_vectors() {
+        for (input, expected) in VECTORS {
+            assert_eq!(Sha256::digest(input).to_hex(), *expected);
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        // FIPS 180-4 long vector: 1,000,000 repetitions of 'a'.
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..997u32).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 63, 64, 65, 127, 500, 997] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha256::digest(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time() {
+        let data = b"nested marking protects all upstream marks";
+        let mut h = Sha256::new();
+        for b in data.iter() {
+            h.update(core::slice::from_ref(b));
+        }
+        assert_eq!(h.finalize(), Sha256::digest(data));
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Exercise padding around the 55/56/63/64 byte block boundaries.
+        for len in [54, 55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xabu8; len];
+            let mut h = Sha256::new();
+            h.update(&data);
+            let d1 = h.finalize();
+            let d2 = Sha256::digest(&data);
+            assert_eq!(d1, d2, "len {len}");
+        }
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let d = Sha256::digest(b"round trip");
+        let parsed = Digest::from_hex(&d.to_hex()).expect("valid hex");
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert!(Digest::from_hex("").is_none());
+        assert!(Digest::from_hex("zz").is_none());
+        let d = Sha256::digest(b"x").to_hex();
+        assert!(Digest::from_hex(&d[..62]).is_none());
+        let bad = format!("{}zz", &d[..62]);
+        assert!(Digest::from_hex(&bad).is_none());
+    }
+
+    #[test]
+    fn truncate_prefix() {
+        let d = Sha256::digest(b"abc");
+        assert_eq!(d.truncate(8), &d.0[..8]);
+        assert_eq!(d.truncate(32).len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn truncate_too_long_panics() {
+        let d = Sha256::digest(b"abc");
+        let _ = d.truncate(33);
+    }
+
+    #[test]
+    fn constant_time_eq_basics() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+        assert!(constant_time_eq(b"", b""));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        // Smoke test for gross implementation errors (e.g., ignoring input).
+        let a = Sha256::digest(b"input-a");
+        let b = Sha256::digest(b"input-b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_display_nonempty() {
+        let d = Sha256::digest(b"abc");
+        assert!(!format!("{d:?}").is_empty());
+        assert!(!format!("{d}").is_empty());
+        let h = Sha256::new();
+        assert!(!format!("{h:?}").is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Closed-form filtering power (after SEF's analysis).
+//!
+//! A forged report carries `t − c` fabricated endorsements, where `c` is
+//! the number of distinct partitions the adversary compromised. A
+//! forwarder detects the forgery iff it holds one of the *exact*
+//! `(partition, index)` keys a fabricated endorsement claims. With `n_p`
+//! partitions, `m` keys per partition, and rings of `k` keys from one
+//! partition:
+//!
+//! ```text
+//! P(one node detects) = (t − c)/n_p · k/m
+//! ```
+//!
+//! (probability its partition matches a fabricated slot, times the
+//! probability it holds the claimed index).
+
+/// Per-hop detection probability for a single forwarder.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (zero pool dimensions, `k > m`, or
+/// `c > t`).
+pub fn per_hop_detection_probability(
+    partitions: u16,
+    keys_per_partition: u16,
+    ring_size: u16,
+    t: usize,
+    compromised_partitions: usize,
+) -> f64 {
+    assert!(partitions > 0 && keys_per_partition > 0, "empty pool");
+    assert!(ring_size > 0 && ring_size <= keys_per_partition, "bad ring");
+    assert!(compromised_partitions <= t, "c > t");
+    let fabricated = (t - compromised_partitions) as f64;
+    let partition_hit = fabricated / partitions as f64;
+    let index_hit = ring_size as f64 / keys_per_partition as f64;
+    (partition_hit * index_hit).min(1.0)
+}
+
+/// Expected number of hops a forged report travels before being dropped,
+/// when each of the `h` forwarders checks independently: the truncated
+/// geometric mean `Σ_{i=1..h} i·q^{i−1}p + h·q^h` where `q = 1 − p`.
+/// Also returns the probability the forgery survives all `h` hops (and is
+/// only caught by the sink).
+pub fn expected_filtering_hops(per_hop_p: f64, path_len: usize) -> (f64, f64) {
+    assert!((0.0..=1.0).contains(&per_hop_p), "p = {per_hop_p}");
+    let q = 1.0 - per_hop_p;
+    let mut expectation = 0.0;
+    for i in 1..=path_len {
+        let drop_here = q.powi(i as i32 - 1) * per_hop_p;
+        expectation += i as f64 * drop_here;
+    }
+    let survives = q.powi(path_len as i32);
+    expectation += path_len as f64 * survives;
+    (expectation, survives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_probability_formula() {
+        // 10 partitions, 8 keys each, rings of 4, t = 5, c = 1:
+        // p = 4/10 · 4/8 = 0.2.
+        let p = per_hop_detection_probability(10, 8, 4, 5, 1);
+        assert!((p - 0.2).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn more_compromise_means_less_detection() {
+        let p0 = per_hop_detection_probability(10, 8, 4, 5, 0);
+        let p3 = per_hop_detection_probability(10, 8, 4, 5, 3);
+        let p5 = per_hop_detection_probability(10, 8, 4, 5, 5);
+        assert!(p0 > p3);
+        assert!(p3 > p5);
+        assert_eq!(p5, 0.0, "full coverage: filtering blind");
+    }
+
+    #[test]
+    fn expected_hops_bounds() {
+        // p = 0: never dropped; travels the full path.
+        let (e, survive) = expected_filtering_hops(0.0, 10);
+        assert_eq!(e, 10.0);
+        assert_eq!(survive, 1.0);
+        // p = 1: dropped at the first hop.
+        let (e, survive) = expected_filtering_hops(1.0, 10);
+        assert_eq!(e, 1.0);
+        assert_eq!(survive, 0.0);
+    }
+
+    #[test]
+    fn expected_hops_matches_geometric_for_long_paths() {
+        // For long paths the truncated mean approaches 1/p.
+        let (e, survive) = expected_filtering_hops(0.2, 200);
+        assert!((e - 5.0).abs() < 0.1, "e = {e}");
+        assert!(survive < 1e-15);
+    }
+
+    #[test]
+    fn monotone_in_path_length() {
+        let (e5, s5) = expected_filtering_hops(0.2, 5);
+        let (e20, s20) = expected_filtering_hops(0.2, 20);
+        assert!(e5 < e20);
+        assert!(s5 > s20);
+    }
+
+    #[test]
+    #[should_panic(expected = "c > t")]
+    fn over_compromise_panics() {
+        let _ = per_hop_detection_probability(10, 8, 4, 5, 6);
+    }
+}

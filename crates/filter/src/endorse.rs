@@ -1,0 +1,256 @@
+//! Report endorsement and verification.
+//!
+//! A real event is observed by several nearby sensors; `t` of them, in
+//! pairwise-distinct key partitions, each attach an endorsement
+//! `(partition, key index, MAC over the report)`. Forwarders and the sink
+//! check endorsements against the keys they hold.
+
+use serde::{Deserialize, Serialize};
+
+use pnm_crypto::{MacKey, MacTag};
+use pnm_wire::Report;
+
+use crate::pool::{KeyPool, KeyRing};
+
+/// Domain label separating endorsement MACs from every other MAC in the
+/// system.
+const DOMAIN_ENDORSE: &[u8] = b"pnm/sef-endorse/v1";
+
+/// Truncated endorsement MAC width (bytes).
+pub const ENDORSEMENT_MAC_LEN: usize = 4;
+
+/// One detecting node's endorsement of a report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Endorsement {
+    /// Key partition of the endorsing node.
+    pub partition: u16,
+    /// Key index within the partition.
+    pub index: u16,
+    /// `H_k(report)` truncated.
+    pub mac: MacTag,
+}
+
+/// A report plus its endorsement set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EndorsedReport {
+    /// The sensing report.
+    pub report: Report,
+    /// Endorsements from detecting nodes.
+    pub endorsements: Vec<Endorsement>,
+}
+
+/// Computes a single endorsement MAC.
+pub fn endorsement_mac(key: &MacKey, report: &Report) -> MacTag {
+    let mut msg = DOMAIN_ENDORSE.to_vec();
+    msg.extend_from_slice(&report.to_bytes());
+    key.mark_mac(&msg, ENDORSEMENT_MAC_LEN)
+}
+
+/// Collects endorsements for a *real* event from the detecting nodes'
+/// rings, requiring `t` endorsements in pairwise-distinct partitions.
+///
+/// Returns `None` if the detectors do not cover `t` distinct partitions —
+/// the report cannot be legitimately generated (SEF's detection
+/// requirement).
+pub fn endorse(report: &Report, detectors: &[&KeyRing], t: usize) -> Option<EndorsedReport> {
+    let mut used_partitions = std::collections::HashSet::new();
+    let mut endorsements = Vec::with_capacity(t);
+    for ring in detectors {
+        if endorsements.len() == t {
+            break;
+        }
+        if !used_partitions.insert(ring.partition) {
+            continue; // same partition as an earlier endorser
+        }
+        let (partition, index, key) = ring.primary();
+        endorsements.push(Endorsement {
+            partition,
+            index,
+            mac: endorsement_mac(key, report),
+        });
+    }
+    (endorsements.len() == t).then(|| EndorsedReport {
+        report: report.clone(),
+        endorsements,
+    })
+}
+
+/// What an en-route check concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterDecision {
+    /// A held key proved an endorsement forged: drop the packet.
+    DropForged,
+    /// All checkable endorsements verified (or none were checkable).
+    Forward,
+    /// Structural failure: too few endorsements or duplicate partitions.
+    DropMalformed,
+}
+
+/// En-route filtering at one forwarder (SEF's per-hop check): verify the
+/// structural rules, then check any endorsement whose exact key this node
+/// happens to hold.
+pub fn en_route_check(ring: &KeyRing, er: &EndorsedReport, t: usize) -> FilterDecision {
+    if er.endorsements.len() != t {
+        return FilterDecision::DropMalformed;
+    }
+    let mut parts = std::collections::HashSet::new();
+    for e in &er.endorsements {
+        if !parts.insert(e.partition) {
+            return FilterDecision::DropMalformed;
+        }
+    }
+    for e in &er.endorsements {
+        if let Some(key) = ring.key_for(e.partition, e.index) {
+            if endorsement_mac(key, &er.report) != e.mac {
+                return FilterDecision::DropForged;
+            }
+        }
+    }
+    FilterDecision::Forward
+}
+
+/// Sink-side verification: the sink holds the whole pool, so every
+/// endorsement is checked.
+pub fn sink_check(pool: &KeyPool, er: &EndorsedReport, t: usize) -> bool {
+    if er.endorsements.len() != t {
+        return false;
+    }
+    let mut parts = std::collections::HashSet::new();
+    for e in &er.endorsements {
+        if !parts.insert(e.partition) {
+            return false;
+        }
+        if e.partition >= pool.partitions() || e.index >= pool.keys_per_partition() {
+            return false;
+        }
+        let key = pool.key(e.partition, e.index);
+        if endorsement_mac(&key, &er.report) != e.mac {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnm_wire::Location;
+
+    fn pool() -> KeyPool {
+        KeyPool::new(b"sef", 10, 8)
+    }
+
+    fn report() -> Report {
+        Report::new(b"real-event".to_vec(), Location::new(5.0, 5.0), 42)
+    }
+
+    /// Rings covering `t` distinct partitions (searching node ids).
+    fn distinct_rings(pool: &KeyPool, t: usize) -> Vec<KeyRing> {
+        let mut rings: Vec<KeyRing> = Vec::new();
+        let mut parts = std::collections::HashSet::new();
+        for node in 0..500u16 {
+            let ring = pool.assign_ring(node, 2);
+            if parts.insert(ring.partition) {
+                rings.push(ring);
+                if rings.len() == t {
+                    break;
+                }
+            }
+        }
+        rings
+    }
+
+    #[test]
+    fn legitimate_report_passes_everywhere() {
+        let p = pool();
+        let rings = distinct_rings(&p, 5);
+        let refs: Vec<&KeyRing> = rings.iter().collect();
+        let er = endorse(&report(), &refs, 5).expect("distinct partitions");
+        assert!(sink_check(&p, &er, 5));
+        for node in 0..50u16 {
+            let ring = p.assign_ring(node, 3);
+            assert_ne!(
+                en_route_check(&ring, &er, 5),
+                FilterDecision::DropForged,
+                "node {node} wrongly dropped a legitimate report"
+            );
+        }
+    }
+
+    #[test]
+    fn endorse_requires_distinct_partitions() {
+        let p = pool();
+        let rings = distinct_rings(&p, 1);
+        let same = vec![&rings[0], &rings[0], &rings[0]];
+        assert!(endorse(&report(), &same, 3).is_none());
+    }
+
+    #[test]
+    fn sink_rejects_forgery() {
+        let p = pool();
+        let rings = distinct_rings(&p, 5);
+        let refs: Vec<&KeyRing> = rings.iter().collect();
+        let mut er = endorse(&report(), &refs, 5).unwrap();
+        er.endorsements[2].mac = er.endorsements[2].mac.corrupted();
+        assert!(!sink_check(&p, &er, 5));
+    }
+
+    #[test]
+    fn sink_rejects_wrong_count_and_duplicates() {
+        let p = pool();
+        let rings = distinct_rings(&p, 5);
+        let refs: Vec<&KeyRing> = rings.iter().collect();
+        let er = endorse(&report(), &refs, 5).unwrap();
+        let mut short = er.clone();
+        short.endorsements.pop();
+        assert!(!sink_check(&p, &short, 5));
+        let mut dup = er.clone();
+        dup.endorsements[1] = dup.endorsements[0].clone();
+        assert!(!sink_check(&p, &dup, 5));
+        let mut out_of_range = er;
+        out_of_range.endorsements[0].partition = 99;
+        assert!(!sink_check(&p, &out_of_range, 5));
+    }
+
+    #[test]
+    fn en_route_catches_forgery_with_matching_key() {
+        let p = pool();
+        let rings = distinct_rings(&p, 5);
+        let refs: Vec<&KeyRing> = rings.iter().collect();
+        let mut er = endorse(&report(), &refs, 5).unwrap();
+        // Forge the endorsement from partition rings[0].partition.
+        er.endorsements[0].mac = er.endorsements[0].mac.corrupted();
+        // A node holding exactly that key detects it.
+        let detector = rings[0].clone();
+        assert_eq!(
+            en_route_check(&detector, &er, 5),
+            FilterDecision::DropForged
+        );
+        // A node in an unrelated partition cannot.
+        let other = rings[1].clone();
+        assert_eq!(en_route_check(&other, &er, 5), FilterDecision::Forward);
+    }
+
+    #[test]
+    fn en_route_drops_malformed() {
+        let p = pool();
+        let ring = p.assign_ring(0, 2);
+        let er = EndorsedReport {
+            report: report(),
+            endorsements: vec![],
+        };
+        assert_eq!(en_route_check(&ring, &er, 5), FilterDecision::DropMalformed);
+    }
+
+    #[test]
+    fn endorsement_bound_to_report_content() {
+        let p = pool();
+        let rings = distinct_rings(&p, 3);
+        let refs: Vec<&KeyRing> = rings.iter().collect();
+        let er = endorse(&report(), &refs, 3).unwrap();
+        // Replaying the endorsements on a different report fails.
+        let mut stolen = er.clone();
+        stolen.report = Report::new(b"other".to_vec(), Location::default(), 1);
+        assert!(!sink_check(&p, &stolen, 3));
+    }
+}

@@ -1,0 +1,142 @@
+//! Mole-side endorsement forgery.
+//!
+//! A mole holds the key rings of the nodes it compromised — typically a
+//! single partition (or a few, if several nodes fell). To inject a bogus
+//! report it endorses with the keys it has and fabricates the remaining
+//! endorsements with random MACs under *claimed* `(partition, index)`
+//! slots it does not hold. Any en-route node holding one of those exact
+//! claimed keys unmasks the forgery.
+
+use rand::Rng;
+
+use pnm_crypto::MacTag;
+use pnm_wire::Report;
+
+use crate::endorse::{endorsement_mac, EndorsedReport, Endorsement, ENDORSEMENT_MAC_LEN};
+use crate::pool::KeyRing;
+
+/// Forges an endorsed report using the compromised rings, fabricating
+/// whatever is missing to reach `t` endorsements in distinct partitions.
+///
+/// `partitions` is the pool's partition count: claims must be in range or
+/// any node could reject them structurally. Claimed partitions are drawn
+/// at random per packet so no single forwarder can always check them.
+///
+/// # Panics
+///
+/// Panics if `t` exceeds `partitions` (not enough distinct partitions).
+pub fn forge_report(
+    report: &Report,
+    compromised: &[&KeyRing],
+    t: usize,
+    partitions: u16,
+    rng: &mut dyn Rng,
+) -> EndorsedReport {
+    assert!(t <= partitions as usize, "t > partitions");
+    let mut endorsements: Vec<Endorsement> = Vec::with_capacity(t);
+    let mut used = std::collections::HashSet::new();
+    // Real endorsements from compromised keys (distinct partitions only).
+    for ring in compromised {
+        if endorsements.len() == t {
+            break;
+        }
+        if !used.insert(ring.partition) {
+            continue;
+        }
+        let (partition, index, key) = ring.primary();
+        endorsements.push(Endorsement {
+            partition,
+            index,
+            mac: endorsement_mac(key, report),
+        });
+    }
+    // Fabricated endorsements for partitions the mole does not hold —
+    // claimed partitions are drawn at random (a smart mole varies its
+    // claims per packet so no single forwarder can always check them).
+    while endorsements.len() < t {
+        let claimed_partition = (rng.next_u64() % partitions as u64) as u16;
+        if used.contains(&claimed_partition) {
+            continue;
+        }
+        used.insert(claimed_partition);
+        let mut mac = [0u8; ENDORSEMENT_MAC_LEN];
+        for b in &mut mac {
+            *b = (rng.next_u64() & 0xff) as u8;
+        }
+        endorsements.push(Endorsement {
+            partition: claimed_partition,
+            index: (rng.next_u64() % 8) as u16,
+            mac: MacTag::from_bytes(&mac),
+        });
+    }
+    EndorsedReport {
+        report: report.clone(),
+        endorsements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endorse::{en_route_check, sink_check, FilterDecision};
+    use crate::pool::KeyPool;
+    use pnm_wire::Location;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forgery_has_right_shape_but_fails_sink() {
+        let pool = KeyPool::new(b"forge-test", 10, 8);
+        let mole_ring = pool.assign_ring(0, 2);
+        let report = Report::new(b"bogus".to_vec(), Location::default(), 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let forged = forge_report(&report, &[&mole_ring], 5, 10, &mut rng);
+        assert_eq!(forged.endorsements.len(), 5);
+        // Structurally valid: distinct partitions.
+        let parts: std::collections::HashSet<u16> =
+            forged.endorsements.iter().map(|e| e.partition).collect();
+        assert_eq!(parts.len(), 5);
+        // But the sink's exhaustive check catches it.
+        assert!(!sink_check(&pool, &forged, 5));
+    }
+
+    #[test]
+    fn some_en_route_node_catches_it() {
+        let pool = KeyPool::new(b"forge-test", 10, 8);
+        let mole_ring = pool.assign_ring(0, 2);
+        let report = Report::new(b"bogus".to_vec(), Location::default(), 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let forged = forge_report(&report, &[&mole_ring], 5, 10, &mut rng);
+        // Over many forwarder rings, at least one holds a claimed key and
+        // drops the forgery.
+        let caught = (1..400u16).any(|node| {
+            let ring = pool.assign_ring(node, 3);
+            en_route_check(&ring, &forged, 5) == FilterDecision::DropForged
+        });
+        assert!(caught, "no forwarder caught the forgery");
+    }
+
+    #[test]
+    fn mole_with_full_coverage_beats_filtering() {
+        // If the adversary compromises nodes in t distinct partitions, the
+        // filter is powerless (SEF's threshold property) — that's when
+        // traceback is the only remaining defense.
+        let pool = KeyPool::new(b"forge-test", 10, 8);
+        let mut rings: Vec<crate::pool::KeyRing> = Vec::new();
+        let mut parts = std::collections::HashSet::new();
+        for node in 0..1000u16 {
+            let r = pool.assign_ring(node, 2);
+            if parts.insert(r.partition) {
+                rings.push(r);
+                if rings.len() == 5 {
+                    break;
+                }
+            }
+        }
+        let refs: Vec<&crate::pool::KeyRing> = rings.iter().collect();
+        let report = Report::new(b"bogus".to_vec(), Location::default(), 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let forged = forge_report(&report, &refs, 5, 10, &mut rng);
+        assert!(sink_check(&pool, &forged, 5), "full coverage defeats SEF");
+    }
+}

@@ -1,0 +1,135 @@
+//! SEF-style statistical en-route filtering — the *passive* defense the
+//! PNM paper complements (§8: "Several en-route filtering schemes have
+//! been proposed to drop the false data en-route before they reach the
+//! sink. However, these schemes only mitigate the threats… Our traceback
+//! scheme complements the filtering ones by locating the moles.")
+//!
+//! This crate implements the filtering substrate after the paper's
+//! reference \[12] (Ye, Luo, Lu, Zhang — *Statistical En-route Filtering of
+//! Injected False Data in Sensor Networks*, INFOCOM 2004):
+//!
+//! - a partitioned global [`KeyPool`] with per-node [`KeyRing`]s,
+//! - report [`endorse`](fn@endorse)ment by `t` detectors in distinct partitions,
+//! - probabilistic per-hop [`en_route_check`] and exhaustive
+//!   [`sink_check`],
+//! - [`analysis`] — the closed-form per-hop detection probability, and
+//! - a mole-side [`forge_report`] that fabricates what it cannot endorse,
+//! - [`iha`] — the deterministic *interleaved hop-by-hop* variant
+//!   (reference \[14]), whose ≤ `t+1`-hop drop guarantee is tested.
+//!
+//! The combined PNM + SEF experiment lives in `pnm-sim`
+//! (`regen-figures filtering`), quantifying the paper's complementarity
+//! argument: filtering drops most bogus packets within a few hops (saving
+//! energy), while PNM locates the mole so it can be removed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod endorse;
+pub mod forge;
+pub mod iha;
+pub mod pool;
+
+pub use analysis::{expected_filtering_hops, per_hop_detection_probability};
+pub use endorse::{
+    en_route_check, endorse, endorsement_mac, sink_check, EndorsedReport, Endorsement,
+    FilterDecision, ENDORSEMENT_MAC_LEN,
+};
+pub use forge::forge_report;
+pub use iha::{IhaChain, IhaPacket, IHA_MAC_LEN};
+pub use pool::{KeyPool, KeyRing};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use pnm_wire::{Location, Report};
+
+    use crate::endorse::{en_route_check, endorse, sink_check, FilterDecision};
+    use crate::forge::forge_report;
+    use crate::pool::{KeyPool, KeyRing};
+
+    fn distinct_rings(pool: &KeyPool, t: usize) -> Vec<KeyRing> {
+        let mut rings: Vec<KeyRing> = Vec::new();
+        let mut parts = std::collections::HashSet::new();
+        for node in 0..1000u16 {
+            let ring = pool.assign_ring(node, 2);
+            if parts.insert(ring.partition) {
+                rings.push(ring);
+                if rings.len() == t {
+                    break;
+                }
+            }
+        }
+        rings
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Legitimate endorsed reports always pass the sink and are never
+        /// dropped as forged en route — zero false positives, for any
+        /// report content and any checking node.
+        #[test]
+        fn no_false_positives(
+            event in proptest::collection::vec(any::<u8>(), 0..32),
+            ts in any::<u64>(),
+            checker in any::<u16>(),
+        ) {
+            let pool = KeyPool::new(b"prop-sef", 10, 8);
+            let report = Report::new(event, Location::new(1.0, 2.0), ts);
+            let rings = distinct_rings(&pool, 5);
+            let refs: Vec<&KeyRing> = rings.iter().collect();
+            let er = endorse(&report, &refs, 5).expect("10 partitions cover 5");
+            prop_assert!(sink_check(&pool, &er, 5));
+            let ring = pool.assign_ring(checker, 3);
+            prop_assert_ne!(en_route_check(&ring, &er, 5), FilterDecision::DropForged);
+        }
+
+        /// A mole holding rings from fewer than `t` partitions can never
+        /// produce a report the sink accepts.
+        #[test]
+        fn sink_always_catches_forgeries(
+            seed in any::<u64>(),
+            compromised in 1usize..4,
+        ) {
+            let pool = KeyPool::new(b"prop-sef", 10, 8);
+            let t = 5;
+            let rings = distinct_rings(&pool, compromised);
+            let refs: Vec<&KeyRing> = rings.iter().collect();
+            let report = Report::new(b"bogus".to_vec(), Location::new(0.0, 0.0), seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let forged = forge_report(&report, &refs, t, 10, &mut rng);
+            prop_assert!(!sink_check(&pool, &forged, t));
+        }
+
+        /// IHA's guarantee holds for arbitrary parameters: a forgery by at
+        /// most `t` compromised detectors is dropped within `t + 1` hops,
+        /// while legitimate reports always traverse the whole path.
+        #[test]
+        fn iha_guarantee_holds(
+            t in 1usize..5,
+            extra_hops in 1u16..20,
+            compromised_frac in 0usize..5,
+            tag in any::<u64>(),
+        ) {
+            use crate::iha::IhaChain;
+            let n = t as u16 + 1 + extra_hops;
+            let chain = IhaChain::new((0..n).collect(), t, b"prop-iha");
+            let report = Report::new(format!("e{tag}").into_bytes(), Location::new(0.0, 0.0), tag);
+
+            let mut legit = chain.originate(report.clone());
+            prop_assert_eq!(chain.deliver(&mut legit), Ok(()));
+
+            let compromised = compromised_frac.min(t); // strictly ≤ t
+            let mut forged = chain.originate_forged(report, compromised);
+            match chain.deliver(&mut forged) {
+                Err(hops) => prop_assert!(hops <= t + 1, "dropped after {hops} > t+1"),
+                Ok(()) => prop_assert!(false, "forgery delivered with c={compromised} <= t={t}"),
+            }
+        }
+    }
+}

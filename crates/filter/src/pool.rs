@@ -1,0 +1,220 @@
+//! The global key pool and per-node key rings of statistical en-route
+//! filtering (after Ye, Luo, Lu, Zhang — "Statistical En-route Filtering
+//! of Injected False Data in Sensor Networks", the paper's reference \[12]).
+//!
+//! A global pool of `partitions × keys_per_partition` symmetric keys is
+//! divided into partitions; every node is pre-loaded with a small ring of
+//! keys drawn from **one** randomly assigned partition. Legitimate reports
+//! carry endorsements from `t` detecting nodes in *distinct* partitions; a
+//! mole holds keys from only its own partition(s), so it cannot forge a
+//! full endorsement set — and en-route nodes holding the right key catch
+//! the forgeries probabilistically.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use pnm_crypto::MacKey;
+
+/// The sink-side global key pool, derived from a master secret.
+#[derive(Clone, Debug)]
+pub struct KeyPool {
+    master: Vec<u8>,
+    partitions: u16,
+    keys_per_partition: u16,
+}
+
+impl KeyPool {
+    /// Creates a pool of `partitions × keys_per_partition` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(master: &[u8], partitions: u16, keys_per_partition: u16) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        assert!(
+            keys_per_partition > 0,
+            "need at least one key per partition"
+        );
+        KeyPool {
+            master: master.to_vec(),
+            partitions,
+            keys_per_partition,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> u16 {
+        self.partitions
+    }
+
+    /// Keys per partition.
+    pub fn keys_per_partition(&self) -> u16 {
+        self.keys_per_partition
+    }
+
+    /// The key at `(partition, index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn key(&self, partition: u16, index: u16) -> MacKey {
+        assert!(
+            partition < self.partitions,
+            "partition {partition} out of range"
+        );
+        assert!(
+            index < self.keys_per_partition,
+            "key index {index} out of range"
+        );
+        let id = (partition as u64) << 32 | index as u64;
+        let mut material = self.master.clone();
+        material.extend_from_slice(b"pnm/sef-pool/v1");
+        MacKey::derive(&material, id)
+    }
+
+    /// Assigns node `node_id` its key ring: one partition (seeded by the
+    /// node id), `ring_size` distinct key indices within it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_size` is zero or exceeds the partition size.
+    pub fn assign_ring(&self, node_id: u16, ring_size: u16) -> KeyRing {
+        assert!(
+            ring_size > 0 && ring_size <= self.keys_per_partition,
+            "ring size {ring_size} out of range"
+        );
+        let mut rng = StdRng::seed_from_u64(0x5EF0 ^ node_id as u64);
+        let partition = rng.random_range(0..self.partitions);
+        // Sample distinct indices (Floyd's algorithm would do; partition
+        // sizes are small, so a shuffle is fine).
+        let mut indices: Vec<u16> = (0..self.keys_per_partition).collect();
+        for i in (1..indices.len()).rev() {
+            let j = rng.random_range(0..=i);
+            indices.swap(i, j);
+        }
+        indices.truncate(ring_size as usize);
+        indices.sort_unstable();
+        let keys = indices.iter().map(|&i| self.key(partition, i)).collect();
+        KeyRing {
+            partition,
+            indices,
+            keys,
+        }
+    }
+}
+
+/// A node's pre-loaded keys: a few indices from one partition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KeyRing {
+    /// The partition this node draws from.
+    pub partition: u16,
+    /// Sorted key indices held.
+    pub indices: Vec<u16>,
+    /// The corresponding keys.
+    #[serde(skip)]
+    pub keys: Vec<MacKey>,
+}
+
+impl KeyRing {
+    /// The key for `index`, if this ring holds it.
+    pub fn key_for(&self, partition: u16, index: u16) -> Option<&MacKey> {
+        if partition != self.partition {
+            return None;
+        }
+        self.indices
+            .iter()
+            .position(|&i| i == index)
+            .map(|pos| &self.keys[pos])
+    }
+
+    /// A deterministic "primary" key the node endorses with.
+    pub fn primary(&self) -> (u16, u16, &MacKey) {
+        (self.partition, self.indices[0], &self.keys[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> KeyPool {
+        KeyPool::new(b"sef-master", 10, 8)
+    }
+
+    #[test]
+    fn keys_are_distinct_across_slots() {
+        let p = pool();
+        let mut seen = std::collections::HashSet::new();
+        for part in 0..10 {
+            for idx in 0..8 {
+                assert!(seen.insert(*p.key(part, idx).as_bytes()), "{part}/{idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_assignment_is_deterministic() {
+        let p = pool();
+        let a = p.assign_ring(7, 3);
+        let b = p.assign_ring(7, 3);
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.indices, b.indices);
+    }
+
+    #[test]
+    fn ring_indices_distinct_and_in_range() {
+        let p = pool();
+        for node in 0..200u16 {
+            let ring = p.assign_ring(node, 4);
+            assert_eq!(ring.indices.len(), 4);
+            let set: std::collections::HashSet<u16> = ring.indices.iter().copied().collect();
+            assert_eq!(set.len(), 4, "duplicate index for node {node}");
+            assert!(ring.indices.iter().all(|&i| i < 8));
+            assert!(ring.partition < 10);
+        }
+    }
+
+    #[test]
+    fn rings_cover_many_partitions() {
+        let p = pool();
+        let parts: std::collections::HashSet<u16> =
+            (0..100u16).map(|n| p.assign_ring(n, 2).partition).collect();
+        assert!(parts.len() >= 6, "only {} partitions used", parts.len());
+    }
+
+    #[test]
+    fn key_for_checks_partition_and_index() {
+        let p = pool();
+        let ring = p.assign_ring(3, 2);
+        let (part, idx, key) = ring.primary();
+        assert_eq!(ring.key_for(part, idx).unwrap().as_bytes(), key.as_bytes());
+        assert!(ring.key_for(part + 1, idx).is_none());
+        let missing = (0..8).find(|i| !ring.indices.contains(i)).unwrap();
+        assert!(ring.key_for(part, missing).is_none());
+    }
+
+    #[test]
+    fn ring_keys_match_pool() {
+        let p = pool();
+        let ring = p.assign_ring(11, 3);
+        for (i, &idx) in ring.indices.iter().enumerate() {
+            assert_eq!(
+                ring.keys[i].as_bytes(),
+                p.key(ring.partition, idx).as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn out_of_range_partition_panics() {
+        let _ = pool().key(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring size")]
+    fn oversized_ring_panics() {
+        let _ = pool().assign_ring(0, 9);
+    }
+}

@@ -1,0 +1,190 @@
+//! A minimal discrete-event engine: a time-ordered queue with stable
+//! FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event.
+#[derive(Clone, Debug)]
+struct Scheduled<T> {
+    time_us: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_us == other.time_us && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time_us
+            .cmp(&self.time_us)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list ordered by simulated time (microseconds), with
+/// insertion-order tie-breaking for determinism.
+///
+/// # Examples
+///
+/// ```
+/// use pnm_net::des::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(20, "second");
+/// q.schedule(10, "first");
+/// assert_eq!(q.pop(), Some((10, "first")));
+/// assert_eq!(q.pop(), Some((20, "second")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+    now_us: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now_us: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute time `time_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_us` is in the simulated past.
+    pub fn schedule(&mut self, time_us: u64, payload: T) {
+        assert!(
+            time_us >= self.now_us,
+            "cannot schedule in the simulated past ({time_us}µs), current time is {}µs",
+            self.now_us
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time_us,
+            seq,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` at `delay_us` after the current time.
+    pub fn schedule_after(&mut self, delay_us: u64, payload: T) {
+        self.schedule(self.now_us.saturating_add(delay_us), payload);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let s = self.heap.pop()?;
+        self.now_us = s.time_us;
+        Some((s.time_us, s.payload))
+    }
+
+    /// The current simulated time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 'c');
+        q.schedule(10, 'a');
+        q.schedule(20, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.schedule(10, ());
+        q.schedule(25, ());
+        assert_eq!(q.now_us(), 0);
+        q.pop();
+        assert_eq!(q.now_us(), 10);
+        q.pop();
+        assert_eq!(q.now_us(), 10);
+        q.pop();
+        assert_eq!(q.now_us(), 25);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "base");
+        q.pop();
+        q.schedule_after(50, "later");
+        assert_eq!(q.pop(), Some((150, "later")));
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated past")]
+    #[allow(unused_must_use)]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        q.pop();
+        q.schedule(50, ());
+    }
+
+    #[test]
+    fn len_tracking() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, ());
+        q.schedule(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

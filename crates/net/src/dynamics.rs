@@ -1,0 +1,202 @@
+//! Routing dynamics (§7 "Impact of Routing Dynamics").
+//!
+//! The paper assumes stable routes during a traceback, arguing the
+//! assumption is safe because traceback is fast — and that "even if
+//! routing dynamics do occur, PNM can still locate the moles as long as
+//! the relative upstream relation among nodes remains the same". This
+//! module provides the machinery to test that claim: a node-failure model
+//! and route healing that rebuilds the sink tree around failed nodes.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::routing::{NextHop, RoutingTable};
+use crate::topology::Topology;
+
+/// A set of failed (dead-battery, jammed, physically removed) nodes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureSet {
+    failed: BTreeSet<u16>,
+}
+
+impl FailureSet {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Marks `node` failed. Returns whether it was newly failed.
+    pub fn fail(&mut self, node: u16) -> bool {
+        self.failed.insert(node)
+    }
+
+    /// Revives `node` (e.g., battery replaced). Returns whether it was
+    /// failed.
+    pub fn revive(&mut self, node: u16) -> bool {
+        self.failed.remove(&node)
+    }
+
+    /// Whether `node` is currently failed.
+    pub fn is_failed(&self, node: u16) -> bool {
+        self.failed.contains(&node)
+    }
+
+    /// Iterates over failed nodes.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.failed.iter().copied()
+    }
+
+    /// Number of failed nodes.
+    pub fn len(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// `true` if nothing failed.
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Rebuilds a BFS sink tree that routes *around* failed nodes: failed
+/// nodes neither forward nor count as neighbors. Surviving nodes keep a
+/// route iff the residual connectivity graph still reaches the sink.
+pub fn heal_tree(topology: &Topology, failures: &FailureSet) -> RoutingTable {
+    // BFS over the survivor-induced subgraph.
+    let n = topology.len();
+    let mut next_hop = vec![NextHop::Unreachable; n];
+    let mut hops: Vec<Option<u32>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+
+    for id in 0..n as u16 {
+        if failures.is_failed(id) {
+            continue;
+        }
+        if topology.sink_in_range(id) {
+            next_hop[id as usize] = NextHop::Sink;
+            hops[id as usize] = Some(1);
+            queue.push_back(id);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let d = hops[u as usize].expect("queued");
+        for v in topology.neighbors(u) {
+            if failures.is_failed(v) || hops[v as usize].is_some() {
+                continue;
+            }
+            hops[v as usize] = Some(d + 1);
+            next_hop[v as usize] = NextHop::Node(u);
+            queue.push_back(v);
+        }
+    }
+    RoutingTable::from_parts(next_hop, hops)
+}
+
+/// Checks the §7 precondition under which traceback survives a route
+/// change: for the nodes present on both the old and new forwarding path
+/// of `source`, the relative upstream order is identical.
+pub fn relative_order_preserved(old: &RoutingTable, new: &RoutingTable, source: u16) -> bool {
+    let (Some(old_path), Some(new_path)) = (old.path_to_sink(source), new.path_to_sink(source))
+    else {
+        return false;
+    };
+    let common: BTreeSet<u16> = old_path
+        .iter()
+        .copied()
+        .filter(|x| new_path.contains(x))
+        .collect();
+    let old_order: Vec<u16> = old_path
+        .iter()
+        .copied()
+        .filter(|x| common.contains(x))
+        .collect();
+    let new_order: Vec<u16> = new_path
+        .iter()
+        .copied()
+        .filter(|x| common.contains(x))
+        .collect();
+    old_order == new_order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_set_basics() {
+        let mut f = FailureSet::none();
+        assert!(f.is_empty());
+        assert!(f.fail(3));
+        assert!(!f.fail(3));
+        assert!(f.is_failed(3));
+        assert_eq!(f.len(), 1);
+        assert!(f.revive(3));
+        assert!(!f.revive(3));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn healing_routes_around_failure_on_grid() {
+        let topo = Topology::grid(5, 5, 10.0);
+        let mut failures = FailureSet::none();
+        let healthy = heal_tree(&topo, &failures);
+        assert_eq!(healthy.coverage(), 1.0);
+
+        // Fail an on-path node for the far corner.
+        let far = 24u16;
+        let path = healthy.path_to_sink(far).unwrap();
+        let victim = path[path.len() / 2];
+        failures.fail(victim);
+        let healed = heal_tree(&topo, &failures);
+        let new_path = healed.path_to_sink(far).expect("grid has alternatives");
+        assert!(!new_path.contains(&victim));
+        // Failed node itself is unreachable.
+        assert_eq!(healed.next_hop(victim), NextHop::Unreachable);
+    }
+
+    #[test]
+    fn healing_chain_cannot_route_around() {
+        // A chain has no redundancy: failing an interior node cuts off
+        // everything upstream of it.
+        let topo = Topology::chain(6, 10.0);
+        let mut failures = FailureSet::none();
+        failures.fail(3);
+        let healed = heal_tree(&topo, &failures);
+        assert!(healed.path_to_sink(0).is_none());
+        assert!(healed.path_to_sink(4).is_some());
+    }
+
+    #[test]
+    fn order_preserved_when_detour_skips_one_node() {
+        let topo = Topology::grid(6, 3, 10.0);
+        let old = heal_tree(&topo, &FailureSet::none());
+        let far = (6 * 3 - 1) as u16;
+        let path = old.path_to_sink(far).unwrap();
+        let victim = path[1];
+        let mut failures = FailureSet::none();
+        failures.fail(victim);
+        let new = heal_tree(&topo, &failures);
+        // Grid detours keep survivors' relative order along this path.
+        assert!(relative_order_preserved(&old, &new, far));
+    }
+
+    #[test]
+    fn order_not_preserved_when_unroutable() {
+        let topo = Topology::chain(5, 10.0);
+        let old = heal_tree(&topo, &FailureSet::none());
+        let mut failures = FailureSet::none();
+        failures.fail(2);
+        let new = heal_tree(&topo, &failures);
+        assert!(!relative_order_preserved(&old, &new, 0));
+    }
+
+    #[test]
+    fn revive_restores_coverage() {
+        let topo = Topology::chain(5, 10.0);
+        let mut failures = FailureSet::none();
+        failures.fail(2);
+        assert!(heal_tree(&topo, &failures).path_to_sink(0).is_none());
+        failures.revive(2);
+        assert_eq!(heal_tree(&topo, &failures).coverage(), 1.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! GPSR — Greedy Perimeter Stateless Routing (Karp & Kung, the paper's
+//! geographic-forwarding citation \[5]).
+//!
+//! [`RoutingTable::geographic`](crate::routing::RoutingTable::geographic)
+//! implements only GPSR's greedy mode, which strands packets at local
+//! minima ("voids"). This module adds the full algorithm:
+//!
+//! - [`gabriel_graph`] — planarizes the connectivity graph (an edge
+//!   survives iff no witness node lies in the circle with the edge as
+//!   diameter), as GPSR requires for correct face traversal.
+//! - [`gpsr_route`] — greedy forwarding; on a local minimum, switch to
+//!   perimeter mode and walk the planar face by the right-hand rule until
+//!   reaching a node closer to the destination than where perimeter mode
+//!   began, then resume greedy.
+//!
+//! Routes found this way are per-source paths (GPSR is stateless per
+//! packet; with static nodes the path is stable, satisfying §2.1).
+
+use pnm_wire::Location;
+
+use crate::topology::Topology;
+
+/// Builds the Gabriel-graph planar subgraph of the radio-connectivity
+/// graph: the edge `(u, v)` is kept iff no other node `w` (within range of
+/// `u`, per GPSR's distributed construction) lies strictly inside the
+/// circle whose diameter is `uv`.
+pub fn gabriel_graph(topology: &Topology) -> Vec<Vec<u16>> {
+    let n = topology.len() as u16;
+    let mut adj: Vec<Vec<u16>> = vec![Vec::new(); n as usize];
+    for u in 0..n {
+        'candidates: for v in topology.neighbors(u) {
+            let pu = topology.position(u);
+            let pv = topology.position(v);
+            let mid = Location::new((pu.x + pv.x) / 2.0, (pu.y + pv.y) / 2.0);
+            let radius = pu.distance(&pv) / 2.0;
+            // Witnesses: nodes u can hear (distributed construction).
+            for w in topology.neighbors(u) {
+                if w == v {
+                    continue;
+                }
+                if topology.position(w).distance(&mid) < radius {
+                    continue 'candidates;
+                }
+            }
+            adj[u as usize].push(v);
+        }
+    }
+    // Symmetrize: an edge removed on either side is removed on both (GPSR
+    // planarization must agree between endpoints).
+    let mut sym: Vec<Vec<u16>> = vec![Vec::new(); n as usize];
+    for u in 0..n {
+        for &v in &adj[u as usize] {
+            if adj[v as usize].contains(&u) {
+                sym[u as usize].push(v);
+            }
+        }
+    }
+    sym
+}
+
+/// Angle of the vector from `a` to `b`, in radians.
+fn bearing(a: Location, b: Location) -> f32 {
+    (b.y - a.y).atan2(b.x - a.x)
+}
+
+/// The next edge counterclockwise from the reference bearing — GPSR's
+/// right-hand rule (the packet walks the face with edges on its right).
+fn right_hand_next(
+    topology: &Topology,
+    planar: &[Vec<u16>],
+    at: u16,
+    reference_bearing: f32,
+) -> Option<u16> {
+    let here = topology.position(at);
+    planar[at as usize].iter().copied().min_by(|&a, &b| {
+        let da = angle_ccw(reference_bearing, bearing(here, topology.position(a)));
+        let db = angle_ccw(reference_bearing, bearing(here, topology.position(b)));
+        da.partial_cmp(&db).expect("angles are finite")
+    })
+}
+
+/// Counterclockwise angular distance from `from` to `to`, in `(0, 2π]`.
+fn angle_ccw(from: f32, to: f32) -> f32 {
+    let mut d = to - from;
+    let tau = std::f32::consts::TAU;
+    while d <= 1e-6 {
+        d += tau;
+    }
+    while d > tau {
+        d -= tau;
+    }
+    d
+}
+
+/// Forwarding mode in a GPSR route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Greedy,
+    /// Perimeter mode with the distance-to-sink at which it was entered.
+    Perimeter {
+        entry_distance_bits: u32,
+    },
+}
+
+/// Computes the GPSR route from `source` to the sink: greedy where
+/// possible, right-hand-rule perimeter traversal around voids. Returns the
+/// node sequence `[source, …, last]` where `last` hears the sink, or
+/// `None` if the packet loops without progress (disconnected, or the
+/// planar traversal exhausts its TTL).
+pub fn gpsr_route(topology: &Topology, source: u16) -> Option<Vec<u16>> {
+    let sink = topology.sink_position();
+    let planar = gabriel_graph(topology);
+    let ttl = 4 * topology.len().max(8);
+
+    let mut path = vec![source];
+    let mut at = source;
+    let mut mode = Mode::Greedy;
+    let mut prev: Option<u16> = None;
+
+    for _ in 0..ttl {
+        if topology.sink_in_range(at) {
+            return Some(path);
+        }
+        let here_dist = topology.position(at).distance(&sink);
+
+        // Perimeter mode exits when progress beats the entry point.
+        if let Mode::Perimeter {
+            entry_distance_bits,
+        } = mode
+        {
+            let entry = f32::from_bits(entry_distance_bits);
+            if here_dist < entry {
+                mode = Mode::Greedy;
+            }
+        }
+
+        let next = match mode {
+            Mode::Greedy => {
+                let candidate = topology
+                    .neighbors(at)
+                    .into_iter()
+                    .map(|v| (topology.position(v).distance(&sink), v))
+                    .filter(|(d, _)| *d < here_dist)
+                    .min_by(|a, b| a.partial_cmp(b).expect("finite"));
+                match candidate {
+                    Some((_, v)) => {
+                        prev = Some(at);
+                        v
+                    }
+                    None => {
+                        // Local minimum: enter perimeter mode; first edge by
+                        // right-hand rule relative to the bearing toward the
+                        // sink.
+                        mode = Mode::Perimeter {
+                            entry_distance_bits: here_dist.to_bits(),
+                        };
+                        let reference = bearing(topology.position(at), sink);
+                        let v = right_hand_next(topology, &planar, at, reference)?;
+                        prev = Some(at);
+                        v
+                    }
+                }
+            }
+            Mode::Perimeter { .. } => {
+                // Continue the face: next edge CCW from the incoming edge.
+                let p = prev.expect("perimeter always has a predecessor");
+                let reference = bearing(topology.position(at), topology.position(p));
+                let v = right_hand_next(topology, &planar, at, reference)?;
+                prev = Some(at);
+                v
+            }
+        };
+        path.push(next);
+        at = next;
+    }
+    None
+}
+
+// NOTE: GPSR deliberately does not materialize into a static
+// `RoutingTable`: perimeter mode is per-packet state, and freezing each
+// node's own first hop can create mutual voids (A detours via B while B's
+// greedy choice is A). Use [`gpsr_route`] as a per-source source route —
+// static nodes make that route stable, which is all §2.1 requires.
+
+/// Fraction of nodes from which GPSR reaches the sink.
+pub fn gpsr_coverage(topology: &Topology) -> f64 {
+    if topology.is_empty() {
+        return 1.0;
+    }
+    let reached = (0..topology.len() as u16)
+        .filter(|&s| gpsr_route(topology, s).is_some())
+        .count();
+    reached as f64 / topology.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingTable;
+    use pnm_wire::Location;
+
+    /// A void deployment: the source's only neighbor is *farther* from the
+    /// sink, so greedy forwarding is stuck; the connected arc around the
+    /// void reaches the sink only via perimeter mode.
+    fn void_shape() -> Topology {
+        let positions = vec![
+            Location::new(30.0, 0.0),  // 0: source, local minimum (d=30)
+            Location::new(28.0, 12.0), // 1: d≈30.5 — farther than 0
+            Location::new(20.0, 20.0), // 2: d≈28.3
+            Location::new(10.0, 24.0), // 3: d=26
+            Location::new(2.0, 14.0),  // 4: d≈14.1
+            Location::new(1.0, 5.0),   // 5: d≈5.1, hears the sink
+        ];
+        Topology::new(positions, Location::new(0.0, 0.0), 13.0)
+    }
+
+    #[test]
+    fn gabriel_graph_is_symmetric_subgraph() {
+        let topo = Topology::random_geometric(60, 100.0, 30.0, 5);
+        let g = gabriel_graph(&topo);
+        for u in 0..60u16 {
+            for &v in &g[u as usize] {
+                assert!(topo.in_range(u, v), "gabriel edge not a radio edge");
+                assert!(g[v as usize].contains(&u), "asymmetric edge {u}-{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gabriel_graph_removes_crossing_chords() {
+        // Dense field: the Gabriel graph has at most as many edges.
+        let topo = Topology::random_geometric(60, 60.0, 30.0, 6);
+        let g = gabriel_graph(&topo);
+        let full: usize = (0..60u16).map(|u| topo.neighbors(u).len()).sum();
+        let planar: usize = g.iter().map(Vec::len).sum();
+        assert!(planar < full, "planarization removed nothing");
+        assert!(planar > 0);
+    }
+
+    #[test]
+    fn greedy_suffices_on_chain_and_grid() {
+        for topo in [Topology::chain(8, 10.0), Topology::grid(5, 4, 10.0)] {
+            for s in 0..topo.len() as u16 {
+                let path = gpsr_route(&topo, s).expect("connected");
+                assert_eq!(path[0], s);
+                assert!(topo.sink_in_range(*path.last().unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn perimeter_mode_escapes_the_void() {
+        let topo = void_shape();
+        // Greedy alone is stuck at node 0: its only neighbor (1) is
+        // farther from the sink.
+        let greedy = RoutingTable::geographic(&topo);
+        assert_eq!(
+            greedy.next_hop(0),
+            crate::routing::NextHop::Unreachable,
+            "test geometry must make node 0 a local minimum"
+        );
+        // Full GPSR walks the perimeter around the void and delivers.
+        let path = gpsr_route(&topo, 0).expect("perimeter recovery");
+        assert_eq!(path[0], 0);
+        assert!(topo.sink_in_range(*path.last().unwrap()), "{path:?}");
+        // And it recovers for every node in the arc.
+        assert_eq!(gpsr_coverage(&topo), 1.0);
+    }
+
+    #[test]
+    fn gpsr_coverage_at_least_greedy() {
+        for seed in [1u64, 2, 3] {
+            let topo = Topology::random_geometric(80, 120.0, 28.0, seed);
+            let greedy = RoutingTable::geographic(&topo).coverage();
+            let gpsr = gpsr_coverage(&topo);
+            assert!(
+                gpsr >= greedy - 1e-9,
+                "seed {seed}: gpsr {gpsr} < greedy {greedy}"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_source_returns_none() {
+        let topo = Topology::random_geometric(10, 1000.0, 5.0, 1);
+        let isolated = (0..10u16)
+            .find(|&s| topo.neighbors(s).is_empty() && !topo.sink_in_range(s))
+            .expect("sparse field");
+        assert!(gpsr_route(&topo, isolated).is_none());
+    }
+
+    #[test]
+    fn angle_ccw_wraps_correctly() {
+        use std::f32::consts::{PI, TAU};
+        assert!((angle_ccw(0.0, PI / 2.0) - PI / 2.0).abs() < 1e-6);
+        assert!((angle_ccw(PI / 2.0, 0.0) - 3.0 * PI / 2.0).abs() < 1e-6);
+        // Same direction wraps to a full turn, never zero.
+        assert!((angle_ccw(1.0, 1.0) - TAU).abs() < 1e-5);
+    }
+}

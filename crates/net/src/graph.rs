@@ -1,0 +1,174 @@
+//! Connectivity analysis of the deployment graph.
+//!
+//! Isolation (§7) quarantines nodes — but quarantining a *cut vertex*
+//! partitions the field, silencing innocent nodes behind it. These
+//! helpers let a defender price that collateral before acting:
+//! [`cut_vertices`] finds the articulation points of the connectivity
+//! graph, and [`stranded_by`] counts which nodes lose their sink route if
+//! a given set stops forwarding.
+
+use std::collections::BTreeSet;
+
+use crate::topology::Topology;
+
+/// Articulation points (cut vertices) of the radio-connectivity graph,
+/// computed with an iterative Tarjan DFS (low-link values).
+pub fn cut_vertices(topology: &Topology) -> BTreeSet<u16> {
+    let n = topology.len();
+    let mut disc = vec![usize::MAX; n]; // discovery times
+    let mut low = vec![usize::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut cuts = BTreeSet::new();
+    let mut timer = 0usize;
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        let mut root_children = 0usize;
+        // Explicit stack: (node, neighbor cursor).
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+
+        while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+            let neighbors = topology.neighbors(u as u16);
+            if *cursor < neighbors.len() {
+                let v = neighbors[*cursor] as usize;
+                *cursor += 1;
+                if disc[v] == usize::MAX {
+                    parent[v] = u;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    stack.push((v, 0));
+                } else if v != parent[u] {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if p != root && low[u] >= disc[p] {
+                        cuts.insert(p as u16);
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            cuts.insert(root as u16);
+        }
+    }
+    cuts
+}
+
+/// Nodes that lose every route to the sink if `removed` stop forwarding
+/// (themselves excluded). Computed by BFS over the survivor subgraph from
+/// the sink side.
+pub fn stranded_by(topology: &Topology, removed: &BTreeSet<u16>) -> BTreeSet<u16> {
+    let n = topology.len() as u16;
+    let mut reachable = vec![false; n as usize];
+    let mut queue: Vec<u16> = (0..n)
+        .filter(|&i| !removed.contains(&i) && topology.sink_in_range(i))
+        .collect();
+    for &q in &queue {
+        reachable[q as usize] = true;
+    }
+    while let Some(u) = queue.pop() {
+        for v in topology.neighbors(u) {
+            if !removed.contains(&v) && !reachable[v as usize] {
+                reachable[v as usize] = true;
+                queue.push(v);
+            }
+        }
+    }
+    (0..n)
+        .filter(|&i| !removed.contains(&i) && !reachable[i as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnm_wire::Location;
+
+    #[test]
+    fn chain_interior_nodes_are_cuts() {
+        let t = Topology::chain(6, 10.0);
+        let cuts = cut_vertices(&t);
+        // Every interior node of a chain is an articulation point.
+        assert_eq!(cuts, (1..5).collect());
+    }
+
+    #[test]
+    fn ring_has_no_cuts() {
+        let t = Topology::ring(10, 40.0);
+        assert!(cut_vertices(&t).is_empty(), "{:?}", cut_vertices(&t));
+    }
+
+    #[test]
+    fn grid_has_no_cuts() {
+        let t = Topology::grid(4, 4, 10.0);
+        assert!(cut_vertices(&t).is_empty());
+    }
+
+    #[test]
+    fn barbell_center_is_cut() {
+        // Two triangles joined by one bridge node.
+        let positions = vec![
+            Location::new(0.0, 0.0),
+            Location::new(7.0, 0.0),
+            Location::new(3.5, 6.0),
+            Location::new(14.0, 0.0), // bridge: only neighbors are 1 and 4
+            Location::new(21.0, 0.0),
+            Location::new(28.0, 0.0),
+            Location::new(24.5, 6.0),
+        ];
+        let t = Topology::new(positions, Location::new(-4.0, 0.0), 8.0);
+        assert_eq!(t.neighbors(3), vec![1, 4], "bridge wiring");
+        let cuts = cut_vertices(&t);
+        assert!(cuts.contains(&3), "{cuts:?}");
+        // The bridge's endpoints are also articulation points.
+        assert!(cuts.contains(&1) && cuts.contains(&4), "{cuts:?}");
+    }
+
+    #[test]
+    fn stranding_matches_cut_structure() {
+        let t = Topology::chain(8, 10.0);
+        // Removing node 5 strands everything upstream of it (0..5).
+        let removed: BTreeSet<u16> = [5].into();
+        let stranded = stranded_by(&t, &removed);
+        assert_eq!(stranded, (0..5).collect());
+        // Removing a grid node strands nobody.
+        let g = Topology::grid(4, 4, 10.0);
+        assert!(stranded_by(&g, &[5].into()).is_empty());
+    }
+
+    #[test]
+    fn stranding_empty_removal_is_empty() {
+        let t = Topology::chain(5, 10.0);
+        assert!(stranded_by(&t, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn quarantine_collateral_on_random_field() {
+        // On a well-connected field, quarantining a typical one-hop
+        // neighborhood strands few or no innocents — the quantified
+        // justification for OneHopNeighborhood isolation.
+        let t = Topology::random_geometric(200, 100.0, 30.0, 5);
+        assert!(t.is_connected());
+        let victim = 100u16;
+        let mut removed: BTreeSet<u16> = t.neighbors(victim).into_iter().collect();
+        removed.insert(victim);
+        let stranded = stranded_by(&t, &removed);
+        assert!(
+            stranded.len() < 20,
+            "quarantine stranded {} innocents",
+            stranded.len()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Radio model with Mica2-like parameters.
+//!
+//! The paper grounds its feasibility arguments in Mica2 hardware: a
+//! 19.2 kbps radio moving roughly 50 packets per second (§4.2, footnote 6).
+//! [`RadioModel`] converts packet sizes to per-hop transmission times and
+//! applies an optional i.i.d. loss probability.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-hop radio characteristics.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RadioModel {
+    /// Radio bitrate in bits per second.
+    pub bitrate_bps: u64,
+    /// Fixed per-hop processing + MAC-layer latency in microseconds.
+    pub per_hop_latency_us: u64,
+    /// Independent per-hop loss probability in `[0, 1)`.
+    pub loss_probability: f64,
+}
+
+impl RadioModel {
+    /// Mica2 defaults: 19.2 kbps, 2 ms per-hop latency, lossless.
+    pub fn mica2() -> Self {
+        RadioModel {
+            bitrate_bps: 19_200,
+            per_hop_latency_us: 2_000,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Returns a copy with the given loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability {p} not in [0,1)");
+        self.loss_probability = p;
+        self
+    }
+
+    /// Time to push `bytes` over one hop, in microseconds (serialization
+    /// time plus fixed latency).
+    pub fn hop_time_us(&self, bytes: usize) -> u64 {
+        let bits = bytes as u64 * 8;
+        bits * 1_000_000 / self.bitrate_bps + self.per_hop_latency_us
+    }
+
+    /// Whether a transmission on one hop is lost.
+    pub fn is_lost(&self, rng: &mut dyn Rng) -> bool {
+        if self.loss_probability <= 0.0 {
+            return false;
+        }
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < self.loss_probability
+    }
+
+    /// Steady-state packet throughput for packets of `bytes` size, per
+    /// second (the "~50 packets per second" sanity figure).
+    pub fn packets_per_second(&self, bytes: usize) -> f64 {
+        1_000_000.0 / self.hop_time_us(bytes) as f64
+    }
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        Self::mica2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mica2_is_roughly_50_pps() {
+        // A ~36-byte TinyOS frame at 19.2kbps ≈ 15ms + 2ms latency ≈ 58 pps.
+        let r = RadioModel::mica2();
+        let pps = r.packets_per_second(36);
+        assert!((40.0..80.0).contains(&pps), "pps = {pps}");
+    }
+
+    #[test]
+    fn hop_time_scales_with_bytes() {
+        let r = RadioModel::mica2();
+        assert!(r.hop_time_us(100) > r.hop_time_us(10));
+        assert_eq!(r.hop_time_us(0), r.per_hop_latency_us);
+    }
+
+    #[test]
+    fn lossless_never_drops() {
+        let r = RadioModel::mica2();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!((0..1000).all(|_| !r.is_lost(&mut rng)));
+    }
+
+    #[test]
+    fn loss_rate_is_honored() {
+        let r = RadioModel::mica2().with_loss(0.3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let losses = (0..20_000).filter(|_| r.is_lost(&mut rng)).count();
+        let rate = losses as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        let _ = RadioModel::mica2().with_loss(1.0);
+    }
+}

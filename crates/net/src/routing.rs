@@ -1,0 +1,276 @@
+//! Sink-rooted routing (§2.1: "routes do not change frequently…each node
+//! has only one next-hop neighbor in its forwarding path").
+//!
+//! Two route-construction disciplines from the paper's citations:
+//! breadth-first **tree routing** (TinyDB-style \[6]) and greedy
+//! **geographic forwarding** (GPSR-style \[5]). Both produce a
+//! [`RoutingTable`] mapping every node to a single stable next hop.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Topology;
+
+/// Where a node forwards packets bound for the sink.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NextHop {
+    /// Deliver directly to the sink.
+    Sink,
+    /// Forward to this neighbor.
+    Node(u16),
+    /// No route (disconnected, or a geographic local minimum).
+    Unreachable,
+}
+
+/// A stable next-hop table for every node.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoutingTable {
+    next_hop: Vec<NextHop>,
+    hops_to_sink: Vec<Option<u32>>,
+}
+
+impl RoutingTable {
+    /// Assembles a table from raw parts (used by route healing in
+    /// [`crate::dynamics`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors disagree in length.
+    pub(crate) fn from_parts(next_hop: Vec<NextHop>, hops_to_sink: Vec<Option<u32>>) -> Self {
+        assert_eq!(next_hop.len(), hops_to_sink.len());
+        RoutingTable {
+            next_hop,
+            hops_to_sink,
+        }
+    }
+
+    /// Builds a BFS tree rooted at the sink: every node's next hop is a
+    /// neighbor one level closer to the sink (ties broken by lowest id,
+    /// keeping routes deterministic).
+    pub fn tree(topology: &Topology) -> Self {
+        let n = topology.len();
+        let mut next_hop = vec![NextHop::Unreachable; n];
+        let mut hops = vec![None; n];
+        let mut queue = VecDeque::new();
+
+        for id in 0..n as u16 {
+            if topology.sink_in_range(id) {
+                next_hop[id as usize] = NextHop::Sink;
+                hops[id as usize] = Some(1);
+                queue.push_back(id);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let d = hops[u as usize].expect("queued nodes have depth");
+            for v in topology.neighbors(u) {
+                if hops[v as usize].is_none() {
+                    hops[v as usize] = Some(d + 1);
+                    next_hop[v as usize] = NextHop::Node(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        RoutingTable {
+            next_hop,
+            hops_to_sink: hops,
+        }
+    }
+
+    /// Greedy geographic forwarding: each node forwards to the neighbor
+    /// strictly closest to the sink (or to the sink if in range). Nodes in
+    /// a local minimum are [`NextHop::Unreachable`] — the paper assumes
+    /// deployments dense enough for greedy forwarding to succeed.
+    pub fn geographic(topology: &Topology) -> Self {
+        let n = topology.len();
+        let sink = topology.sink_position();
+        let mut next_hop = vec![NextHop::Unreachable; n];
+        for id in 0..n as u16 {
+            if topology.sink_in_range(id) {
+                next_hop[id as usize] = NextHop::Sink;
+                continue;
+            }
+            let my_dist = topology.position(id).distance(&sink);
+            let best = topology
+                .neighbors(id)
+                .into_iter()
+                .map(|v| (topology.position(v).distance(&sink), v))
+                .filter(|(d, _)| *d < my_dist)
+                .min_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+            if let Some((_, v)) = best {
+                next_hop[id as usize] = NextHop::Node(v);
+            }
+        }
+        // Derive hop counts by walking each node's path (with cycle guard).
+        let mut hops = vec![None; n];
+        for id in 0..n as u16 {
+            let mut steps = 0u32;
+            let mut cur = id;
+            let reach = loop {
+                match next_hop[cur as usize] {
+                    NextHop::Sink => break Some(steps + 1),
+                    NextHop::Node(v) => {
+                        steps += 1;
+                        if steps as usize > n {
+                            break None; // cycle guard (should not happen)
+                        }
+                        cur = v;
+                    }
+                    NextHop::Unreachable => break None,
+                }
+            };
+            hops[id as usize] = reach;
+        }
+        RoutingTable {
+            next_hop,
+            hops_to_sink: hops,
+        }
+    }
+
+    /// The next hop for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn next_hop(&self, id: u16) -> NextHop {
+        self.next_hop[id as usize]
+    }
+
+    /// Hop count from `id` to the sink, if reachable.
+    pub fn hops_to_sink(&self, id: u16) -> Option<u32> {
+        self.hops_to_sink[id as usize]
+    }
+
+    /// The full forwarding path from `id` to the sink: `[id, …, last]`
+    /// where `last` delivers to the sink. `None` if unreachable.
+    pub fn path_to_sink(&self, id: u16) -> Option<Vec<u16>> {
+        let mut path = vec![id];
+        let mut cur = id;
+        loop {
+            match self.next_hop(cur) {
+                NextHop::Sink => return Some(path),
+                NextHop::Node(v) => {
+                    if path.len() > self.next_hop.len() {
+                        return None;
+                    }
+                    path.push(v);
+                    cur = v;
+                }
+                NextHop::Unreachable => return None,
+            }
+        }
+    }
+
+    /// Fraction of nodes with a route to the sink.
+    pub fn coverage(&self) -> f64 {
+        if self.next_hop.is_empty() {
+            return 1.0;
+        }
+        let reachable = self.hops_to_sink.iter().filter(|h| h.is_some()).count();
+        reachable as f64 / self.next_hop.len() as f64
+    }
+
+    /// Number of nodes in the table.
+    pub fn len(&self) -> usize {
+        self.next_hop.len()
+    }
+
+    /// `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.next_hop.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_tree_routes_along_chain() {
+        let t = Topology::chain(5, 10.0);
+        let r = RoutingTable::tree(&t);
+        assert_eq!(r.next_hop(4), NextHop::Sink);
+        assert_eq!(r.next_hop(0), NextHop::Node(1));
+        assert_eq!(r.hops_to_sink(0), Some(5));
+        assert_eq!(r.hops_to_sink(4), Some(1));
+        assert_eq!(r.path_to_sink(0), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(r.coverage(), 1.0);
+    }
+
+    #[test]
+    fn chain_geographic_equals_tree() {
+        let t = Topology::chain(8, 10.0);
+        let tree = RoutingTable::tree(&t);
+        let geo = RoutingTable::geographic(&t);
+        for i in 0..8u16 {
+            assert_eq!(tree.next_hop(i), geo.next_hop(i), "node {i}");
+        }
+    }
+
+    #[test]
+    fn grid_tree_covers_everything() {
+        let t = Topology::grid(6, 6, 10.0);
+        let r = RoutingTable::tree(&t);
+        assert_eq!(r.coverage(), 1.0);
+        // Paths are monotone: each path step decreases hop count by one.
+        for id in 0..36u16 {
+            let path = r.path_to_sink(id).expect("covered");
+            for w in path.windows(2) {
+                assert_eq!(
+                    r.hops_to_sink(w[0]).unwrap(),
+                    r.hops_to_sink(w[1]).unwrap() + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_geographic_covers_everything() {
+        let t = Topology::grid(6, 6, 10.0);
+        let r = RoutingTable::geographic(&t);
+        assert_eq!(r.coverage(), 1.0);
+        // Every path is loop-free and ends at the sink.
+        for id in 0..36u16 {
+            let path = r.path_to_sink(id).expect("covered");
+            let set: std::collections::HashSet<u16> = path.iter().copied().collect();
+            assert_eq!(set.len(), path.len(), "loop in path {path:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_nodes_are_unreachable() {
+        let t = Topology::random_geometric(10, 1000.0, 5.0, 1);
+        let r = RoutingTable::tree(&t);
+        assert!(r.coverage() < 1.0);
+        let unreachable = (0..10u16).find(|&i| r.hops_to_sink(i).is_none());
+        let u = unreachable.expect("some node is isolated");
+        assert_eq!(r.next_hop(u), NextHop::Unreachable);
+        assert_eq!(r.path_to_sink(u), None);
+    }
+
+    #[test]
+    fn routes_are_stable_deterministic() {
+        let t = Topology::random_geometric(80, 100.0, 25.0, 42);
+        let a = RoutingTable::tree(&t);
+        let b = RoutingTable::tree(&t);
+        for i in 0..80u16 {
+            assert_eq!(a.next_hop(i), b.next_hop(i));
+        }
+    }
+
+    #[test]
+    fn dense_random_geographic_mostly_covers() {
+        let t = Topology::random_geometric(150, 100.0, 30.0, 9);
+        let r = RoutingTable::geographic(&t);
+        assert!(r.coverage() > 0.9, "coverage = {}", r.coverage());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Topology::new(vec![], pnm_wire::Location::default(), 1.0);
+        let r = RoutingTable::tree(&t);
+        assert!(r.is_empty());
+        assert_eq!(r.coverage(), 1.0);
+        assert_eq!(r.len(), 0);
+    }
+}

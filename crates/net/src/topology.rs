@@ -1,0 +1,385 @@
+//! Static sensor-field topologies (§2.1: "a static sensor network where
+//! sensor nodes do not move once deployed").
+//!
+//! Three generators cover the paper's settings and the examples:
+//! [`Topology::chain`] (the evaluation's n-hop forwarding path),
+//! [`Topology::grid`], and [`Topology::random_geometric`] (uniform random
+//! deployment with a fixed radio range).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use pnm_wire::Location;
+
+/// A deployed sensor field: node positions, a sink position, and a radio
+/// range defining the connectivity graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    positions: Vec<Location>,
+    sink: Location,
+    radio_range: f32,
+}
+
+impl Topology {
+    /// Builds a topology from explicit positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radio_range` is not strictly positive and finite, or if
+    /// more than `u16::MAX` nodes are given.
+    pub fn new(positions: Vec<Location>, sink: Location, radio_range: f32) -> Self {
+        assert!(
+            radio_range.is_finite() && radio_range > 0.0,
+            "radio range must be positive, got {radio_range}"
+        );
+        assert!(
+            positions.len() <= u16::MAX as usize,
+            "at most {} nodes supported",
+            u16::MAX
+        );
+        Topology {
+            positions,
+            sink,
+            radio_range,
+        }
+    }
+
+    /// A straight chain of `n` nodes ending at the sink: node `n-1` is the
+    /// sink's neighbor and node `0` is the far end (where the paper's
+    /// source mole injects). `spacing` must be within radio range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn chain(n: u16, spacing: f32) -> Self {
+        assert!(n > 0, "a chain needs at least one node");
+        // Sink at origin; node i at distance (n - i) * spacing.
+        let positions = (0..n)
+            .map(|i| Location::new((n - i) as f32 * spacing, 0.0))
+            .collect();
+        Topology::new(positions, Location::new(0.0, 0.0), spacing * 1.2)
+    }
+
+    /// A `w × h` grid with the sink at the corner just outside `(0, 0)`.
+    /// Radio range is 1.2× the spacing, so connectivity is 4-neighbor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty.
+    pub fn grid(w: u16, h: u16, spacing: f32) -> Self {
+        assert!(w > 0 && h > 0, "grid must be non-empty");
+        let mut positions = Vec::with_capacity(w as usize * h as usize);
+        for y in 0..h {
+            for x in 0..w {
+                positions.push(Location::new(
+                    (x as f32 + 1.0) * spacing,
+                    y as f32 * spacing,
+                ));
+            }
+        }
+        Topology::new(positions, Location::new(0.0, 0.0), spacing * 1.2)
+    }
+
+    /// A ring of `n` nodes around the sink at radius `radius`; consecutive
+    /// ring nodes are neighbors, and the node at angle 0 also hears the
+    /// sink (radio range set accordingly). Useful for worst-case routing
+    /// and loop-detection tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: u16, radius: f32) -> Self {
+        assert!(n >= 3, "a ring needs at least three nodes");
+        let positions: Vec<Location> = (0..n)
+            .map(|i| {
+                let theta = std::f32::consts::TAU * i as f32 / n as f32;
+                Location::new(radius * theta.cos(), radius * theta.sin())
+            })
+            .collect();
+        // Chord length between adjacent ring nodes.
+        let chord = 2.0 * radius * (std::f32::consts::PI / n as f32).sin();
+        // Node 0 sits at (radius, 0); put the sink just inside it so only
+        // node 0 (and maybe its neighbors) hear the sink.
+        let sink = Location::new(radius - chord, 0.0);
+        Topology::new(positions, sink, chord * 1.1)
+    }
+
+    /// `clusters` groups of `per_cluster` nodes each: cluster heads are
+    /// spread on a line toward the sink, members scatter tightly around
+    /// their head — the classic clustered deployment. Deterministic in
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn clustered(clusters: u16, per_cluster: u16, seed: u64) -> Self {
+        use rand::RngExt;
+        assert!(clusters > 0 && per_cluster > 0, "empty clustered topology");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spacing = 18.0f32;
+        let mut positions = Vec::with_capacity(clusters as usize * per_cluster as usize);
+        for c in 0..clusters {
+            let cx = (c as f32 + 1.0) * spacing;
+            let cy = 0.0f32;
+            for _ in 0..per_cluster {
+                positions.push(Location::new(
+                    cx + rng.random_range(-6.0..6.0),
+                    cy + rng.random_range(-6.0..6.0),
+                ));
+            }
+        }
+        Topology::new(positions, Location::new(0.0, 0.0), spacing * 1.3)
+    }
+
+    /// `n` nodes placed uniformly at random in a `side × side` square, sink
+    /// at the center of the left edge, deterministic in `seed`.
+    pub fn random_geometric(n: u16, side: f32, radio_range: f32, seed: u64) -> Self {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions = (0..n)
+            .map(|_| Location::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+            .collect();
+        Topology::new(positions, Location::new(0.0, side / 2.0), radio_range)
+    }
+
+    /// Number of deployed nodes (excluding the sink).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if no nodes are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The radio range in meters.
+    pub fn radio_range(&self) -> f32 {
+        self.radio_range
+    }
+
+    /// Position of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn position(&self, id: u16) -> Location {
+        self.positions[id as usize]
+    }
+
+    /// The sink's position.
+    pub fn sink_position(&self) -> Location {
+        self.sink
+    }
+
+    /// Whether two nodes are within radio range of each other.
+    pub fn in_range(&self, a: u16, b: u16) -> bool {
+        a != b && self.position(a).distance(&self.position(b)) <= self.radio_range
+    }
+
+    /// Whether a node can reach the sink directly.
+    pub fn sink_in_range(&self, id: u16) -> bool {
+        self.position(id).distance(&self.sink) <= self.radio_range
+    }
+
+    /// One-hop neighbors of `id`.
+    pub fn neighbors(&self, id: u16) -> Vec<u16> {
+        (0..self.len() as u16)
+            .filter(|&other| self.in_range(id, other))
+            .collect()
+    }
+
+    /// Full adjacency map (node → one-hop neighbors), the structure the
+    /// sink uses for topology-aware anonymous-ID resolution (§7).
+    pub fn adjacency(&self) -> HashMap<u16, Vec<u16>> {
+        (0..self.len() as u16)
+            .map(|id| (id, self.neighbors(id)))
+            .collect()
+    }
+
+    /// Whether every node can reach the sink through the connectivity
+    /// graph (BFS from the sink side).
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut queue: Vec<u16> = (0..self.len() as u16)
+            .filter(|&i| self.sink_in_range(i))
+            .collect();
+        for &q in &queue {
+            seen[q as usize] = true;
+        }
+        while let Some(u) = queue.pop() {
+            for v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_structure() {
+        let t = Topology::chain(5, 10.0);
+        assert_eq!(t.len(), 5);
+        assert!(t.is_connected());
+        // Node 4 is nearest the sink.
+        assert!(t.sink_in_range(4));
+        assert!(!t.sink_in_range(0));
+        // Interior node has exactly two neighbors.
+        assert_eq!(t.neighbors(2), vec![1, 3]);
+        // Ends have one.
+        assert_eq!(t.neighbors(0), vec![1]);
+        assert_eq!(t.neighbors(4), vec![3]);
+    }
+
+    #[test]
+    fn single_node_chain() {
+        let t = Topology::chain(1, 5.0);
+        assert_eq!(t.len(), 1);
+        assert!(t.sink_in_range(0));
+        assert!(t.neighbors(0).is_empty());
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn grid_connectivity() {
+        let t = Topology::grid(4, 3, 10.0);
+        assert_eq!(t.len(), 12);
+        assert!(t.is_connected());
+        // Corner node (x=0,y=0) = id 0 has 2 neighbors (4-connectivity).
+        assert_eq!(t.neighbors(0).len(), 2);
+        // Interior node has 4.
+        assert_eq!(t.neighbors(5).len(), 4);
+        // Only the left column reaches the sink... sink at (0, 0), node 0
+        // at (spacing, 0): distance = spacing <= 1.2*spacing.
+        assert!(t.sink_in_range(0));
+        assert!(!t.sink_in_range(3));
+    }
+
+    #[test]
+    fn random_geometric_is_seeded() {
+        let a = Topology::random_geometric(50, 100.0, 20.0, 7);
+        let b = Topology::random_geometric(50, 100.0, 20.0, 7);
+        let c = Topology::random_geometric(50, 100.0, 20.0, 8);
+        for i in 0..50u16 {
+            assert_eq!(a.position(i).x, b.position(i).x);
+        }
+        assert!((0..50u16).any(|i| a.position(i).x != c.position(i).x));
+    }
+
+    #[test]
+    fn dense_random_field_is_connected() {
+        // 200 nodes, range comparable to the side: certainly connected.
+        let t = Topology::random_geometric(200, 100.0, 40.0, 1);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn sparse_random_field_is_disconnected() {
+        let t = Topology::random_geometric(10, 1000.0, 5.0, 1);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn adjacency_matches_neighbors() {
+        let t = Topology::grid(3, 3, 10.0);
+        let adj = t.adjacency();
+        assert_eq!(adj.len(), 9);
+        for (id, neigh) in adj {
+            assert_eq!(neigh, t.neighbors(id));
+        }
+    }
+
+    #[test]
+    fn in_range_is_symmetric_and_irreflexive() {
+        let t = Topology::random_geometric(30, 50.0, 15.0, 3);
+        for a in 0..30u16 {
+            assert!(!t.in_range(a, a));
+            for b in 0..30u16 {
+                assert_eq!(t.in_range(a, b), t.in_range(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_structure() {
+        let t = Topology::ring(12, 50.0);
+        assert_eq!(t.len(), 12);
+        assert!(t.is_connected(), "ring must reach the sink");
+        // Each ring node has exactly its two ring neighbors.
+        for i in 0..12u16 {
+            let n = t.neighbors(i);
+            assert_eq!(n.len(), 2, "node {i}: {n:?}");
+            assert!(n.contains(&((i + 1) % 12)));
+            assert!(n.contains(&((i + 11) % 12)));
+        }
+        // Only the nodes near angle 0 hear the sink.
+        assert!(t.sink_in_range(0));
+        assert!(!t.sink_in_range(6));
+    }
+
+    #[test]
+    fn ring_routes_split_both_ways() {
+        let t = Topology::ring(10, 40.0);
+        let r = crate::routing::RoutingTable::tree(&t);
+        assert_eq!(r.coverage(), 1.0);
+        // The node opposite the sink is ~n/2 hops away.
+        let far = r.hops_to_sink(5).unwrap();
+        assert!((4..=7).contains(&far), "far = {far}");
+    }
+
+    #[test]
+    fn clustered_is_connected_and_sized() {
+        let t = Topology::clustered(5, 8, 3);
+        assert_eq!(t.len(), 40);
+        assert!(t.is_connected());
+        // Intra-cluster density: most nodes have several neighbors.
+        let mean_degree: f64 = (0..40u16).map(|i| t.neighbors(i).len() as f64).sum::<f64>() / 40.0;
+        assert!(mean_degree >= 6.0, "mean degree {mean_degree}");
+    }
+
+    #[test]
+    fn clustered_is_seeded() {
+        let a = Topology::clustered(3, 4, 1);
+        let b = Topology::clustered(3, 4, 1);
+        let c = Topology::clustered(3, 4, 2);
+        assert_eq!(a.position(5).x, b.position(5).x);
+        assert!((0..12u16).any(|i| a.position(i).x != c.position(i).x));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn tiny_ring_rejected() {
+        let _ = Topology::ring(2, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radio range")]
+    fn zero_range_rejected() {
+        let _ = Topology::new(vec![], Location::default(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_chain_rejected() {
+        let _ = Topology::chain(0, 1.0);
+    }
+
+    #[test]
+    fn empty_topology_is_connected() {
+        let t = Topology::new(vec![], Location::default(), 1.0);
+        assert!(t.is_connected());
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Traffic workload models: deterministic, Poisson, and burst arrival
+//! processes for injection schedules.
+//!
+//! The paper's evaluation injects packets back to back; real deployments
+//! (and the background-traffic experiment) need legitimate event traffic
+//! with realistic arrival statistics. All generators are seeded and
+//! deterministic.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An arrival process producing monotone timestamps in microseconds.
+#[derive(Clone, Debug)]
+pub enum ArrivalProcess {
+    /// Fixed inter-arrival gap.
+    Periodic {
+        /// Gap between packets, µs.
+        interval_us: u64,
+    },
+    /// Poisson process: exponential inter-arrival times.
+    Poisson {
+        /// Mean rate, packets per second.
+        rate_pps: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// On/off bursts: `burst_len` back-to-back packets at `interval_us`,
+    /// then an `idle_us` gap.
+    Bursty {
+        /// Packets per burst.
+        burst_len: usize,
+        /// Intra-burst gap, µs.
+        interval_us: u64,
+        /// Inter-burst idle, µs.
+        idle_us: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates the first `count` arrival times, starting at `start_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero rate, zero-length bursts).
+    pub fn times(&self, count: usize, start_us: u64) -> Vec<u64> {
+        match *self {
+            ArrivalProcess::Periodic { interval_us } => (0..count as u64)
+                .map(|i| start_us + i * interval_us)
+                .collect(),
+            ArrivalProcess::Poisson { rate_pps, seed } => {
+                assert!(rate_pps > 0.0, "rate must be positive");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mean_gap_us = 1_000_000.0 / rate_pps;
+                let mut t = start_us as f64;
+                (0..count)
+                    .map(|_| {
+                        // Inverse-CDF exponential sampling.
+                        let u = loop {
+                            use rand::Rng as _;
+                            let raw = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                            if raw > 0.0 {
+                                break raw;
+                            }
+                        };
+                        t += -mean_gap_us * u.ln();
+                        t as u64
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursty {
+                burst_len,
+                interval_us,
+                idle_us,
+            } => {
+                assert!(burst_len > 0, "burst length must be positive");
+                let mut out = Vec::with_capacity(count);
+                let mut t = start_us;
+                let mut in_burst = 0usize;
+                for _ in 0..count {
+                    out.push(t);
+                    in_burst += 1;
+                    if in_burst == burst_len {
+                        t += idle_us;
+                        in_burst = 0;
+                    } else {
+                        t += interval_us;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Empirical mean rate of the first `count` arrivals, packets/second.
+    pub fn empirical_rate(&self, count: usize) -> f64 {
+        let times = self.times(count, 0);
+        if times.len() < 2 {
+            return 0.0;
+        }
+        let span = (times[times.len() - 1] - times[0]) as f64 / 1e6;
+        if span <= 0.0 {
+            return f64::INFINITY;
+        }
+        (times.len() - 1) as f64 / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_times() {
+        let p = ArrivalProcess::Periodic { interval_us: 100 };
+        assert_eq!(p.times(4, 50), vec![50, 150, 250, 350]);
+        assert!((p.empirical_rate(101) - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn poisson_rate_converges() {
+        let p = ArrivalProcess::Poisson {
+            rate_pps: 50.0,
+            seed: 7,
+        };
+        let rate = p.empirical_rate(20_000);
+        assert!((rate - 50.0).abs() < 2.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn poisson_is_seeded_and_monotone() {
+        let a = ArrivalProcess::Poisson {
+            rate_pps: 10.0,
+            seed: 1,
+        }
+        .times(100, 0);
+        let b = ArrivalProcess::Poisson {
+            rate_pps: 10.0,
+            seed: 1,
+        }
+        .times(100, 0);
+        let c = ArrivalProcess::Poisson {
+            rate_pps: 10.0,
+            seed: 2,
+        }
+        .times(100, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn poisson_interarrival_variance_is_exponential_like() {
+        // For an exponential distribution the coefficient of variation is 1.
+        let times = ArrivalProcess::Poisson {
+            rate_pps: 100.0,
+            seed: 3,
+        }
+        .times(20_000, 0);
+        let gaps: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "cv = {cv}");
+    }
+
+    #[test]
+    fn bursty_pattern() {
+        let p = ArrivalProcess::Bursty {
+            burst_len: 3,
+            interval_us: 10,
+            idle_us: 1000,
+        };
+        let t = p.times(7, 0);
+        assert_eq!(t, vec![0, 10, 20, 1020, 1030, 1040, 2040]);
+    }
+
+    #[test]
+    fn start_offset_respected() {
+        for p in [
+            ArrivalProcess::Periodic { interval_us: 5 },
+            ArrivalProcess::Poisson {
+                rate_pps: 1000.0,
+                seed: 1,
+            },
+            ArrivalProcess::Bursty {
+                burst_len: 2,
+                interval_us: 5,
+                idle_us: 50,
+            },
+        ] {
+            let t = p.times(5, 777);
+            assert!(t[0] >= 777, "{t:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn zero_rate_rejected() {
+        let _ = ArrivalProcess::Poisson {
+            rate_pps: 0.0,
+            seed: 0,
+        }
+        .times(1, 0);
+    }
+}

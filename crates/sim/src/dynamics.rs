@@ -1,0 +1,176 @@
+//! Traceback under routing dynamics (§7 "Impact of Routing Dynamics").
+//!
+//! The paper: "even if routing dynamics do occur during the traceback
+//! period, PNM can still locate the moles as long as the relative upstream
+//! relation among nodes remains the same." This experiment injects node
+//! failures mid-traceback on a grid (where routes heal around the failed
+//! node), verifies the §7 precondition with
+//! [`relative_order_preserved`], and
+//! measures whether and when the sink still identifies the mole's first
+//! forwarder.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pnm_core::{MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking, VerifyMode};
+use pnm_crypto::KeyStore;
+use pnm_net::{heal_tree, relative_order_preserved, FailureSet, Network, Topology};
+use pnm_wire::NodeId;
+
+use crate::runner::bogus_packet;
+use crate::table::Table;
+
+/// Result of one routing-dynamics run.
+#[derive(Clone, Debug)]
+pub struct DynamicsRun {
+    /// Packets between route changes (`None` = stable routes).
+    pub churn_interval: Option<usize>,
+    /// Route changes that occurred.
+    pub churn_events: usize,
+    /// Route changes that preserved the §7 relative-order precondition.
+    pub order_preserving_churns: usize,
+    /// Whether the sink identified the mole's original first forwarder.
+    pub identified: bool,
+    /// Packets ingested when identification settled.
+    pub packets_to_identify: Option<usize>,
+}
+
+/// Runs traceback on an `8×8` grid while failing one on-path node every
+/// `churn_interval` packets (routes heal around it).
+pub fn run_with_churn(packets: usize, churn_interval: Option<usize>, seed: u64) -> DynamicsRun {
+    let topo = Topology::grid(8, 8, 10.0);
+    let net = Network::new(topo.clone());
+    let n_nodes = topo.len() as u16;
+    let keys = KeyStore::derive_from_master(b"dynamics", n_nodes);
+
+    let mole = (0..n_nodes)
+        .max_by_key(|&i| net.routing().hops_to_sink(i).unwrap_or(0))
+        .expect("nodes");
+    let mut failures = FailureSet::none();
+    let mut routing = heal_tree(&topo, &failures);
+    let original_path = routing.path_to_sink(mole).expect("routed");
+    // The mole never marks: its first forwarder is the expected
+    // most-upstream marker (one-hop neighborhood guarantee).
+    let mole_head = NodeId(original_path[1]);
+    let scheme = ProbabilisticNestedMarking::paper_default(original_path.len().max(3));
+
+    let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut run = DynamicsRun {
+        churn_interval,
+        churn_events: 0,
+        order_preserving_churns: 0,
+        identified: false,
+        packets_to_identify: None,
+    };
+
+    let mut status: Vec<Option<NodeId>> = Vec::new();
+    for seq in 0..packets {
+        // Periodic churn: fail the node after the mole's current first hop
+        // (an interior on-path node the grid can route around).
+        if let Some(interval) = churn_interval {
+            if seq > 0 && seq % interval == 0 {
+                if let Some(path) = routing.path_to_sink(mole) {
+                    // Pick an interior node, not the head (keep the head so
+                    // ground truth stays meaningful).
+                    if path.len() >= 4 {
+                        let victim = path[path.len() / 2];
+                        let before = routing.clone();
+                        failures.fail(victim);
+                        let healed = heal_tree(&topo, &failures);
+                        if healed.path_to_sink(mole).is_some() {
+                            run.churn_events += 1;
+                            if relative_order_preserved(&before, &healed, mole) {
+                                run.order_preserving_churns += 1;
+                            }
+                            routing = healed;
+                        } else {
+                            // Would disconnect the mole; revive and skip.
+                            failures.revive(victim);
+                        }
+                    }
+                }
+            }
+        }
+
+        let Some(path) = routing.path_to_sink(mole) else {
+            continue;
+        };
+        let mut pkt = bogus_packet(seq as u64, seed);
+        for &hop in &path {
+            if hop == mole {
+                continue; // silent mole
+            }
+            let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+        locator.ingest(&pkt);
+        status.push(locator.unequivocal_source());
+    }
+
+    if status.last().copied().flatten() == Some(mole_head) {
+        run.identified = true;
+        let mut idx = status.len();
+        while idx > 0 && status[idx - 1] == Some(mole_head) {
+            idx -= 1;
+        }
+        run.packets_to_identify = Some(idx + 1);
+    }
+    run
+}
+
+/// The routing-dynamics table: churn-interval sweep.
+pub fn dynamics_table(packets: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Routing dynamics: traceback under mid-run route healing ({packets} pkts, grid 8x8)"
+        ),
+        vec![
+            "churn interval",
+            "route changes",
+            "order-preserving",
+            "identified",
+            "pkts to identify",
+        ],
+    );
+    for interval in [None, Some(200), Some(100), Some(50)] {
+        let r = run_with_churn(packets, interval, seed);
+        t.push_row(vec![
+            interval.map_or("stable".into(), |i| format!("every {i}")),
+            r.churn_events.to_string(),
+            format!("{}/{}", r.order_preserving_churns, r.churn_events),
+            if r.identified { "yes" } else { "no" }.to_string(),
+            r.packets_to_identify.map_or("-".into(), |p| p.to_string()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_routes_identify() {
+        let r = run_with_churn(300, None, 3);
+        assert_eq!(r.churn_events, 0);
+        assert!(r.identified, "{r:?}");
+    }
+
+    #[test]
+    fn churn_with_preserved_order_still_identifies() {
+        let r = run_with_churn(400, Some(150), 3);
+        assert!(r.churn_events >= 1, "{r:?}");
+        // The §7 claim: identification survives order-preserving healing.
+        if r.order_preserving_churns == r.churn_events {
+            assert!(r.identified, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn dynamics_table_shape() {
+        let t = dynamics_table(200, 5);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.rows[0][0], "stable");
+    }
+}

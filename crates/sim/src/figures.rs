@@ -1,0 +1,247 @@
+//! Regeneration of every figure in the paper's evaluation (§6).
+//!
+//! | Function | Paper figure | What it shows |
+//! |---|---|---|
+//! | [`fig4`] | Figure 4 | P(all marks collected within x packets), analytical |
+//! | [`fig5`] | Figure 5 | avg % of nodes collected in first x packets, simulated |
+//! | [`fig6`] / [`fig67`] | Figure 6 | runs (out of N) failing unequivocal identification |
+//! | [`fig7`] / [`fig67`] | Figure 7 | avg packets to unequivocal identification |
+//!
+//! Each returns a [`Table`] whose rows are exactly the series the paper
+//! plots; the `regen-figures` binary prints them (and CSV).
+
+use pnm_analysis::collection::collection_probability;
+use pnm_analysis::stats::OnlineStats;
+
+use crate::runner::{parallel_runs, run_honest_path};
+use crate::scenario::{PathScenario, SchemeKind};
+use crate::table::Table;
+
+/// Path lengths plotted in Figures 4 and 5.
+pub const COLLECTION_PATH_LENGTHS: [u16; 3] = [10, 20, 30];
+
+/// Path lengths swept in Figures 6 and 7.
+pub const IDENTIFICATION_PATH_LENGTHS: [u16; 10] = [5, 10, 15, 20, 25, 30, 35, 40, 45, 50];
+
+/// Traffic amounts (packets received) compared in Figure 6.
+pub const TRAFFIC_AMOUNTS: [usize; 4] = [200, 400, 600, 800];
+
+/// Figure 4: the analytical probability that the sink has collected marks
+/// from all `n` forwarders within `x` packets, for `n ∈ {10, 20, 30}` with
+/// `np = 3` (§6.1).
+pub fn fig4(max_packets: u64) -> Table {
+    let mut t = Table::new(
+        "Figure 4: P(all marks collected within x packets), np=3 (analytical)",
+        vec!["packets", "n=10", "n=20", "n=30"],
+    );
+    for x in 1..=max_packets {
+        let mut row = vec![x.to_string()];
+        for n in COLLECTION_PATH_LENGTHS {
+            let p = (3.0 / n as f64).min(1.0);
+            row.push(format!("{:.4}", collection_probability(n as u32, p, x)));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 5: the simulated average percentage of forwarders whose marks
+/// the sink holds after the first `x` packets, `n ∈ {10, 20, 30}`, `np = 3`.
+/// The paper averages 5000 runs per setting.
+pub fn fig5(runs: usize, max_packets: usize) -> Table {
+    let mut t = Table::new(
+        format!("Figure 5: avg % of nodes collected in first x packets (PNM, np=3, {runs} runs)"),
+        vec!["packets", "n=10", "n=20", "n=30"],
+    );
+    // percent[path][x] = mean percentage collected after x+1 packets.
+    let mut percent: Vec<Vec<f64>> = Vec::new();
+    for n in COLLECTION_PATH_LENGTHS {
+        let scenario = PathScenario::paper(n);
+        let results = parallel_runs(runs, |run| {
+            run_honest_path(&scenario, SchemeKind::Pnm, max_packets, 0x5EED_0000 + run)
+                .collected_after
+        });
+        let mut means = vec![0.0f64; max_packets];
+        for r in &results {
+            for (x, &count) in r.iter().enumerate() {
+                means[x] += count as f64 / n as f64 * 100.0;
+            }
+        }
+        for m in &mut means {
+            *m /= runs as f64;
+        }
+        percent.push(means);
+    }
+    for (x, ((p10, p20), p30)) in percent[0]
+        .iter()
+        .zip(&percent[1])
+        .zip(&percent[2])
+        .enumerate()
+    {
+        t.push_row(vec![
+            (x + 1).to_string(),
+            format!("{p10:.2}"),
+            format!("{p20:.2}"),
+            format!("{p30:.2}"),
+        ]);
+    }
+    t
+}
+
+/// Raw data behind Figures 6 and 7 for one path length.
+#[derive(Clone, Debug)]
+pub struct IdentificationPoint {
+    /// Path length `n`.
+    pub path_len: u16,
+    /// `failures[t]` = runs (out of `runs`) in which the sink could not
+    /// unequivocally identify the source within `TRAFFIC_AMOUNTS[t]`
+    /// packets.
+    pub failures: [usize; 4],
+    /// Mean packets to unequivocal identification over successful runs
+    /// (800-packet budget), with spread.
+    pub packets_to_identify: OnlineStats,
+    /// Total runs.
+    pub runs: usize,
+}
+
+/// Runs the Figure 6/7 sweep: for each path length, `runs` seeded PNM runs
+/// with an 800-packet budget, recording when identification became
+/// unequivocal.
+pub fn identification_sweep(runs: usize) -> Vec<IdentificationPoint> {
+    let budget = *TRAFFIC_AMOUNTS.last().expect("non-empty");
+    IDENTIFICATION_PATH_LENGTHS
+        .iter()
+        .map(|&n| {
+            let scenario = PathScenario::paper(n);
+            let outcomes = parallel_runs(runs, |run| {
+                let r = run_honest_path(
+                    &scenario,
+                    SchemeKind::Pnm,
+                    budget,
+                    (0xF16u64 << 40) ^ ((n as u64) << 24) ^ run,
+                );
+                let correct: Vec<bool> = TRAFFIC_AMOUNTS.iter().map(|&l| r.correct_at(l)).collect();
+                (correct, r.first_stable_correct())
+            });
+            let mut failures = [0usize; 4];
+            let mut stats = OnlineStats::new();
+            for (correct, stable) in &outcomes {
+                for (t, ok) in correct.iter().enumerate() {
+                    if !ok {
+                        failures[t] += 1;
+                    }
+                }
+                if let Some(f) = stable {
+                    stats.push(*f as f64);
+                }
+            }
+            IdentificationPoint {
+                path_len: n,
+                failures,
+                packets_to_identify: stats,
+                runs,
+            }
+        })
+        .collect()
+}
+
+/// Figures 6 and 7 from one shared sweep (they use the same runs in the
+/// paper: Figure 6 counts failures per traffic amount; Figure 7 averages
+/// packets-to-identification over successful runs).
+pub fn fig67(runs: usize) -> (Table, Table) {
+    let points = identification_sweep(runs);
+
+    let mut f6 = Table::new(
+        format!("Figure 6: runs (out of {runs}) where the source is NOT unequivocally identified"),
+        vec![
+            "path length",
+            "200 pkts",
+            "400 pkts",
+            "600 pkts",
+            "800 pkts",
+        ],
+    );
+    for p in &points {
+        f6.push_row(vec![
+            p.path_len.to_string(),
+            p.failures[0].to_string(),
+            p.failures[1].to_string(),
+            p.failures[2].to_string(),
+            p.failures[3].to_string(),
+        ]);
+    }
+
+    let mut f7 = Table::new(
+        format!("Figure 7: avg packets to unequivocally identify the source (800-pkt budget, {runs} runs)"),
+        vec!["path length", "avg packets", "stddev", "successful runs"],
+    );
+    for p in &points {
+        f7.push_row(vec![
+            p.path_len.to_string(),
+            format!("{:.1}", p.packets_to_identify.mean()),
+            format!("{:.1}", p.packets_to_identify.stddev()),
+            p.packets_to_identify.count().to_string(),
+        ]);
+    }
+    (f6, f7)
+}
+
+/// Figure 6 alone (see [`fig67`]).
+pub fn fig6(runs: usize) -> Table {
+    fig67(runs).0
+}
+
+/// Figure 7 alone (see [`fig67`]).
+pub fn fig7(runs: usize) -> Table {
+    fig67(runs).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape_and_anchors() {
+        let t = fig4(60);
+        assert_eq!(t.len(), 60);
+        assert_eq!(t.headers.len(), 4);
+        // Row 13 (x=13), col n=10 ≈ 0.90 (§6.1).
+        let row13 = &t.rows[12];
+        assert_eq!(row13[0], "13");
+        let v: f64 = row13[1].parse().unwrap();
+        assert!((0.85..0.95).contains(&v), "v = {v}");
+        // Monotone in x for each n.
+        for col in 1..4 {
+            let vals: Vec<f64> = t.rows.iter().map(|r| r[col].parse().unwrap()).collect();
+            assert!(vals.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        }
+    }
+
+    #[test]
+    fn fig5_small_matches_paper_shape() {
+        // Tiny run count for test speed; shape only.
+        let t = fig5(40, 15);
+        assert_eq!(t.len(), 15);
+        // n=10 column reaches high coverage quickly: ≥80% by packet 7
+        // (paper: ~9 of 10 nodes by 7 packets).
+        let row7: f64 = t.rows[6][1].parse().unwrap();
+        assert!(row7 > 70.0, "row7 = {row7}");
+        // Larger n collects more slowly at equal packet counts.
+        let r5_n10: f64 = t.rows[4][1].parse().unwrap();
+        let r5_n30: f64 = t.rows[4][3].parse().unwrap();
+        assert!(r5_n10 > r5_n30);
+    }
+
+    #[test]
+    fn identification_sweep_tiny() {
+        // 4 runs just to exercise the plumbing end to end.
+        let points = identification_sweep(4);
+        assert_eq!(points.len(), IDENTIFICATION_PATH_LENGTHS.len());
+        for p in &points {
+            assert!(p.failures.iter().all(|&f| f <= 4));
+            assert!(p.packets_to_identify.count() <= 4);
+        }
+        // Short paths identify reliably within 800 packets.
+        assert_eq!(points[0].failures[3], 0, "n=5 at 800 pkts: {:?}", points[0]);
+    }
+}

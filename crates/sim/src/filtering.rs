@@ -1,0 +1,300 @@
+//! Filtering + traceback: the §8 complementarity argument, quantified.
+//!
+//! "Several en-route filtering schemes have been proposed to drop the
+//! false data en-route… However, these schemes only mitigate the threats.
+//! First, none of them can achieve perfect filtering. Second, filtering
+//! does not prevent moles from continuing to inject bogus reports…
+//! Our traceback scheme complements the filtering ones by locating the
+//! moles."
+//!
+//! Setup: an n-hop chain where every forwarder runs both SEF en-route
+//! checking (`pnm-filter`) and PNM marking (`pnm-core`). A source mole
+//! that compromised `c` key partitions injects forged endorsed reports.
+//! Measured per `c`: how far forgeries travel (vs the closed form), how
+//! much energy filtering saves, and how many injections traceback needs —
+//! showing that filtering weakens as `c` grows while traceback keeps
+//! working (and at `c = t` filtering is blind, leaving traceback as the
+//! only defense).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pnm_analysis::OnlineStats;
+use pnm_core::{MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking, VerifyMode};
+use pnm_crypto::KeyStore;
+use pnm_filter::{
+    en_route_check, expected_filtering_hops, forge_report, per_hop_detection_probability,
+    sink_check, FilterDecision, KeyPool, KeyRing,
+};
+use pnm_wire::{Location, NodeId, Packet, Report};
+
+use crate::table::Table;
+
+/// SEF parameters used throughout the experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct SefParams {
+    /// Key-pool partitions.
+    pub partitions: u16,
+    /// Keys per partition.
+    pub keys_per_partition: u16,
+    /// Ring size per node.
+    pub ring_size: u16,
+    /// Required endorsements per report.
+    pub t: usize,
+}
+
+impl Default for SefParams {
+    fn default() -> Self {
+        SefParams {
+            partitions: 10,
+            keys_per_partition: 8,
+            ring_size: 4,
+            t: 5,
+        }
+    }
+}
+
+/// Result of one filtering + traceback run.
+#[derive(Clone, Debug)]
+pub struct FilteringRun {
+    /// Compromised partitions.
+    pub compromised: usize,
+    /// Forged packets injected.
+    pub injected: usize,
+    /// Dropped en route by SEF.
+    pub filtered_en_route: usize,
+    /// Hops traveled by filtered packets.
+    pub hops_before_drop: OnlineStats,
+    /// Reached the sink (all flagged bogus there — SEF's sink check is
+    /// exhaustive).
+    pub reached_sink: usize,
+    /// Whether PNM identified the mole's first forwarder.
+    pub identified: bool,
+    /// Injections needed until identification settled.
+    pub injections_to_identify: Option<usize>,
+    /// The closed-form per-hop detection probability.
+    pub analytic_per_hop: f64,
+}
+
+/// Runs `injected` forged reports from a mole with `compromised` distinct
+/// partitions down an `n`-hop chain running SEF + PNM.
+pub fn run_filtering_traceback(
+    n: u16,
+    params: SefParams,
+    compromised: usize,
+    injected: usize,
+    seed: u64,
+) -> FilteringRun {
+    let pool = KeyPool::new(b"sef-sim", params.partitions, params.keys_per_partition);
+    // Forwarder rings: node i gets ring i (ids offset by 1000 to decouple
+    // ring assignment from the mole's compromised rings).
+    let rings: Vec<KeyRing> = (0..n)
+        .map(|i| pool.assign_ring(1000 + i, params.ring_size))
+        .collect();
+    // The mole's compromised rings: `compromised` distinct partitions.
+    let mut mole_rings: Vec<KeyRing> = Vec::new();
+    let mut parts = std::collections::HashSet::new();
+    for node in 0..2000u16 {
+        let r = pool.assign_ring(node, params.ring_size);
+        if parts.insert(r.partition) {
+            mole_rings.push(r);
+            if mole_rings.len() == compromised {
+                break;
+            }
+        }
+    }
+    let mole_ring_refs: Vec<&KeyRing> = mole_rings.iter().collect();
+
+    let keys = KeyStore::derive_from_master(b"sef-pnm", n);
+    let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+    let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut run = FilteringRun {
+        compromised,
+        injected,
+        filtered_en_route: 0,
+        hops_before_drop: OnlineStats::new(),
+        reached_sink: 0,
+        identified: false,
+        injections_to_identify: None,
+        analytic_per_hop: per_hop_detection_probability(
+            params.partitions,
+            params.keys_per_partition,
+            params.ring_size,
+            params.t,
+            compromised,
+        ),
+    };
+
+    let mut status: Vec<(usize, Option<NodeId>)> = Vec::new(); // (injection #, status)
+    for seq in 0..injected {
+        let report = Report::new(
+            format!("forged-{seq}").into_bytes(),
+            Location::new(999.0, 999.0),
+            seq as u64,
+        );
+        let endorsed = forge_report(
+            &report,
+            &mole_ring_refs,
+            params.t,
+            params.partitions,
+            &mut rng,
+        );
+        let mut pkt = Packet::new(endorsed.report.clone());
+        let mut dropped_at = None;
+        for hop in 0..n {
+            // SEF check first: a forwarder drops provably forged reports.
+            if en_route_check(&rings[hop as usize], &endorsed, params.t)
+                == FilterDecision::DropForged
+            {
+                dropped_at = Some(hop as usize + 1);
+                break;
+            }
+            // Still alive: PNM marking as usual.
+            let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+        match dropped_at {
+            Some(hops) => {
+                run.filtered_en_route += 1;
+                run.hops_before_drop.push(hops as f64);
+            }
+            None => {
+                run.reached_sink += 1;
+                // The sink's exhaustive check flags it bogus (never passes
+                // unless the mole covers all t partitions), feeding
+                // traceback.
+                let bogus = !sink_check(&pool, &endorsed, params.t);
+                if bogus || compromised >= params.t {
+                    locator.ingest(&pkt);
+                    status.push((seq + 1, locator.unequivocal_source()));
+                }
+            }
+        }
+    }
+
+    if status.last().and_then(|(_, s)| *s) == Some(NodeId(0)) {
+        run.identified = true;
+        let mut idx = status.len();
+        while idx > 0 && status[idx - 1].1 == Some(NodeId(0)) {
+            idx -= 1;
+        }
+        run.injections_to_identify = Some(status[idx].0);
+    }
+    run
+}
+
+/// The filtering + traceback table: compromised-partition sweep.
+pub fn filtering_table(n: u16, injected: usize, seed: u64) -> Table {
+    let params = SefParams::default();
+    let mut t = Table::new(
+        format!(
+            "SEF filtering + PNM traceback ({n}-hop chain, t={}, {injected} forged injections)",
+            params.t
+        ),
+        vec![
+            "compromised partitions",
+            "filtered en route",
+            "mean hops (sim)",
+            "mean hops (analytic)",
+            "reached sink",
+            "mole identified",
+            "injections to identify",
+        ],
+    );
+    for c in [1usize, 2, 3, 4, 5] {
+        let r = run_filtering_traceback(n, params, c, injected, seed);
+        // Conditional mean hop-of-drop (among dropped packets), comparable
+        // to the simulated column: (E − h·q^h) / (1 − q^h).
+        let (unconditional, survive) = expected_filtering_hops(r.analytic_per_hop, n as usize);
+        let analytic_hops = if survive < 1.0 - 1e-12 {
+            (unconditional - n as f64 * survive) / (1.0 - survive)
+        } else {
+            f64::NAN
+        };
+        t.push_row(vec![
+            c.to_string(),
+            format!("{}/{}", r.filtered_en_route, r.injected),
+            if r.hops_before_drop.count() > 0 {
+                format!("{:.1}", r.hops_before_drop.mean())
+            } else {
+                "-".into()
+            },
+            if analytic_hops.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{analytic_hops:.1}")
+            },
+            r.reached_sink.to_string(),
+            if r.identified { "yes" } else { "no" }.to_string(),
+            r.injections_to_identify
+                .map_or("-".into(), |p| p.to_string()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filtering_weakens_as_compromise_grows() {
+        let p = SefParams::default();
+        let low = run_filtering_traceback(10, p, 1, 400, 5);
+        let high = run_filtering_traceback(10, p, 4, 400, 5);
+        let full = run_filtering_traceback(10, p, 5, 400, 5);
+        assert!(
+            low.filtered_en_route > high.filtered_en_route,
+            "low {} vs high {}",
+            low.filtered_en_route,
+            high.filtered_en_route
+        );
+        // Full partition coverage: SEF cannot filter anything.
+        assert_eq!(full.filtered_en_route, 0);
+        assert_eq!(full.reached_sink, 400);
+    }
+
+    #[test]
+    fn traceback_still_identifies_under_filtering() {
+        // Even when most forgeries are filtered en route, enough survivors
+        // reach the sink for PNM to pin the mole's first forwarder.
+        let r = run_filtering_traceback(10, SefParams::default(), 1, 800, 7);
+        assert!(r.identified, "{r:?}");
+        assert!(r.filtered_en_route > 0);
+    }
+
+    #[test]
+    fn traceback_is_the_only_defense_at_full_coverage() {
+        let r = run_filtering_traceback(10, SefParams::default(), 5, 400, 9);
+        assert_eq!(r.filtered_en_route, 0, "filtering blind at c=t");
+        assert!(r.identified, "traceback still works: {r:?}");
+    }
+
+    #[test]
+    fn simulated_drop_hops_match_analysis() {
+        let p = SefParams::default();
+        let r = run_filtering_traceback(10, p, 1, 2000, 11);
+        let per_hop = r.analytic_per_hop;
+        assert!((per_hop - 0.2).abs() < 1e-9);
+        let (expected, _) = expected_filtering_hops(per_hop, 10);
+        // Compare the mean drop hop among *dropped* packets against the
+        // truncated-geometric mean conditioned on dropping.
+        // E[hops | dropped] = (E - h·q^h) / (1 - q^h).
+        let q: f64 = 1.0 - per_hop;
+        let survive = q.powi(10);
+        let conditional = (expected - 10.0 * survive) / (1.0 - survive);
+        let sim = r.hops_before_drop.mean();
+        assert!(
+            (sim - conditional).abs() < 0.4,
+            "sim {sim} vs analytic {conditional}"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = filtering_table(10, 200, 3);
+        assert_eq!(t.len(), 5);
+    }
+}

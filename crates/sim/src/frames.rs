@@ -1,0 +1,175 @@
+//! Fragmentation amplification: marking overhead → frames → loss.
+//!
+//! A Mica2 frame carries ~29 payload bytes, so a marked packet spans
+//! several frames and losing *any* frame on *any* hop loses the packet.
+//! This experiment quantifies how each scheme's overhead amplifies
+//! per-frame loss into end-to-end packet loss — a physical-layer
+//! consequence of the §4 overhead argument that the paper's byte counts
+//! imply but never spell out.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+use pnm_analysis::OnlineStats;
+use pnm_core::{MarkingConfig, NodeContext};
+use pnm_crypto::KeyStore;
+use pnm_wire::{frames_needed, NodeId, FRAME_PAYLOAD};
+
+use crate::runner::bogus_packet;
+use crate::scenario::{PathScenario, SchemeKind};
+use crate::table::Table;
+
+/// Result of one (scheme, path length) fragmentation cell.
+#[derive(Clone, Debug)]
+pub struct FrameCell {
+    /// Scheme measured.
+    pub scheme: SchemeKind,
+    /// Path length.
+    pub path_len: u16,
+    /// Frames per packet at the sink.
+    pub frames_per_packet: OnlineStats,
+    /// Fraction of packets delivered end to end.
+    pub delivery_rate: f64,
+    /// The analytic rate `(1−p_f)^E[Σ_h frames_h]`, using the measured
+    /// mean of the per-hop frame counts summed along the path.
+    pub analytic_rate: f64,
+}
+
+/// Simulates `packets` packets with per-frame loss `frame_loss` on every
+/// hop of an `n`-hop path.
+pub fn measure_frames(
+    scheme_kind: SchemeKind,
+    n: u16,
+    packets: usize,
+    frame_loss: f64,
+    seed: u64,
+) -> FrameCell {
+    let scenario = PathScenario::paper(n);
+    let keys = KeyStore::derive_from_master(b"frames", n);
+    let config = if scheme_kind.is_probabilistic() {
+        scenario.config()
+    } else {
+        MarkingConfig::builder().marking_probability(1.0).build()
+    };
+    let scheme = scheme_kind.build(config);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut frames_stats = OnlineStats::new();
+    let mut frame_sum_stats = OnlineStats::new();
+    let mut delivered = 0usize;
+    for seq in 0..packets as u64 {
+        let mut pkt = bogus_packet(seq, seed);
+        let mut lost = false;
+        let mut frames_on_path = 0usize;
+        for hop in 0..n {
+            let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+            // The packet, as it leaves this hop, is fragmented and each
+            // frame survives independently.
+            let frames = frames_needed(pkt.encoded_len(), FRAME_PAYLOAD);
+            frames_on_path += frames;
+            for _ in 0..frames {
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                if u < frame_loss {
+                    lost = true;
+                }
+            }
+            // Keep marking even after a loss so the recorded frame count
+            // is the full-path packet size, not biased by early deaths.
+        }
+        frames_stats.push(frames_needed(pkt.encoded_len(), FRAME_PAYLOAD) as f64);
+        frame_sum_stats.push(frames_on_path as f64);
+        if !lost {
+            delivered += 1;
+        }
+    }
+
+    // Every frame on every hop survives independently, so delivery is
+    // (1−p)^{Σ_h frames_h}; use the measured mean exponent.
+    let analytic_rate = (1.0 - frame_loss).powf(frame_sum_stats.mean());
+    FrameCell {
+        scheme: scheme_kind,
+        path_len: n,
+        frames_per_packet: frames_stats,
+        delivery_rate: delivered as f64 / packets as f64,
+        analytic_rate,
+    }
+}
+
+/// The fragmentation table.
+pub fn frames_table(packets: usize, frame_loss: f64, seed: u64) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fragmentation amplification ({:.1}% per-frame loss, {}B frames, {packets} pkts/cell)",
+            frame_loss * 100.0,
+            FRAME_PAYLOAD
+        ),
+        vec![
+            "scheme",
+            "path len",
+            "frames/pkt",
+            "delivered %",
+            "analytic %",
+        ],
+    );
+    for scheme in [SchemeKind::Nested, SchemeKind::Pnm] {
+        for n in [10u16, 20, 30] {
+            let c = measure_frames(scheme, n, packets, frame_loss, seed);
+            t.push_row(vec![
+                scheme.name().to_string(),
+                n.to_string(),
+                format!("{:.1}", c.frames_per_packet.mean()),
+                format!("{:.1}", c.delivery_rate * 100.0),
+                format!("{:.1}", c.analytic_rate * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_delivers_everything() {
+        let c = measure_frames(SchemeKind::Pnm, 10, 100, 0.0, 1);
+        assert_eq!(c.delivery_rate, 1.0);
+        assert!(c.frames_per_packet.mean() >= 2.0);
+    }
+
+    #[test]
+    fn nested_loses_more_than_pnm_under_frame_loss() {
+        let nested = measure_frames(SchemeKind::Nested, 20, 600, 0.005, 3);
+        let pnm = measure_frames(SchemeKind::Pnm, 20, 600, 0.005, 3);
+        assert!(
+            nested.frames_per_packet.mean() > 2.0 * pnm.frames_per_packet.mean(),
+            "nested {} vs pnm {}",
+            nested.frames_per_packet.mean(),
+            pnm.frames_per_packet.mean()
+        );
+        assert!(
+            nested.delivery_rate < pnm.delivery_rate,
+            "nested {} vs pnm {}",
+            nested.delivery_rate,
+            pnm.delivery_rate
+        );
+    }
+
+    #[test]
+    fn simulated_delivery_tracks_analytic() {
+        let c = measure_frames(SchemeKind::Pnm, 10, 2000, 0.01, 5);
+        assert!(
+            (c.delivery_rate - c.analytic_rate).abs() < 0.10,
+            "sim {} vs analytic {}",
+            c.delivery_rate,
+            c.analytic_rate
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = frames_table(100, 0.01, 2);
+        assert_eq!(t.len(), 6);
+    }
+}

@@ -1,0 +1,54 @@
+//! Experiment harness for the PNM reproduction: everything needed to
+//! regenerate the paper's evaluation (§6) and discussion (§7) numbers.
+//!
+//! - [`scenario`] — scheme selection and the paper's path scenarios.
+//! - [`runner`] — seeded, parallel Monte-Carlo runs.
+//! - [`figures`] — regenerates Figures 4–7.
+//! - [`attack_matrix`](mod@attack_matrix) — the scheme × attack security matrix (§3, §5).
+//! - [`latency`] — the §7 traceback-latency claim on the Mica2 radio model.
+//! - [`table`] — console/CSV result tables.
+//!
+//! The `regen-figures` binary drives all of it:
+//!
+//! ```text
+//! cargo run -p pnm-sim --release --bin regen-figures -- all --runs 100
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod attack_matrix;
+pub mod background;
+pub mod baselines_cmp;
+pub mod dynamics;
+pub mod field_study;
+pub mod figures;
+pub mod filtering;
+pub mod frames;
+pub mod latency;
+pub mod one_by_one;
+pub mod overhead;
+pub mod runner;
+pub mod scenario;
+pub mod spec;
+pub mod table;
+
+pub use ablation::{
+    mac_width_table, measure_mac_width, measure_tradeoff, tradeoff_table, MacWidthRow, TradeoffRow,
+};
+pub use attack_matrix::{attack_matrix, evaluate_cell, AttackScenario, Outcome};
+pub use background::{background_table, run_background_traffic, BackgroundRun};
+pub use baselines_cmp::{baselines_table, compare_approaches, ApproachCost};
+pub use dynamics::{dynamics_table, run_with_churn, DynamicsRun};
+pub use field_study::{field_study_table, run_field_study, FieldRound, FieldStudy};
+pub use figures::{fig4, fig5, fig6, fig67, fig7, identification_sweep, IdentificationPoint};
+pub use filtering::{filtering_table, run_filtering_traceback, FilteringRun, SefParams};
+pub use frames::{frames_table, measure_frames, FrameCell};
+pub use latency::{latency_table, traceback_latency, LatencyResult};
+pub use one_by_one::{iterative_cleanup, one_by_one_table, CatchRound, CleanupResult};
+pub use overhead::{measure_overhead, overhead_table, OverheadCell};
+pub use runner::{bogus_packet, parallel_runs, run_honest_path, HonestRun};
+pub use scenario::{PathScenario, SchemeKind};
+pub use spec::{ScenarioSpec, SpecError};
+pub use table::Table;

@@ -1,0 +1,241 @@
+//! "PNM can always locate them one by one" (abstract, §1).
+//!
+//! With several colluding moles on one path, the traceback pins the
+//! *most-downstream* manipulating mole first (its manipulation invalidates
+//! everything upstream of it). The defender removes that mole, traceback
+//! continues on subsequent traffic, exposing the next mole — iterating
+//! until the source mole itself is cornered. This experiment runs that
+//! loop and records who is caught in which round.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pnm_adversary::{AttackKind, AttackPlan, ForwardingMole, MoleAction, SourceMole};
+use pnm_core::{Localization, MoleLocator, NodeContext, VerifyMode};
+use pnm_wire::NodeId;
+
+use crate::scenario::{PathScenario, SchemeKind};
+use crate::table::Table;
+
+/// One round of the iterative cleanup.
+#[derive(Clone, Debug)]
+pub struct CatchRound {
+    /// Round number (1-based).
+    pub round: usize,
+    /// The sink's localization this round.
+    pub localization: Localization,
+    /// Moles caught (inside the suspected one-hop neighborhood) this round.
+    pub caught: Vec<NodeId>,
+}
+
+/// Outcome of the full cleanup loop.
+#[derive(Clone, Debug)]
+pub struct CleanupResult {
+    /// Per-round records.
+    pub rounds: Vec<CatchRound>,
+    /// Moles still at large when the loop ended.
+    pub remaining: Vec<NodeId>,
+}
+
+/// Runs the iterative cleanup: a source mole plus forwarding moles at
+/// `mole_positions` (each running the paired attack), `packets` of attack
+/// traffic per round, on an `n`-hop chain with PNM.
+///
+/// A caught forwarding mole is re-flashed and behaves honestly afterwards;
+/// a caught source mole stops injecting (the loop then ends).
+pub fn iterative_cleanup(
+    n: u16,
+    mole_setup: &[(u16, AttackKind)],
+    packets: usize,
+    seed: u64,
+) -> CleanupResult {
+    let scenario = PathScenario::paper(n);
+    let keys = scenario.keystore(1);
+    let scheme = SchemeKind::Pnm.build(scenario.config());
+    let source_id = NodeId(n);
+
+    let mut active_moles: Vec<ForwardingMole> = mole_setup
+        .iter()
+        .map(|&(pos, attack)| {
+            ForwardingMole::new(
+                NodeId(pos),
+                *keys.key(pos).unwrap(),
+                AttackPlan::canonical(attack, &[0]),
+            )
+            .with_partner(source_id, *keys.key(source_id.raw()).unwrap())
+        })
+        .collect();
+    let mut source = SourceMole::new(source_id, *keys.key(source_id.raw()).unwrap());
+    let mut source_at_large = true;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rounds = Vec::new();
+    let max_rounds = mole_setup.len() + 2;
+
+    for round in 1..=max_rounds {
+        if !source_at_large {
+            break;
+        }
+        let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+        for _ in 0..packets {
+            let mut pkt = source.inject(&mut rng);
+            let mut dropped = false;
+            for hop in 0..n {
+                if let Some(m) = active_moles.iter_mut().find(|m| m.id.raw() == hop) {
+                    if m.process(&mut pkt, scheme.as_ref(), &mut rng) == MoleAction::Dropped {
+                        dropped = true;
+                        break;
+                    }
+                } else {
+                    let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+                    scheme.mark(&ctx, &mut pkt, &mut rng);
+                }
+            }
+            if !dropped {
+                locator.ingest(&pkt);
+            }
+        }
+
+        let localization = locator.localize();
+        // The defender inspects the suspected one-hop neighborhood.
+        let suspects: Vec<NodeId> = match &localization {
+            Localization::MostUpstream(c) => vec![*c],
+            Localization::Loop { junction, members } => {
+                if junction.is_empty() {
+                    members.clone()
+                } else {
+                    junction.clone()
+                }
+            }
+            Localization::Ambiguous(c) => c.clone(),
+            Localization::NoEvidence => Vec::new(),
+        };
+        let mut neighborhood: Vec<NodeId> = Vec::new();
+        for s in &suspects {
+            neighborhood.push(*s);
+            if s.raw() == 0 {
+                neighborhood.push(source_id);
+            }
+            if s.raw() > 0 && s.raw() <= n {
+                neighborhood.push(NodeId(s.raw() - 1));
+            }
+            if s.raw() + 1 < n {
+                neighborhood.push(NodeId(s.raw() + 1));
+            }
+        }
+
+        // Physical inspection reveals which neighborhood members are moles.
+        let mut caught = Vec::new();
+        active_moles.retain(|m| {
+            if neighborhood.contains(&m.id) {
+                caught.push(m.id);
+                false // re-flashed: becomes an honest forwarder
+            } else {
+                true
+            }
+        });
+        if neighborhood.contains(&source_id) {
+            caught.push(source_id);
+            source_at_large = false;
+        }
+        let progress = !caught.is_empty();
+        rounds.push(CatchRound {
+            round,
+            localization,
+            caught,
+        });
+        if !progress {
+            break; // no progress; stop rather than loop forever
+        }
+    }
+
+    let mut remaining: Vec<NodeId> = active_moles.iter().map(|m| m.id).collect();
+    if source_at_large {
+        remaining.push(source_id);
+    }
+    CleanupResult { rounds, remaining }
+}
+
+/// The one-by-one table for the canonical two-forwarding-mole scenario.
+pub fn one_by_one_table(packets: usize, seed: u64) -> Table {
+    let setup = [
+        (4u16, AttackKind::MarkAlter),
+        (8u16, AttackKind::MarkRemoval),
+    ];
+    let result = iterative_cleanup(12, &setup, packets, seed);
+    let mut t = Table::new(
+        format!(
+            "One-by-one cleanup: source mole + forwarding moles at v4 (altering) and v8 (removing), \
+             12-hop chain, {packets} pkts/round"
+        ),
+        vec!["round", "localization", "caught"],
+    );
+    for r in &result.rounds {
+        t.push_row(vec![
+            r.round.to_string(),
+            match &r.localization {
+                Localization::MostUpstream(c) => format!("most upstream = {c}"),
+                other => format!("{other:?}"),
+            },
+            if r.caught.is_empty() {
+                "-".to_string()
+            } else {
+                r.caught
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_moles_caught_one_by_one() {
+        let setup = [
+            (4u16, AttackKind::MarkAlter),
+            (8u16, AttackKind::MarkRemoval),
+        ];
+        let result = iterative_cleanup(12, &setup, 300, 11);
+        assert!(
+            result.remaining.is_empty(),
+            "moles still at large: {:?} (rounds: {:?})",
+            result.remaining,
+            result.rounds
+        );
+        // Strictly one-by-one from downstream to upstream: v8 then v4 then S.
+        let order: Vec<Vec<NodeId>> = result.rounds.iter().map(|r| r.caught.clone()).collect();
+        assert_eq!(order.len(), 3, "{order:?}");
+        assert_eq!(order[0], vec![NodeId(8)]);
+        assert_eq!(order[1], vec![NodeId(4)]);
+        assert_eq!(order[2], vec![NodeId(12)]);
+    }
+
+    #[test]
+    fn single_mole_caught_in_two_rounds() {
+        // One forwarding mole: caught first, then the source.
+        let setup = [(5u16, AttackKind::MarkRemoval)];
+        let result = iterative_cleanup(10, &setup, 300, 5);
+        assert!(result.remaining.is_empty(), "{:?}", result.rounds);
+        assert!(result.rounds.len() <= 3);
+    }
+
+    #[test]
+    fn source_only_caught_in_one_round() {
+        let result = iterative_cleanup(10, &[], 300, 9);
+        assert!(result.remaining.is_empty());
+        assert_eq!(result.rounds.len(), 1);
+        assert_eq!(result.rounds[0].caught, vec![NodeId(10)]);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = one_by_one_table(200, 3);
+        assert!(t.len() >= 2);
+    }
+}

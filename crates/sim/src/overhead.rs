@@ -1,0 +1,202 @@
+//! Marking overhead comparison (§4's motivation for probabilistic
+//! marking: nested marking has "a drawback of large message overhead since
+//! each forwarding node needs to place a mark on the packet").
+//!
+//! For each scheme and path length, measures per-packet byte overhead at
+//! the sink, mean marks per packet, and the network-wide energy a single
+//! packet's forwarding costs (Mica2 energy model) — the quantities behind
+//! the paper's nested-vs-probabilistic trade-off.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pnm_analysis::OnlineStats;
+use pnm_core::NodeContext;
+use pnm_crypto::KeyStore;
+use pnm_net::EnergyModel;
+use pnm_wire::NodeId;
+
+use crate::runner::bogus_packet;
+use crate::scenario::{PathScenario, SchemeKind};
+use crate::table::Table;
+
+/// Overhead measurements for one (scheme, path length) cell.
+#[derive(Clone, Debug)]
+pub struct OverheadCell {
+    /// Scheme measured.
+    pub scheme: SchemeKind,
+    /// Path length.
+    pub path_len: u16,
+    /// Bytes of marking overhead per delivered packet.
+    pub overhead_bytes: OnlineStats,
+    /// Marks per delivered packet.
+    pub marks: OnlineStats,
+    /// Network-wide energy per delivered packet, microjoules (tx+rx of the
+    /// full packet at every hop).
+    pub energy_uj: OnlineStats,
+}
+
+/// Measures `packets` packets of `scheme` over an `n`-hop path.
+pub fn measure_overhead(
+    scheme_kind: SchemeKind,
+    n: u16,
+    packets: usize,
+    seed: u64,
+) -> OverheadCell {
+    let scenario = PathScenario::paper(n);
+    let keys = KeyStore::derive_from_master(b"overhead", n);
+    // Nested marks deterministically; probabilistic schemes use np = 3.
+    let config = if scheme_kind.is_probabilistic() {
+        scenario.config()
+    } else {
+        pnm_core::MarkingConfig::builder()
+            .marking_probability(1.0)
+            .build()
+    };
+    let scheme = scheme_kind.build(config);
+    let energy = EnergyModel::mica2();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut cell = OverheadCell {
+        scheme: scheme_kind,
+        path_len: n,
+        overhead_bytes: OnlineStats::new(),
+        marks: OnlineStats::new(),
+        energy_uj: OnlineStats::new(),
+    };
+
+    for seq in 0..packets as u64 {
+        let mut pkt = bogus_packet(seq, seed);
+        let mut joules_nj = 0u64;
+        for hop in 0..n {
+            let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+            // The packet, as it exists leaving this hop, is transmitted
+            // once and received once (except the final hop: the sink's
+            // energy is not metered).
+            let bytes = pkt.encoded_len() as u64;
+            joules_nj += bytes * energy.tx_nj_per_byte;
+            if hop + 1 < n {
+                joules_nj += bytes * energy.rx_nj_per_byte;
+            }
+        }
+        cell.overhead_bytes.push(pkt.marking_overhead() as f64);
+        cell.marks.push(pkt.mark_count() as f64);
+        cell.energy_uj.push(joules_nj as f64 / 1000.0);
+    }
+    cell
+}
+
+/// The overhead table: schemes × path lengths.
+pub fn overhead_table(packets: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        format!("Marking overhead per packet ({packets} packets per cell, np=3 for probabilistic schemes)"),
+        vec![
+            "scheme",
+            "path len",
+            "overhead bytes",
+            "marks/pkt",
+            "energy uJ/pkt",
+        ],
+    );
+    for scheme in [SchemeKind::Nested, SchemeKind::Pnm, SchemeKind::ExtendedAms] {
+        for n in [10u16, 20, 30, 50] {
+            let c = measure_overhead(scheme, n, packets, seed);
+            t.push_row(vec![
+                scheme.name().to_string(),
+                n.to_string(),
+                format!("{:.1}", c.overhead_bytes.mean()),
+                format!("{:.2}", c.marks.mean()),
+                format!("{:.1}", c.energy_uj.mean()),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_overhead_grows_linearly_pnm_stays_flat() {
+        let nested10 = measure_overhead(SchemeKind::Nested, 10, 50, 1);
+        let nested30 = measure_overhead(SchemeKind::Nested, 30, 50, 1);
+        let pnm10 = measure_overhead(SchemeKind::Pnm, 10, 50, 1);
+        let pnm30 = measure_overhead(SchemeKind::Pnm, 30, 50, 1);
+
+        // Nested: marks == path length, overhead ∝ n.
+        assert_eq!(nested10.marks.mean(), 10.0);
+        assert_eq!(nested30.marks.mean(), 30.0);
+        let ratio = nested30.overhead_bytes.mean() / nested10.overhead_bytes.mean();
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
+
+        // PNM: ~3 marks regardless of n.
+        assert!(
+            (pnm10.marks.mean() - 3.0).abs() < 0.8,
+            "{}",
+            pnm10.marks.mean()
+        );
+        assert!(
+            (pnm30.marks.mean() - 3.0).abs() < 0.8,
+            "{}",
+            pnm30.marks.mean()
+        );
+        let flat = pnm30.overhead_bytes.mean() / pnm10.overhead_bytes.mean();
+        assert!(flat < 1.5, "PNM overhead should stay ~flat, ratio {flat}");
+    }
+
+    #[test]
+    fn pnm_cheaper_than_nested_on_long_paths() {
+        let nested = measure_overhead(SchemeKind::Nested, 30, 50, 2);
+        let pnm = measure_overhead(SchemeKind::Pnm, 30, 50, 2);
+        assert!(
+            pnm.overhead_bytes.mean() < nested.overhead_bytes.mean() / 4.0,
+            "pnm {} vs nested {}",
+            pnm.overhead_bytes.mean(),
+            nested.overhead_bytes.mean()
+        );
+        assert!(pnm.energy_uj.mean() < nested.energy_uj.mean());
+    }
+
+    #[test]
+    fn anonymous_marks_cost_more_bytes_than_plain_per_mark() {
+        // PNM's anon id is 8 bytes vs 2 for a plain id: per-mark overhead
+        // is higher, bought back by marking fewer hops.
+        let pnm = measure_overhead(SchemeKind::Pnm, 20, 80, 3);
+        let ams = measure_overhead(SchemeKind::ExtendedAms, 20, 80, 3);
+        let pnm_per_mark = pnm.overhead_bytes.mean() / pnm.marks.mean();
+        let ams_per_mark = ams.overhead_bytes.mean() / ams.marks.mean();
+        assert!(pnm_per_mark > ams_per_mark);
+    }
+
+    #[test]
+    fn overhead_table_shape() {
+        let t = overhead_table(20, 4);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn measured_overhead_matches_closed_form() {
+        // The wire-level byte formulas in pnm-analysis must agree with
+        // bytes actually produced by marking real packets.
+        use pnm_analysis::{nested_overhead_bytes, pnm_overhead_bytes};
+        let w = 8;
+        for n in [10u16, 30] {
+            let nested = measure_overhead(SchemeKind::Nested, n, 40, 9);
+            let analytic = nested_overhead_bytes(n as usize, w);
+            assert!(
+                (nested.overhead_bytes.mean() - analytic).abs() < 1e-9,
+                "nested n={n}: measured {} vs analytic {analytic}",
+                nested.overhead_bytes.mean()
+            );
+            let pnm = measure_overhead(SchemeKind::Pnm, n, 400, 9);
+            let analytic = pnm_overhead_bytes(n as usize, 3.0 / n as f64, w);
+            assert!(
+                (pnm.overhead_bytes.mean() - analytic).abs() < 6.0,
+                "pnm n={n}: measured {} vs analytic {analytic}",
+                pnm.overhead_bytes.mean()
+            );
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Experiment scenarios: which scheme, which path, which parameters.
+
+use serde::{Deserialize, Serialize};
+
+use pnm_core::{
+    ExtendedAms, MarkingConfig, MarkingScheme, NestedMarking, PlainMarking,
+    ProbabilisticNestedMarking, ProbabilisticNestedPlainId, VerifyMode,
+};
+use pnm_crypto::KeyStore;
+
+/// The five marking schemes the paper analyzes, as a harness-level enum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Internet-style plain marking (no crypto).
+    Plain,
+    /// Extended AMS (§3 baseline).
+    ExtendedAms,
+    /// Basic nested marking (§4.1), marks every hop.
+    Nested,
+    /// Probabilistic nested marking with plain IDs — the §4.2 counterexample.
+    ProbNestedPlainId,
+    /// Probabilistic Nested Marking (§4.2), the paper's contribution.
+    Pnm,
+}
+
+impl SchemeKind {
+    /// All five schemes in presentation order.
+    pub fn all() -> [SchemeKind; 5] {
+        [
+            SchemeKind::Plain,
+            SchemeKind::ExtendedAms,
+            SchemeKind::Nested,
+            SchemeKind::ProbNestedPlainId,
+            SchemeKind::Pnm,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::Plain => "plain",
+            SchemeKind::ExtendedAms => "extended-ams",
+            SchemeKind::Nested => "nested",
+            SchemeKind::ProbNestedPlainId => "prob-nested-plain-id",
+            SchemeKind::Pnm => "pnm",
+        }
+    }
+
+    /// Instantiates the scheme for a configuration.
+    pub fn build(&self, config: MarkingConfig) -> Box<dyn MarkingScheme> {
+        match self {
+            SchemeKind::Plain => Box::new(PlainMarking::new(config)),
+            SchemeKind::ExtendedAms => Box::new(ExtendedAms::new(config)),
+            SchemeKind::Nested => Box::new(NestedMarking::new(config)),
+            SchemeKind::ProbNestedPlainId => Box::new(ProbabilisticNestedPlainId::new(config)),
+            SchemeKind::Pnm => Box::new(ProbabilisticNestedMarking::new(config)),
+        }
+    }
+
+    /// How the sink verifies marks produced by this scheme.
+    pub fn verify_mode(&self) -> VerifyMode {
+        match self {
+            SchemeKind::Plain => VerifyMode::PlainTrust,
+            SchemeKind::ExtendedAms => VerifyMode::Ams,
+            SchemeKind::Nested | SchemeKind::ProbNestedPlainId | SchemeKind::Pnm => {
+                VerifyMode::Nested
+            }
+        }
+    }
+
+    /// Whether this scheme marks probabilistically (and thus takes the
+    /// paper's `p = np̄ / n` configuration).
+    pub fn is_probabilistic(&self) -> bool {
+        !matches!(self, SchemeKind::Nested)
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A forwarding-path scenario matching the paper's §6.2 methodology:
+/// `n` forwarders in a chain (V1 most upstream), marking probability set
+/// for a target mean of `target_marks` marks per packet.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PathScenario {
+    /// Number of forwarding nodes on the path.
+    pub path_len: u16,
+    /// Target mean marks per packet (`np̄`; the paper fixes 3).
+    pub target_marks: f64,
+    /// Truncated MAC width in bytes.
+    pub mac_width: usize,
+}
+
+impl PathScenario {
+    /// The paper's setting for a path of `n` forwarders.
+    pub fn paper(path_len: u16) -> Self {
+        PathScenario {
+            path_len,
+            target_marks: 3.0,
+            mac_width: 8,
+        }
+    }
+
+    /// The marking configuration this scenario implies.
+    pub fn config(&self) -> MarkingConfig {
+        MarkingConfig::builder()
+            .mac_width(self.mac_width)
+            .target_marks_per_packet(self.target_marks, self.path_len as usize)
+            .build()
+    }
+
+    /// Provisions keys for the path's forwarders (ids `0..path_len`) plus
+    /// `extra` additional identities (moles, off-path nodes), ids
+    /// `path_len..path_len+extra`.
+    pub fn keystore(&self, extra: u16) -> KeyStore {
+        KeyStore::derive_from_master(b"pnm-sim-deployment", self.path_len + extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_schemes_distinct() {
+        let names: std::collections::HashSet<&str> =
+            SchemeKind::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn build_matches_name() {
+        let cfg = MarkingConfig::default();
+        for kind in SchemeKind::all() {
+            assert_eq!(kind.build(cfg).name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn verify_modes() {
+        assert_eq!(SchemeKind::Plain.verify_mode(), VerifyMode::PlainTrust);
+        assert_eq!(SchemeKind::ExtendedAms.verify_mode(), VerifyMode::Ams);
+        assert_eq!(SchemeKind::Pnm.verify_mode(), VerifyMode::Nested);
+    }
+
+    #[test]
+    fn paper_scenario_np3() {
+        let s = PathScenario::paper(20);
+        assert!((s.config().marking_probability - 0.15).abs() < 1e-12);
+        assert_eq!(s.config().mac_width, 8);
+    }
+
+    #[test]
+    fn keystore_includes_extras() {
+        let s = PathScenario::paper(10);
+        let ks = s.keystore(2);
+        assert_eq!(ks.len(), 12);
+        assert!(ks.key(11).is_some());
+    }
+}

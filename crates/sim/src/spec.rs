@@ -1,0 +1,282 @@
+//! Scenario specification files — shareable, versionable experiment
+//! descriptors.
+//!
+//! A tiny INI-style format (no external parser dependencies) describing a
+//! path scenario plus an attack, e.g.:
+//!
+//! ```text
+//! # 10-hop chain, selective-dropping mole mid-path
+//! [path]
+//! len = 10
+//! target_marks = 3
+//! mac_width = 8
+//!
+//! [attack]
+//! kind = selective-dropping
+//! mole_position = 5
+//! packets = 300
+//! seed = 7
+//! ```
+//!
+//! `trace-demo --spec FILE` runs one, and [`ScenarioSpec::to_spec_string`]
+//! writes one back out, so every experiment in this repo can be pinned to
+//! a reviewable text artifact.
+
+use core::fmt;
+
+use pnm_adversary::AttackKind;
+
+use crate::attack_matrix::AttackScenario;
+use crate::scenario::PathScenario;
+
+/// A parsed scenario specification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// The forwarding-path parameters.
+    pub path: PathScenario,
+    /// The attack cell parameters.
+    pub attack: AttackScenario,
+    /// The attack class the forwarding mole runs.
+    pub kind: AttackKind,
+}
+
+/// Errors from parsing a spec file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// A line was not a comment, section header, or `key = value`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A key appeared outside any `[section]`.
+    KeyOutsideSection {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An unknown section name.
+    UnknownSection {
+        /// The offending name.
+        name: String,
+    },
+    /// An unknown key within a section.
+    UnknownKey {
+        /// `section.key` path.
+        path: String,
+    },
+    /// A value failed to parse.
+    BadValue {
+        /// `section.key` path.
+        path: String,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Malformed { line } => write!(f, "malformed line {line}"),
+            SpecError::KeyOutsideSection { line } => {
+                write!(f, "key outside any [section] at line {line}")
+            }
+            SpecError::UnknownSection { name } => write!(f, "unknown section [{name}]"),
+            SpecError::UnknownKey { path } => write!(f, "unknown key {path}"),
+            SpecError::BadValue { path, value } => {
+                write!(f, "bad value {value:?} for {path}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            path: PathScenario::paper(10),
+            attack: AttackScenario::default_cell(7),
+            kind: AttackKind::SelectiveDrop,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Parses a spec document. Unspecified keys keep their defaults
+    /// (the paper's canonical cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on syntax errors, unknown sections/keys, or
+    /// unparseable values.
+    pub fn parse(input: &str) -> Result<Self, SpecError> {
+        let mut spec = ScenarioSpec::default();
+        let mut section: Option<String> = None;
+
+        for (idx, raw) in input.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim().to_lowercase();
+                if name != "path" && name != "attack" {
+                    return Err(SpecError::UnknownSection { name });
+                }
+                section = Some(name);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(SpecError::Malformed { line: line_no });
+            };
+            let key = key.trim().to_lowercase();
+            let value = value.trim().to_string();
+            let Some(section) = section.as_deref() else {
+                return Err(SpecError::KeyOutsideSection { line: line_no });
+            };
+            let path = format!("{section}.{key}");
+            let bad = || SpecError::BadValue {
+                path: path.clone(),
+                value: value.clone(),
+            };
+            match (section, key.as_str()) {
+                ("path", "len") => {
+                    spec.path.path_len = value.parse().map_err(|_| bad())?;
+                    spec.attack.path_len = spec.path.path_len;
+                }
+                ("path", "target_marks") => {
+                    spec.path.target_marks = value.parse().map_err(|_| bad())?;
+                }
+                ("path", "mac_width") => {
+                    spec.path.mac_width = value.parse().map_err(|_| bad())?;
+                }
+                ("attack", "kind") => {
+                    spec.kind = AttackKind::all()
+                        .into_iter()
+                        .find(|k| k.as_str() == value)
+                        .ok_or_else(bad)?;
+                }
+                ("attack", "mole_position") => {
+                    spec.attack.mole_position = value.parse().map_err(|_| bad())?;
+                }
+                ("attack", "packets") => {
+                    spec.attack.packets = value.parse().map_err(|_| bad())?;
+                }
+                ("attack", "seed") => {
+                    spec.attack.seed = value.parse().map_err(|_| bad())?;
+                }
+                _ => return Err(SpecError::UnknownKey { path }),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Emits the spec in the same format [`ScenarioSpec::parse`] reads.
+    pub fn to_spec_string(&self) -> String {
+        format!(
+            "# pnm scenario spec\n[path]\nlen = {}\ntarget_marks = {}\nmac_width = {}\n\n\
+             [attack]\nkind = {}\nmole_position = {}\npackets = {}\nseed = {}\n",
+            self.path.path_len,
+            self.path.target_marks,
+            self.path.mac_width,
+            self.kind,
+            self.attack.mole_position,
+            self.attack.packets,
+            self.attack.seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_document() {
+        let doc = "\
+# comment
+[path]
+len = 14
+target_marks = 4
+mac_width = 6
+
+[attack]
+kind = mark-removal   # trailing comment
+mole_position = 7
+packets = 250
+seed = 99
+";
+        let spec = ScenarioSpec::parse(doc).unwrap();
+        assert_eq!(spec.path.path_len, 14);
+        assert_eq!(spec.attack.path_len, 14, "attack inherits path length");
+        assert_eq!(spec.path.target_marks, 4.0);
+        assert_eq!(spec.path.mac_width, 6);
+        assert_eq!(spec.kind, AttackKind::MarkRemoval);
+        assert_eq!(spec.attack.mole_position, 7);
+        assert_eq!(spec.attack.packets, 250);
+        assert_eq!(spec.attack.seed, 99);
+    }
+
+    #[test]
+    fn defaults_fill_missing_keys() {
+        let spec = ScenarioSpec::parse("[path]\nlen = 20\n").unwrap();
+        assert_eq!(spec.path.path_len, 20);
+        assert_eq!(spec.path.target_marks, 3.0);
+        assert_eq!(spec.kind, AttackKind::SelectiveDrop);
+    }
+
+    #[test]
+    fn empty_document_is_the_default() {
+        assert_eq!(ScenarioSpec::parse("").unwrap(), ScenarioSpec::default());
+        assert_eq!(
+            ScenarioSpec::parse("# only comments\n\n").unwrap(),
+            ScenarioSpec::default()
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut spec = ScenarioSpec::default();
+        spec.path.path_len = 12;
+        spec.attack.path_len = 12;
+        spec.kind = AttackKind::IdentitySwap;
+        spec.attack.seed = 5;
+        let reparsed = ScenarioSpec::parse(&spec.to_spec_string()).unwrap();
+        assert_eq!(reparsed.path, spec.path);
+        assert_eq!(reparsed.kind, spec.kind);
+        assert_eq!(reparsed.attack.seed, spec.attack.seed);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            ScenarioSpec::parse("len = 10").unwrap_err(),
+            SpecError::KeyOutsideSection { line: 1 }
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("[bogus]").unwrap_err(),
+            SpecError::UnknownSection { .. }
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("[path]\nwat = 1").unwrap_err(),
+            SpecError::UnknownKey { .. }
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("[path]\nlen = ten").unwrap_err(),
+            SpecError::BadValue { .. }
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("[path]\nnonsense without equals").unwrap_err(),
+            SpecError::Malformed { line: 2 }
+        ));
+    }
+
+    #[test]
+    fn all_attack_kinds_round_trip() {
+        for kind in AttackKind::all() {
+            let doc = format!("[attack]\nkind = {kind}\n");
+            assert_eq!(ScenarioSpec::parse(&doc).unwrap().kind, kind);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Wire-format error types.
+
+use core::fmt;
+
+/// Errors produced while parsing wire bytes into packets, reports, or marks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ended before the encoded structure was complete.
+    Truncated {
+        /// What was being parsed when the buffer ran out.
+        context: &'static str,
+        /// Bytes needed beyond what was available.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A discriminant byte had no defined meaning.
+    InvalidDiscriminant {
+        /// What was being parsed.
+        context: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// A length field exceeded the format's hard limit.
+    LengthOutOfRange {
+        /// What was being parsed.
+        context: &'static str,
+        /// The declared length.
+        declared: usize,
+        /// The maximum allowed.
+        max: usize,
+    },
+    /// Bytes remained after the structure was fully parsed.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {context}: needed {needed} bytes, only {available} available"
+            ),
+            WireError::InvalidDiscriminant { context, value } => {
+                write!(
+                    f,
+                    "invalid discriminant {value:#04x} while parsing {context}"
+                )
+            }
+            WireError::LengthOutOfRange {
+                context,
+                declared,
+                max,
+            } => write!(
+                f,
+                "length {declared} out of range while parsing {context} (max {max})"
+            ),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after packet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = WireError::Truncated {
+            context: "mark",
+            needed: 8,
+            available: 3,
+        };
+        assert!(e.to_string().contains("truncated mark"));
+        let e = WireError::InvalidDiscriminant {
+            context: "mark id",
+            value: 0xff,
+        };
+        assert!(e.to_string().contains("0xff"));
+        let e = WireError::LengthOutOfRange {
+            context: "event",
+            declared: 70000,
+            max: 1024,
+        };
+        assert!(e.to_string().contains("70000"));
+        let e = WireError::TrailingBytes { remaining: 4 };
+        assert!(e.to_string().contains("4 trailing"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: std::error::Error + Send + Sync>(_: E) {}
+        takes_error(WireError::TrailingBytes { remaining: 1 });
+    }
+}

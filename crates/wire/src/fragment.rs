@@ -1,0 +1,331 @@
+//! Link-layer fragmentation for Mica2-class radios.
+//!
+//! TinyOS frames on Mica2 hardware carry ~29 bytes of payload, but a
+//! marked packet easily exceeds 50 bytes (and a fully nested-marked one,
+//! hundreds). Multi-frame packets are the physical reality behind the
+//! paper's overhead argument: every extra mark costs frames, and losing
+//! *any* fragment loses the packet — so marking overhead amplifies loss.
+//!
+//! [`fragment`] splits a packet's canonical bytes into [`Frame`]s;
+//! [`Reassembler`] rebuilds packets at the receiving side, tolerating
+//! interleaved and duplicated fragments and discarding incomplete packets
+//! after a capacity bound (sensor memory is finite).
+
+use std::collections::HashMap;
+
+use crate::error::WireError;
+
+/// Default Mica2/TinyOS frame payload size in bytes.
+pub const FRAME_PAYLOAD: usize = 29;
+
+/// Per-frame header: packet id (2) + index (1) + total (1).
+pub const FRAME_HEADER: usize = 4;
+
+/// One link-layer fragment of a packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Identifies which packet this fragment belongs to (link-local).
+    pub packet_id: u16,
+    /// This fragment's index, `0..total`.
+    pub index: u8,
+    /// Total fragments in the packet.
+    pub total: u8,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// On-air size of this frame, including the fragment header.
+    pub fn wire_len(&self) -> usize {
+        FRAME_HEADER + self.payload.len()
+    }
+
+    /// Encodes the frame: `packet_id | index | total | payload`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.packet_id.to_be_bytes());
+        out.push(self.index);
+        out.push(self.total);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if the buffer is shorter than the header or
+    /// the index/total pair is inconsistent.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < FRAME_HEADER {
+            return Err(WireError::Truncated {
+                context: "frame header",
+                needed: FRAME_HEADER,
+                available: bytes.len(),
+            });
+        }
+        let packet_id = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let index = bytes[2];
+        let total = bytes[3];
+        if total == 0 || index >= total {
+            return Err(WireError::InvalidDiscriminant {
+                context: "frame index/total",
+                value: index,
+            });
+        }
+        Ok(Frame {
+            packet_id,
+            index,
+            total,
+            payload: bytes[FRAME_HEADER..].to_vec(),
+        })
+    }
+}
+
+/// Number of frames a payload of `len` bytes needs at the given frame
+/// payload size.
+pub fn frames_needed(len: usize, frame_payload: usize) -> usize {
+    assert!(frame_payload > 0, "frame payload must be positive");
+    len.div_ceil(frame_payload).max(1)
+}
+
+/// Splits packet bytes into frames of at most [`FRAME_PAYLOAD`] payload.
+///
+/// # Panics
+///
+/// Panics if the packet would need more than 255 fragments.
+pub fn fragment(packet_id: u16, bytes: &[u8]) -> Vec<Frame> {
+    let total = frames_needed(bytes.len(), FRAME_PAYLOAD);
+    assert!(total <= u8::MAX as usize, "packet needs {total} fragments");
+    if bytes.is_empty() {
+        return vec![Frame {
+            packet_id,
+            index: 0,
+            total: 1,
+            payload: Vec::new(),
+        }];
+    }
+    bytes
+        .chunks(FRAME_PAYLOAD)
+        .enumerate()
+        .map(|(i, chunk)| Frame {
+            packet_id,
+            index: i as u8,
+            total: total as u8,
+            payload: chunk.to_vec(),
+        })
+        .collect()
+}
+
+/// Reassembles packets from interleaved fragments, with bounded memory.
+#[derive(Clone, Debug)]
+pub struct Reassembler {
+    capacity: usize,
+    pending: HashMap<u16, Vec<Option<Vec<u8>>>>,
+    /// Insertion order for capacity eviction.
+    order: Vec<u16>,
+    /// Packets discarded because the buffer was full.
+    pub evicted: u64,
+}
+
+impl Reassembler {
+    /// Creates a reassembler tracking at most `capacity` in-flight packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Reassembler {
+            capacity,
+            pending: HashMap::new(),
+            order: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Accepts one fragment; returns the complete packet bytes when the
+    /// last missing fragment arrives. Duplicate fragments are ignored;
+    /// fragments inconsistent with the first-seen `total` are dropped.
+    pub fn accept(&mut self, frame: Frame) -> Option<Vec<u8>> {
+        let total = frame.total as usize;
+        if !self.pending.contains_key(&frame.packet_id) {
+            if self.order.len() == self.capacity {
+                let evict = self.order.remove(0);
+                self.pending.remove(&evict);
+                self.evicted += 1;
+            }
+            self.pending.insert(frame.packet_id, vec![None; total]);
+            self.order.push(frame.packet_id);
+        }
+        let slots = self.pending.get_mut(&frame.packet_id)?;
+        if slots.len() != total {
+            return None; // inconsistent total: drop
+        }
+        let idx = frame.index as usize;
+        if slots[idx].is_none() {
+            slots[idx] = Some(frame.payload);
+        }
+        if slots.iter().all(Option::is_some) {
+            let slots = self.pending.remove(&frame.packet_id)?;
+            self.order.retain(|&id| id != frame.packet_id);
+            let mut out = Vec::new();
+            for s in slots {
+                out.extend_from_slice(&s.expect("all present"));
+            }
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// In-flight (incomplete) packets currently buffered.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use crate::report::{Location, Report};
+
+    fn marked_packet_bytes(marks: usize) -> Vec<u8> {
+        let mut pkt = Packet::new(Report::new(b"frag-test".to_vec(), Location::default(), 1));
+        for i in 0..marks {
+            pkt.push_mark(crate::mark::Mark::unauthenticated(crate::id::NodeId(
+                i as u16,
+            )));
+        }
+        pkt.to_bytes()
+    }
+
+    #[test]
+    fn round_trip_in_order() {
+        let bytes = marked_packet_bytes(10);
+        let frames = fragment(7, &bytes);
+        assert!(frames.len() > 1, "must actually fragment");
+        let mut r = Reassembler::new(4);
+        let mut out = None;
+        for f in frames {
+            out = out.or(r.accept(f));
+        }
+        assert_eq!(out.unwrap(), bytes);
+        assert_eq!(r.in_flight(), 0);
+    }
+
+    #[test]
+    fn round_trip_out_of_order_and_duplicated() {
+        let bytes = marked_packet_bytes(6);
+        let mut frames = fragment(9, &bytes);
+        frames.reverse();
+        let dup = frames[0].clone();
+        frames.insert(1, dup);
+        let mut r = Reassembler::new(4);
+        let mut out = None;
+        for f in frames {
+            let res = r.accept(f);
+            assert!(out.is_none() || res.is_none(), "completed twice");
+            out = out.or(res);
+        }
+        assert_eq!(out.unwrap(), bytes);
+    }
+
+    #[test]
+    fn interleaved_packets_reassemble_independently() {
+        let a = marked_packet_bytes(5);
+        let b = marked_packet_bytes(8);
+        let fa = fragment(1, &a);
+        let fb = fragment(2, &b);
+        let mut r = Reassembler::new(4);
+        let mut done = Vec::new();
+        for (x, y) in fa.iter().zip(fb.iter()) {
+            if let Some(p) = r.accept(x.clone()) {
+                done.push(p);
+            }
+            if let Some(p) = r.accept(y.clone()) {
+                done.push(p);
+            }
+        }
+        for f in fb.iter().skip(fa.len()) {
+            if let Some(p) = r.accept(f.clone()) {
+                done.push(p);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done.contains(&a));
+        assert!(done.contains(&b));
+    }
+
+    #[test]
+    fn missing_fragment_never_completes() {
+        let bytes = marked_packet_bytes(10);
+        let mut frames = fragment(3, &bytes);
+        frames.remove(1); // lost in the air
+        let mut r = Reassembler::new(4);
+        for f in frames {
+            assert!(r.accept(f).is_none());
+        }
+        assert_eq!(r.in_flight(), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_counts() {
+        let mut r = Reassembler::new(2);
+        for id in 0..4u16 {
+            // First fragment only: stays in flight.
+            let bytes = marked_packet_bytes(10);
+            let f = fragment(id, &bytes).remove(0);
+            assert!(r.accept(f).is_none());
+        }
+        assert_eq!(r.in_flight(), 2);
+        assert_eq!(r.evicted, 2);
+    }
+
+    #[test]
+    fn frame_wire_round_trip() {
+        let bytes = marked_packet_bytes(4);
+        for f in fragment(0xBEEF, &bytes) {
+            let parsed = Frame::from_bytes(&f.to_bytes()).unwrap();
+            assert_eq!(parsed, f);
+        }
+    }
+
+    #[test]
+    fn bad_frames_rejected() {
+        assert!(Frame::from_bytes(&[1, 2, 3]).is_err());
+        // index >= total
+        assert!(Frame::from_bytes(&[0, 1, 2, 2, 0xaa]).is_err());
+        // total == 0
+        assert!(Frame::from_bytes(&[0, 1, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn frames_needed_math() {
+        assert_eq!(frames_needed(0, 29), 1);
+        assert_eq!(frames_needed(29, 29), 1);
+        assert_eq!(frames_needed(30, 29), 2);
+        assert_eq!(frames_needed(100, 29), 4);
+    }
+
+    #[test]
+    fn empty_packet_is_one_frame() {
+        let frames = fragment(1, &[]);
+        assert_eq!(frames.len(), 1);
+        let mut r = Reassembler::new(1);
+        assert_eq!(r.accept(frames[0].clone()).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn marking_overhead_amplifies_frame_count() {
+        // The physical point: more marks -> more frames -> more exposure
+        // to per-frame loss.
+        let lean = marked_packet_bytes(0);
+        let heavy = marked_packet_bytes(30);
+        assert!(
+            frames_needed(heavy.len(), FRAME_PAYLOAD)
+                >= 2 * frames_needed(lean.len(), FRAME_PAYLOAD)
+        );
+    }
+}

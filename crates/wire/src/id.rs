@@ -1,0 +1,92 @@
+//! Node identifiers.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A unique sensor-node identifier (§2.1: "each sensor node has a unique
+/// ID and shares a unique secret key with the sink").
+///
+/// Wraps a `u16`, which comfortably covers the "few thousand nodes" network
+/// sizes the paper considers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The raw integer id.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The id as a `usize`, for indexing node tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Big-endian wire encoding.
+    pub fn to_bytes(self) -> [u8; 2] {
+        self.0.to_be_bytes()
+    }
+
+    /// Decodes from big-endian bytes.
+    pub fn from_bytes(bytes: [u8; 2]) -> Self {
+        NodeId(u16::from_be_bytes(bytes))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(raw: u16) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u16 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_bytes() {
+        for raw in [0u16, 1, 255, 256, u16::MAX] {
+            let id = NodeId(raw);
+            assert_eq!(NodeId::from_bytes(id.to_bytes()), id);
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let id: NodeId = 42u16.into();
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(u16::from(id), 42);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(NodeId(7).to_string(), "v7");
+        assert_eq!(format!("{:?}", NodeId(7)), "NodeId(7)");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5), NodeId(5));
+    }
+}

@@ -1,0 +1,315 @@
+//! Traceback marks left by forwarding nodes.
+//!
+//! A mark is an identifier plus (usually) a MAC. The identifier is either a
+//! plain node ID (basic nested marking §4.1, extended AMS §3) or an
+//! anonymous ID `i' = H'_{k_i}(M | i)` (PNM §4.2). Internet-style plain
+//! marking carries no MAC at all, which is one of the baselines the paper
+//! dismantles — represented here by `mac = None`.
+
+use core::fmt;
+
+use pnm_crypto::{AnonId, MacTag, ANON_ID_LEN};
+use serde::{Deserialize, Serialize};
+
+use crate::error::WireError;
+use crate::id::NodeId;
+
+/// The identifier part of a mark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MarkId {
+    /// A plain-text node ID — visible to every forwarder (and to moles).
+    Plain(NodeId),
+    /// An anonymous per-message ID, opaque without the node's key.
+    Anon(AnonId),
+}
+
+impl MarkId {
+    /// Returns the plain node id, if this is a plain mark.
+    pub fn as_plain(&self) -> Option<NodeId> {
+        match self {
+            MarkId::Plain(id) => Some(*id),
+            MarkId::Anon(_) => None,
+        }
+    }
+
+    /// Returns the anonymous id, if this is an anonymous mark.
+    pub fn as_anon(&self) -> Option<AnonId> {
+        match self {
+            MarkId::Plain(_) => None,
+            MarkId::Anon(a) => Some(*a),
+        }
+    }
+
+    /// Encoded size in bytes, including the discriminant.
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            MarkId::Plain(_) => 2,
+            MarkId::Anon(_) => ANON_ID_LEN,
+        }
+    }
+}
+
+impl fmt::Display for MarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkId::Plain(id) => write!(f, "{id}"),
+            MarkId::Anon(a) => write!(f, "anon:{a}"),
+        }
+    }
+}
+
+const ID_KIND_PLAIN: u8 = 0x00;
+const ID_KIND_ANON: u8 = 0x01;
+
+/// One traceback mark: an identifier and an optional truncated MAC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mark {
+    /// Who (claims to have) forwarded the packet.
+    pub id: MarkId,
+    /// MAC over whatever the emitting scheme protects; `None` for
+    /// Internet-style unauthenticated marks.
+    pub mac: Option<MacTag>,
+}
+
+impl Mark {
+    /// Creates an authenticated mark with a plain node id.
+    pub fn plain(id: NodeId, mac: MacTag) -> Self {
+        Mark {
+            id: MarkId::Plain(id),
+            mac: Some(mac),
+        }
+    }
+
+    /// Creates an authenticated mark with an anonymous id.
+    pub fn anon(id: AnonId, mac: MacTag) -> Self {
+        Mark {
+            id: MarkId::Anon(id),
+            mac: Some(mac),
+        }
+    }
+
+    /// Creates an unauthenticated (Internet-style) mark.
+    pub fn unauthenticated(id: NodeId) -> Self {
+        Mark {
+            id: MarkId::Plain(id),
+            mac: None,
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.id.encoded_len() + 1 + self.mac.map_or(0, |m| m.len())
+    }
+
+    /// Appends the wire encoding to `out`:
+    /// `id_kind | id_bytes | mac_len | mac_bytes`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self.id {
+            MarkId::Plain(id) => {
+                out.push(ID_KIND_PLAIN);
+                out.extend_from_slice(&id.to_bytes());
+            }
+            MarkId::Anon(a) => {
+                out.push(ID_KIND_ANON);
+                out.extend_from_slice(a.as_bytes());
+            }
+        }
+        match &self.mac {
+            None => out.push(0),
+            Some(mac) => {
+                out.push(mac.len() as u8);
+                out.extend_from_slice(mac.as_bytes());
+            }
+        }
+    }
+
+    /// Parses a mark from the front of `bytes`, returning it and the bytes
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or an unknown id-kind byte.
+    pub fn parse(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        let truncated = |needed: usize, ctx: &'static str| WireError::Truncated {
+            context: ctx,
+            needed,
+            available: bytes.len(),
+        };
+        if bytes.is_empty() {
+            return Err(truncated(1, "mark id kind"));
+        }
+        let (id, mut off) = match bytes[0] {
+            ID_KIND_PLAIN => {
+                if bytes.len() < 3 {
+                    return Err(truncated(3, "plain mark id"));
+                }
+                (
+                    MarkId::Plain(NodeId::from_bytes([bytes[1], bytes[2]])),
+                    3usize,
+                )
+            }
+            ID_KIND_ANON => {
+                if bytes.len() < 1 + ANON_ID_LEN {
+                    return Err(truncated(1 + ANON_ID_LEN, "anonymous mark id"));
+                }
+                let mut a = [0u8; ANON_ID_LEN];
+                a.copy_from_slice(&bytes[1..1 + ANON_ID_LEN]);
+                (MarkId::Anon(AnonId::from_bytes(a)), 1 + ANON_ID_LEN)
+            }
+            other => {
+                return Err(WireError::InvalidDiscriminant {
+                    context: "mark id kind",
+                    value: other,
+                })
+            }
+        };
+        if bytes.len() < off + 1 {
+            return Err(truncated(off + 1, "mark mac length"));
+        }
+        let mac_len = bytes[off] as usize;
+        off += 1;
+        let mac = if mac_len == 0 {
+            None
+        } else {
+            if mac_len > 32 {
+                return Err(WireError::LengthOutOfRange {
+                    context: "mark mac",
+                    declared: mac_len,
+                    max: 32,
+                });
+            }
+            if bytes.len() < off + mac_len {
+                return Err(truncated(off + mac_len, "mark mac"));
+            }
+            let tag = MacTag::from_bytes(&bytes[off..off + mac_len]);
+            off += mac_len;
+            Some(tag)
+        };
+        Ok((Mark { id, mac }, off))
+    }
+}
+
+impl fmt::Display for Mark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.mac {
+            Some(mac) => write!(f, "[{} mac:{:?}]", self.id, mac),
+            None => write!(f, "[{} unauth]", self.id),
+        }
+    }
+}
+
+// Serde support for scenario/result recording: serialize via wire bytes.
+impl Serialize for Mark {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        serializer.serialize_bytes(&buf)
+    }
+}
+
+impl<'de> Deserialize<'de> for Mark {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let bytes: Vec<u8> = Vec::deserialize(deserializer)?;
+        let (mark, used) = Mark::parse(&bytes).map_err(serde::de::Error::custom)?;
+        if used != bytes.len() {
+            return Err(serde::de::Error::custom("trailing bytes in mark"));
+        }
+        Ok(mark)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnm_crypto::MacKey;
+
+    fn tag() -> MacTag {
+        MacKey::derive(b"m", 1).mark_mac(b"msg", 8)
+    }
+
+    fn anon() -> AnonId {
+        pnm_crypto::anon_id(&MacKey::derive(b"m", 1), b"msg", 1)
+    }
+
+    #[test]
+    fn plain_round_trip() {
+        let m = Mark::plain(NodeId(513), tag());
+        let mut buf = Vec::new();
+        m.encode_into(&mut buf);
+        assert_eq!(buf.len(), m.encoded_len());
+        let (parsed, used) = Mark::parse(&buf).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn anon_round_trip() {
+        let m = Mark::anon(anon(), tag());
+        let mut buf = Vec::new();
+        m.encode_into(&mut buf);
+        let (parsed, used) = Mark::parse(&buf).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn unauthenticated_round_trip() {
+        let m = Mark::unauthenticated(NodeId(7));
+        let mut buf = Vec::new();
+        m.encode_into(&mut buf);
+        assert_eq!(buf.len(), 4); // kind + id + zero mac len
+        let (parsed, _) = Mark::parse(&buf).unwrap();
+        assert_eq!(parsed, m);
+        assert!(parsed.mac.is_none());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert!(matches!(
+            Mark::parse(&[0x7f, 0, 0, 0]).unwrap_err(),
+            WireError::InvalidDiscriminant { value: 0x7f, .. }
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_cut() {
+        let m = Mark::anon(anon(), tag());
+        let mut buf = Vec::new();
+        m.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                Mark::parse(&buf[..cut]).is_err(),
+                "cut {cut} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_mac_len_rejected() {
+        let mut buf = vec![ID_KIND_PLAIN, 0, 1, 40];
+        buf.extend_from_slice(&[0u8; 40]);
+        assert!(matches!(
+            Mark::parse(&buf).unwrap_err(),
+            WireError::LengthOutOfRange { declared: 40, .. }
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Mark::plain(NodeId(3), tag());
+        assert_eq!(p.id.as_plain(), Some(NodeId(3)));
+        assert_eq!(p.id.as_anon(), None);
+        let a = Mark::anon(anon(), tag());
+        assert!(a.id.as_plain().is_none());
+        assert!(a.id.as_anon().is_some());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert!(Mark::plain(NodeId(3), tag()).to_string().contains("v3"));
+        assert!(Mark::unauthenticated(NodeId(3))
+            .to_string()
+            .contains("unauth"));
+        assert!(Mark::anon(anon(), tag()).to_string().contains("anon:"));
+    }
+}

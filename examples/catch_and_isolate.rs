@@ -1,0 +1,118 @@
+//! The complete active-defense loop the paper motivates (§1, §7):
+//! traceback → quarantine → attack eradicated.
+//!
+//! A mole floods bogus reports through a chain. Phase 1: the sink runs PNM
+//! traceback until the suspected neighborhood is unequivocal. Phase 2: the
+//! sink issues a quarantine for that neighborhood; forwarders apply the
+//! filter and the attack traffic stops reaching the sink — while a
+//! legitimate node elsewhere keeps getting its reports through.
+//!
+//! ```text
+//! cargo run --release --example catch_and_isolate
+//! ```
+
+use pnm::core::{
+    quarantine_set, IsolationPolicy, MarkingScheme, MoleLocator, NodeContext,
+    ProbabilisticNestedMarking, QuarantineFilter, VerifyMode,
+};
+use pnm::crypto::KeyStore;
+use pnm::net::{Network, NodeDecision, Topology};
+use pnm::sim::bogus_packet;
+use pnm::wire::{NodeId, Packet};
+use rand::rngs::StdRng;
+
+const N: u16 = 12;
+
+fn main() {
+    let topology = Topology::chain(N, 10.0);
+    let net = Network::new(topology.clone());
+    let keys = KeyStore::derive_from_master(b"isolate-demo", N);
+    let scheme = ProbabilisticNestedMarking::paper_default(N as usize);
+
+    // ------ Phase 1: the attack runs, the sink traces it back ------
+    let keys1 = keys.clone();
+    let scheme1 = scheme.clone();
+    let mut handler = move |node: u16, pkt: &mut Packet, _t: u64, rng: &mut StdRng| {
+        let ctx = NodeContext::new(NodeId(node), *keys1.key(node).unwrap());
+        scheme1.mark(&ctx, pkt, rng);
+        NodeDecision::Forward
+    };
+    let attack = net.simulate_stream(0, 150, 20_000, |s| bogus_packet(s, 1), &mut handler, 3);
+    let mut sink = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    for d in &attack.deliveries {
+        sink.ingest(&d.packet);
+    }
+    let loc = sink.localize();
+    println!(
+        "phase 1: {} bogus packets delivered; sink localization: {loc:?}",
+        attack.deliveries.len()
+    );
+
+    // ------ Phase 2: quarantine the suspected neighborhood ------
+    let quarantined = quarantine_set(&loc, IsolationPolicy::OneHopNeighborhood, |n| {
+        topology
+            .neighbors(n.raw())
+            .into_iter()
+            .map(NodeId)
+            .collect()
+    });
+    println!("phase 2: quarantining {quarantined:?}");
+    let mut filter = QuarantineFilter::new();
+    filter.quarantine(quarantined.iter().copied());
+
+    // Forwarders now drop packets originating from quarantined nodes. In
+    // this demo the origin is stamped in the report's location field's x
+    // coordinate... no — the simulator hands us the true origin per
+    // injection, so the first-hop neighbor applies the filter.
+    let keys2 = keys.clone();
+    let filter2 = filter.clone();
+    let mut filtering_handler = move |node: u16, pkt: &mut Packet, _t: u64, rng: &mut StdRng| {
+        // The first forwarder after the origin checks quarantine. On a
+        // chain, node k's upstream neighbor is k-1; node 1 polices node 0.
+        if node > 0 && !filter2.permits(NodeId(node - 1)) {
+            return NodeDecision::Drop;
+        }
+        // Origin itself quarantined: its own transmissions are jammed by
+        // its neighbors; model as the node's packets being dropped at the
+        // first hop handler.
+        if !filter2.permits(NodeId(node)) {
+            return NodeDecision::Drop;
+        }
+        let ctx = NodeContext::new(NodeId(node), *keys2.key(node).unwrap());
+        scheme.mark(&ctx, pkt, rng);
+        NodeDecision::Forward
+    };
+
+    // The mole keeps flooding — now silenced.
+    let post = net.simulate_stream(
+        0,
+        100,
+        20_000,
+        |s| bogus_packet(s + 1000, 1),
+        &mut filtering_handler,
+        4,
+    );
+    println!(
+        "        mole keeps injecting: {} of 100 packets reach the sink",
+        post.deliveries.len()
+    );
+
+    // A legitimate node outside the quarantine still gets through.
+    let legit_src = N - 4;
+    let legit = net.simulate_stream(
+        legit_src,
+        20,
+        20_000,
+        |s| bogus_packet(s + 5000, 2),
+        &mut filtering_handler,
+        5,
+    );
+    println!(
+        "        legitimate node v{legit_src}: {} of 20 reports delivered",
+        legit.deliveries.len()
+    );
+
+    assert_eq!(post.deliveries.len(), 0, "attack eradicated");
+    assert_eq!(legit.deliveries.len(), 20, "service preserved");
+    println!("\n✔ attack eradicated, legitimate service intact.");
+}

@@ -1,0 +1,111 @@
+//! The Figure-1 scenario: colluding moles versus three marking schemes.
+//!
+//! Source mole `S` injects bogus reports; forwarding mole `X` sits
+//! mid-path and manipulates marks (here: the §3 mark-removal attack and
+//! the §4.2 selective-dropping attack). The same attack stream is run
+//! against extended AMS, the broken plain-ID probabilistic nested variant,
+//! and PNM — showing exactly who gets misled and who catches the moles.
+//!
+//! ```text
+//! cargo run --release --example colluding_attack
+//! ```
+
+use pnm::adversary::{AttackKind, AttackPlan, ForwardingMole, MoleAction, SourceMole};
+use pnm::core::{Localization, MoleLocator, NodeContext};
+use pnm::sim::SchemeKind;
+use pnm::wire::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PATH_LEN: u16 = 10;
+const MOLE_POS: u16 = 5;
+const PACKETS: usize = 300;
+
+fn run(scheme_kind: SchemeKind, attack: AttackKind) -> (Localization, usize) {
+    let scenario = pnm::sim::PathScenario::paper(PATH_LEN);
+    let keys = scenario.keystore(1);
+    let scheme = scheme_kind.build(scenario.config());
+
+    let source_id = NodeId(PATH_LEN);
+    let mut source = SourceMole::new(source_id, *keys.key(source_id.raw()).unwrap());
+    let plan = AttackPlan::canonical(attack, &[0]);
+    let mut mole = ForwardingMole::new(NodeId(MOLE_POS), *keys.key(MOLE_POS).unwrap(), plan)
+        .with_partner(source_id, *keys.key(source_id.raw()).unwrap());
+
+    let mut sink = MoleLocator::new(keys.clone(), scheme_kind.verify_mode());
+    let mut rng = StdRng::seed_from_u64(1337);
+    let mut delivered = 0;
+
+    for _ in 0..PACKETS {
+        let mut pkt = source.inject(&mut rng);
+        let mut dropped = false;
+        for hop in 0..PATH_LEN {
+            if hop == MOLE_POS {
+                if mole.process(&mut pkt, scheme.as_ref(), &mut rng) == MoleAction::Dropped {
+                    dropped = true;
+                    break;
+                }
+            } else {
+                let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+                scheme.mark(&ctx, &mut pkt, &mut rng);
+            }
+        }
+        if !dropped {
+            sink.ingest(&pkt);
+            delivered += 1;
+        }
+    }
+    (sink.localize(), delivered)
+}
+
+fn describe(loc: &Localization) -> String {
+    match loc {
+        Localization::MostUpstream(n) => {
+            let verdict = if n.raw() == 0 || n.raw() == MOLE_POS || n.raw() == PATH_LEN {
+                "correct: a mole is one hop away"
+            } else if n.raw() == MOLE_POS + 1 || n.raw() == MOLE_POS - 1 {
+                "correct: points at the forwarding mole's neighborhood"
+            } else {
+                "MISLED: innocent node framed"
+            };
+            format!("traces to {n} ({verdict})")
+        }
+        Localization::Ambiguous(c) => format!("cannot conclude ({} candidates)", c.len()),
+        Localization::Loop { members, junction } => format!(
+            "identity-swap loop of {} nodes, junction {:?}",
+            members.len(),
+            junction
+        ),
+        Localization::NoEvidence => "no evidence (all packets dropped)".to_string(),
+    }
+}
+
+fn main() {
+    println!(
+        "Colluding moles: S (id {PATH_LEN}, injects) + X (id {MOLE_POS}, manipulates), \
+         {PATH_LEN}-hop path, {PACKETS} packets\n"
+    );
+    let schemes = [
+        SchemeKind::ExtendedAms,
+        SchemeKind::ProbNestedPlainId,
+        SchemeKind::Pnm,
+    ];
+    for attack in [
+        AttackKind::MarkRemoval,
+        AttackKind::SelectiveDrop,
+        AttackKind::IdentitySwap,
+    ] {
+        println!("▶ attack: {attack}");
+        for scheme in schemes {
+            let (loc, delivered) = run(scheme, attack);
+            println!(
+                "  {:<22} {:>3} delivered: {}",
+                scheme.name(),
+                delivered,
+                describe(&loc)
+            );
+        }
+        println!();
+    }
+    println!("PNM pins a mole's one-hop neighborhood under every attack — the baselines don't.");
+}

@@ -1,0 +1,90 @@
+//! Identity swapping and loop detection (§4.2 Figure 2, §5.3).
+//!
+//! Colluding moles `S` (source) and `X` (forwarder) know each other's
+//! keys. By marking packets sometimes as themselves and sometimes as each
+//! other, they make the reconstructed route contain a *loop*: every node
+//! between S and X appears both upstream and downstream of the others.
+//! The sink detects the loop, finds where it meets the line toward the
+//! sink, and still pins a mole's one-hop neighborhood (Theorem 4).
+//!
+//! ```text
+//! cargo run --release --example identity_swap_loop
+//! ```
+
+use pnm::adversary::{AttackPlan, ForwardingMole, MoleMarking, SourceMole};
+use pnm::core::{
+    Localization, MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking, VerifyMode,
+};
+use pnm::sim::PathScenario;
+use pnm::wire::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+const PATH_LEN: u16 = 8;
+const MOLE_POS: u16 = 4;
+
+fn main() {
+    let scenario = PathScenario::paper(PATH_LEN);
+    let keys = scenario.keystore(1);
+    let scheme = ProbabilisticNestedMarking::new(scenario.config());
+
+    let source_id = NodeId(PATH_LEN);
+    let mole_id = NodeId(MOLE_POS);
+    let mut source = SourceMole::new(source_id, *keys.key(source_id.raw()).unwrap());
+    let plan = AttackPlan {
+        marking: MoleMarking::SwapWithPartner,
+        ..AttackPlan::passive()
+    };
+    let mut mole = ForwardingMole::new(mole_id, *keys.key(mole_id.raw()).unwrap(), plan)
+        .with_partner(source_id, *keys.key(source_id.raw()).unwrap());
+
+    let mut sink = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    println!("S (id {source_id}) and X (id {mole_id}) swap identities on an {PATH_LEN}-hop path\n");
+
+    for _ in 0..400 {
+        let mut pkt = source.inject(&mut rng);
+        // The source itself marks — as itself or as its partner (Fig. 2).
+        let own = rng.next_u64() & 1 == 0;
+        let ctx = if own {
+            NodeContext::new(source_id, *keys.key(source_id.raw()).unwrap())
+        } else {
+            NodeContext::new(mole_id, *keys.key(mole_id.raw()).unwrap())
+        };
+        scheme.mark(&ctx, &mut pkt, &mut rng);
+
+        for hop in 0..PATH_LEN {
+            if hop == MOLE_POS {
+                let _ = mole.process(&mut pkt, &scheme, &mut rng);
+            } else {
+                let c = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+                scheme.mark(&c, &mut pkt, &mut rng);
+            }
+        }
+        sink.ingest(&pkt);
+    }
+
+    match sink.localize() {
+        Localization::Loop { members, junction } => {
+            println!("loop detected: {members:?}");
+            println!("loop meets the sink-line at: {junction:?}");
+            let adjacent_to_mole = junction.iter().any(|j| {
+                j.raw() == MOLE_POS
+                    || j.raw() + 1 == MOLE_POS
+                    || j.raw() == MOLE_POS + 1
+                    || *j == source_id
+            });
+            println!(
+                "\n✔ a mole lies within the junction's one-hop neighborhood: {}",
+                if adjacent_to_mole {
+                    "yes — caught"
+                } else {
+                    "no?!"
+                }
+            );
+            assert!(adjacent_to_mole);
+        }
+        other => println!("unexpected localization: {other:?}"),
+    }
+}

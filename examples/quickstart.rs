@@ -1,0 +1,79 @@
+//! Quickstart: locate a mole on a 20-hop forwarding path with PNM.
+//!
+//! A compromised node (the source mole `S`) floods the sink with bogus
+//! reports through a chain of 20 honest forwarders. Every forwarder runs
+//! Probabilistic Nested Marking with the paper's settings (`np = 3`,
+//! 8-byte MACs). Watch the sink narrow the suspect set packet by packet.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pnm::core::{
+    Localization, MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking, VerifyMode,
+};
+use pnm::crypto::KeyStore;
+use pnm::wire::{Location, NodeId, Packet, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PATH_LEN: u16 = 20;
+
+fn main() {
+    // Provision the deployment: every node shares a key with the sink.
+    let keys = KeyStore::derive_from_master(b"quickstart-deployment", PATH_LEN);
+    let scheme = ProbabilisticNestedMarking::paper_default(PATH_LEN as usize);
+    let mut sink = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let mut rng = StdRng::seed_from_u64(2007);
+
+    println!("PNM quickstart: {PATH_LEN}-hop path, p = 3/{PATH_LEN} per hop\n");
+
+    let mut identified_at = None;
+    for seq in 0..120u64 {
+        // The source mole forges a report (content differs per packet —
+        // duplicates would be suppressed en route).
+        let report = Report::new(
+            format!("intrusion-alert-{seq}").into_bytes(),
+            Location::new(500.0, 500.0),
+            seq,
+        );
+        let mut pkt = Packet::new(report);
+
+        // Honest forwarders mark probabilistically on the way to the sink.
+        for hop in 0..PATH_LEN {
+            let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).expect("provisioned"));
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+
+        let chain = sink.ingest(&pkt);
+        if seq < 10 || (seq + 1) % 20 == 0 {
+            println!(
+                "packet {:>3}: {} marks, {} / {PATH_LEN} nodes observed, status: {}",
+                seq + 1,
+                chain.total_marks,
+                sink.observed_count(),
+                match sink.localize() {
+                    Localization::MostUpstream(n) => format!("most upstream = {n}"),
+                    Localization::Ambiguous(c) => format!("{} candidates", c.len()),
+                    other => format!("{other:?}"),
+                }
+            );
+        }
+        if identified_at.is_none() && sink.unequivocal_source() == Some(NodeId(0)) {
+            identified_at = Some(seq + 1);
+        }
+    }
+
+    match identified_at {
+        Some(pkts) => {
+            println!(
+                "\n✔ after {pkts} packets the sink unequivocally identified v0 as the most \
+                 upstream forwarder."
+            );
+            println!(
+                "  The source mole is within v0's one-hop neighborhood — dispatch the task force."
+            );
+        }
+        None => println!("\n✘ not identified within the budget (rerun with more packets)"),
+    }
+}

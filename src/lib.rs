@@ -1,0 +1,60 @@
+//! # PNM — Catching "Moles" in Sensor Networks
+//!
+//! A from-scratch Rust reproduction of *Catching "Moles" in Sensor
+//! Networks* (Ye, Yang, Liu — ICDCS 2007): the **Probabilistic Nested
+//! Marking** traceback scheme that locates colluding compromised sensor
+//! nodes ("moles") injecting bogus traffic, plus every substrate the paper
+//! depends on.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`crypto`] | `pnm-crypto` | SHA-256, HMAC, truncated MACs, key store, anonymous IDs |
+//! | [`wire`] | `pnm-wire` | reports `M = E\|L\|T`, marks, packets, canonical encodings |
+//! | [`net`] | `pnm-net` | topologies, routing, Mica2 radio/energy, discrete-event simulator |
+//! | [`core`] | `pnm-core` | the five marking schemes, sink verification, route reconstruction, mole locator |
+//! | [`adversary`] | `pnm-adversary` | the seven colluding attacks, source/forwarding moles |
+//! | [`analysis`] | `pnm-analysis` | the §6.1 analytical model and statistics |
+//! | [`sim`] | `pnm-sim` | figure regeneration, attack matrix, latency experiments |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pnm::core::{MoleLocator, NodeContext, ProbabilisticNestedMarking, MarkingScheme, VerifyMode};
+//! use pnm::crypto::KeyStore;
+//! use pnm::wire::{Location, NodeId, Packet, Report};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A 20-hop forwarding path; a source mole injects bogus reports.
+//! let keys = KeyStore::derive_from_master(b"deployment", 20);
+//! let scheme = ProbabilisticNestedMarking::paper_default(20);
+//! let mut sink = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+//! let mut rng = StdRng::seed_from_u64(1);
+//!
+//! for seq in 0..200u64 {
+//!     let report = Report::new(format!("bogus-{seq}").into_bytes(), Location::new(0.0, 0.0), seq);
+//!     let mut pkt = Packet::new(report);
+//!     for hop in 0..20u16 {
+//!         let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+//!         scheme.mark(&ctx, &mut pkt, &mut rng);
+//!     }
+//!     sink.ingest(&pkt);
+//! }
+//! // The sink pins the most-upstream forwarder: the mole is its neighbor.
+//! assert_eq!(sink.unequivocal_source(), Some(NodeId(0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pnm_adversary as adversary;
+pub use pnm_analysis as analysis;
+pub use pnm_baselines as baselines;
+pub use pnm_core as core;
+pub use pnm_crypto as crypto;
+pub use pnm_filter as filter;
+pub use pnm_net as net;
+pub use pnm_sim as sim;
+pub use pnm_wire as wire;

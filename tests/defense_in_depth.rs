@@ -1,0 +1,127 @@
+//! The full defensive stack in one scenario: SEF en-route filtering +
+//! traffic classification + PNM traceback + replay defense + quarantine.
+//!
+//! This is the system a downstream user would actually deploy; the test
+//! asserts every layer does its job and the layers compose.
+
+use pnm::core::{
+    quarantine_set, DuplicateSuppressor, IsolationPolicy, MarkingScheme, MoleLocator, NodeContext,
+    ProbabilisticNestedMarking, QuarantineFilter, VerifyMode,
+};
+use pnm::crypto::KeyStore;
+use pnm::filter::{en_route_check, forge_report, sink_check, FilterDecision, KeyPool, KeyRing};
+use pnm::wire::{Location, NodeId, Packet, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: u16 = 10;
+const T: usize = 5;
+
+#[test]
+fn layered_defense_end_to_end() {
+    // --- provisioning ---
+    let keys = KeyStore::derive_from_master(b"did-deployment", N + 1);
+    let pool = KeyPool::new(b"did-sef", 10, 8);
+    let rings: Vec<KeyRing> = (0..N).map(|i| pool.assign_ring(3000 + i, 4)).collect();
+    let scheme = ProbabilisticNestedMarking::paper_default(N as usize);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // The mole compromised one node (one partition) plus its PNM key; it
+    // sits just upstream of forwarder 0 and injects forged reports.
+    let mole_ring = pool.assign_ring(4000, 4);
+    let mole_pnm_id = NodeId(N);
+
+    let mut sink_locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let mut dup = DuplicateSuppressor::new(512);
+
+    let mut filtered = 0usize;
+    let mut replay_suppressed = 0usize;
+    let mut delivered = 0usize;
+    let injections = 600usize;
+
+    let mut last_report: Option<Report> = None;
+    for seq in 0..injections {
+        // Every 10th injection is a lazy replay of the previous report —
+        // the replay layer must stop it at the first hop.
+        let report = if seq % 10 == 9 {
+            last_report.clone().expect("previous exists")
+        } else {
+            let r = Report::new(
+                format!("forged-{seq}").into_bytes(),
+                Location::new(500.0, 500.0),
+                seq as u64,
+            );
+            last_report = Some(r.clone());
+            r
+        };
+        let endorsed = forge_report(&report, &[&mole_ring], T, 10, &mut rng);
+
+        // Hop 0 runs duplicate suppression (en-route replay defense).
+        if !dup.observe(&report.to_bytes()) {
+            replay_suppressed += 1;
+            continue;
+        }
+
+        let mut pkt = Packet::new(report);
+        let mut dropped = false;
+        for hop in 0..N {
+            // Layer 1: SEF endorsement check.
+            if en_route_check(&rings[hop as usize], &endorsed, T) == FilterDecision::DropForged {
+                filtered += 1;
+                dropped = true;
+                break;
+            }
+            // Layer 2: PNM marking.
+            let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+        if dropped {
+            continue;
+        }
+        delivered += 1;
+        // Layer 3: the sink flags the forgery (exhaustive SEF check) and
+        // feeds traceback.
+        assert!(!sink_check(&pool, &endorsed, T), "forgery must not pass");
+        sink_locator.ingest(&pkt);
+    }
+
+    // Every layer did real work.
+    assert!(
+        replay_suppressed >= injections / 10 - 1,
+        "{replay_suppressed}"
+    );
+    assert!(filtered > delivered, "filtering carried most of the load");
+    assert!(delivered > 10, "but survivors exist for traceback");
+
+    // Layer 4: traceback pinned the mole's first forwarder…
+    let loc = sink_locator.localize();
+    assert_eq!(
+        sink_locator.unequivocal_source(),
+        Some(NodeId(0)),
+        "localization: {loc:?}"
+    );
+
+    // …and layer 5 quarantines the neighborhood containing the true mole.
+    let q = quarantine_set(&loc, IsolationPolicy::OneHopNeighborhood, |c| {
+        let mut v = Vec::new();
+        if c == NodeId(0) {
+            v.push(mole_pnm_id);
+            v.push(NodeId(1));
+        } else if c.raw() < N {
+            v.push(NodeId(c.raw() - 1));
+            if c.raw() + 1 < N {
+                v.push(NodeId(c.raw() + 1));
+            }
+        }
+        v
+    });
+    assert!(
+        q.contains(&mole_pnm_id),
+        "quarantine covers the mole: {q:?}"
+    );
+    let mut filter = QuarantineFilter::new();
+    filter.quarantine(q);
+    assert!(!filter.permits(mole_pnm_id));
+    // Innocent nodes far from the mole keep service.
+    assert!(filter.permits(NodeId(7)));
+}

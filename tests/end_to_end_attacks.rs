@@ -1,0 +1,192 @@
+//! End-to-end colluding-attack tests: the attack matrix, across seeds.
+
+use pnm::adversary::AttackKind;
+use pnm::sim::{evaluate_cell, AttackScenario, Outcome, SchemeKind};
+
+fn scenario(seed: u64) -> AttackScenario {
+    AttackScenario {
+        path_len: 10,
+        mole_position: 5,
+        packets: 300,
+        seed,
+    }
+}
+
+/// The paper's central claim (Theorem 4): PNM is never misled, whatever
+/// the colluding moles do — across attacks *and* seeds.
+#[test]
+fn pnm_never_misled_across_seeds() {
+    for seed in [1u64, 2, 3, 2024] {
+        for attack in AttackKind::all() {
+            let (outcome, loc) = evaluate_cell(SchemeKind::Pnm, attack, &scenario(seed));
+            assert_eq!(
+                outcome,
+                Outcome::Secure,
+                "PNM, {attack}, seed {seed}: {loc:?}"
+            );
+        }
+    }
+}
+
+/// Basic nested marking is also never misled (Theorem 2 / Corollary 5.1);
+/// deterministic marking turns selective dropping into self-starvation.
+#[test]
+fn nested_never_misled() {
+    for attack in AttackKind::all() {
+        let (outcome, loc) = evaluate_cell(SchemeKind::Nested, attack, &scenario(11));
+        assert_ne!(outcome, Outcome::Misled, "nested, {attack}: {loc:?}");
+        if attack == AttackKind::SelectiveDrop {
+            assert_eq!(outcome, Outcome::Starved);
+        } else {
+            assert_eq!(outcome, Outcome::Secure, "nested, {attack}: {loc:?}");
+        }
+    }
+}
+
+/// §4.2: the "natural" probabilistic extension with plain IDs is broken by
+/// exactly one attack — selective dropping — and survives the others.
+#[test]
+fn plain_id_variant_broken_only_by_selective_dropping() {
+    for attack in AttackKind::all() {
+        let (outcome, loc) = evaluate_cell(SchemeKind::ProbNestedPlainId, attack, &scenario(12));
+        if attack == AttackKind::SelectiveDrop {
+            assert_eq!(outcome, Outcome::Misled, "{loc:?}");
+        } else {
+            assert_eq!(outcome, Outcome::Secure, "{attack}: {loc:?}");
+        }
+    }
+}
+
+/// §3: extended AMS fails under mark removal, altering, and selective
+/// dropping (the mark-level manipulations its per-mark MACs cannot bind).
+#[test]
+fn extended_ams_defeated_by_mark_manipulation() {
+    for (attack, expect_misled) in [
+        (AttackKind::MarkRemoval, true),
+        (AttackKind::MarkAlter, true),
+        (AttackKind::SelectiveDrop, true),
+        (AttackKind::NoMark, false),
+        (AttackKind::MarkInsertion, false),
+    ] {
+        let (outcome, loc) = evaluate_cell(SchemeKind::ExtendedAms, attack, &scenario(13));
+        if expect_misled {
+            assert_eq!(outcome, Outcome::Misled, "AMS, {attack}: {loc:?}");
+        } else {
+            assert_eq!(outcome, Outcome::Secure, "AMS, {attack}: {loc:?}");
+        }
+    }
+}
+
+/// Plain Internet-style marking is defeated (misled or blinded) by every
+/// mark-manipulating attack.
+#[test]
+fn plain_marking_defeated_by_manipulation() {
+    for attack in [
+        AttackKind::MarkInsertion,
+        AttackKind::MarkRemoval,
+        AttackKind::MarkAlter,
+        AttackKind::SelectiveDrop,
+    ] {
+        let (outcome, loc) = evaluate_cell(SchemeKind::Plain, attack, &scenario(14));
+        assert_ne!(outcome, Outcome::Secure, "plain, {attack}: {loc:?}");
+    }
+}
+
+/// The mole's position along the path must not matter for PNM's guarantee.
+#[test]
+fn pnm_secure_for_any_mole_position() {
+    for pos in [1u16, 3, 8] {
+        let sc = AttackScenario {
+            path_len: 10,
+            mole_position: pos,
+            packets: 300,
+            seed: 5,
+        };
+        for attack in [
+            AttackKind::MarkRemoval,
+            AttackKind::SelectiveDrop,
+            AttackKind::IdentitySwap,
+        ] {
+            let (outcome, loc) = evaluate_cell(SchemeKind::Pnm, attack, &sc);
+            assert_eq!(outcome, Outcome::Secure, "pos {pos}, {attack}: {loc:?}");
+        }
+    }
+}
+
+/// An adaptive mole rotating through all seven canonical attacks mid-run
+/// still cannot mislead PNM — whatever phase the sink's evidence comes
+/// from, it points at a mole's neighborhood.
+#[test]
+fn adaptive_rotating_mole_never_misleads_pnm() {
+    use pnm::adversary::{AdaptiveMole, AttackKind, AttackPlan, MoleAction, SourceMole};
+    use pnm::core::{Localization, MoleLocator, NodeContext, VerifyMode};
+    use pnm::wire::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let n = 10u16;
+    let mole_pos = 5u16;
+    let scenario = pnm::sim::PathScenario::paper(n);
+    let keys = scenario.keystore(1);
+    let scheme = SchemeKind::Pnm.build(scenario.config());
+    let source_id = NodeId(n);
+    let mut source = SourceMole::new(source_id, *keys.key(n).unwrap());
+    let plans: Vec<AttackPlan> = AttackKind::all()
+        .into_iter()
+        .map(|k| AttackPlan::canonical(k, &[0]))
+        .collect();
+    let mut mole = AdaptiveMole::new(NodeId(mole_pos), *keys.key(mole_pos).unwrap(), plans, 40)
+        .with_partner(source_id, *keys.key(n).unwrap());
+    let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let mut rng = StdRng::seed_from_u64(77);
+
+    for _ in 0..400 {
+        let mut pkt = source.inject(&mut rng);
+        let mut dropped = false;
+        for hop in 0..n {
+            if hop == mole_pos {
+                if mole.process(&mut pkt, scheme.as_ref(), &mut rng) == MoleAction::Dropped {
+                    dropped = true;
+                    break;
+                }
+            } else {
+                let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+                scheme.mark(&ctx, &mut pkt, &mut rng);
+            }
+        }
+        if !dropped {
+            locator.ingest(&pkt);
+        }
+    }
+
+    let mole_adjacent = |c: NodeId| {
+        c == source_id || c.raw() == 0 || c.raw() == mole_pos || c.raw().abs_diff(mole_pos) == 1
+    };
+    match locator.localize() {
+        Localization::MostUpstream(c) => assert!(mole_adjacent(c), "framed {c}"),
+        Localization::Loop { junction, members } => {
+            let anchor = if junction.is_empty() {
+                members
+            } else {
+                junction
+            };
+            assert!(anchor.iter().any(|j| mole_adjacent(*j)), "{anchor:?}");
+        }
+        other => panic!("adaptive mole hid completely: {other:?}"),
+    }
+}
+
+/// Longer paths keep the guarantee (with a traffic budget scaled per Fig 6).
+#[test]
+fn pnm_secure_on_long_paths() {
+    let sc = AttackScenario {
+        path_len: 30,
+        mole_position: 15,
+        packets: 600,
+        seed: 21,
+    };
+    for attack in [AttackKind::MarkRemoval, AttackKind::SelectiveDrop] {
+        let (outcome, loc) = evaluate_cell(SchemeKind::Pnm, attack, &sc);
+        assert_eq!(outcome, Outcome::Secure, "{attack}: {loc:?}");
+    }
+}

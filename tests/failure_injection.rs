@@ -1,0 +1,170 @@
+//! Failure-injection tests: radio loss, routing dynamics (§7), replay
+//! attacks (§7), and degenerate inputs — PNM must stay correct, or fail
+//! safely, under all of them.
+
+use pnm::core::{MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking, VerifyMode};
+use pnm::crypto::KeyStore;
+use pnm::net::{Network, NodeDecision, RadioModel, Topology};
+use pnm::sim::bogus_packet;
+use pnm::wire::{NodeId, Packet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Radio loss delays but does not break traceback: with 10% per-hop loss,
+/// the sink still converges to the true source region.
+#[test]
+fn traceback_survives_radio_loss() {
+    let n = 10u16;
+    let keys = KeyStore::derive_from_master(b"loss-test", n);
+    let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+    let net =
+        Network::new(Topology::chain(n, 10.0)).with_radio(RadioModel::mica2().with_loss(0.10));
+    let kh = keys.clone();
+    let mut handler = move |node: u16, pkt: &mut Packet, _t: u64, rng: &mut StdRng| {
+        let ctx = NodeContext::new(NodeId(node), *kh.key(node).unwrap());
+        scheme.mark(&ctx, pkt, rng);
+        NodeDecision::Forward
+    };
+    let report = net.simulate_stream(0, 600, 20_000, |s| bogus_packet(s, 1), &mut handler, 3);
+    assert!(report.radio_losses > 0, "loss model active");
+    assert!(report.deliveries.len() > 100, "enough survivors");
+
+    let mut sink = MoleLocator::new(keys, VerifyMode::Nested);
+    for d in &report.deliveries {
+        sink.ingest(&d.packet);
+    }
+    assert_eq!(sink.unequivocal_source(), Some(NodeId(0)));
+}
+
+/// §7 routing dynamics: if the route changes mid-traceback but the
+/// relative upstream order of surviving nodes is preserved (a node drops
+/// out of the path), the sink still localizes correctly.
+#[test]
+fn route_change_preserving_order_still_locates() {
+    let n = 10u16;
+    let keys = KeyStore::derive_from_master(b"churn-test", n);
+    let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+    let mut sink = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    for seq in 0..400u64 {
+        let mut pkt = bogus_packet(seq, 2);
+        // After packet 200, node 4 leaves the path (battery death); the
+        // route heals around it, order of the rest unchanged.
+        for hop in 0..n {
+            if seq >= 200 && hop == 4 {
+                continue;
+            }
+            let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+        sink.ingest(&pkt);
+    }
+    assert_eq!(sink.unequivocal_source(), Some(NodeId(0)));
+}
+
+/// §7 replay attacks: a source mole replaying an old, fully marked report
+/// cannot frame the old path — the sink sees a *valid* chain whose most
+/// upstream node is the original path's head, and duplicate suppression
+/// (modeled here as the sink ignoring repeated report bytes) caps the
+/// damage at one observation.
+#[test]
+fn replayed_reports_add_no_new_evidence() {
+    let n = 8u16;
+    let keys = KeyStore::derive_from_master(b"replay-test", n);
+    let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+    let mut rng = StdRng::seed_from_u64(6);
+
+    // A legitimately forwarded packet captured by the adversary.
+    let mut captured = bogus_packet(0, 3);
+    for hop in 0..n {
+        let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+        scheme.mark(&ctx, &mut captured, &mut rng);
+    }
+
+    // En-route duplicate suppression: forwarders drop a report they have
+    // already forwarded. Model: the sink's ingest sees the replay once.
+    let mut sink = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let mut seen = std::collections::HashSet::new();
+    let mut accepted = 0;
+    for _ in 0..100 {
+        if seen.insert(captured.report.to_bytes()) {
+            sink.ingest(&captured);
+            accepted += 1;
+        }
+    }
+    assert_eq!(accepted, 1, "duplicates suppressed");
+    // One packet's evidence: observed nodes only from the original path.
+    assert!(sink.observed_count() <= n as usize);
+}
+
+/// A mole flooding garbage marks (max-size packets) cannot make the sink
+/// mis-attribute: all garbage fails verification.
+#[test]
+fn garbage_mark_flood_yields_no_false_attribution() {
+    let n = 6u16;
+    let keys = KeyStore::derive_from_master(b"flood-test", n);
+    let mut sink = MoleLocator::new(keys, VerifyMode::Nested);
+    let mut rng = StdRng::seed_from_u64(9);
+    use rand::Rng as _;
+    for seq in 0..50u64 {
+        let mut pkt = bogus_packet(seq, 4);
+        for _ in 0..64 {
+            let id = NodeId((rng.next_u64() % 6) as u16);
+            let mut mac = [0u8; 8];
+            for b in &mut mac {
+                *b = (rng.next_u64() & 0xff) as u8;
+            }
+            pkt.push_mark(pnm::wire::Mark::plain(
+                id,
+                pnm::crypto::MacTag::from_bytes(&mac),
+            ));
+        }
+        let chain = sink.ingest(&pkt);
+        assert!(chain.nodes.is_empty(), "garbage verified at seq {seq}?!");
+    }
+    assert_eq!(sink.observed_count(), 0);
+}
+
+/// Packets that fail wire parsing (truncation in flight) are rejected
+/// without panicking anywhere in the stack.
+#[test]
+fn truncated_packets_fail_safely() {
+    let n = 5u16;
+    let keys = KeyStore::derive_from_master(b"trunc-test", n);
+    let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut pkt = bogus_packet(0, 5);
+    for hop in 0..n {
+        let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+        scheme.mark(&ctx, &mut pkt, &mut rng);
+    }
+    let bytes = pkt.to_bytes();
+    for cut in 0..bytes.len() {
+        assert!(Packet::from_bytes(&bytes[..cut]).is_err());
+    }
+    // The intact bytes round-trip and verify.
+    let restored = Packet::from_bytes(&bytes).unwrap();
+    let verifier = pnm::core::SinkVerifier::new(keys);
+    assert!(
+        verifier
+            .verify(&restored, VerifyMode::Nested)
+            .fully_verified()
+            || restored.mark_count() == 0
+    );
+}
+
+/// Disconnected deployments: injections from an unreachable node never
+/// arrive, and the locator reports no evidence rather than guessing.
+#[test]
+fn unreachable_source_yields_no_evidence() {
+    let topo = Topology::random_geometric(10, 1000.0, 5.0, 1);
+    let net = Network::new(topo);
+    let isolated = (0..10u16)
+        .find(|&i| net.routing().hops_to_sink(i).is_none())
+        .expect("sparse field has isolated nodes");
+    let mut handler = |_n: u16, _p: &mut Packet, _t: u64, _r: &mut StdRng| NodeDecision::Forward;
+    let report = net.simulate_stream(isolated, 10, 0, |s| bogus_packet(s, 6), &mut handler, 1);
+    assert!(report.deliveries.is_empty());
+    assert_eq!(report.undeliverable, 10);
+}

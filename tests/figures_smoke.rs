@@ -1,0 +1,66 @@
+//! Smoke tests for the figure-regeneration harness: shapes and anchors at
+//! reduced run counts (the full paper settings run via `regen-figures`).
+
+use pnm::sim::{attack_matrix, fig4, fig5, identification_sweep, AttackScenario};
+
+#[test]
+fn fig4_regenerates_with_paper_anchors() {
+    let t = fig4(80);
+    assert_eq!(t.headers, vec!["packets", "n=10", "n=20", "n=30"]);
+    assert_eq!(t.len(), 80);
+    // x=13 / n=10 ≈ 0.9; x=33 / n=20 ≈ 0.9; x=54 / n=30 ≈ 0.9.
+    let cell = |x: usize, col: usize| -> f64 { t.rows[x - 1][col].parse().unwrap() };
+    assert!((cell(13, 1) - 0.9).abs() < 0.05, "{}", cell(13, 1));
+    assert!((cell(33, 2) - 0.9).abs() < 0.05, "{}", cell(33, 2));
+    assert!((cell(54, 3) - 0.9).abs() < 0.05, "{}", cell(54, 3));
+}
+
+#[test]
+fn fig5_csv_export_works() {
+    let t = fig5(25, 10);
+    let csv = t.to_csv();
+    assert_eq!(csv.lines().count(), 11); // header + 10 rows
+    assert!(csv.starts_with("packets,"));
+}
+
+#[test]
+fn fig67_sweep_matches_paper_shape_small() {
+    // 12 runs per point: coarse, but the qualitative claims must hold.
+    let points = identification_sweep(12);
+    // "200 packets are sufficient for up to 20-hops paths" — few failures.
+    let p20 = points.iter().find(|p| p.path_len == 20).unwrap();
+    assert!(p20.failures[0] <= 3, "n=20 @200: {:?}", p20.failures);
+    // 800 packets nearly always suffice out to 40 hops.
+    let p40 = points.iter().find(|p| p.path_len == 40).unwrap();
+    assert!(p40.failures[3] <= 2, "n=40 @800: {:?}", p40.failures);
+    // Figure 7 shape: packets-to-identify grows with path length.
+    let p5 = points.iter().find(|p| p.path_len == 5).unwrap();
+    assert!(
+        p5.packets_to_identify.mean() < p40.packets_to_identify.mean(),
+        "n=5 {} vs n=40 {}",
+        p5.packets_to_identify.mean(),
+        p40.packets_to_identify.mean()
+    );
+}
+
+#[test]
+fn attack_matrix_regenerates() {
+    let t = attack_matrix(&AttackScenario {
+        path_len: 8,
+        mole_position: 4,
+        packets: 200,
+        seed: 99,
+    });
+    assert_eq!(t.len(), 5);
+    // The PNM row is all-secure.
+    let pnm_row = t.rows.iter().find(|r| r[0] == "pnm").unwrap();
+    assert!(
+        pnm_row[1..].iter().all(|c| c == "secure"),
+        "PNM row: {pnm_row:?}"
+    );
+    // At least one baseline row contains a MISLED cell.
+    assert!(
+        t.rows.iter().any(|r| r[1..].iter().any(|c| c == "MISLED")),
+        "no baseline was misled?!"
+    );
+}

@@ -1,0 +1,124 @@
+//! Integration tests pinning the paper's headline quantitative claims.
+
+use pnm::analysis::collection::{collection_probability, packets_for_confidence};
+use pnm::sim::{run_honest_path, traceback_latency, PathScenario, SchemeKind};
+
+/// §1/§9: "within about 50 packets, it can track down a mole up to 20 hops
+/// away from the sink". We average the settle point over seeded runs.
+#[test]
+fn fifty_packets_for_twenty_hops() {
+    let scenario = PathScenario::paper(20);
+    let runs = 30;
+    let mut total = 0usize;
+    let mut succeeded = 0usize;
+    for seed in 0..runs {
+        let run = run_honest_path(&scenario, SchemeKind::Pnm, 400, 7000 + seed);
+        if let Some(first) = run.first_stable_correct() {
+            total += first;
+            succeeded += 1;
+        }
+    }
+    assert!(
+        succeeded >= runs as usize - 2,
+        "succeeded {succeeded}/{runs}"
+    );
+    let avg = total as f64 / succeeded as f64;
+    // The paper reports ~50–55 packets; accept a generous band.
+    assert!(
+        (25.0..100.0).contains(&avg),
+        "avg packets to identify at 20 hops = {avg}"
+    );
+}
+
+/// §6.1 anchors: 13 / 33 / 54 packets for 90% collection at 10/20/30 hops.
+#[test]
+fn analytic_collection_anchors() {
+    assert_eq!(packets_for_confidence(10, 0.3, 0.90), 13);
+    let l20 = packets_for_confidence(20, 0.15, 0.90);
+    let l30 = packets_for_confidence(30, 0.10, 0.90);
+    assert!((31..=35).contains(&l20), "l20 = {l20}");
+    assert!((52..=56).contains(&l30), "l30 = {l30}");
+    // And the 99% claim behind "about 50 packets": 55 packets give >99%
+    // collection at 20 hops.
+    assert!(collection_probability(20, 0.15, 55) > 0.99);
+}
+
+/// §6.2: simulated collection matches the analytical model (Figure 4 vs 5).
+#[test]
+fn simulation_matches_analysis() {
+    let scenario = PathScenario::paper(10);
+    let runs = 300;
+    let budget = 13;
+    let mut all_collected = 0usize;
+    for seed in 0..runs {
+        let run = run_honest_path(&scenario, SchemeKind::Pnm, budget, 31337 + seed);
+        if *run.collected_after.last().unwrap() == 10 {
+            all_collected += 1;
+        }
+    }
+    let empirical = all_collected as f64 / runs as f64;
+    let analytic = collection_probability(10, 0.3, budget as u64);
+    assert!(
+        (empirical - analytic).abs() < 0.07,
+        "empirical {empirical} vs analytic {analytic}"
+    );
+}
+
+/// §7: "about 10 seconds to locate a mole 40-hops away from the sink,
+/// using 300 packets" — on the Mica2 radio model at ~50 pkt/s.
+#[test]
+fn ten_seconds_for_forty_hops() {
+    // Average over a few seeds; individual runs vary with the co-marking
+    // tail. The shape claim: order-of-ten seconds, order-of-300 packets.
+    let mut secs = Vec::new();
+    let mut pkts = Vec::new();
+    for seed in [7u64, 8, 9, 10] {
+        let r = traceback_latency(40, 1500, 50.0, seed);
+        if let (Some(p), Some(s)) = (r.packets_needed, r.seconds) {
+            pkts.push(p as f64);
+            secs.push(s);
+        }
+    }
+    assert!(secs.len() >= 3, "most seeds settle");
+    let avg_secs = secs.iter().sum::<f64>() / secs.len() as f64;
+    let avg_pkts = pkts.iter().sum::<f64>() / pkts.len() as f64;
+    assert!((2.0..20.0).contains(&avg_secs), "avg secs = {avg_secs}");
+    assert!((50.0..900.0).contains(&avg_pkts), "avg pkts = {avg_pkts}");
+}
+
+/// Figure 6's failure counts track the closed-form model in
+/// `pnm-analysis::unequivocal_failure_probability` (the co-marking
+/// analysis behind the flattening failure curves).
+#[test]
+fn fig6_failures_match_closed_form() {
+    let n = 30u16;
+    let budget = 200usize;
+    let runs = 150u64;
+    let scenario = PathScenario::paper(n);
+    let mut failures = 0usize;
+    for seed in 0..runs {
+        let run = run_honest_path(&scenario, SchemeKind::Pnm, budget, 0xF6 << 32 | seed);
+        if !run.correct_at(budget) {
+            failures += 1;
+        }
+    }
+    let p = 3.0 / n as f64;
+    let analytic = pnm::analysis::unequivocal_failure_probability(n as u32, p, budget as u64);
+    let empirical = failures as f64 / runs as f64;
+    // 150 Bernoulli trials: allow ±3σ around the analytic rate.
+    let sigma = (analytic * (1.0 - analytic) / runs as f64).sqrt();
+    assert!(
+        (empirical - analytic).abs() < 3.5 * sigma + 0.02,
+        "empirical {empirical:.3} vs analytic {analytic:.3} (σ = {sigma:.3})"
+    );
+}
+
+/// Basic nested marking traces a mole with a single packet (§4.1).
+#[test]
+fn nested_single_packet_traceback() {
+    for n in [5u16, 20, 50] {
+        let scenario = PathScenario::paper(n);
+        let run = run_honest_path(&scenario, SchemeKind::Nested, 1, n as u64);
+        assert_eq!(run.first_stable_correct(), Some(1), "n = {n}");
+    }
+}

@@ -1,0 +1,175 @@
+//! The paper's security theorems (§5), operationalized as executable
+//! properties across the crates.
+
+use pnm::core::{
+    MarkingConfig, MarkingScheme, NestedMarking, NodeContext, ProbabilisticNestedMarking,
+    SinkVerifier, StopReason, VerifyMode,
+};
+use pnm::crypto::KeyStore;
+use pnm::wire::{Location, NodeId, Packet, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn keys(n: u16) -> KeyStore {
+    KeyStore::derive_from_master(b"theorem-tests", n)
+}
+
+fn report(tag: u64) -> Report {
+    Report::new(
+        format!("evt-{tag}").into_bytes(),
+        Location::new(1.0, 1.0),
+        tag,
+    )
+}
+
+/// Marks a packet honestly over hops `0..n` with the nested scheme.
+fn nested_packet(ks: &KeyStore, n: u16, tag: u64) -> Packet {
+    let scheme = NestedMarking::new(MarkingConfig::default());
+    let mut rng = StdRng::seed_from_u64(tag);
+    let mut pkt = Packet::new(report(tag));
+    for i in 0..n {
+        let ctx = NodeContext::new(NodeId(i), *ks.key(i).unwrap());
+        scheme.mark(&ctx, &mut pkt, &mut rng);
+    }
+    pkt
+}
+
+/// Theorem 2 (consecutive traceability): if the sink traced to V, it can
+/// always trace one hop further to V's legitimate predecessor — for every
+/// suffix of an honest chain.
+#[test]
+fn theorem2_consecutive_traceability() {
+    let ks = keys(20);
+    let pkt = nested_packet(&ks, 20, 1);
+    let verifier = SinkVerifier::new(ks);
+    let chain = verifier.verify(&pkt, VerifyMode::Nested);
+    // The full chain verifies: every consecutive pair was traceable.
+    assert!(chain.fully_verified());
+    assert_eq!(chain.nodes.len(), 20);
+    for (i, node) in chain.nodes.iter().enumerate() {
+        assert_eq!(node.raw() as usize, i);
+    }
+}
+
+/// Theorem 1/2 corollary (one-hop precision): wherever a tamperer strikes
+/// in an honest chain, the backward walk stops either at the tamper point
+/// or downstream of it — never tracing "past" the manipulation to frame an
+/// upstream innocent.
+#[test]
+fn corollary_tamper_never_extends_upstream() {
+    let ks = keys(12);
+    for victim in 0..11u16 {
+        // Tamper with mark `victim` after the chain is complete.
+        let mut pkt = nested_packet(&ks, 12, victim as u64);
+        let mac = pkt.marks[victim as usize].mac.unwrap();
+        pkt.marks[victim as usize].mac = Some(mac.corrupted());
+        let verifier = SinkVerifier::new(ks.clone());
+        let chain = verifier.verify(&pkt, VerifyMode::Nested);
+        // All marks downstream of the victim covered the *original* bytes,
+        // so the first backward check already fails: nothing verifies, or
+        // verification stops strictly downstream of the victim.
+        match chain.stop {
+            StopReason::InvalidMac { mark_index } => {
+                assert!(
+                    mark_index >= victim as usize,
+                    "victim {victim}: stopped at {mark_index}"
+                );
+            }
+            other => panic!("victim {victim}: unexpected stop {other:?}"),
+        }
+    }
+}
+
+/// Theorem 3 (necessity): a scheme protecting fewer fields — extended AMS,
+/// whose MAC omits upstream marks — is not consecutive traceable: the §3
+/// removal attack yields a *fully verifying* chain that nonetheless
+/// starts at an innocent node.
+#[test]
+fn theorem3_ams_counterexample() {
+    let ks = keys(8);
+    let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+    let scheme = pnm::core::ExtendedAms::new(cfg);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut pkt = Packet::new(report(0));
+    for i in 0..8u16 {
+        let ctx = NodeContext::new(NodeId(i), *ks.key(i).unwrap());
+        scheme.mark(&ctx, &mut pkt, &mut rng);
+    }
+    // The mole removes the two most-upstream marks.
+    pkt.marks.drain(0..2);
+    let verifier = SinkVerifier::new(ks);
+    let chain = verifier.verify(&pkt, VerifyMode::Ams);
+    // Every remaining mark still verifies — the removal is invisible.
+    assert_eq!(chain.nodes.len(), 6);
+    // And the traceback now "starts" at innocent node 2.
+    assert_eq!(chain.most_upstream(), Some(NodeId(2)));
+}
+
+/// The anonymous-ID mapping changes per message: two packets from the same
+/// node are unlinkable without the key (§4.2's defense against mapping
+/// accumulation).
+#[test]
+fn anonymous_ids_unlinkable_across_packets() {
+    let ks = keys(5);
+    let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+    let scheme = ProbabilisticNestedMarking::new(cfg);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut seen = std::collections::HashSet::new();
+    for tag in 0..50u64 {
+        let mut pkt = Packet::new(report(tag));
+        let ctx = NodeContext::new(NodeId(2), *ks.key(2).unwrap());
+        scheme.mark(&ctx, &mut pkt, &mut rng);
+        let aid = pkt.marks[0].id.as_anon().expect("anonymous");
+        assert!(seen.insert(aid), "anonymous id repeated at tag {tag}");
+    }
+}
+
+/// An attacker knowing a compromised key cannot forge a mark for an
+/// *uncompromised* node: verification resolves anonymous IDs by key, so a
+/// forged mark under the wrong key never attributes to an innocent.
+#[test]
+fn forged_anonymous_marks_never_attribute_to_innocents() {
+    let ks = keys(6);
+    let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+    let scheme = ProbabilisticNestedMarking::new(cfg);
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let mut pkt = Packet::new(report(9));
+    // Mole (node 5) claims to be node 3 by computing the anon id formula
+    // with ITS OWN key (it lacks node 3's) — then MACs with its own key.
+    let mole_key = *ks.key(5).unwrap();
+    let fake_anon = pnm::crypto::anon_id(&mole_key, &pkt.report.to_bytes(), 3);
+    let mut msg = pkt.to_bytes();
+    msg.extend_from_slice(fake_anon.as_bytes());
+    let mac = mole_key.mark_mac(&msg, 8);
+    pkt.push_mark(pnm::wire::Mark::anon(fake_anon, mac));
+    // Honest node 4 then marks on top.
+    let ctx = NodeContext::new(NodeId(4), *ks.key(4).unwrap());
+    scheme.mark(&ctx, &mut pkt, &mut rng);
+
+    let verifier = SinkVerifier::new(ks);
+    let chain = verifier.verify(&pkt, VerifyMode::Nested);
+    // Node 4 verifies; the forged mark does not resolve to node 3 (or to
+    // anyone): the walk stops there.
+    assert_eq!(chain.nodes, vec![NodeId(4)]);
+    assert!(!chain.nodes.contains(&NodeId(3)));
+}
+
+/// Identity swapping yields valid marks (moles DO own both keys), but the
+/// resulting chains only ever contain path nodes and mole identities —
+/// never a fabricated innocent.
+#[test]
+fn identity_swap_marks_verify_but_name_only_moles() {
+    let ks = keys(10);
+    let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+    let scheme = ProbabilisticNestedMarking::new(cfg);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut pkt = Packet::new(report(77));
+    // Mole 7 marks as mole 2 (keys shared between colluders).
+    let ctx = NodeContext::new(NodeId(2), *ks.key(2).unwrap());
+    scheme.mark(&ctx, &mut pkt, &mut rng);
+    let verifier = SinkVerifier::new(ks);
+    let chain = verifier.verify(&pkt, VerifyMode::Nested);
+    assert!(chain.fully_verified());
+    assert_eq!(chain.nodes, vec![NodeId(2)]); // the swapped identity
+}
