@@ -7,14 +7,15 @@
 //! verification; topology-aware vs exhaustive resolution (§7 ablation).
 
 use std::hint::black_box;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pnm_core::{
-    AnonTable, MarkingConfig, MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkVerifier,
-    TopologyResolver, VerifyMode,
+    AnonTable, MarkingConfig, MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig,
+    SinkEngine, SinkVerifier, TopologyResolver, VerifyMode,
 };
 use pnm_crypto::{anon_id, KeyStore};
 use pnm_net::Topology;
@@ -130,11 +131,48 @@ fn resolution_topology_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+/// Staged-engine batch ingestion: 64 PNM packets spread over 4 reports
+/// against a 1000-node key table. The engine's report-keyed table cache
+/// amortizes anon-ID resolution across same-report packets, so batch
+/// throughput is dominated by 4 table builds instead of 64.
+fn engine_batch_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_batch_ingest");
+    g.sample_size(20);
+    let keys = Arc::new(KeyStore::derive_from_master(b"sink-bench", 1000));
+    let cfg = MarkingConfig::builder().marking_probability(0.15).build();
+    let scheme = ProbabilisticNestedMarking::new(cfg);
+    let mut rng = StdRng::seed_from_u64(64);
+    let packets: Vec<Packet> = (0..64u64)
+        .map(|seq| {
+            let report = Report::new(
+                format!("bench-report-{}", seq % 4).into_bytes(),
+                Location::new(0.0, 0.0),
+                seq,
+            );
+            let mut pkt = Packet::new(report);
+            for hop in 0..20u16 {
+                let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+                scheme.mark(&ctx, &mut pkt, &mut rng);
+            }
+            pkt
+        })
+        .collect();
+    g.throughput(Throughput::Elements(packets.len() as u64));
+    g.bench_function("cached_tables", |b| {
+        b.iter(|| {
+            let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(VerifyMode::Nested));
+            black_box(sink.ingest_batch(black_box(&packets)))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     anon_table_build,
     packet_verification,
     packet_verification_shared_table,
-    resolution_topology_ablation
+    resolution_topology_ablation,
+    engine_batch_ingest
 );
 criterion_main!(benches);

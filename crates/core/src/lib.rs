@@ -15,23 +15,25 @@
 //!    dropping useless.
 //!
 //! The crate provides the five schemes the paper analyzes (PNM plus the
-//! baselines it breaks), the sink's verification and anonymous-ID
-//! resolution, route reconstruction with identity-swap loop detection, and
-//! the streaming [`MoleLocator`].
+//! baselines it breaks), and the staged sink pipeline
+//! ([`SinkEngine`]): mark verification, anonymous-ID resolution, route
+//! reconstruction with identity-swap loop detection, localization, and
+//! quarantine — with the streaming [`MoleLocator`] as its minimal facade.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use pnm_core::{MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking, VerifyMode};
+//! use std::sync::Arc;
+//! use pnm_core::{MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig, SinkEngine, VerifyMode};
 //! use pnm_crypto::KeyStore;
 //! use pnm_wire::{Location, NodeId, Packet, Report};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
 //! // Provision a 10-hop path and run PNM with the paper's settings.
-//! let keys = KeyStore::derive_from_master(b"deployment", 10);
+//! let keys = Arc::new(KeyStore::derive_from_master(b"deployment", 10));
 //! let scheme = ProbabilisticNestedMarking::paper_default(10);
-//! let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+//! let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(VerifyMode::Nested));
 //! let mut rng = StdRng::seed_from_u64(7);
 //!
 //! for seq in 0..100u64 {
@@ -41,10 +43,12 @@
 //!         let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
 //!         scheme.mark(&ctx, &mut pkt, &mut rng);
 //!     }
-//!     locator.ingest(&pkt);
+//!     sink.ingest(&pkt);
 //! }
 //! // The most-upstream node (the source mole's first forwarder) is found.
-//! assert_eq!(locator.unequivocal_source(), Some(NodeId(0)));
+//! assert_eq!(sink.unequivocal_source(), Some(NodeId(0)));
+//! // Uniform instrumentation across the pipeline's stages:
+//! assert_eq!(sink.counters().packets, 100);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,6 +62,7 @@ pub mod precision;
 pub mod reconstruct;
 pub mod replay;
 pub mod scheme;
+pub mod sink;
 pub mod verify;
 
 pub use classifier::{EventRegistry, TrafficClassifier, Verdict, VolumeMonitor};
@@ -74,6 +79,7 @@ pub use scheme::{
     ExtendedAms, MarkingScheme, NestedMarking, NodeContext, PlainMarking,
     ProbabilisticNestedMarking, ProbabilisticNestedPlainId,
 };
+pub use sink::{SinkConfig, SinkCounters, SinkEngine, SinkOutcome};
 pub use verify::{
     AnonTable, Resolution, SinkVerifier, StopReason, TopologyResolver, VerifiedChain, VerifyMode,
 };

@@ -1,17 +1,22 @@
 //! The end-to-end mole locator: packets in, suspected neighborhoods out.
 //!
-//! [`MoleLocator`] composes [`SinkVerifier`]
-//! and [`RouteReconstructor`] into
-//! the two-step traceback of §4.2: (1) collect marks from enough packets to
-//! reconstruct the route, (2) identify the node(s) whose one-hop
-//! neighborhood must contain a mole. It also tracks *when* identification
-//! became unequivocal, which is the quantity Figures 6 and 7 report.
+//! [`MoleLocator`] is the historical streaming facade over the staged
+//! [`SinkEngine`]: the two-step traceback of §4.2 —
+//! (1) collect marks from enough packets to reconstruct the route,
+//! (2) identify the node(s) whose one-hop neighborhood must contain a mole —
+//! plus tracking of *when* identification became unequivocal, the quantity
+//! Figures 6 and 7 report. New code should use the engine directly; the
+//! locator remains as the simplest possible entry point (keys + mode, no
+//! optional stages).
+
+use std::sync::Arc;
 
 use pnm_crypto::KeyStore;
 use pnm_wire::{NodeId, Packet};
 
 use crate::reconstruct::{Localization, RouteReconstructor};
-use crate::verify::{AnonTable, SinkVerifier, VerifiedChain, VerifyMode};
+use crate::sink::{SinkConfig, SinkEngine};
+use crate::verify::{VerifiedChain, VerifyMode};
 
 /// Streaming mole locator at the sink.
 ///
@@ -38,94 +43,70 @@ use crate::verify::{AnonTable, SinkVerifier, VerifiedChain, VerifyMode};
 /// ```
 #[derive(Clone, Debug)]
 pub struct MoleLocator {
-    verifier: SinkVerifier,
-    mode: VerifyMode,
-    reconstructor: RouteReconstructor,
-    packets_ingested: usize,
-    first_unequivocal: Option<usize>,
-    /// Cached anon table for the most recent report bytes (PNM verification
-    /// builds one table per distinct report; a source mole must vary report
-    /// content, but retransmissions of the same report can share).
-    cached_table: Option<(Vec<u8>, AnonTable)>,
+    engine: SinkEngine,
 }
 
 impl MoleLocator {
     /// Creates a locator for a deployment's key table and scheme mode.
-    pub fn new(keys: KeyStore, mode: VerifyMode) -> Self {
+    /// Accepts either an owned [`KeyStore`] or a shared `Arc<KeyStore>`.
+    pub fn new(keys: impl Into<Arc<KeyStore>>, mode: VerifyMode) -> Self {
         MoleLocator {
-            verifier: SinkVerifier::new(keys),
-            mode,
-            reconstructor: RouteReconstructor::new(),
-            packets_ingested: 0,
-            first_unequivocal: None,
-            cached_table: None,
+            engine: SinkEngine::new(keys, SinkConfig::new(mode)),
         }
     }
 
     /// Verifies one packet, folds its chain into the route, and returns the
     /// verified chain.
     pub fn ingest(&mut self, packet: &Packet) -> VerifiedChain {
-        self.packets_ingested += 1;
-        let chain = match self.mode {
-            VerifyMode::Nested => {
-                let report_bytes = packet.report.to_bytes();
-                let reuse = self
-                    .cached_table
-                    .as_ref()
-                    .is_some_and(|(rb, _)| *rb == report_bytes);
-                if !reuse {
-                    let table = AnonTable::build(self.verifier.keys(), &report_bytes);
-                    self.cached_table = Some((report_bytes, table));
-                }
-                let (_, table) = self.cached_table.as_ref().expect("just inserted");
-                self.verifier.verify_nested_with_table(packet, table)
-            }
-            mode => self.verifier.verify(packet, mode),
-        };
-        self.reconstructor.observe_chain(&chain.nodes);
-        if self.first_unequivocal.is_none() && self.reconstructor.is_unequivocal() {
-            self.first_unequivocal = Some(self.packets_ingested);
-        }
-        chain
+        self.engine
+            .ingest(packet)
+            .chain
+            .expect("engine without classifier admits every packet")
     }
 
     /// Single-packet traceback (basic nested marking, §4.1): the suspected
     /// neighborhood from this one packet alone, without touching the
     /// streaming state.
     pub fn locate_single(&self, packet: &Packet) -> Option<NodeId> {
-        self.verifier
+        self.engine
+            .verifier()
             .verify(packet, VerifyMode::Nested)
             .most_upstream()
     }
 
     /// Current localization decision.
     pub fn localize(&self) -> Localization {
-        self.reconstructor.localize()
+        self.engine.localize()
     }
 
     /// The unequivocally identified most-upstream node, if reached.
     pub fn unequivocal_source(&self) -> Option<NodeId> {
-        self.reconstructor.unequivocal_source()
+        self.engine.unequivocal_source()
     }
 
     /// Packets ingested so far.
     pub fn packets_ingested(&self) -> usize {
-        self.packets_ingested
+        self.engine.packets_ingested()
     }
 
     /// The packet count at which identification first became unequivocal.
     pub fn first_unequivocal(&self) -> Option<usize> {
-        self.first_unequivocal
+        self.engine.first_unequivocal()
     }
 
     /// Distinct nodes whose marks have been collected (Figure 5's metric).
     pub fn observed_count(&self) -> usize {
-        self.reconstructor.observed_count()
+        self.engine.observed_count()
     }
 
     /// Read access to the underlying reconstructor.
     pub fn reconstructor(&self) -> &RouteReconstructor {
-        &self.reconstructor
+        self.engine.reconstructor()
+    }
+
+    /// Read access to the underlying staged engine (counters, quarantine).
+    pub fn engine(&self) -> &SinkEngine {
+        &self.engine
     }
 }
 
@@ -179,6 +160,8 @@ mod tests {
         let first = locator.first_unequivocal().expect("converged");
         assert!(first < 200, "first unequivocal at {first}");
         assert_eq!(locator.observed_count(), n as usize);
+        // The engine's counters are visible through the facade.
+        assert_eq!(locator.engine().counters().packets, 200);
     }
 
     #[test]
@@ -224,7 +207,8 @@ mod tests {
     #[test]
     fn table_cache_reused_for_same_report() {
         // Two identical reports: the second ingest must reuse the cached
-        // anon table (observable only behaviorally: identical results).
+        // anon table, observable both behaviorally (identical results) and
+        // through the engine's counters.
         let n = 8u16;
         let ks = keys(n);
         let cfg = MarkingConfig::builder().marking_probability(1.0).build();
@@ -241,5 +225,19 @@ mod tests {
         let c2 = locator.ingest(&pkt);
         assert_eq!(c1, c2);
         assert!(c1.fully_verified());
+        assert_eq!(locator.engine().counters().table_builds, 1);
+        assert_eq!(locator.engine().counters().table_cache_hits, 1);
+    }
+
+    #[test]
+    fn locator_accepts_shared_arc_keystore() {
+        let ks = Arc::new(keys(6));
+        let scheme = ProbabilisticNestedMarking::paper_default(6);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Several locators share one key table without copying it.
+        let mut a = MoleLocator::new(Arc::clone(&ks), VerifyMode::Nested);
+        let mut b = MoleLocator::new(Arc::clone(&ks), VerifyMode::Nested);
+        let pkt = make_packet(&ks, &scheme, 6, 0, &mut rng);
+        assert_eq!(a.ingest(&pkt), b.ingest(&pkt));
     }
 }

@@ -1,0 +1,886 @@
+//! The staged sink engine: every sink-side duty behind one API.
+//!
+//! The paper's sink performs a fixed pipeline on every arriving packet:
+//! admit it past the traffic classifier (§5), verify its marks backwards
+//! (§4.1), resolve anonymous IDs to real ids (§4.2/§7), fold the verified
+//! chain into the reconstructed route (§4.2), and maintain the quarantine
+//! implied by the current localization (§7). Before this module each
+//! simulation runner wired those pieces together by hand, cloning the whole
+//! [`KeyStore`] for every verifier it built. [`SinkEngine`] owns the
+//! pipeline instead:
+//!
+//! 1. **classify** — optional [`TrafficClassifier`] gate; benign packets
+//!    never reach verification.
+//! 2. **verify + resolve** — backward nested MAC verification with
+//!    anonymous-ID resolution, either through a per-report [`AnonTable`]
+//!    cache (brute-force §4.2) or a topology-guided [`TopologyResolver`]
+//!    ring search (§7) when adjacency is configured.
+//! 3. **reconstruct** — the verified chain feeds the [`RouteReconstructor`]
+//!    order matrix.
+//! 4. **localize / quarantine** — unequivocal-source tracking and, when an
+//!    [`IsolationPolicy`] is configured, quarantine-set maintenance.
+//!
+//! The engine is built once from a [`SinkConfig`] plus a shared
+//! `Arc<KeyStore>` and exposes per-packet [`SinkEngine::ingest`] and batch
+//! [`SinkEngine::ingest_batch`]. Both run the identical code path — batch
+//! ingestion produces byte-identical chains and counters — but the engine
+//! amortizes the expensive anonymous-ID work across packets: a multi-entry
+//! table cache keyed by report bytes means `k` distinct reports cost `k`
+//! table builds no matter how many packets carry them, and reusable scratch
+//! buffers keep per-mark verification allocation-free. Uniform
+//! instrumentation ([`SinkCounters`]) reports hash evaluations, mark
+//! verdicts, cache behavior, and resolver fallbacks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pnm_crypto::KeyStore;
+use pnm_wire::{NodeId, Packet};
+
+use crate::classifier::{TrafficClassifier, Verdict};
+use crate::isolation::{quarantine_set, IsolationPolicy, QuarantineFilter};
+use crate::reconstruct::{Localization, RouteReconstructor, SourceRegion};
+use crate::verify::{AnonTable, SinkVerifier, TopologyResolver, VerifiedChain, VerifyMode};
+
+/// Default number of per-report anonymous-ID tables the engine keeps live.
+///
+/// A source mole must vary report content to evade duplicate suppression,
+/// but retransmissions and loss-recovery re-deliver the same report; a
+/// small LRU window captures those without letting a report-varying mole
+/// inflate sink memory.
+const DEFAULT_TABLE_CACHE_CAPACITY: usize = 8;
+
+/// Build-time description of a sink pipeline.
+///
+/// Only the verify mode is mandatory; everything else defaults to the plain
+/// §4.2 sink (brute-force anonymous-ID resolution, no admission control, no
+/// quarantine).
+#[derive(Clone, Debug)]
+pub struct SinkConfig {
+    mode: VerifyMode,
+    table_cache_capacity: usize,
+    adjacency: Option<HashMap<u16, Vec<u16>>>,
+    max_radius: Option<usize>,
+    classifier: Option<TrafficClassifier>,
+    isolation: Option<IsolationPolicy>,
+}
+
+impl SinkConfig {
+    /// A pipeline verifying under `mode` with all optional stages disabled.
+    pub fn new(mode: VerifyMode) -> Self {
+        SinkConfig {
+            mode,
+            table_cache_capacity: DEFAULT_TABLE_CACHE_CAPACITY,
+            adjacency: None,
+            max_radius: None,
+            classifier: None,
+            isolation: None,
+        }
+    }
+
+    /// Sets how many per-report anonymous-ID tables stay cached (≥ 1).
+    pub fn table_cache_capacity(mut self, capacity: usize) -> Self {
+        self.table_cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Supplies sink-known adjacency, switching anonymous-ID resolution to
+    /// the §7 topology-guided ring search (and giving the quarantine stage
+    /// its one-hop neighborhoods).
+    pub fn topology(mut self, adjacency: HashMap<u16, Vec<u16>>) -> Self {
+        self.adjacency = Some(adjacency);
+        self
+    }
+
+    /// Ring-search radius before the resolver falls back to a full scan.
+    pub fn max_search_radius(mut self, radius: usize) -> Self {
+        self.max_radius = Some(radius);
+        self
+    }
+
+    /// Installs an admission-control classifier in front of verification.
+    pub fn classifier(mut self, classifier: TrafficClassifier) -> Self {
+        self.classifier = Some(classifier);
+        self
+    }
+
+    /// Enables the quarantine stage under the given policy.
+    pub fn isolation(mut self, policy: IsolationPolicy) -> Self {
+        self.isolation = Some(policy);
+        self
+    }
+
+    /// The configured verify mode.
+    pub fn mode(&self) -> VerifyMode {
+        self.mode
+    }
+}
+
+/// Uniform instrumentation across every pipeline stage.
+///
+/// All counts are cumulative since engine construction. Batch and
+/// per-packet ingestion update them identically.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SinkCounters {
+    /// Packets offered to the pipeline (including classified-out ones).
+    pub packets: usize,
+    /// Total `H'` evaluations spent on anonymous-ID resolution (table
+    /// builds plus ring searches).
+    pub hash_count: usize,
+    /// Marks whose MAC verified.
+    pub marks_verified: usize,
+    /// Marks rejected (invalid MAC, unknown key, or unreachable past the
+    /// first invalid mark).
+    pub marks_rejected: usize,
+    /// Anonymous-ID tables built.
+    pub table_builds: usize,
+    /// Verifications served by an already-cached table.
+    pub table_cache_hits: usize,
+    /// Topology resolutions that missed the ring search and fell back to
+    /// the full sorted scan.
+    pub resolver_fallback_scans: usize,
+    /// Packets the classifier admitted as suspicious.
+    pub suspicious: usize,
+    /// Packets the classifier rejected as benign (never verified).
+    pub benign: usize,
+}
+
+impl SinkCounters {
+    /// Fraction of nested verifications served from the table cache
+    /// (`hits / (hits + builds)`); `None` before any nested verification.
+    pub fn table_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.table_builds + self.table_cache_hits;
+        (total > 0).then(|| self.table_cache_hits as f64 / total as f64)
+    }
+}
+
+/// What the pipeline decided about one packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SinkOutcome {
+    /// The classifier's verdict; `None` when no classifier is configured
+    /// (every packet proceeds to verification).
+    pub verdict: Option<Verdict>,
+    /// The verified chain; `None` only when the classifier rejected the
+    /// packet as benign before verification.
+    pub chain: Option<VerifiedChain>,
+}
+
+impl SinkOutcome {
+    /// `true` if the packet reached the verify stage.
+    pub fn admitted(&self) -> bool {
+        self.chain.is_some()
+    }
+}
+
+/// The staged, batch-oriented sink: classify → verify/resolve →
+/// reconstruct → localize/quarantine.
+///
+/// See the [module docs](self) for the pipeline description.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pnm_core::{MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig, SinkEngine, VerifyMode};
+/// use pnm_crypto::KeyStore;
+/// use pnm_wire::{Location, NodeId, Packet, Report};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let keys = Arc::new(KeyStore::derive_from_master(b"deployment", 10));
+/// let scheme = ProbabilisticNestedMarking::paper_default(10);
+/// let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(VerifyMode::Nested));
+/// let mut rng = StdRng::seed_from_u64(7);
+///
+/// for seq in 0..100u64 {
+///     let report = Report::new(format!("bogus-{seq}").into_bytes(), Location::new(0.0, 0.0), seq);
+///     let mut pkt = Packet::new(report);
+///     for hop in 0..10u16 {
+///         let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+///         scheme.mark(&ctx, &mut pkt, &mut rng);
+///     }
+///     sink.ingest(&pkt);
+/// }
+/// assert_eq!(sink.unequivocal_source(), Some(NodeId(0)));
+/// assert!(sink.counters().hash_count > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SinkEngine {
+    keys: Arc<KeyStore>,
+    mode: VerifyMode,
+    verifier: SinkVerifier,
+    resolver: Option<TopologyResolver>,
+    adjacency: Option<HashMap<u16, Vec<u16>>>,
+    classifier: Option<TrafficClassifier>,
+    isolation: Option<IsolationPolicy>,
+    reconstructor: RouteReconstructor,
+    /// LRU cache of per-report anonymous-ID tables, most recent last.
+    table_cache: Vec<(Vec<u8>, AnonTable)>,
+    table_cache_capacity: usize,
+    /// Reusable MAC-message buffer (shared across marks and packets).
+    scratch: Vec<u8>,
+    /// Reusable candidate-id buffer for anonymous-ID disambiguation.
+    cand_buf: Vec<u16>,
+    counters: SinkCounters,
+    first_unequivocal: Option<usize>,
+    quarantine: QuarantineFilter,
+    last_quarantined_source: Option<NodeId>,
+}
+
+impl SinkEngine {
+    /// Builds the pipeline once from a config and the deployment keys.
+    /// Accepts either an owned [`KeyStore`] or a shared `Arc<KeyStore>`;
+    /// every stage holds the same `Arc`, so construction never copies key
+    /// material.
+    pub fn new(keys: impl Into<Arc<KeyStore>>, config: SinkConfig) -> Self {
+        let keys = keys.into();
+        let resolver = config.adjacency.clone().map(|adj| {
+            let r = TopologyResolver::new(Arc::clone(&keys), adj);
+            match config.max_radius {
+                Some(radius) => r.with_max_radius(radius),
+                None => r,
+            }
+        });
+        SinkEngine {
+            verifier: SinkVerifier::new(Arc::clone(&keys)),
+            keys,
+            mode: config.mode,
+            resolver,
+            adjacency: config.adjacency,
+            classifier: config.classifier,
+            isolation: config.isolation,
+            reconstructor: RouteReconstructor::new(),
+            table_cache: Vec::new(),
+            table_cache_capacity: config.table_cache_capacity,
+            scratch: Vec::new(),
+            cand_buf: Vec::new(),
+            counters: SinkCounters::default(),
+            first_unequivocal: None,
+            quarantine: QuarantineFilter::new(),
+            last_quarantined_source: None,
+        }
+    }
+
+    /// Runs one packet through the full pipeline, stamped with the report's
+    /// own timestamp (the simulators deliver reports stamped at send time).
+    pub fn ingest(&mut self, packet: &Packet) -> SinkOutcome {
+        self.ingest_at(packet, packet.report.timestamp)
+    }
+
+    /// Runs one packet through the full pipeline with an explicit arrival
+    /// clock for the classifier's rate window.
+    pub fn ingest_at(&mut self, packet: &Packet, now_us: u64) -> SinkOutcome {
+        self.counters.packets += 1;
+
+        // Stage 1: classify/admit.
+        let verdict = self
+            .classifier
+            .as_mut()
+            .map(|c| c.classify(&packet.report, now_us));
+        match verdict {
+            Some(Verdict::Benign) => {
+                self.counters.benign += 1;
+                return SinkOutcome {
+                    verdict,
+                    chain: None,
+                };
+            }
+            Some(Verdict::Suspicious) => self.counters.suspicious += 1,
+            None => {}
+        }
+
+        // Stages 2–3: verify marks, resolving anonymous IDs.
+        let chain = self.verify_stage(packet);
+        self.counters.marks_verified += chain.nodes.len();
+        self.counters.marks_rejected += chain.total_marks - chain.nodes.len();
+
+        // Stage 4: fold into the reconstructed route.
+        self.reconstructor.observe_chain(&chain.nodes);
+        if self.first_unequivocal.is_none() && self.reconstructor.is_unequivocal() {
+            self.first_unequivocal = Some(self.counters.packets);
+        }
+
+        // Stage 5: quarantine maintenance (cheap: only runs on a new
+        // unequivocal source).
+        self.update_quarantine();
+
+        SinkOutcome {
+            verdict,
+            chain: Some(chain),
+        }
+    }
+
+    /// Runs a batch of packets through the pipeline.
+    ///
+    /// Batch ingestion is the same staged path as [`SinkEngine::ingest`] —
+    /// outcomes and counters are byte-identical to ingesting the packets one
+    /// by one on this engine — but because the engine's table cache and
+    /// scratch buffers persist across the batch, `k` distinct reports cost
+    /// `k` anonymous-ID table builds regardless of batch size, where `n`
+    /// independent single-packet sinks would pay `n`.
+    pub fn ingest_batch(&mut self, packets: &[Packet]) -> Vec<SinkOutcome> {
+        packets.iter().map(|p| self.ingest(p)).collect()
+    }
+
+    /// Verify + anonymous-ID resolution for one admitted packet.
+    fn verify_stage(&mut self, packet: &Packet) -> VerifiedChain {
+        if self.mode != VerifyMode::Nested {
+            return self.verifier.verify(packet, self.mode);
+        }
+        let report_bytes = packet.report.to_bytes();
+        if let Some(resolver) = &self.resolver {
+            // §7 topology-guided resolution: no table build at all; each
+            // anonymous ID is searched ring by ring from the previously
+            // verified node.
+            let mut hashes = 0usize;
+            let mut fallbacks = 0usize;
+            let chain = self.verifier.verify_nested_with(
+                packet,
+                &mut self.scratch,
+                &mut self.cand_buf,
+                &mut |aid, anchor, out| match resolver.resolve(&report_bytes, aid, anchor) {
+                    Some(res) => {
+                        hashes += res.hash_count;
+                        fallbacks += res.via_fallback as usize;
+                        out.push(res.id.raw());
+                    }
+                    None => {
+                        // Unresolvable: the resolver scanned everything.
+                        hashes += resolver.keys().len();
+                        fallbacks += 1;
+                    }
+                },
+            );
+            self.counters.hash_count += hashes;
+            self.counters.resolver_fallback_scans += fallbacks;
+            return chain;
+        }
+        // Brute-force §4.2 resolution through the per-report table cache.
+        let idx = self.lookup_or_build_table(&report_bytes);
+        let table = &self.table_cache[idx].1;
+        self.verifier.verify_nested_with(
+            packet,
+            &mut self.scratch,
+            &mut self.cand_buf,
+            &mut |aid, _anchor, out| out.extend_from_slice(table.resolve(aid)),
+        )
+    }
+
+    /// Returns the cache index of the table for `report_bytes`, building
+    /// and inserting it (LRU eviction) on a miss.
+    fn lookup_or_build_table(&mut self, report_bytes: &[u8]) -> usize {
+        if let Some(pos) = self
+            .table_cache
+            .iter()
+            .position(|(rb, _)| rb == report_bytes)
+        {
+            self.counters.table_cache_hits += 1;
+            // Move to the back: most recently used.
+            let entry = self.table_cache.remove(pos);
+            self.table_cache.push(entry);
+        } else {
+            let table = AnonTable::build(&self.keys, report_bytes);
+            self.counters.table_builds += 1;
+            self.counters.hash_count += table.hash_count;
+            if self.table_cache.len() >= self.table_cache_capacity {
+                self.table_cache.remove(0);
+            }
+            self.table_cache.push((report_bytes.to_vec(), table));
+        }
+        self.table_cache.len() - 1
+    }
+
+    /// Quarantines around the unequivocal source when it first appears (or
+    /// changes). No-op without an isolation policy.
+    fn update_quarantine(&mut self) {
+        let Some(policy) = self.isolation else {
+            return;
+        };
+        let Some(src) = self.reconstructor.unequivocal_source() else {
+            return;
+        };
+        if self.last_quarantined_source == Some(src) {
+            return;
+        }
+        self.last_quarantined_source = Some(src);
+        self.apply_quarantine(&Localization::MostUpstream(src), policy);
+    }
+
+    fn apply_quarantine(&mut self, localization: &Localization, policy: IsolationPolicy) {
+        let adjacency = self.adjacency.as_ref();
+        let set = quarantine_set(localization, policy, |n| {
+            adjacency
+                .and_then(|a| a.get(&n.raw()))
+                .map(|v| v.iter().copied().map(NodeId).collect())
+                .unwrap_or_default()
+        });
+        self.quarantine.quarantine(set);
+    }
+
+    /// Recomputes the quarantine from the full current localization
+    /// (including loops and ambiguity), folding it into the filter.
+    /// No-op without an isolation policy.
+    pub fn refresh_quarantine(&mut self) -> &QuarantineFilter {
+        if let Some(policy) = self.isolation {
+            let localization = self.reconstructor.localize();
+            self.apply_quarantine(&localization, policy);
+        }
+        &self.quarantine
+    }
+
+    /// Quarantines the head of every reconstructed source region under the
+    /// configured policy — the end-of-round sweep a multi-mole deployment
+    /// runs (§7). No-op without an isolation policy.
+    pub fn quarantine_source_regions(&mut self) -> &QuarantineFilter {
+        if let Some(policy) = self.isolation {
+            for region in self.reconstructor.source_regions() {
+                self.apply_quarantine(&Localization::MostUpstream(region.head), policy);
+            }
+        }
+        &self.quarantine
+    }
+
+    /// The shared deployment key table.
+    pub fn keys(&self) -> &Arc<KeyStore> {
+        &self.keys
+    }
+
+    /// The configured verify mode.
+    pub fn mode(&self) -> VerifyMode {
+        self.mode
+    }
+
+    /// Read access to the verify stage (for one-off out-of-band checks).
+    pub fn verifier(&self) -> &SinkVerifier {
+        &self.verifier
+    }
+
+    /// Snapshot of the pipeline's instrumentation counters.
+    pub fn counters(&self) -> SinkCounters {
+        self.counters
+    }
+
+    /// Current localization decision.
+    pub fn localize(&self) -> Localization {
+        self.reconstructor.localize()
+    }
+
+    /// Reconstructed source regions (multi-mole deployments).
+    pub fn source_regions(&self) -> Vec<SourceRegion> {
+        self.reconstructor.source_regions()
+    }
+
+    /// The unequivocally identified most-upstream node, if reached.
+    pub fn unequivocal_source(&self) -> Option<NodeId> {
+        self.reconstructor.unequivocal_source()
+    }
+
+    /// Packets offered to the pipeline so far.
+    pub fn packets_ingested(&self) -> usize {
+        self.counters.packets
+    }
+
+    /// The packet count at which identification first became unequivocal.
+    pub fn first_unequivocal(&self) -> Option<usize> {
+        self.first_unequivocal
+    }
+
+    /// Distinct nodes whose marks have been collected (Figure 5's metric).
+    pub fn observed_count(&self) -> usize {
+        self.reconstructor.observed_count()
+    }
+
+    /// Read access to the underlying reconstructor.
+    pub fn reconstructor(&self) -> &RouteReconstructor {
+        &self.reconstructor
+    }
+
+    /// The quarantine filter maintained by the isolation stage.
+    pub fn quarantine(&self) -> &QuarantineFilter {
+        &self.quarantine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{EventRegistry, TrafficClassifier};
+    use crate::config::MarkingConfig;
+    use crate::scheme::{
+        ExtendedAms, MarkingScheme, NestedMarking, NodeContext, PlainMarking,
+        ProbabilisticNestedMarking,
+    };
+    use pnm_wire::{Location, Report};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys(n: u16) -> Arc<KeyStore> {
+        Arc::new(KeyStore::derive_from_master(b"sink-test", n))
+    }
+
+    fn packet(
+        ks: &KeyStore,
+        scheme: &dyn MarkingScheme,
+        n: u16,
+        seq: u64,
+        rng: &mut StdRng,
+    ) -> Packet {
+        let report = Report::new(
+            format!("ev-{seq}").into_bytes(),
+            Location::new(seq as f32, 0.0),
+            seq,
+        );
+        let mut pkt = Packet::new(report);
+        for i in 0..n {
+            let ctx = NodeContext::new(NodeId(i), *ks.key(i).unwrap());
+            scheme.mark(&ctx, &mut pkt, rng);
+        }
+        pkt
+    }
+
+    fn chain_adjacency(n: u16) -> HashMap<u16, Vec<u16>> {
+        (0..n)
+            .map(|i| {
+                let mut neigh = Vec::new();
+                if i > 0 {
+                    neigh.push(i - 1);
+                }
+                if i + 1 < n {
+                    neigh.push(i + 1);
+                }
+                (i, neigh)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_converges_like_locator() {
+        let n = 10u16;
+        let ks = keys(n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut engine = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        let mut rng = StdRng::seed_from_u64(11);
+        for seq in 0..200 {
+            let pkt = packet(&ks, &scheme, n, seq, &mut rng);
+            let out = engine.ingest(&pkt);
+            assert!(out.admitted());
+            assert!(out.verdict.is_none());
+        }
+        assert_eq!(engine.packets_ingested(), 200);
+        assert_eq!(engine.unequivocal_source(), Some(NodeId(0)));
+        assert!(engine.first_unequivocal().unwrap() < 200);
+        let c = engine.counters();
+        assert_eq!(c.packets, 200);
+        // 200 distinct reports, cache capacity 8: every report builds.
+        assert_eq!(c.table_builds, 200);
+        assert_eq!(c.hash_count, 200 * n as usize);
+        assert!(c.marks_verified > 0);
+    }
+
+    #[test]
+    fn table_cache_amortizes_same_report() {
+        let n = 8u16;
+        let ks = keys(n);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pkt = packet(&ks, &scheme, n, 1, &mut rng);
+        let mut engine = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        for _ in 0..5 {
+            engine.ingest(&pkt);
+        }
+        let c = engine.counters();
+        assert_eq!(c.table_builds, 1);
+        assert_eq!(c.table_cache_hits, 4);
+        assert_eq!(c.hash_count, n as usize);
+        assert_eq!(c.table_cache_hit_rate(), Some(0.8));
+    }
+
+    #[test]
+    fn table_cache_evicts_lru() {
+        let n = 4u16;
+        let ks = keys(n);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg_sink = SinkConfig::new(VerifyMode::Nested).table_cache_capacity(2);
+        let mut engine = SinkEngine::new(Arc::clone(&ks), cfg_sink);
+        let pkts: Vec<Packet> = (0..3)
+            .map(|s| packet(&ks, &scheme, n, s, &mut rng))
+            .collect();
+        // 0, 1, 2 fill and overflow the 2-entry cache; 0 was evicted.
+        for p in &pkts {
+            engine.ingest(p);
+        }
+        engine.ingest(&pkts[0]);
+        let c = engine.counters();
+        assert_eq!(c.table_builds, 4);
+        assert_eq!(c.table_cache_hits, 0);
+        // 2 is still cached (most recent before the re-ingest of 0).
+        engine.ingest(&pkts[2]);
+        assert_eq!(engine.counters().table_cache_hits, 1);
+    }
+
+    #[test]
+    fn topology_resolution_uses_fewer_hashes() {
+        // Large network, short path: ring search touches ~2 keys per mark
+        // while the brute-force table hashes all 300 provisioned nodes.
+        let network = 300u16;
+        let path = 20u16;
+        let ks = keys(network);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pkt = packet(&ks, &scheme, path, 1, &mut rng);
+
+        let mut brute = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        let chain_brute = brute.ingest(&pkt).chain.unwrap();
+
+        let cfg_topo = SinkConfig::new(VerifyMode::Nested).topology(chain_adjacency(network));
+        let mut topo = SinkEngine::new(Arc::clone(&ks), cfg_topo);
+        let chain_topo = topo.ingest(&pkt).chain.unwrap();
+
+        assert_eq!(chain_brute, chain_topo);
+        assert!(chain_topo.fully_verified());
+        // Every marker is the anchor's direct neighbor except the first
+        // resolution (no anchor → fallback scan): far fewer hashes than the
+        // full per-report table build.
+        assert!(
+            topo.counters().hash_count < brute.counters().hash_count,
+            "topology {} vs brute {}",
+            topo.counters().hash_count,
+            brute.counters().hash_count
+        );
+        assert_eq!(topo.counters().table_builds, 0);
+        assert!(topo.counters().resolver_fallback_scans >= 1);
+    }
+
+    #[test]
+    fn classifier_gates_verification() {
+        let n = 5u16;
+        let ks = keys(n);
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(6);
+        let pkt = packet(&ks, &scheme, n, 1, &mut rng);
+        // A registry corroborating the packet's claimed event: the report
+        // is benign and must never reach verification.
+        let mut registry = EventRegistry::new(10.0);
+        registry.register(1.0, 0.0, 0, u64::MAX);
+        let classifier = TrafficClassifier::permissive().with_registry(registry);
+        let cfg = SinkConfig::new(VerifyMode::Nested).classifier(classifier);
+        let mut engine = SinkEngine::new(Arc::clone(&ks), cfg);
+        let out = engine.ingest(&pkt);
+        assert_eq!(out.verdict, Some(Verdict::Benign));
+        assert!(!out.admitted());
+        let c = engine.counters();
+        assert_eq!(c.benign, 1);
+        assert_eq!(c.marks_verified, 0);
+        assert_eq!(c.hash_count, 0);
+        assert_eq!(engine.observed_count(), 0);
+    }
+
+    #[test]
+    fn quarantine_stage_tracks_unequivocal_source() {
+        let n = 6u16;
+        let ks = keys(n);
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = SinkConfig::new(VerifyMode::Nested)
+            .topology(chain_adjacency(n))
+            .isolation(IsolationPolicy::OneHopNeighborhood);
+        let mut engine = SinkEngine::new(Arc::clone(&ks), cfg);
+        let pkt = packet(&ks, &scheme, n, 1, &mut rng);
+        engine.ingest(&pkt);
+        assert_eq!(engine.unequivocal_source(), Some(NodeId(0)));
+        // Node 0 and its one-hop neighbor 1 are quarantined.
+        assert!(!engine.quarantine().permits(NodeId(0)));
+        assert!(!engine.quarantine().permits(NodeId(1)));
+        assert!(engine.quarantine().permits(NodeId(2)));
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_beats_fresh_engines() {
+        // The acceptance workload: multiple packets carrying few distinct
+        // reports. Batch ingestion must equal sequential ingestion exactly
+        // and spend strictly fewer anon-ID hash evaluations than N
+        // independent single-packet sinks.
+        let n = 12u16;
+        let ks = keys(n);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(9);
+        let base: Vec<Packet> = (0..2)
+            .map(|s| packet(&ks, &scheme, n, s, &mut rng))
+            .collect();
+        let workload: Vec<Packet> = (0..6).map(|i| base[i % 2].clone()).collect();
+
+        let mut seq = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        let seq_out: Vec<SinkOutcome> = workload.iter().map(|p| seq.ingest(p)).collect();
+
+        let mut batch = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        let batch_out = batch.ingest_batch(&workload);
+
+        assert_eq!(seq_out, batch_out);
+        assert_eq!(seq.counters(), batch.counters());
+        assert_eq!(seq.localize(), batch.localize());
+
+        let fresh_total: usize = workload
+            .iter()
+            .map(|p| {
+                let mut e = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+                e.ingest(p);
+                e.counters().hash_count
+            })
+            .sum();
+        assert!(
+            batch.counters().hash_count < fresh_total,
+            "batch {} vs {} across fresh engines",
+            batch.counters().hash_count,
+            fresh_total
+        );
+        // 2 distinct reports → exactly 2 table builds for the whole batch.
+        assert_eq!(batch.counters().table_builds, 2);
+        assert_eq!(batch.counters().table_cache_hits, 4);
+    }
+
+    #[test]
+    fn non_nested_modes_skip_table_machinery() {
+        let n = 5u16;
+        let ks = keys(n);
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        for (mode, scheme) in [
+            (
+                VerifyMode::PlainTrust,
+                Box::new(PlainMarking::new(cfg)) as Box<dyn MarkingScheme>,
+            ),
+            (VerifyMode::Ams, Box::new(ExtendedAms::new(cfg))),
+        ] {
+            let pkt = packet(&ks, scheme.as_ref(), n, 1, &mut rng);
+            let mut engine = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(mode));
+            let out = engine.ingest(&pkt);
+            assert!(out.chain.unwrap().nodes.len() == n as usize, "{mode:?}");
+            let c = engine.counters();
+            assert_eq!(c.table_builds, 0, "{mode:?}");
+            assert_eq!(c.hash_count, 0, "{mode:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::config::MarkingConfig;
+    use crate::scheme::{
+        ExtendedAms, MarkingScheme, NestedMarking, NodeContext, PlainMarking,
+        ProbabilisticNestedMarking,
+    };
+    use pnm_wire::{Location, Report};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds `n_packets` marked packets over `n_reports` distinct reports,
+    /// under one of the five schemes (indexed 0..5, covering every
+    /// [`VerifyMode`]).
+    fn scenario(
+        scheme_idx: usize,
+        path_len: u16,
+        n_packets: usize,
+        n_reports: usize,
+        seed: u64,
+    ) -> (Arc<KeyStore>, VerifyMode, Vec<Packet>) {
+        let keys = Arc::new(KeyStore::derive_from_master(b"sink-prop", path_len));
+        let cfg = MarkingConfig::builder().marking_probability(0.5).build();
+        let (mode, scheme): (VerifyMode, Box<dyn MarkingScheme>) = match scheme_idx {
+            0 => (VerifyMode::PlainTrust, Box::new(PlainMarking::new(cfg))),
+            1 => (VerifyMode::Ams, Box::new(ExtendedAms::new(cfg))),
+            2 => (
+                VerifyMode::Nested,
+                Box::new(NestedMarking::new(MarkingConfig::default())),
+            ),
+            3 => (
+                VerifyMode::Nested,
+                Box::new(ProbabilisticNestedMarking::new(cfg)),
+            ),
+            _ => (
+                VerifyMode::Nested,
+                Box::new(ProbabilisticNestedMarking::paper_default(path_len as usize)),
+            ),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let packets = (0..n_packets)
+            .map(|i| {
+                let rep = (i % n_reports) as u64;
+                let report = Report::new(
+                    format!("prop-{rep}").into_bytes(),
+                    Location::new(rep as f32, 1.0),
+                    rep,
+                );
+                let mut pkt = Packet::new(report);
+                for hop in 0..path_len {
+                    let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+                    scheme.mark(&ctx, &mut pkt, &mut rng);
+                }
+                pkt
+            })
+            .collect();
+        (keys, mode, packets)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// `ingest_batch` is observably identical to per-packet `ingest`
+        /// across random scenarios and every verify mode: same chains, same
+        /// localization, same counters. On nested multi-packet same-report
+        /// workloads it additionally performs strictly fewer anon-ID hash
+        /// evaluations than N independent single-packet engines.
+        #[test]
+        fn batch_equals_sequential_ingest(
+            scheme_idx in 0usize..5,
+            path_len in 2u16..14,
+            n_packets in 1usize..10,
+            n_reports in 1usize..4,
+            seed in any::<u64>(),
+        ) {
+            let (keys, mode, packets) = scenario(scheme_idx, path_len, n_packets, n_reports, seed);
+
+            let mut seq = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(mode));
+            let seq_out: Vec<SinkOutcome> = packets.iter().map(|p| seq.ingest(p)).collect();
+
+            let mut batch = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(mode));
+            let batch_out = batch.ingest_batch(&packets);
+
+            prop_assert_eq!(&seq_out, &batch_out);
+            prop_assert_eq!(seq.counters(), batch.counters());
+            prop_assert_eq!(seq.localize(), batch.localize());
+            prop_assert_eq!(seq.unequivocal_source(), batch.unequivocal_source());
+            prop_assert_eq!(seq.first_unequivocal(), batch.first_unequivocal());
+
+            // Strict amortization vs independent engines whenever the
+            // workload actually repeats a report under nested verification
+            // with at least one anonymous mark resolved per duplicate.
+            if mode == VerifyMode::Nested && n_packets > n_reports {
+                let fresh_total: usize = packets
+                    .iter()
+                    .map(|p| {
+                        let mut e = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(mode));
+                        e.ingest(p);
+                        e.counters().hash_count
+                    })
+                    .sum();
+                let any_anon_repeat = batch.counters().table_cache_hits > 0
+                    && batch.counters().hash_count > 0;
+                if any_anon_repeat {
+                    prop_assert!(
+                        batch.counters().hash_count < fresh_total,
+                        "batch {} vs fresh {}",
+                        batch.counters().hash_count,
+                        fresh_total
+                    );
+                }
+            }
+        }
+    }
+}

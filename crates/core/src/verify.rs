@@ -15,11 +15,17 @@
 //! previously verified node.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pnm_crypto::{anon_id, AnonId, KeyStore};
 use pnm_wire::{Mark, MarkId, NodeId, Packet};
 
 use crate::scheme::ExtendedAms;
+
+/// Anonymous-ID resolution callback: receives the anonymous ID, the
+/// previously verified (next-downstream) node as a topology anchor, and the
+/// buffer to push candidate real ids into.
+pub(crate) type ResolveAnon<'a> = dyn FnMut(&AnonId, Option<NodeId>, &mut Vec<u16>) + 'a;
 
 /// How the sink interprets a packet's marks, matching the scheme the
 /// network runs.
@@ -122,19 +128,29 @@ impl AnonTable {
 }
 
 /// The sink's verifier: keys plus the logic for all three verify modes.
+///
+/// Holds the deployment key table behind an [`Arc`], so every sink-side
+/// component ([`crate::sink::SinkEngine`], [`TopologyResolver`], the
+/// simulators' marking closures) shares one copy of the key material.
 #[derive(Clone, Debug)]
 pub struct SinkVerifier {
-    keys: KeyStore,
+    keys: Arc<KeyStore>,
 }
 
 impl SinkVerifier {
-    /// Creates a verifier over the deployment's key table.
-    pub fn new(keys: KeyStore) -> Self {
-        SinkVerifier { keys }
+    /// Creates a verifier over the deployment's key table. Accepts either an
+    /// owned [`KeyStore`] or an already-shared `Arc<KeyStore>`.
+    pub fn new(keys: impl Into<Arc<KeyStore>>) -> Self {
+        SinkVerifier { keys: keys.into() }
     }
 
     /// Read access to the key table.
     pub fn keys(&self) -> &KeyStore {
+        &self.keys
+    }
+
+    /// The shared handle to the key table.
+    pub fn keys_arc(&self) -> &Arc<KeyStore> {
         &self.keys
     }
 
@@ -144,7 +160,23 @@ impl SinkVerifier {
         match mode {
             VerifyMode::PlainTrust => self.verify_plain(packet),
             VerifyMode::Ams => self.verify_ams(packet),
-            VerifyMode::Nested => self.verify_nested(packet, None),
+            VerifyMode::Nested => {
+                // Lazily build the anon table only if an anonymous mark
+                // appears.
+                let report_bytes = packet.report.to_bytes();
+                let keys = &self.keys;
+                let mut local: Option<AnonTable> = None;
+                self.verify_nested_with(
+                    packet,
+                    &mut Vec::new(),
+                    &mut Vec::new(),
+                    &mut |aid, _anchor, out| {
+                        let table =
+                            local.get_or_insert_with(|| AnonTable::build(keys, &report_bytes));
+                        out.extend_from_slice(table.resolve(aid));
+                    },
+                )
+            }
         }
     }
 
@@ -152,7 +184,12 @@ impl SinkVerifier {
     /// table across marks of the same packet; the caller may also share it
     /// across packets carrying the same report).
     pub fn verify_nested_with_table(&self, packet: &Packet, table: &AnonTable) -> VerifiedChain {
-        self.verify_nested(packet, Some(table))
+        self.verify_nested_with(
+            packet,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut |aid, _anchor, out| out.extend_from_slice(table.resolve(aid)),
+        )
     }
 
     /// Plain marks carry no MACs: the sink can only take the IDs at face
@@ -205,10 +242,23 @@ impl SinkVerifier {
         }
     }
 
-    /// Backward nested verification (§4.1): walk marks from last to first;
-    /// each MAC must cover the exact preceding message bytes. Stops at the
-    /// first invalid mark.
-    fn verify_nested(&self, packet: &Packet, table: Option<&AnonTable>) -> VerifiedChain {
+    /// Backward nested verification (§4.1), parameterized over the
+    /// anonymous-ID resolution strategy: walk marks from last to first; each
+    /// MAC must cover the exact preceding message bytes. Stops at the first
+    /// invalid mark.
+    ///
+    /// `resolve_anon` receives the anonymous ID, the previously verified
+    /// (next-downstream) node as a topology anchor, and the buffer to push
+    /// candidate real ids into. `scratch` and `cands` are reusable buffers so
+    /// a streaming caller ([`crate::sink::SinkEngine`]) amortizes allocations
+    /// across packets.
+    pub(crate) fn verify_nested_with(
+        &self,
+        packet: &Packet,
+        scratch: &mut Vec<u8>,
+        cands: &mut Vec<u16>,
+        resolve_anon: &mut ResolveAnon<'_>,
+    ) -> VerifiedChain {
         let total_marks = packet.marks.len();
         if total_marks == 0 {
             return VerifiedChain {
@@ -217,10 +267,6 @@ impl SinkVerifier {
                 total_marks,
             };
         }
-
-        let report_bytes = packet.report.to_bytes();
-        // Lazily build the anon table only if an anonymous mark appears.
-        let mut local_table: Option<AnonTable> = None;
 
         let mut verified_rev: Vec<NodeId> = Vec::new();
         let mut prefix = Packet {
@@ -232,7 +278,8 @@ impl SinkVerifier {
         for idx in (0..total_marks).rev() {
             let mark = prefix.marks.pop().expect("mark present by construction");
             let msg_prefix = prefix.to_bytes();
-            match self.check_mark(&mark, &msg_prefix, &report_bytes, table, &mut local_table) {
+            let anchor = verified_rev.last().copied();
+            match self.check_mark(&mark, &msg_prefix, anchor, scratch, cands, resolve_anon) {
                 Some(real_id) => verified_rev.push(real_id),
                 None => {
                     stop = StopReason::InvalidMac { mark_index: idx };
@@ -255,31 +302,31 @@ impl SinkVerifier {
         &self,
         mark: &Mark,
         msg_prefix: &[u8],
-        report_bytes: &[u8],
-        shared_table: Option<&AnonTable>,
-        local_table: &mut Option<AnonTable>,
+        anchor: Option<NodeId>,
+        scratch: &mut Vec<u8>,
+        cands: &mut Vec<u16>,
+        resolve_anon: &mut ResolveAnon<'_>,
     ) -> Option<NodeId> {
         let mac = mark.mac.as_ref()?;
         match mark.id {
             MarkId::Plain(id) => {
                 let key = self.keys.key(id.raw())?;
-                let mut msg = msg_prefix.to_vec();
-                msg.extend_from_slice(&id.to_bytes());
-                key.verify_mark_mac(&msg, mac).then_some(id)
+                scratch.clear();
+                scratch.extend_from_slice(msg_prefix);
+                scratch.extend_from_slice(&id.to_bytes());
+                key.verify_mark_mac(scratch, mac).then_some(id)
             }
             MarkId::Anon(aid) => {
-                let table = match shared_table {
-                    Some(t) => t,
-                    None => local_table
-                        .get_or_insert_with(|| AnonTable::build(&self.keys, report_bytes)),
-                };
-                let mut msg = msg_prefix.to_vec();
-                msg.extend_from_slice(aid.as_bytes());
+                cands.clear();
+                resolve_anon(&aid, anchor, cands);
+                scratch.clear();
+                scratch.extend_from_slice(msg_prefix);
+                scratch.extend_from_slice(aid.as_bytes());
                 // Disambiguate collisions by MAC: only the true marker's key
                 // verifies.
-                for &cand in table.resolve(&aid) {
+                for &cand in cands.iter() {
                     let key = self.keys.key(cand)?;
-                    if key.verify_mark_mac(&msg, mac) {
+                    if key.verify_mark_mac(scratch, mac) {
                         return Some(NodeId(cand));
                     }
                 }
@@ -299,11 +346,15 @@ impl SinkVerifier {
 /// full scan, so resolution never loses packets — it only gets cheaper.
 #[derive(Clone, Debug)]
 pub struct TopologyResolver {
-    keys: KeyStore,
+    keys: Arc<KeyStore>,
     /// adjacency[i] = ids of i's one-hop neighbors.
     adjacency: HashMap<u16, Vec<u16>>,
     /// Maximum ring radius before falling back to a full scan.
     max_radius: usize,
+    /// Every provisioned id in ascending order. The fallback scan walks this
+    /// list, so resolution order (and [`Resolution::hash_count`]) is
+    /// deterministic instead of following `HashMap` iteration order.
+    sorted_ids: Vec<u16>,
 }
 
 /// Result of a topology-aware resolution, including its cost.
@@ -313,15 +364,22 @@ pub struct Resolution {
     pub id: NodeId,
     /// Number of `H'` evaluations performed.
     pub hash_count: usize,
+    /// `true` if the ring search missed and the full sorted scan resolved it.
+    pub via_fallback: bool,
 }
 
 impl TopologyResolver {
     /// Creates a resolver from the deployment keys and adjacency lists.
-    pub fn new(keys: KeyStore, adjacency: HashMap<u16, Vec<u16>>) -> Self {
+    /// Accepts either an owned [`KeyStore`] or a shared `Arc<KeyStore>`.
+    pub fn new(keys: impl Into<Arc<KeyStore>>, adjacency: HashMap<u16, Vec<u16>>) -> Self {
+        let keys = keys.into();
+        let mut sorted_ids: Vec<u16> = keys.ids().collect();
+        sorted_ids.sort_unstable();
         TopologyResolver {
             keys,
             adjacency,
             max_radius: 3,
+            sorted_ids,
         }
     }
 
@@ -329,6 +387,11 @@ impl TopologyResolver {
     pub fn with_max_radius(mut self, radius: usize) -> Self {
         self.max_radius = radius;
         self
+    }
+
+    /// Read access to the key table.
+    pub fn keys(&self) -> &KeyStore {
+        &self.keys
     }
 
     /// Resolves `aid` for `report_bytes`, anchored at the previously
@@ -356,6 +419,7 @@ impl TopologyResolver {
                             return Some(Resolution {
                                 id: NodeId(cand),
                                 hash_count,
+                                via_fallback: false,
                             });
                         }
                     }
@@ -377,16 +441,20 @@ impl TopologyResolver {
             }
         }
 
-        // Fall back to scanning the remaining nodes.
-        for (id, key) in self.keys.iter() {
+        // Fall back to scanning the remaining nodes in ascending id order.
+        for &id in &self.sorted_ids {
             if tried.contains(&id) {
                 continue;
             }
+            let Some(key) = self.keys.key(id) else {
+                continue;
+            };
             hash_count += 1;
             if anon_id(key, report_bytes, id) == *aid {
                 return Some(Resolution {
                     id: NodeId(id),
                     hash_count,
+                    via_fallback: true,
                 });
             }
         }
@@ -697,6 +765,23 @@ mod tests {
             .resolve(&rb, &aid, Some(NodeId(0)))
             .expect("resolves");
         assert_eq!(res.id, NodeId(30));
+    }
+
+    #[test]
+    fn fallback_scan_is_deterministic_sorted() {
+        // With no anchor the resolver goes straight to the fallback scan,
+        // which must walk ids in ascending order: resolving node 30 out of
+        // 50 therefore costs exactly 31 hash evaluations, every time.
+        let keys = keystore(50);
+        let rb = report().to_bytes();
+        let aid = anon_id(keys.key(30).unwrap(), &rb, 30);
+        let resolver = TopologyResolver::new(keys, HashMap::new());
+        for _ in 0..3 {
+            let res = resolver.resolve(&rb, &aid, None).expect("resolves");
+            assert_eq!(res.id, NodeId(30));
+            assert!(res.via_fallback);
+            assert_eq!(res.hash_count, 31);
+        }
     }
 
     #[test]

@@ -10,13 +10,15 @@
 //!    wastes radio bytes. The table measures forged-mark acceptance and
 //!    whether the traceback gets misled, per width.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 
 use pnm_analysis::OnlineStats;
 use pnm_core::{
-    MarkingConfig, MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking,
-    SinkVerifier, VerifyMode,
+    MarkingConfig, MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig, SinkEngine,
+    VerifyMode,
 };
 use pnm_crypto::{KeyStore, MacTag};
 use pnm_wire::{Mark, NodeId};
@@ -119,8 +121,8 @@ pub fn measure_mac_width(width: usize, attempts: usize, seed: u64) -> MacWidthRo
         .marking_probability(1.0)
         .build();
     let scheme = ProbabilisticNestedMarking::new(cfg);
-    let verifier = SinkVerifier::new(keys.clone());
-    let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let keys = Arc::new(keys);
+    let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(VerifyMode::Nested));
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mut accepted = 0usize;
@@ -139,14 +141,15 @@ pub fn measure_mac_width(width: usize, attempts: usize, seed: u64) -> MacWidthRo
             let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
             scheme.mark(&ctx, &mut pkt, &mut rng);
         }
-        let chain = verifier.verify(&pkt, VerifyMode::Nested);
+        // The engine's outcome carries the verified chain: one pass serves
+        // both the acceptance check and the streaming traceback.
+        let chain = sink.ingest(&pkt).chain.expect("no classifier configured");
         if chain.nodes.contains(&frame_victim) {
             accepted += 1;
         }
-        locator.ingest(&pkt);
     }
 
-    let misled = locator.unequivocal_source() == Some(frame_victim);
+    let misled = sink.unequivocal_source() == Some(frame_victim);
     MacWidthRow {
         width,
         forgeries_attempted: attempts,

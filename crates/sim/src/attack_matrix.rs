@@ -18,13 +18,14 @@
 //!   paper: marking is then out of scope).
 
 use core::fmt;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use pnm_adversary::{AttackKind, AttackPlan, ForwardingMole, MoleAction, SourceMole};
-use pnm_core::{Localization, MoleLocator, NodeContext};
+use pnm_core::{Localization, NodeContext, SinkConfig, SinkEngine};
 use pnm_wire::NodeId;
 
 use crate::scenario::{PathScenario, SchemeKind};
@@ -132,7 +133,7 @@ pub fn evaluate_cell(
     let sc = PathScenario::paper(n);
     // Nested marks every hop regardless; probabilistic schemes use np=3.
     let config = sc.config();
-    let keys = sc.keystore(1); // +1 identity for the source mole
+    let keys = Arc::new(sc.keystore(1)); // +1 identity for the source mole
     let scheme = scheme_kind.build(config);
 
     let source_id = scenario.source_id();
@@ -143,7 +144,10 @@ pub fn evaluate_cell(
     let mut mole = ForwardingMole::new(mole_id, *keys.key(mole_id.raw()).unwrap(), plan)
         .with_partner(source_id, *keys.key(source_id.raw()).unwrap());
 
-    let mut locator = MoleLocator::new(keys.clone(), scheme_kind.verify_mode());
+    let mut sink = SinkEngine::new(
+        Arc::clone(&keys),
+        SinkConfig::new(scheme_kind.verify_mode()),
+    );
     let mut rng = StdRng::seed_from_u64(scenario.seed);
     let mut delivered = 0usize;
 
@@ -173,12 +177,12 @@ pub fn evaluate_cell(
             }
         }
         if !dropped {
-            locator.ingest(&pkt);
+            sink.ingest(&pkt);
             delivered += 1;
         }
     }
 
-    let loc = locator.localize();
+    let loc = sink.localize();
     let outcome = classify(scenario, &loc, delivered);
     (outcome, loc)
 }

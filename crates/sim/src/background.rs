@@ -8,11 +8,13 @@
 //! those. This experiment measures how background traffic volume affects
 //! (a) classification quality and (b) time-to-identification.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use pnm_core::{
-    EventRegistry, MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking,
+    EventRegistry, MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig, SinkEngine,
     TrafficClassifier, Verdict, VerifyMode, VolumeMonitor,
 };
 use pnm_net::{Network, Topology};
@@ -51,7 +53,10 @@ pub fn run_background_traffic(
     let topo = Topology::grid(grid_w, grid_w, 10.0);
     let net = Network::new(topo.clone());
     let n_nodes = topo.len() as u16;
-    let keys = pnm_crypto::KeyStore::derive_from_master(b"background", n_nodes);
+    let keys = Arc::new(pnm_crypto::KeyStore::derive_from_master(
+        b"background",
+        n_nodes,
+    ));
 
     // The mole: the node farthest from the sink.
     let mole = (0..n_nodes)
@@ -90,11 +95,16 @@ pub fn run_background_traffic(
     // Volume monitor tuned above the per-cell legitimate rate (legit
     // sources report at ≤10/s per cell; the mole floods at 50/s).
     let monitor = VolumeMonitor::new(10.0, 1_000_000, 15);
-    let mut classifier = TrafficClassifier::permissive()
+    let classifier = TrafficClassifier::permissive()
         .with_registry(registry)
         .with_volume_monitor(monitor);
 
-    let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    // The engine's classification stage gates verification: benign packets
+    // never reach the verifier, suspicious ones stream into the traceback.
+    let mut sink = SinkEngine::new(
+        Arc::clone(&keys),
+        SinkConfig::new(VerifyMode::Nested).classifier(classifier),
+    );
 
     // Interleave attack and legitimate injections on a common timeline.
     // The attack floods at 50 pkt/s; background volume is background_ratio
@@ -169,17 +179,13 @@ pub fn run_background_traffic(
             stats.legit_delivered += 1;
         }
         // Sink-side classification gates traceback.
-        match classifier.classify(&pkt.report, now) {
-            Verdict::Suspicious => {
-                if is_attack {
-                    stats.true_positives += 1;
-                } else {
-                    stats.false_positives += 1;
-                }
-                locator.ingest(&pkt);
-                status.push(locator.unequivocal_source());
+        if sink.ingest_at(&pkt, now).verdict == Some(Verdict::Suspicious) {
+            if is_attack {
+                stats.true_positives += 1;
+            } else {
+                stats.false_positives += 1;
             }
-            Verdict::Benign => {}
+            status.push(sink.unequivocal_source());
         }
     }
 

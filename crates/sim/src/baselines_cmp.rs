@@ -8,13 +8,17 @@
 //! stream and tabulates control-message cost, per-node storage, in-band
 //! overhead, and what a single lying mole does to each.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pnm_baselines::{
     logging_traceback, notify, should_notify, NotificationSink, QueryResponder, RespondPolicy,
 };
-use pnm_core::{MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking, VerifyMode};
+use pnm_core::{
+    MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig, SinkEngine, VerifyMode,
+};
 use pnm_crypto::KeyStore;
 use pnm_wire::NodeId;
 
@@ -42,7 +46,7 @@ pub struct ApproachCost {
 /// stream on an `n`-hop chain with a silent mole source (off-path) and a
 /// lying forwarding mole at `mole_pos`.
 pub fn compare_approaches(n: u16, mole_pos: u16, packets: usize, seed: u64) -> Vec<ApproachCost> {
-    let keys = KeyStore::derive_from_master(b"baselines-cmp", n);
+    let keys = Arc::new(KeyStore::derive_from_master(b"baselines-cmp", n));
     let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
     let q = 3.0 / n as f64; // notification probability matched to np = 3
 
@@ -50,7 +54,7 @@ pub fn compare_approaches(n: u16, mole_pos: u16, packets: usize, seed: u64) -> V
     let mut rng = StdRng::seed_from_u64(seed);
 
     // PNM.
-    let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(VerifyMode::Nested));
     let mut overhead = 0usize;
     let mut status = Vec::new();
     for seq in 0..packets {
@@ -63,8 +67,8 @@ pub fn compare_approaches(n: u16, mole_pos: u16, packets: usize, seed: u64) -> V
             scheme.mark(&ctx, &mut pkt, &mut rng);
         }
         overhead += pkt.marking_overhead();
-        locator.ingest(&pkt);
-        status.push(locator.unequivocal_source());
+        sink.ingest(&pkt);
+        status.push(sink.unequivocal_source());
     }
     let pnm_identified = status.last().copied().flatten() == Some(NodeId(0));
     let pnm = ApproachCost {

@@ -1,0 +1,140 @@
+//! Records the sink pipeline's instrumentation counters from the canonical
+//! scenario into `BENCH_sink.json`, giving future changes a perf trajectory
+//! to compare against.
+//!
+//! ```text
+//! bench-sink [--out FILE]
+//! ```
+//!
+//! Canonical scenario: the paper's §6.2 setting — a 20-hop path, PNM with
+//! np = 3, 200 bogus packets, all sharing neither report nor table (each
+//! packet is a distinct report) — plus a batched same-report workload (200
+//! packets over 8 reports) that exercises the anon-table cache. Both runs
+//! are fully seeded, so the counters are deterministic.
+
+use std::env;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pnm_core::{NodeContext, SinkConfig, SinkCounters, SinkEngine, VerifyMode};
+use pnm_sim::{bogus_packet, PathScenario, SchemeKind};
+use pnm_wire::{Location, NodeId, Packet, Report};
+
+const PATH_LEN: u16 = 20;
+const PACKETS: usize = 200;
+const DISTINCT_REPORTS: u64 = 8;
+const SEED: u64 = 2007;
+
+fn counters_json(label: &str, c: &SinkCounters) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"packets\": {},\n",
+            "    \"hash_count\": {},\n",
+            "    \"marks_verified\": {},\n",
+            "    \"marks_rejected\": {},\n",
+            "    \"table_builds\": {},\n",
+            "    \"table_cache_hits\": {},\n",
+            "    \"table_cache_hit_rate\": {},\n",
+            "    \"resolver_fallback_scans\": {}\n",
+            "  }}"
+        ),
+        label,
+        c.packets,
+        c.hash_count,
+        c.marks_verified,
+        c.marks_rejected,
+        c.table_builds,
+        c.table_cache_hits,
+        c.table_cache_hit_rate()
+            .map_or("null".to_string(), |r| format!("{r:.4}")),
+        c.resolver_fallback_scans,
+    )
+}
+
+/// The paper's honest-path scenario: every packet is a distinct report.
+fn run_distinct_reports() -> SinkCounters {
+    let scenario = PathScenario::paper(PATH_LEN);
+    let keys = Arc::new(scenario.keystore(0));
+    let scheme = SchemeKind::Pnm.build(scenario.config());
+    let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(VerifyMode::Nested));
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for seq in 0..PACKETS as u64 {
+        let mut pkt = bogus_packet(seq, SEED);
+        for hop in 0..PATH_LEN {
+            let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+        sink.ingest(&pkt);
+    }
+    sink.counters()
+}
+
+/// The batched workload: the same traffic volume spread over a few reports
+/// (retransmissions / duplicate observations), ingested as one batch so the
+/// anon-table cache amortizes resolution.
+fn run_batched_same_reports() -> SinkCounters {
+    let scenario = PathScenario::paper(PATH_LEN);
+    let keys = Arc::new(scenario.keystore(0));
+    let scheme = SchemeKind::Pnm.build(scenario.config());
+    let mut sink = SinkEngine::new(
+        Arc::clone(&keys),
+        SinkConfig::new(VerifyMode::Nested).table_cache_capacity(DISTINCT_REPORTS as usize),
+    );
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let packets: Vec<Packet> = (0..PACKETS as u64)
+        .map(|seq| {
+            let report = Report::new(
+                format!("bench-{:02}", seq % DISTINCT_REPORTS).into_bytes(),
+                Location::new(0.0, 0.0),
+                seq % DISTINCT_REPORTS,
+            );
+            let mut pkt = Packet::new(report);
+            for hop in 0..PATH_LEN {
+                let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+                scheme.mark(&ctx, &mut pkt, &mut rng);
+            }
+            pkt
+        })
+        .collect();
+    sink.ingest_batch(&packets);
+    sink.counters()
+}
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_sink.json".to_string();
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => {
+                    eprintln!("error: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let distinct = run_distinct_reports();
+    let batched = run_batched_same_reports();
+    let json = format!(
+        "{{\n  \"scenario\": \"PNM np=3, {PATH_LEN}-hop path, {PACKETS} packets, seed {SEED}\",\n\
+         {},\n{}\n}}\n",
+        counters_json("distinct_reports", &distinct),
+        counters_json(&format!("batched_{DISTINCT_REPORTS}_reports"), &batched),
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+    ExitCode::SUCCESS
+}

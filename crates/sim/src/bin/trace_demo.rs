@@ -14,12 +14,13 @@
 
 use std::env;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng};
 
 use pnm_adversary::{AttackKind, AttackPlan, ForwardingMole, MoleAction, SourceMole};
-use pnm_core::{Localization, MoleLocator, NodeContext};
+use pnm_core::{Localization, NodeContext, SinkConfig, SinkEngine};
 use pnm_sim::{PathScenario, ScenarioSpec, SchemeKind};
 use pnm_wire::NodeId;
 
@@ -133,7 +134,7 @@ fn main() -> ExitCode {
     );
 
     let scenario = PathScenario::paper(o.hops);
-    let keys = scenario.keystore(1);
+    let keys = Arc::new(scenario.keystore(1));
     let scheme = o.scheme.build(scenario.config());
     let source_id = NodeId(o.hops);
     let mut source = SourceMole::new(source_id, *keys.key(source_id.raw()).unwrap());
@@ -141,7 +142,7 @@ fn main() -> ExitCode {
     let mut mole = ForwardingMole::new(NodeId(o.mole), *keys.key(o.mole).unwrap(), plan)
         .with_partner(source_id, *keys.key(source_id.raw()).unwrap());
 
-    let mut locator = MoleLocator::new(keys.clone(), o.scheme.verify_mode());
+    let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(o.scheme.verify_mode()));
     let mut rng = StdRng::seed_from_u64(o.seed);
     let mut dropped = 0usize;
 
@@ -171,11 +172,11 @@ fn main() -> ExitCode {
             dropped += 1;
             continue;
         }
-        locator.ingest(&pkt);
+        sink.ingest(&pkt);
 
         if seq % o.every == 0 || seq == o.packets {
-            let observed: Vec<NodeId> = locator.reconstructor().observed_nodes().collect();
-            let loc = locator.localize();
+            let observed: Vec<NodeId> = sink.reconstructor().observed_nodes().collect();
+            let loc = sink.localize();
             let suspect = match &loc {
                 Localization::MostUpstream(c) => Some(*c),
                 _ => None,
@@ -196,7 +197,18 @@ fn main() -> ExitCode {
     }
 
     println!();
-    match locator.localize() {
+    let c = sink.counters();
+    println!(
+        "sink pipeline: {} packets, {} marks verified ({} rejected), {} MAC evaluations for \
+         anon-id resolution, {} anon-table builds ({} cache hits)",
+        c.packets,
+        c.marks_verified,
+        c.marks_rejected,
+        c.hash_count,
+        c.table_builds,
+        c.table_cache_hits
+    );
+    match sink.localize() {
         Localization::MostUpstream(c) => {
             let caught = c.raw() == o.mole
                 || c.raw().abs_diff(o.mole) == 1

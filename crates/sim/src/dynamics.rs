@@ -9,10 +9,14 @@
 //! measures whether and when the sink still identifies the mole's first
 //! forwarder.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pnm_core::{MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking, VerifyMode};
+use pnm_core::{
+    MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig, SinkEngine, VerifyMode,
+};
 use pnm_crypto::KeyStore;
 use pnm_net::{heal_tree, relative_order_preserved, FailureSet, Network, Topology};
 use pnm_wire::NodeId;
@@ -41,7 +45,7 @@ pub fn run_with_churn(packets: usize, churn_interval: Option<usize>, seed: u64) 
     let topo = Topology::grid(8, 8, 10.0);
     let net = Network::new(topo.clone());
     let n_nodes = topo.len() as u16;
-    let keys = KeyStore::derive_from_master(b"dynamics", n_nodes);
+    let keys = Arc::new(KeyStore::derive_from_master(b"dynamics", n_nodes));
 
     let mole = (0..n_nodes)
         .max_by_key(|&i| net.routing().hops_to_sink(i).unwrap_or(0))
@@ -54,7 +58,7 @@ pub fn run_with_churn(packets: usize, churn_interval: Option<usize>, seed: u64) 
     let mole_head = NodeId(original_path[1]);
     let scheme = ProbabilisticNestedMarking::paper_default(original_path.len().max(3));
 
-    let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(VerifyMode::Nested));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut run = DynamicsRun {
         churn_interval,
@@ -104,8 +108,8 @@ pub fn run_with_churn(packets: usize, churn_interval: Option<usize>, seed: u64) 
             let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
             scheme.mark(&ctx, &mut pkt, &mut rng);
         }
-        locator.ingest(&pkt);
-        status.push(locator.unequivocal_source());
+        sink.ingest(&pkt);
+        status.push(sink.unequivocal_source());
     }
 
     if status.last().copied().flatten() == Some(mole_head) {

@@ -7,12 +7,14 @@
 //! neighborhood, and repeats until the field is clean — measuring wall
 //! (simulated) time, packets, and energy drained per round.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pnm_core::{
-    quarantine_set, IsolationPolicy, MarkingScheme, MoleLocator, NodeContext,
-    ProbabilisticNestedMarking, QuarantineFilter, VerifyMode,
+    quarantine_set, IsolationPolicy, MarkingScheme, NodeContext, ProbabilisticNestedMarking,
+    QuarantineFilter, SinkConfig, SinkEngine, VerifyMode,
 };
 use pnm_crypto::KeyStore;
 use pnm_net::{Network, RadioModel, Topology};
@@ -55,7 +57,7 @@ pub fn run_field_study(num_moles: usize, packets_per_round: usize, seed: u64) ->
     let topo = Topology::random_geometric(300, 200.0, 25.0, 42);
     let net = Network::new(topo.clone()).with_radio(RadioModel::mica2());
     let n_nodes = topo.len() as u16;
-    let keys = KeyStore::derive_from_master(b"field-study", n_nodes);
+    let keys = Arc::new(KeyStore::derive_from_master(b"field-study", n_nodes));
 
     // Moles: the `num_moles` nodes with the longest routes (spread corners).
     let mut by_depth: Vec<u16> = (0..n_nodes)
@@ -92,7 +94,10 @@ pub fn run_field_study(num_moles: usize, packets_per_round: usize, seed: u64) ->
             break;
         }
 
-        let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+        // A fresh engine per round: each round's traceback only sees the
+        // still-at-large moles' traffic. The Arc'd keystore is shared, not
+        // re-derived.
+        let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(VerifyMode::Nested));
         let mut delivered = 0usize;
         let mut energy_nj = 0u64;
 
@@ -121,12 +126,12 @@ pub fn run_field_study(num_moles: usize, packets_per_round: usize, seed: u64) ->
                     continue;
                 }
                 delivered += 1;
-                locator.ingest(&pkt);
+                sink.ingest(&pkt);
             }
         }
 
         // Multi-source localization: one region per remaining mole.
-        let regions = locator.reconstructor().source_regions();
+        let regions = sink.source_regions();
         let mut caught = 0usize;
         for region in &regions {
             let q = quarantine_set(

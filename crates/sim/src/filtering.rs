@@ -16,11 +16,15 @@
 //! working (and at `c = t` filtering is blind, leaving traceback as the
 //! only defense).
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pnm_analysis::OnlineStats;
-use pnm_core::{MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking, VerifyMode};
+use pnm_core::{
+    MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig, SinkEngine, VerifyMode,
+};
 use pnm_crypto::KeyStore;
 use pnm_filter::{
     en_route_check, expected_filtering_hops, forge_report, per_hop_detection_probability,
@@ -105,9 +109,9 @@ pub fn run_filtering_traceback(
     }
     let mole_ring_refs: Vec<&KeyRing> = mole_rings.iter().collect();
 
-    let keys = KeyStore::derive_from_master(b"sef-pnm", n);
+    let keys = Arc::new(KeyStore::derive_from_master(b"sef-pnm", n));
     let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
-    let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+    let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(VerifyMode::Nested));
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mut run = FilteringRun {
@@ -167,8 +171,8 @@ pub fn run_filtering_traceback(
                 // traceback.
                 let bogus = !sink_check(&pool, &endorsed, params.t);
                 if bogus || compromised >= params.t {
-                    locator.ingest(&pkt);
-                    status.push((seq + 1, locator.unequivocal_source()));
+                    sink.ingest(&pkt);
+                    status.push((seq + 1, sink.unequivocal_source()));
                 }
             }
         }

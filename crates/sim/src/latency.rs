@@ -7,11 +7,15 @@
 //! injecting at the radio's sustainable rate, PNM marking at every hop,
 //! and the sink's locator running on deliveries.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use pnm_core::{MarkingScheme, MoleLocator, NodeContext, ProbabilisticNestedMarking, VerifyMode};
+use pnm_core::{
+    MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig, SinkEngine, VerifyMode,
+};
 use pnm_net::{Network, NodeDecision, RadioModel, Topology};
 use pnm_wire::NodeId;
 
@@ -37,13 +41,13 @@ pub struct LatencyResult {
 /// at `pps` packets per second, PNM with `np = 3`.
 pub fn traceback_latency(n: u16, injected: usize, pps: f64, seed: u64) -> LatencyResult {
     let scenario = PathScenario::paper(n);
-    let keys = scenario.keystore(0);
+    let keys = Arc::new(scenario.keystore(0));
     let scheme = ProbabilisticNestedMarking::new(scenario.config());
 
     let topology = Topology::chain(n, 10.0);
     let net = Network::new(topology).with_radio(RadioModel::mica2());
 
-    let keys_for_handler = keys.clone();
+    let keys_for_handler = Arc::clone(&keys);
     let mut handler = move |node: u16, pkt: &mut pnm_wire::Packet, _now: u64, rng: &mut StdRng| {
         let ctx = NodeContext::new(NodeId(node), *keys_for_handler.key(node).unwrap());
         scheme.mark(&ctx, pkt, rng);
@@ -62,11 +66,11 @@ pub fn traceback_latency(n: u16, injected: usize, pps: f64, seed: u64) -> Latenc
 
     // Ingest deliveries, tracking the identification status after each so
     // the settling point (correct and never changing again) can be found.
-    let mut locator = MoleLocator::new(keys, VerifyMode::Nested);
+    let mut sink = SinkEngine::new(keys, SinkConfig::new(VerifyMode::Nested));
     let mut status: Vec<Option<NodeId>> = Vec::with_capacity(report.deliveries.len());
     for delivery in &report.deliveries {
-        locator.ingest(&delivery.packet);
-        status.push(locator.unequivocal_source());
+        sink.ingest(&delivery.packet);
+        status.push(sink.unequivocal_source());
     }
     if status.last().copied().flatten() == Some(NodeId(0)) {
         let mut idx = status.len();

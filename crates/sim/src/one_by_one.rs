@@ -7,11 +7,13 @@
 //! until the source mole itself is cornered. This experiment runs that
 //! loop and records who is caught in which round.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pnm_adversary::{AttackKind, AttackPlan, ForwardingMole, MoleAction, SourceMole};
-use pnm_core::{Localization, MoleLocator, NodeContext, VerifyMode};
+use pnm_core::{Localization, NodeContext, SinkConfig, SinkEngine, VerifyMode};
 use pnm_wire::NodeId;
 
 use crate::scenario::{PathScenario, SchemeKind};
@@ -50,7 +52,7 @@ pub fn iterative_cleanup(
     seed: u64,
 ) -> CleanupResult {
     let scenario = PathScenario::paper(n);
-    let keys = scenario.keystore(1);
+    let keys = Arc::new(scenario.keystore(1));
     let scheme = SchemeKind::Pnm.build(scenario.config());
     let source_id = NodeId(n);
 
@@ -76,7 +78,7 @@ pub fn iterative_cleanup(
         if !source_at_large {
             break;
         }
-        let mut locator = MoleLocator::new(keys.clone(), VerifyMode::Nested);
+        let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(VerifyMode::Nested));
         for _ in 0..packets {
             let mut pkt = source.inject(&mut rng);
             let mut dropped = false;
@@ -92,11 +94,11 @@ pub fn iterative_cleanup(
                 }
             }
             if !dropped {
-                locator.ingest(&pkt);
+                sink.ingest(&pkt);
             }
         }
 
-        let localization = locator.localize();
+        let localization = sink.localize();
         // The defender inspects the suspected one-hop neighborhood.
         let suspects: Vec<NodeId> = match &localization {
             Localization::MostUpstream(c) => vec![*c],

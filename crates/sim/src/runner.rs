@@ -2,14 +2,16 @@
 //!
 //! The evaluation drives bogus reports down an `n`-node forwarding chain
 //! (V1 = id 0 most upstream, Vn = id n−1 nearest the sink), marks them
-//! with the scheme under test, and feeds the sink's
-//! [`MoleLocator`]. Runs are seeded, independent,
+//! with the scheme under test, and feeds the sink's staged
+//! [`SinkEngine`]. Runs are seeded, independent,
 //! and parallelized across OS threads.
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pnm_core::{MoleLocator, NodeContext, VerifiedChain};
+use pnm_core::{NodeContext, SinkConfig, SinkEngine, VerifiedChain};
 use pnm_wire::{Location, NodeId, Packet, Report};
 
 use crate::scenario::{PathScenario, SchemeKind};
@@ -74,9 +76,12 @@ pub fn run_honest_path(
     seed: u64,
 ) -> HonestRun {
     let n = scenario.path_len;
-    let keys = scenario.keystore(0);
+    let keys = Arc::new(scenario.keystore(0));
     let scheme = scheme_kind.build(scenario.config());
-    let mut locator = MoleLocator::new(keys.clone(), scheme_kind.verify_mode());
+    let mut sink = SinkEngine::new(
+        Arc::clone(&keys),
+        SinkConfig::new(scheme_kind.verify_mode()),
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     let contexts: Vec<NodeContext> = (0..n)
@@ -90,15 +95,15 @@ pub fn run_honest_path(
         for ctx in &contexts {
             scheme.mark(ctx, &mut pkt, &mut rng);
         }
-        locator.ingest(&pkt);
-        collected_after.push(locator.observed_count());
-        status_after.push(locator.unequivocal_source());
+        sink.ingest(&pkt);
+        collected_after.push(sink.observed_count());
+        status_after.push(sink.unequivocal_source());
     }
 
     HonestRun {
         collected_after,
         status_after,
-        identified: locator.unequivocal_source(),
+        identified: sink.unequivocal_source(),
     }
 }
 
@@ -109,10 +114,13 @@ pub fn bogus_packet(seq: u64, run_tag: u64) -> Packet {
     Packet::new(Report::new(event, Location::new(0.0, 0.0), seq))
 }
 
-/// Ingests a pre-built packet stream into a fresh locator, returning the
+/// Ingests a pre-built packet stream into a sink engine, returning the
 /// verified chains (diagnostics helper for attack experiments).
-pub fn ingest_all(locator: &mut MoleLocator, packets: &[Packet]) -> Vec<VerifiedChain> {
-    packets.iter().map(|p| locator.ingest(p)).collect()
+pub fn ingest_all(sink: &mut SinkEngine, packets: &[Packet]) -> Vec<VerifiedChain> {
+    sink.ingest_batch(packets)
+        .into_iter()
+        .map(|out| out.chain.expect("no classifier configured"))
+        .collect()
 }
 
 /// Runs `runs` independent seeded experiments in parallel and collects the

@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` statistical benchmark harness.
+//!
+//! The container image has no crates-io access, so this crate provides the
+//! subset of criterion's API the workspace benches use: `criterion_group!`/
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! `sample_size`/`throughput`/`bench_with_input`, and `Bencher::iter`/
+//! `iter_batched`. Timing is a plain wall-clock mean over a calibrated
+//! iteration count — no warm-up statistics, outlier analysis, or HTML
+//! reports. `--test` (what CI passes via `cargo bench -- --test`) runs each
+//! routine once without timing, exactly like upstream.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one timed measurement.
+const TARGET_MEASURE: Duration = Duration::from_millis(40);
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that change nothing here.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    fn wants(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.wants(id) {
+            return;
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else {
+            println!("{id:<56} time: {:>12.1} ns/iter", b.mean_ns);
+        }
+    }
+
+    /// Benchmarks a single routine.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.run_one(&id.0, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness calibrates iteration
+    /// counts by time instead of a fixed sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput rates are not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine under `group/id`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        self.c.run_one(&id, &mut f);
+        self
+    }
+
+    /// Benchmarks a routine that borrows a fixed input.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        self.c.run_one(&id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion accepted by `bench_function`-style methods (`&str` or
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Units for [`BenchmarkGroup::throughput`].
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Items processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` groups setup outputs; all variants behave alike here.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to benchmark closures to time the routine.
+pub struct Bencher {
+    test_mode: bool,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: grow the iteration count until one measurement takes
+        // long enough to dominate timer overhead.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_MEASURE || iters >= 1 << 24 {
+                self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters = iters.saturating_mul(if elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_MEASURE.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            });
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_MEASURE || iters >= 1 << 20 {
+                self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters = iters.saturating_mul(if elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_MEASURE.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            });
+        }
+    }
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API the PNM workspace uses —
+//! [`Strategy`], [`arbitrary::any`], range/tuple/collection strategies,
+//! `prop_oneof!`, `prop::sample`, and the [`proptest!`] test-runner macro —
+//! on top of a deterministic internal RNG. Unlike real proptest there is
+//! **no shrinking**: a failing case reports its case number and RNG stream
+//! so it can be re-run, but is not minimized. Case streams are
+//! deterministic per (test path, case index), so failures reproduce across
+//! runs.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{
+        Config as ProptestConfig, TestCaseError, TestCaseResult, TestRng,
+    };
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced access mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Rejects the current case (it is re-drawn, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut stream: u64 = 0;
+            while passed < config.cases {
+                let mut rng = $crate::test_runner::TestRng::deterministic(test_path, stream);
+                stream += 1;
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);)+
+                let outcome: $crate::test_runner::TestCaseResult = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(why),
+                    ) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= config.cases.saturating_mul(16) + 1024,
+                            "proptest `{test_path}`: too many rejected cases ({why})"
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest `{test_path}` failed at case {passed} \
+                             (rng stream {}): {msg}",
+                            stream - 1
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}

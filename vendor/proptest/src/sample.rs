@@ -1,0 +1,47 @@
+//! Index and selection strategies (`prop::sample`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An index into a runtime-sized collection: drawn as raw entropy, mapped
+/// into `0..len` on use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wraps raw entropy.
+    pub fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Maps this index into `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+/// Uniformly selects one of the given options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "cannot select from an empty list");
+    Select { options }
+}
+
+/// The strategy returned by [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].clone()
+    }
+}

@@ -1,0 +1,80 @@
+//! Deterministic case generation and the error vocabulary of `proptest!`.
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions did not hold; draw a fresh case instead.
+    Reject(&'static str),
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+}
+
+/// Result type of one property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration requiring `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// The RNG driving value generation: SplitMix64 seeded from the test path
+/// and case stream, so every case is reproducible without stored state.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for a given test path and case stream index.
+    pub fn deterministic(test_path: &str, stream: u64) -> Self {
+        // FNV-1a over the path, mixed with the stream index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The PNM workspace is built in environments without network access to a
+//! crates registry, so the subset of `rand`'s API the workspace actually
+//! uses is provided here: [`Rng`] (`next_u32`/`next_u64`), [`RngExt`]
+//! (`random_range`, `fill`), [`SeedableRng::seed_from_u64`], and a
+//! deterministic [`rngs::StdRng`] (xoshiro256** seeded via SplitMix64).
+//!
+//! Streams are deterministic in the seed, which is all the simulations
+//! require; no claim of crypto-strength randomness is made (the workspace
+//! derives key material through HMAC, not through this RNG).
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A source of random 32/64-bit words. Object safe (`&mut dyn Rng`).
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Types that can be sampled uniformly from a range by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Per-type uniform sampling. The single blanket [`SampleRange`] impl below
+/// ties a range's element type to the sampled type, which is what lets float
+/// literals in expressions like `x + rng.random_range(-6.0..6.0)` infer `f32`
+/// from context (mirroring upstream rand's `SampleUniform` design).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Draws uniformly from `[lo, hi]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+#[inline]
+fn sample_u64_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift bounded sampling (Lemire); bias is at most 2^-64 per
+    // draw, negligible for simulation workloads.
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(sample_u64_below(rng, span) as $t)
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(sample_u64_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                // 2^53 equally spaced points including both endpoints.
+                let unit =
+                    (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+                (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// Byte buffers fillable by [`RngExt::fill`].
+pub trait Fill {
+    /// Fills `self` with random data from `rng`.
+    fn fill_from<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let mut chunks = self.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let last = rng.next_u64().to_le_bytes();
+            rest.copy_from_slice(&last[..rest.len()]);
+        }
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.as_mut_slice().fill_from(rng);
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Samples a value uniformly from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self);
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG whose stream is a deterministic function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic RNG: xoshiro256**.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed with SplitMix64, the expansion recommended by
+            // the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3u16..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(0usize..=4);
+            assert!(w <= 4);
+            let f = rng.random_range(-6.0f64..6.0);
+            assert!((-6.0..6.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_covers_buffer() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf = [0u8; 16];
+        rng.fill(&mut buf);
+        assert_ne!(buf, [0u8; 16]);
+        let mut slice = vec![0u8; 13];
+        rng.fill(&mut slice[..]);
+        assert!(slice.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn dyn_rng_usable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dynr: &mut dyn Rng = &mut rng;
+        let _ = dynr.next_u64();
+        let _ = dynr.next_u32();
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its result and
+//! scenario types and provides a few manual byte-oriented impls, but no
+//! crate in the tree performs format serialization (there is no
+//! `serde_json` dependency). This stub provides exactly the trait surface
+//! those impls and derives need to compile in a registry-less build
+//! environment: blanket-defaulted `Serialize`/`Deserialize` methods, a
+//! byte/scalar `Serializer` contract, and `de::Error::custom`.
+//!
+//! If a future PR adds real persistence it should either vendor full serde
+//! or extend this stub with a concrete serializer.
+
+#![forbid(unsafe_code)]
+
+use core::fmt::Display;
+
+/// Serialization backends.
+pub mod ser {
+    use super::Display;
+
+    /// Errors produced by a [`Serializer`].
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A minimal serializer contract: enough for the workspace's manual
+    /// byte-oriented impls and for derived placeholder impls.
+    pub trait Serializer: Sized {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Serializes a byte string.
+        fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a unit value (the derived-impl placeholder).
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Types that can be serialized.
+    ///
+    /// The default method body serializes a unit placeholder; `#[derive(Serialize)]`
+    /// from the companion `serde_derive` stub emits an empty impl that keeps
+    /// this default, while manual impls (e.g. `MacTag`) override it.
+    pub trait Serialize {
+        /// Serializes `self` into `serializer`.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_unit()
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+
+    impl Serialize for Vec<u8> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_bytes(self)
+        }
+    }
+}
+
+/// Deserialization backends.
+pub mod de {
+    use super::Display;
+
+    /// Errors produced by a [`Deserializer`].
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A minimal deserializer contract.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+    }
+
+    /// Types that can be deserialized.
+    ///
+    /// The default method body reports "unsupported": no workspace code
+    /// path actually drives deserialization (there is no format crate);
+    /// the bound only needs to typecheck.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes a value from `deserializer`.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let _ = deserializer;
+            Err(D::Error::custom(
+                "deserialization is not supported by the vendored serde stub",
+            ))
+        }
+    }
+
+    impl<'de, T> Deserialize<'de> for Vec<T> {}
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits placeholder impls of the stub `serde` traits (whose methods all
+//! have default bodies), so `#[derive(Serialize, Deserialize)]` compiles
+//! without the real proc-macro stack (`syn`/`quote` are unavailable in the
+//! registry-less build environment). Only non-generic types are supported,
+//! which covers every derived type in the workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive is attached to.
+///
+/// Walks past outer attributes and visibility to the `struct`/`enum`
+/// keyword; the next identifier is the type name. Panics (a compile error
+/// in the deriving crate) on generic types, which this stub does not
+/// support.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        panic!(
+                            "the vendored serde_derive stub cannot derive for generic type `{name}`"
+                        );
+                    }
+                    return name.to_string();
+                }
+                panic!("expected a type name after `{kw}`");
+            }
+        }
+    }
+    panic!("derive input contained no struct/enum definition");
+}
+
+/// Derives the stub `serde::Serialize` (placeholder impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("#[automatically_derived] impl ::serde::ser::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the stub `serde::Deserialize` (placeholder impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("#[automatically_derived] impl<'de> ::serde::de::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
