@@ -76,10 +76,13 @@ pub struct RouteReconstructor {
     /// Count of chains observed (for diagnostics).
     chains_observed: usize,
     /// Cached `unequivocal_source` result, invalidated whenever the graph
-    /// gains a node or edge (`None` = dirty). The locator queries after
+    /// gains a node or edge (empty = dirty). The locator queries after
     /// every packet, but most packets add nothing new once the route has
     /// been seen, so the cache saves an SCC + reachability pass per packet.
-    cached_source: std::cell::Cell<Option<Option<u16>>>,
+    /// A `OnceLock` (not a `Cell`) keeps the reconstructor — and every
+    /// sink engine embedding it — `Sync`, so engines can be parked behind
+    /// shared references on worker threads.
+    cached_source: std::sync::OnceLock<Option<u16>>,
 }
 
 impl RouteReconstructor {
@@ -107,8 +110,25 @@ impl RouteReconstructor {
             }
         }
         if changed {
-            self.cached_source.set(None);
+            self.cached_source = std::sync::OnceLock::new();
         }
+    }
+
+    /// Merges another reconstructor's observations into this one.
+    ///
+    /// The order matrix is a set union, so merging is commutative,
+    /// associative, and idempotent: feeding a packet stream through any
+    /// partition of reconstructors and merging yields exactly the graph a
+    /// single reconstructor would have built from the whole stream. This is
+    /// what lets a sharded service combine per-shard route evidence into
+    /// one global localization.
+    pub fn merge(&mut self, other: &RouteReconstructor) {
+        self.nodes.extend(other.nodes.iter().copied());
+        for (u, vs) in &other.edges {
+            self.edges.entry(*u).or_default().extend(vs.iter().copied());
+        }
+        self.chains_observed += other.chains_observed;
+        self.cached_source = std::sync::OnceLock::new();
     }
 
     /// All nodes whose marks have been collected so far.
@@ -176,12 +196,9 @@ impl RouteReconstructor {
     ///
     /// The result is cached until the next observation changes the graph.
     pub fn unequivocal_source(&self) -> Option<NodeId> {
-        if let Some(cached) = self.cached_source.get() {
-            return cached.map(NodeId);
-        }
-        let result = self.compute_unequivocal_source();
-        self.cached_source.set(Some(result.map(|n| n.raw())));
-        result
+        self.cached_source
+            .get_or_init(|| self.compute_unequivocal_source().map(|n| n.raw()))
+            .map(NodeId)
     }
 
     fn compute_unequivocal_source(&self) -> Option<NodeId> {
@@ -582,6 +599,47 @@ mod tests {
         r.observe_chain(&ids(&[1, 2]));
         r.observe_chain(&ids(&[2, 1]));
         assert!(r.source_regions().is_empty());
+    }
+
+    #[test]
+    fn merge_equals_single_reconstructor() {
+        let chains: Vec<Vec<NodeId>> = vec![
+            ids(&[1, 2, 3]),
+            ids(&[5, 6, 3, 9]),
+            ids(&[2, 3, 9, 10]),
+            ids(&[1, 2]),
+        ];
+        let mut whole = RouteReconstructor::new();
+        for c in &chains {
+            whole.observe_chain(c);
+        }
+        // Partition the chains across two reconstructors and merge.
+        let mut a = RouteReconstructor::new();
+        let mut b = RouteReconstructor::new();
+        for (i, c) in chains.iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe_chain(c);
+            } else {
+                b.observe_chain(c);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.localize(), whole.localize());
+        assert_eq!(a.source_regions(), whole.source_regions());
+        assert_eq!(a.observed_count(), whole.observed_count());
+        assert_eq!(a.chains_observed(), whole.chains_observed());
+    }
+
+    #[test]
+    fn merge_invalidates_cached_source() {
+        let mut a = RouteReconstructor::new();
+        a.observe_chain(&ids(&[2, 3]));
+        assert_eq!(a.unequivocal_source(), Some(NodeId(2)));
+        let mut b = RouteReconstructor::new();
+        b.observe_chain(&ids(&[1, 2]));
+        a.merge(&b);
+        // The merged graph has a new most-upstream node.
+        assert_eq!(a.unequivocal_source(), Some(NodeId(1)));
     }
 
     #[test]

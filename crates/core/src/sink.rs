@@ -32,10 +32,12 @@
 //! verdicts, cache behavior, and resolver fallbacks.
 
 use std::collections::HashMap;
+use std::ops::{Add, AddAssign};
 use std::sync::Arc;
 
 use pnm_crypto::KeyStore;
 use pnm_wire::{NodeId, Packet};
+use serde::{Deserialize, Serialize};
 
 use crate::classifier::{TrafficClassifier, Verdict};
 use crate::isolation::{quarantine_set, IsolationPolicy, QuarantineFilter};
@@ -114,13 +116,31 @@ impl SinkConfig {
     pub fn mode(&self) -> VerifyMode {
         self.mode
     }
+
+    /// The configured isolation policy, if any.
+    pub fn isolation_policy(&self) -> Option<IsolationPolicy> {
+        self.isolation
+    }
+
+    /// Drops the isolation stage from this config.
+    ///
+    /// A sharded service builds its per-shard engines from a config with
+    /// isolation stripped: shard-local quarantine decisions would depend on
+    /// which packets a shard happened to see, so the service instead applies
+    /// the policy once, on the cross-shard merged route graph.
+    pub fn without_isolation(mut self) -> Self {
+        self.isolation = None;
+        self
+    }
 }
 
 /// Uniform instrumentation across every pipeline stage.
 ///
 /// All counts are cumulative since engine construction. Batch and
-/// per-packet ingestion update them identically.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// per-packet ingestion update them identically. Counters from several
+/// engines (e.g. the shards of a service pool) combine with
+/// [`SinkCounters::merge`] or `+=` — every field is a plain sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SinkCounters {
     /// Packets offered to the pipeline (including classified-out ones).
     pub packets: usize,
@@ -151,6 +171,40 @@ impl SinkCounters {
     pub fn table_cache_hit_rate(&self) -> Option<f64> {
         let total = self.table_builds + self.table_cache_hits;
         (total > 0).then(|| self.table_cache_hits as f64 / total as f64)
+    }
+
+    /// Folds another engine's counters into this one (field-wise sum).
+    pub fn merge(&mut self, other: &SinkCounters) {
+        *self += *other;
+    }
+}
+
+impl AddAssign for SinkCounters {
+    fn add_assign(&mut self, rhs: SinkCounters) {
+        self.packets += rhs.packets;
+        self.hash_count += rhs.hash_count;
+        self.marks_verified += rhs.marks_verified;
+        self.marks_rejected += rhs.marks_rejected;
+        self.table_builds += rhs.table_builds;
+        self.table_cache_hits += rhs.table_cache_hits;
+        self.resolver_fallback_scans += rhs.resolver_fallback_scans;
+        self.suspicious += rhs.suspicious;
+        self.benign += rhs.benign;
+    }
+}
+
+impl Add for SinkCounters {
+    type Output = SinkCounters;
+
+    fn add(mut self, rhs: SinkCounters) -> SinkCounters {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for SinkCounters {
+    fn sum<I: Iterator<Item = SinkCounters>>(iter: I) -> SinkCounters {
+        iter.fold(SinkCounters::default(), Add::add)
     }
 }
 
@@ -320,6 +374,32 @@ impl SinkEngine {
     /// independent single-packet sinks would pay `n`.
     pub fn ingest_batch(&mut self, packets: &[Packet]) -> Vec<SinkOutcome> {
         packets.iter().map(|p| self.ingest(p)).collect()
+    }
+
+    /// Folds another engine's accumulated evidence into this one: counters
+    /// sum, route graphs union ([`RouteReconstructor::merge`]), and
+    /// quarantine sets union ([`QuarantineFilter::merge`]).
+    ///
+    /// This is the cross-shard merge a sharded traceback service performs
+    /// at snapshot/drain time: because the route graph and quarantine set
+    /// are set unions, absorbing shard engines in any order yields exactly
+    /// the evidence a single engine would have accumulated over the whole
+    /// stream. Both engines must verify under the same mode (debug-asserted);
+    /// the absorbing engine keeps its own table cache and scratch buffers.
+    /// `first_unequivocal` becomes the smaller of the two packet indices —
+    /// a best-effort diagnostic, since shard-local packet counts are not a
+    /// global arrival order. After absorbing, the quarantine stage re-runs
+    /// on the next trigger (the merged graph may localize differently).
+    pub fn absorb(&mut self, other: &SinkEngine) {
+        debug_assert_eq!(self.mode, other.mode, "absorbing mismatched verify modes");
+        self.counters += other.counters;
+        self.reconstructor.merge(&other.reconstructor);
+        self.quarantine.merge(&other.quarantine);
+        self.first_unequivocal = match (self.first_unequivocal, other.first_unequivocal) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_quarantined_source = None;
     }
 
     /// Verify + anonymous-ID resolution for one admitted packet.
@@ -513,6 +593,22 @@ mod tests {
     use pnm_wire::{Location, Report};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Compile-time guarantee that engines can move onto worker threads and
+    /// be shared behind references: `SinkEngine` (and the pieces it embeds)
+    /// must stay `Send + Sync`. Breaking this — e.g. by reintroducing
+    /// `Cell`/`Rc` interior mutability — fails the build of this test.
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SinkEngine>();
+        assert_send_sync::<SinkConfig>();
+        assert_send_sync::<SinkCounters>();
+        assert_send_sync::<SinkOutcome>();
+        assert_send_sync::<RouteReconstructor>();
+        assert_send_sync::<QuarantineFilter>();
+        assert_send_sync::<TrafficClassifier>();
+    }
 
     fn keys(n: u16) -> Arc<KeyStore> {
         Arc::new(KeyStore::derive_from_master(b"sink-test", n))
@@ -741,6 +837,61 @@ mod tests {
         // 2 distinct reports → exactly 2 table builds for the whole batch.
         assert_eq!(batch.counters().table_builds, 2);
         assert_eq!(batch.counters().table_cache_hits, 4);
+    }
+
+    #[test]
+    fn absorb_merges_partitioned_engines() {
+        // Partition a packet stream across two engines by report; the
+        // absorbed union must match one engine fed the whole stream.
+        let n = 10u16;
+        let ks = keys(n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut rng = StdRng::seed_from_u64(21);
+        let packets: Vec<Packet> = (0..40)
+            .map(|s| packet(&ks, &scheme, n, s, &mut rng))
+            .collect();
+
+        let mut whole = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        for p in &packets {
+            whole.ingest(p);
+        }
+
+        let mut a = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        let mut b = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        for (i, p) in packets.iter().enumerate() {
+            if i % 2 == 0 {
+                a.ingest(p);
+            } else {
+                b.ingest(p);
+            }
+        }
+        a.absorb(&b);
+        assert_eq!(a.counters(), whole.counters());
+        assert_eq!(a.localize(), whole.localize());
+        assert_eq!(a.source_regions(), whole.source_regions());
+        assert_eq!(a.unequivocal_source(), whole.unequivocal_source());
+    }
+
+    #[test]
+    fn counters_merge_is_fieldwise_sum() {
+        let a = SinkCounters {
+            packets: 1,
+            hash_count: 2,
+            marks_verified: 3,
+            marks_rejected: 4,
+            table_builds: 5,
+            table_cache_hits: 6,
+            resolver_fallback_scans: 7,
+            suspicious: 8,
+            benign: 9,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b, a + a);
+        assert_eq!(b.packets, 2);
+        assert_eq!(b.benign, 18);
+        let total: SinkCounters = [a, a, a].into_iter().sum();
+        assert_eq!(total.hash_count, 6);
     }
 
     #[test]

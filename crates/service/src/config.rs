@@ -1,0 +1,115 @@
+//! Build-time description of a traceback service.
+
+use pnm_core::SinkConfig;
+
+/// What `ingest` does when a shard's bounded queue is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the caller until the shard drains a slot. Ingestion never
+    /// loses a packet; a slow sink slows its producers (the default).
+    #[default]
+    Block,
+    /// Shed the packet immediately and count the drop. Producers never
+    /// stall; the snapshot accounts every shed packet exactly.
+    Shed,
+}
+
+/// Configuration for a [`ServicePool`](crate::ServicePool).
+///
+/// Only the inner [`SinkConfig`] is mandatory; defaults give one shard per
+/// available core (capped at 8), a 1024-slot queue per shard, and blocking
+/// backpressure.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    sink: SinkConfig,
+    shards: usize,
+    queue_capacity: usize,
+    backpressure: BackpressurePolicy,
+    keep_outcomes: bool,
+    start_paused: bool,
+}
+
+impl ServiceConfig {
+    /// A service running the given sink pipeline in every shard.
+    pub fn new(sink: SinkConfig) -> Self {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        ServiceConfig {
+            sink,
+            shards,
+            queue_capacity: 1024,
+            backpressure: BackpressurePolicy::Block,
+            keep_outcomes: false,
+            start_paused: false,
+        }
+    }
+
+    /// Sets the number of worker shards (≥ 1), each owning its own
+    /// [`SinkEngine`](pnm_core::SinkEngine).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets each shard's bounded queue capacity (≥ 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the full-queue policy.
+    pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Keeps every per-packet [`SinkOutcome`](pnm_core::SinkOutcome),
+    /// keyed by admission sequence number, for the drain report. Off by
+    /// default — a long-running service should not grow unboundedly; turn
+    /// it on for audits, experiments, and equivalence tests.
+    pub fn keep_outcomes(mut self, keep: bool) -> Self {
+        self.keep_outcomes = keep;
+        self
+    }
+
+    /// Starts the workers paused: queues fill (and, under
+    /// [`BackpressurePolicy::Shed`], shed deterministically) until
+    /// [`ServicePool::resume`](crate::ServicePool::resume) releases them.
+    /// Useful for pre-loading a burst and for exact backpressure tests.
+    pub fn start_paused(mut self, paused: bool) -> Self {
+        self.start_paused = paused;
+        self
+    }
+
+    /// The per-shard sink pipeline configuration.
+    pub fn sink(&self) -> &SinkConfig {
+        &self.sink
+    }
+
+    /// Configured shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Configured per-shard queue capacity.
+    pub fn queue_capacity_per_shard(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Configured full-queue policy.
+    pub fn backpressure_policy(&self) -> BackpressurePolicy {
+        self.backpressure
+    }
+
+    /// Whether per-packet outcomes are retained for the drain report.
+    pub fn keeps_outcomes(&self) -> bool {
+        self.keep_outcomes
+    }
+
+    /// Whether workers start paused.
+    pub fn starts_paused(&self) -> bool {
+        self.start_paused
+    }
+}

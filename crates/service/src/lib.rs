@@ -1,0 +1,60 @@
+//! # pnm-service — a sharded, concurrent traceback service
+//!
+//! The sink engine in `pnm-core` is a sequential pipeline: one call, one
+//! packet, one verdict. This crate wraps it in a long-running service
+//! shape suitable for a real sink node:
+//!
+//! * **Sharding.** A [`ServicePool`] owns `k` worker threads, each with a
+//!   private [`SinkEngine`](pnm_core::SinkEngine). Packets are
+//!   hash-partitioned by report bytes, so all deliveries of one report
+//!   land on the same shard — the report-keyed anonymous-ID table cache
+//!   stays shard-local (no locks on the hot path), and `k` shards hold
+//!   `k×` the aggregate table-cache capacity.
+//! * **Backpressure.** Ingestion goes through bounded queues with an
+//!   explicit full-queue policy ([`BackpressurePolicy`]): block the
+//!   producer, or shed the packet and count the drop exactly.
+//! * **Drain.** [`ServicePool::drain`] closes ingestion, lets shards
+//!   finish their backlogs, then merges every shard's evidence — counters,
+//!   route graph, quarantine — into one engine via
+//!   [`SinkEngine::absorb`](pnm_core::SinkEngine::absorb). The route graph
+//!   is a set union, so the merged localization equals what a single
+//!   sequential engine would have computed over the same packets, for any
+//!   shard count and any arrival interleaving. Isolation policy is applied
+//!   once, to the merged graph, at drain time (shard-local quarantine
+//!   would be partition-dependent).
+//! * **Telemetry.** Every shard records queue-wait, service, and total
+//!   latency in mergeable power-of-two histograms; [`ServicePool::snapshot`]
+//!   folds them with the per-shard [`SinkCounters`](pnm_core::SinkCounters)
+//!   into a serializable [`ServiceSnapshot`].
+//!
+//! Classifier caveat: registry-backed verdicts are per-report and thus
+//! partition-invariant, but the volume monitor's rate window is
+//! shard-local, so pure volume anomalies are detected per-shard
+//! (approximately) rather than globally. The field study and background
+//! simulations in `pnm-sim` run on this service.
+
+mod config;
+mod pool;
+mod telemetry;
+
+pub use config::{BackpressurePolicy, ServiceConfig};
+pub use pool::{DrainReport, IngestError, ServicePool};
+pub use telemetry::{counters_json, LatencyHistogram, ServiceSnapshot, ShardSnapshot};
+
+#[cfg(test)]
+mod send_sync {
+    use super::*;
+
+    #[test]
+    fn service_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServicePool>();
+        assert_send_sync::<ServiceConfig>();
+        assert_send_sync::<BackpressurePolicy>();
+        assert_send_sync::<ServiceSnapshot>();
+        assert_send_sync::<ShardSnapshot>();
+        assert_send_sync::<LatencyHistogram>();
+        assert_send_sync::<DrainReport>();
+        assert_send_sync::<IngestError>();
+    }
+}

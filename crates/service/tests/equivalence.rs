@@ -1,0 +1,171 @@
+//! The service's one load-bearing correctness claim, property-tested:
+//! sharded ingestion is observably equivalent to a single sequential
+//! [`SinkEngine`] over the same packet stream — verdict for verdict,
+//! chain for chain, and quarantine-set for quarantine-set — for any shard
+//! count, any number of moles, and any report mix.
+//!
+//! The sequential baseline mirrors the service's drain semantics exactly:
+//! per-packet processing runs without the isolation stage (shard-local
+//! quarantine would be partition-dependent), and the configured policy is
+//! applied once, at end of stream, to the full route graph — the same
+//! refresh + source-region sweep [`ServicePool::drain`] performs on the
+//! merged engine.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use pnm_core::{
+    EventRegistry, IsolationPolicy, MarkingScheme, NodeContext, ProbabilisticNestedMarking,
+    SinkConfig, SinkEngine, SinkOutcome, TrafficClassifier, VerifyMode,
+};
+use pnm_crypto::KeyStore;
+use pnm_service::{ServiceConfig, ServicePool};
+use pnm_wire::{Location, NodeId, Packet, Report};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Nodes reserved per mole path; path `p` marks through nodes
+/// `[p*BAND, p*BAND + path_len)`.
+const BAND: u16 = 8;
+
+/// Builds a multi-mole stream: `n_paths` disjoint mole routes, each
+/// cycling `n_reports` distinct reports, `n_packets` packets total.
+/// Even-numbered reports are corroborated by the registry (benign at the
+/// classifier); odd ones are not.
+fn scenario(
+    n_paths: u16,
+    path_len: u16,
+    n_reports: u64,
+    n_packets: usize,
+    seed: u64,
+) -> (Arc<KeyStore>, SinkConfig, Vec<Packet>) {
+    let keys = Arc::new(KeyStore::derive_from_master(b"svc-equiv", n_paths * BAND));
+    let scheme = ProbabilisticNestedMarking::paper_default(path_len as usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut registry = EventRegistry::new(1.0);
+    for p in 0..n_paths {
+        for r in (0..n_reports).step_by(2) {
+            registry.register(r as f32 * 10.0, p as f32 * 10.0, 0, u64::MAX);
+        }
+    }
+    let config = SinkConfig::new(VerifyMode::Nested)
+        .table_cache_capacity(3)
+        .classifier(TrafficClassifier::permissive().with_registry(registry))
+        .isolation(IsolationPolicy::SuspectsOnly);
+
+    let packets = (0..n_packets)
+        .map(|i| {
+            let p = (i as u16) % n_paths;
+            let r = (i as u64 / n_paths as u64) % n_reports;
+            let report = Report::new(
+                format!("eq-{p}-{r}").into_bytes(),
+                Location::new(r as f32 * 10.0, p as f32 * 10.0),
+                r,
+            );
+            let mut pkt = Packet::new(report);
+            for hop in 0..path_len {
+                let node = p * BAND + hop;
+                let ctx = NodeContext::new(NodeId(node), *keys.key(node).unwrap());
+                scheme.mark(&ctx, &mut pkt, &mut rng);
+            }
+            pkt
+        })
+        .collect();
+    (keys, config, packets)
+}
+
+/// The end-of-stream quarantine sweep the service runs at drain, applied
+/// to a sequential engine's evidence.
+fn drain_sweep(keys: &Arc<KeyStore>, config: &SinkConfig, evidence: &SinkEngine) -> SinkEngine {
+    let mut merged = SinkEngine::new(Arc::clone(keys), config.clone());
+    merged.absorb(evidence);
+    merged.refresh_quarantine();
+    merged.quarantine_source_regions();
+    merged
+}
+
+fn quarantined(engine: &SinkEngine) -> BTreeSet<NodeId> {
+    engine.quarantine().quarantined().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any shard count and any stream, `ServicePool` produces the
+    /// same per-packet outcomes (in admission order), the same
+    /// localization, the same source regions, and the same quarantine set
+    /// as one sequential engine.
+    #[test]
+    fn sharded_service_equals_sequential_engine(
+        n_paths in 1u16..4,
+        path_len in 2u16..9,
+        n_reports in 1u64..5,
+        n_packets in 1usize..48,
+        shards in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let (keys, config, packets) = scenario(n_paths, path_len, n_reports, n_packets, seed);
+
+        // Sequential baseline: isolation stripped per packet, policy
+        // applied once at end of stream (the drain semantics).
+        let mut seq = SinkEngine::new(
+            Arc::clone(&keys),
+            config.clone().without_isolation(),
+        );
+        let seq_out: Vec<SinkOutcome> = packets.iter().map(|p| seq.ingest(p)).collect();
+        let seq_final = drain_sweep(&keys, &config, &seq);
+
+        // Sharded service over the identical stream.
+        let pool = ServicePool::new(
+            Arc::clone(&keys),
+            ServiceConfig::new(config.clone())
+                .shards(shards)
+                .queue_capacity(8)
+                .keep_outcomes(true),
+        );
+        for pkt in &packets {
+            pool.ingest(pkt.clone()).expect("block policy never sheds");
+        }
+        let report = pool.drain();
+
+        // Verdict-for-verdict: admission order is ingestion order here
+        // (single producer, no shedding), so seq tickets are 0..n.
+        prop_assert_eq!(report.outcomes.len(), seq_out.len());
+        for (i, ((ticket, got), want)) in
+            report.outcomes.iter().zip(seq_out.iter()).enumerate()
+        {
+            prop_assert_eq!(*ticket, i as u64);
+            prop_assert_eq!(got, want);
+        }
+
+        // Same localization story.
+        prop_assert_eq!(report.engine.localize(), seq_final.localize());
+        prop_assert_eq!(report.engine.source_regions(), seq_final.source_regions());
+        prop_assert_eq!(
+            report.engine.unequivocal_source(),
+            seq_final.unequivocal_source()
+        );
+
+        // Quarantine-set identical.
+        prop_assert_eq!(quarantined(&report.engine), quarantined(&seq_final));
+
+        // Work accounting: partition-invariant counters match exactly;
+        // cache-locality counters (table builds/hits) are allowed to
+        // differ across shard counts, but conservation must hold.
+        let totals = report.snapshot.totals;
+        let base = seq.counters();
+        prop_assert_eq!(totals.packets, base.packets);
+        prop_assert_eq!(totals.suspicious, base.suspicious);
+        prop_assert_eq!(totals.benign, base.benign);
+        prop_assert_eq!(totals.marks_verified, base.marks_verified);
+        prop_assert_eq!(totals.marks_rejected, base.marks_rejected);
+        prop_assert_eq!(
+            totals.table_builds + totals.table_cache_hits,
+            base.table_builds + base.table_cache_hits
+        );
+        prop_assert_eq!(report.snapshot.processed as usize, packets.len());
+        prop_assert_eq!(report.snapshot.shed, 0);
+    }
+}

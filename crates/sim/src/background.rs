@@ -7,6 +7,12 @@
 //! [`VolumeMonitor`] — and run traceback only on
 //! those. This experiment measures how background traffic volume affects
 //! (a) classification quality and (b) time-to-identification.
+//!
+//! The sink side runs as a sharded [`ServicePool`]. Registry verdicts are
+//! per-report and therefore shard-invariant; the volume monitor's rate
+//! window is shard-local, which only ever *under*-counts a cell's rate —
+//! in this setting classification stays exact (the tests assert zero
+//! false positives and full attack coverage).
 
 use std::sync::Arc;
 
@@ -14,10 +20,11 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use pnm_core::{
-    EventRegistry, MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig, SinkEngine,
-    TrafficClassifier, Verdict, VerifyMode, VolumeMonitor,
+    EventRegistry, MarkingScheme, NodeContext, ProbabilisticNestedMarking, RouteReconstructor,
+    SinkConfig, TrafficClassifier, Verdict, VerifyMode, VolumeMonitor,
 };
 use pnm_net::{Network, Topology};
+use pnm_service::{ServiceConfig, ServicePool};
 use pnm_wire::{Location, NodeId, Packet, Report};
 
 use crate::table::Table;
@@ -99,11 +106,16 @@ pub fn run_background_traffic(
         .with_registry(registry)
         .with_volume_monitor(monitor);
 
-    // The engine's classification stage gates verification: benign packets
-    // never reach the verifier, suspicious ones stream into the traceback.
-    let mut sink = SinkEngine::new(
+    // The service's per-shard classification stage gates verification:
+    // benign packets never reach the verifier, suspicious ones stream into
+    // the traceback. Retained per-packet outcomes (keyed by admission
+    // ticket) let us replay the suspicious stream afterwards for the
+    // settling-point metric.
+    let sink = ServicePool::new(
         Arc::clone(&keys),
-        SinkConfig::new(VerifyMode::Nested).classifier(classifier),
+        ServiceConfig::new(SinkConfig::new(VerifyMode::Nested).classifier(classifier))
+            .shards(2)
+            .keep_outcomes(true),
     );
 
     // Interleave attack and legitimate injections on a common timeline.
@@ -136,7 +148,7 @@ pub fn run_background_traffic(
     // is the mole's first forwarder — exactly the paper's one-hop
     // neighborhood guarantee.
     let mole_head = NodeId(mole_path[1]);
-    let mut status: Vec<Option<NodeId>> = Vec::new();
+    let mut is_attack_by_ticket: Vec<bool> = Vec::new();
     for (now, is_attack, seq) in schedule {
         let (source, report) = if is_attack {
             // Bogus event at the mole's own (unregistered) location.
@@ -178,16 +190,42 @@ pub fn run_background_traffic(
         } else {
             stats.legit_delivered += 1;
         }
-        // Sink-side classification gates traceback.
-        if sink.ingest_at(&pkt, now).verdict == Some(Verdict::Suspicious) {
-            if is_attack {
-                stats.true_positives += 1;
-            } else {
-                stats.false_positives += 1;
-            }
-            status.push(sink.unequivocal_source());
-        }
+        // Stream into the service; verdicts surface at drain time, keyed
+        // by the admission ticket. With one producer and no shedding the
+        // tickets are dense, so this index maps ticket → ground truth.
+        let ticket = sink
+            .ingest_at(pkt, now)
+            .expect("block policy accepts every packet");
+        debug_assert_eq!(ticket as usize, is_attack_by_ticket.len());
+        is_attack_by_ticket.push(is_attack);
     }
+
+    // Drain: shards finish, verdicts come back in admission order, and
+    // the merged engine holds the cross-shard route evidence.
+    let report = sink.drain();
+    // Replay the suspicious chains in admission order through a fresh
+    // reconstructor to find the settling point — the same evidence
+    // sequence a single sequential engine would have accumulated.
+    let mut replay = RouteReconstructor::new();
+    let mut status: Vec<Option<NodeId>> = Vec::new();
+    for (ticket, outcome) in &report.outcomes {
+        if outcome.verdict != Some(Verdict::Suspicious) {
+            continue;
+        }
+        if is_attack_by_ticket[*ticket as usize] {
+            stats.true_positives += 1;
+        } else {
+            stats.false_positives += 1;
+        }
+        if let Some(chain) = &outcome.chain {
+            replay.observe_chain(&chain.nodes);
+        }
+        status.push(replay.unequivocal_source());
+    }
+    debug_assert_eq!(
+        replay.unequivocal_source(),
+        report.engine.unequivocal_source()
+    );
 
     // Settling point over suspicious ingests only.
     if status.last().copied().flatten() == Some(mole_head) {

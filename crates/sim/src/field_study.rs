@@ -2,10 +2,13 @@
 //!
 //! A 300-node random-geometric deployment (tree-routed, Mica2 radio) is
 //! infiltrated by several source moles that flood bogus reports from
-//! different corners. The sink classifies traffic, runs PNM traceback
-//! with multi-source reconstruction (§9), quarantines each suspected
-//! neighborhood, and repeats until the field is clean — measuring wall
-//! (simulated) time, packets, and energy drained per round.
+//! different corners. The sink runs the sharded traceback service
+//! ([`pnm_service::ServicePool`]) — packets stream into per-shard
+//! [`pnm_core::SinkEngine`]s and each round's drain merges the shards'
+//! evidence into the multi-source reconstruction (§9) — quarantines each
+//! suspected neighborhood, and repeats until the field is clean,
+//! measuring wall (simulated) time, packets, and energy drained per
+//! round.
 
 use std::sync::Arc;
 
@@ -14,10 +17,11 @@ use rand::SeedableRng;
 
 use pnm_core::{
     quarantine_set, IsolationPolicy, MarkingScheme, NodeContext, ProbabilisticNestedMarking,
-    QuarantineFilter, SinkConfig, SinkEngine, VerifyMode,
+    QuarantineFilter, SinkConfig, VerifyMode,
 };
 use pnm_crypto::KeyStore;
 use pnm_net::{Network, RadioModel, Topology};
+use pnm_service::{ServiceConfig, ServicePool};
 use pnm_wire::{NodeId, Packet};
 
 use crate::runner::bogus_packet;
@@ -50,6 +54,11 @@ pub struct FieldStudy {
     /// Nodes wrongly quarantined at any point (collateral).
     pub innocents_quarantined: usize,
 }
+
+/// Worker shards the sink-side service runs per round. The round outcome
+/// is shard-count invariant (the service's merged evidence equals a
+/// sequential engine's), so this is purely an operational knob.
+const SINK_SHARDS: usize = 4;
 
 /// Runs the field study with `num_moles` source moles on a 300-node field,
 /// `packets_per_round` injections per mole per round.
@@ -94,10 +103,14 @@ pub fn run_field_study(num_moles: usize, packets_per_round: usize, seed: u64) ->
             break;
         }
 
-        // A fresh engine per round: each round's traceback only sees the
+        // A fresh service per round: each round's traceback only sees the
         // still-at-large moles' traffic. The Arc'd keystore is shared, not
-        // re-derived.
-        let mut sink = SinkEngine::new(Arc::clone(&keys), SinkConfig::new(VerifyMode::Nested));
+        // re-derived; delivered packets stream into the sharded pool and
+        // the end-of-round drain merges the shards' evidence.
+        let sink = ServicePool::new(
+            Arc::clone(&keys),
+            ServiceConfig::new(SinkConfig::new(VerifyMode::Nested)).shards(SINK_SHARDS),
+        );
         let mut delivered = 0usize;
         let mut energy_nj = 0u64;
 
@@ -126,12 +139,16 @@ pub fn run_field_study(num_moles: usize, packets_per_round: usize, seed: u64) ->
                     continue;
                 }
                 delivered += 1;
-                sink.ingest(&pkt);
+                sink.ingest(pkt).expect("round pool accepts until drained");
             }
         }
 
-        // Multi-source localization: one region per remaining mole.
-        let regions = sink.source_regions();
+        // Drain the round: shards finish their backlogs and their route
+        // evidence merges into one engine, then multi-source localization
+        // finds one region per remaining mole.
+        let round_report = sink.drain();
+        debug_assert_eq!(round_report.snapshot.processed as usize, delivered);
+        let regions = round_report.engine.source_regions();
         let mut caught = 0usize;
         for region in &regions {
             let q = quarantine_set(

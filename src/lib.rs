@@ -56,5 +56,6 @@ pub use pnm_core as core;
 pub use pnm_crypto as crypto;
 pub use pnm_filter as filter;
 pub use pnm_net as net;
+pub use pnm_service as service;
 pub use pnm_sim as sim;
 pub use pnm_wire as wire;
