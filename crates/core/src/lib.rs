@@ -73,13 +73,13 @@ pub use precision::{
     attest_receipt, refine_suspects, verify_receipt, PairwiseKeys, ReceiptAttestation,
     RefinedSuspects,
 };
-pub use reconstruct::{Localization, RouteReconstructor, SourceRegion};
+pub use reconstruct::{AnnotatedLocalization, Localization, RouteReconstructor, SourceRegion};
 pub use replay::{DuplicateSuppressor, SequenceWindow};
 pub use scheme::{
     ExtendedAms, MarkingScheme, NestedMarking, NodeContext, PlainMarking,
     ProbabilisticNestedMarking, ProbabilisticNestedPlainId,
 };
-pub use sink::{SinkConfig, SinkCounters, SinkEngine, SinkOutcome};
+pub use sink::{RejectReason, SinkConfig, SinkCounters, SinkEngine, SinkOutcome};
 pub use verify::{
     AnonTable, Resolution, SinkVerifier, StopReason, TopologyResolver, VerifiedChain, VerifyMode,
 };

@@ -40,6 +40,38 @@ pub enum Localization {
     },
 }
 
+/// A [`Localization`] annotated with the evidence that backs it.
+///
+/// Lossy and corrupted delivery thins the sink's evidence: chains arrive
+/// truncated (upstream marks lost) or not at all. The annotation makes
+/// that thinness visible — `support` counts the verified chains whose
+/// most-upstream element is the node(s) the localization names, and
+/// `confidence` normalizes it by every chain observed. Callers that
+/// require `min_support` direct observations get a **wider region instead
+/// of a wrong node**: a most-upstream answer resting on fewer chains
+/// degrades to [`Localization::Ambiguous`] over the head plus the
+/// successors connected to it only by similarly thin edges.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnnotatedLocalization {
+    /// The (possibly widened) localization decision.
+    pub localization: Localization,
+    /// Verified chains whose most-upstream element is a node named by the
+    /// localization.
+    pub support: usize,
+    /// All non-empty verified chains observed.
+    pub chains: usize,
+    /// `support / chains` (0.0 when no chains have been observed).
+    pub confidence: f64,
+}
+
+impl AnnotatedLocalization {
+    /// `true` when the underlying decision survived at full strength (was
+    /// not widened and names a single most-upstream node).
+    pub fn is_unequivocal(&self) -> bool {
+        matches!(self.localization, Localization::MostUpstream(_))
+    }
+}
+
 /// One suspected source region in a multi-source reconstruction
 /// (see [`RouteReconstructor::source_regions`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -75,6 +107,12 @@ pub struct RouteReconstructor {
     nodes: BTreeSet<u16>,
     /// Count of chains observed (for diagnostics).
     chains_observed: usize,
+    /// head_support[n] = chains whose most-upstream element was n — the
+    /// direct evidence that n heads the route.
+    head_support: BTreeMap<u16, usize>,
+    /// edge_support[(u, v)] = chains in which u appeared directly upstream
+    /// of v. Thin edges mark order relations resting on little evidence.
+    edge_support: BTreeMap<(u16, u16), usize>,
     /// Cached `unequivocal_source` result, invalidated whenever the graph
     /// gains a node or edge (empty = dirty). The locator queries after
     /// every packet, but most packets add nothing new once the route has
@@ -96,8 +134,9 @@ impl RouteReconstructor {
     /// Consecutive pairs become order-matrix entries. A chain of one node
     /// still registers the node's existence (its mark was collected).
     pub fn observe_chain(&mut self, chain: &[NodeId]) {
-        if !chain.is_empty() {
+        if let Some(head) = chain.first() {
             self.chains_observed += 1;
+            *self.head_support.entry(head.raw()).or_default() += 1;
         }
         let mut changed = false;
         for n in chain {
@@ -107,6 +146,7 @@ impl RouteReconstructor {
             let (u, v) = (w[0].raw(), w[1].raw());
             if u != v {
                 changed |= self.edges.entry(u).or_default().insert(v);
+                *self.edge_support.entry((u, v)).or_default() += 1;
             }
         }
         if changed {
@@ -128,6 +168,14 @@ impl RouteReconstructor {
             self.edges.entry(*u).or_default().extend(vs.iter().copied());
         }
         self.chains_observed += other.chains_observed;
+        // Support counts sum: each chain was observed in exactly one
+        // partition, so partitioned-and-merged equals sequential.
+        for (&n, &c) in &other.head_support {
+            *self.head_support.entry(n).or_default() += c;
+        }
+        for (&e, &c) in &other.edge_support {
+            *self.edge_support.entry(e).or_default() += c;
+        }
         self.cached_source = std::sync::OnceLock::new();
     }
 
@@ -280,6 +328,91 @@ impl RouteReconstructor {
         match self.unequivocal_source() {
             Some(n) => Localization::MostUpstream(n),
             None => Localization::Ambiguous(self.most_upstream_candidates()),
+        }
+    }
+
+    /// Chains whose most-upstream verified element was `node`.
+    pub fn head_support(&self, node: NodeId) -> usize {
+        self.head_support.get(&node.raw()).copied().unwrap_or(0)
+    }
+
+    /// Chains in which `upstream` appeared directly upstream of
+    /// `downstream`.
+    pub fn edge_support(&self, upstream: NodeId, downstream: NodeId) -> usize {
+        self.edge_support
+            .get(&(upstream.raw(), downstream.raw()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// [`RouteReconstructor::localize`] with a support annotation and a
+    /// minimum-evidence requirement.
+    ///
+    /// A [`Localization::MostUpstream`] answer resting on fewer than
+    /// `min_support` chains headed by that node is **widened** instead of
+    /// reported as-is: the result becomes [`Localization::Ambiguous`] over
+    /// the head plus its direct downstream successors. Under bursty loss
+    /// or corruption the upstream-most marks are exactly the ones most
+    /// often missing, so a thin head may merely be the first survivor of a
+    /// longer route; the widened region keeps the answer honest — a
+    /// superset covering the uncertainty — rather than pinning a single
+    /// possibly-wrong node. `min_support <= 1` never widens (any named
+    /// head has at least one supporting chain).
+    pub fn localize_annotated(&self, min_support: usize) -> AnnotatedLocalization {
+        let base = self.localize();
+        let chains = self.chains_observed;
+        let confidence = |support: usize| {
+            if chains == 0 {
+                0.0
+            } else {
+                support as f64 / chains as f64
+            }
+        };
+        let named_support = |loc: &Localization| -> usize {
+            let named: Vec<u16> = match loc {
+                Localization::NoEvidence => Vec::new(),
+                Localization::MostUpstream(n) => vec![n.raw()],
+                Localization::Ambiguous(c) => c.iter().map(|n| n.raw()).collect(),
+                Localization::Loop { members, junction } => members
+                    .iter()
+                    .chain(junction.iter())
+                    .map(|n| n.raw())
+                    .collect(),
+            };
+            named
+                .iter()
+                .map(|n| self.head_support.get(n).copied().unwrap_or(0))
+                .sum()
+        };
+        if let Localization::MostUpstream(head) = base {
+            let support = self.head_support(head);
+            if support < min_support {
+                let mut region = vec![head];
+                if let Some(vs) = self.edges.get(&head.raw()) {
+                    region.extend(vs.iter().map(|&v| NodeId(v)));
+                }
+                region.sort();
+                region.dedup();
+                return AnnotatedLocalization {
+                    localization: Localization::Ambiguous(region),
+                    support,
+                    chains,
+                    confidence: confidence(support),
+                };
+            }
+            return AnnotatedLocalization {
+                localization: base,
+                support,
+                chains,
+                confidence: confidence(support),
+            };
+        }
+        let support = named_support(&base);
+        AnnotatedLocalization {
+            localization: base,
+            support,
+            chains,
+            confidence: confidence(support),
         }
     }
 
@@ -648,5 +781,107 @@ mod tests {
         r.observe_chain(&[]);
         assert_eq!(r.chains_observed(), 0);
         assert_eq!(r.localize(), Localization::NoEvidence);
+    }
+
+    #[test]
+    fn support_counts_track_heads_and_edges() {
+        let mut r = RouteReconstructor::new();
+        r.observe_chain(&ids(&[1, 2, 3]));
+        r.observe_chain(&ids(&[1, 2]));
+        r.observe_chain(&ids(&[2, 3]));
+        assert_eq!(r.head_support(NodeId(1)), 2);
+        assert_eq!(r.head_support(NodeId(2)), 1);
+        assert_eq!(r.head_support(NodeId(3)), 0);
+        assert_eq!(r.edge_support(NodeId(1), NodeId(2)), 2);
+        assert_eq!(r.edge_support(NodeId(2), NodeId(3)), 2);
+        assert_eq!(r.edge_support(NodeId(3), NodeId(1)), 0);
+    }
+
+    #[test]
+    fn annotated_localization_reports_confidence() {
+        let mut r = RouteReconstructor::new();
+        for _ in 0..3 {
+            r.observe_chain(&ids(&[1, 2, 3]));
+        }
+        r.observe_chain(&ids(&[2, 3]));
+        let a = r.localize_annotated(2);
+        assert_eq!(a.localization, Localization::MostUpstream(NodeId(1)));
+        assert!(a.is_unequivocal());
+        assert_eq!(a.support, 3);
+        assert_eq!(a.chains, 4);
+        assert!((a.confidence - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thin_support_widens_to_a_region() {
+        // Node 1 heads exactly one chain; everything else starts at 2.
+        // Requiring 3 supporting chains widens the answer to {1, 2}
+        // instead of pinning node 1.
+        let mut r = RouteReconstructor::new();
+        r.observe_chain(&ids(&[1, 2]));
+        for _ in 0..5 {
+            r.observe_chain(&ids(&[2, 3, 4]));
+        }
+        assert_eq!(r.localize(), Localization::MostUpstream(NodeId(1)));
+        let a = r.localize_annotated(3);
+        assert_eq!(a.localization, Localization::Ambiguous(ids(&[1, 2])));
+        assert!(!a.is_unequivocal());
+        assert_eq!(a.support, 1);
+        // Every direct successor joins the widened region.
+        let mut t = RouteReconstructor::new();
+        t.observe_chain(&ids(&[1, 2]));
+        t.observe_chain(&ids(&[1, 3]));
+        t.observe_chain(&ids(&[2, 3]));
+        let a = t.localize_annotated(3);
+        assert_eq!(a.localization, Localization::Ambiguous(ids(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn min_support_one_never_widens() {
+        let mut r = RouteReconstructor::new();
+        r.observe_chain(&ids(&[4, 5, 6]));
+        let a = r.localize_annotated(1);
+        assert_eq!(a.localization, r.localize());
+        assert_eq!(a.support, 1);
+        assert_eq!(a.chains, 1);
+        assert!((a.confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annotated_no_evidence_has_zero_confidence() {
+        let r = RouteReconstructor::new();
+        let a = r.localize_annotated(5);
+        assert_eq!(a.localization, Localization::NoEvidence);
+        assert_eq!(a.support, 0);
+        assert_eq!(a.chains, 0);
+        assert_eq!(a.confidence, 0.0);
+    }
+
+    #[test]
+    fn merge_sums_support_counts() {
+        let chains: Vec<Vec<NodeId>> =
+            vec![ids(&[1, 2, 3]), ids(&[1, 2]), ids(&[2, 3]), ids(&[1, 3])];
+        let mut whole = RouteReconstructor::new();
+        for c in &chains {
+            whole.observe_chain(c);
+        }
+        let mut a = RouteReconstructor::new();
+        let mut b = RouteReconstructor::new();
+        for (i, c) in chains.iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe_chain(c);
+            } else {
+                b.observe_chain(c);
+            }
+        }
+        a.merge(&b);
+        for n in [1u16, 2, 3] {
+            assert_eq!(a.head_support(NodeId(n)), whole.head_support(NodeId(n)));
+        }
+        assert_eq!(
+            a.edge_support(NodeId(1), NodeId(2)),
+            whole.edge_support(NodeId(1), NodeId(2))
+        );
+        assert_eq!(a.localize_annotated(2), whole.localize_annotated(2));
     }
 }

@@ -36,12 +36,13 @@ use std::ops::{Add, AddAssign};
 use std::sync::Arc;
 
 use pnm_crypto::KeyStore;
-use pnm_wire::{NodeId, Packet};
+use pnm_wire::{NodeId, Packet, WireError};
 use serde::{Deserialize, Serialize};
 
 use crate::classifier::{TrafficClassifier, Verdict};
 use crate::isolation::{quarantine_set, IsolationPolicy, QuarantineFilter};
-use crate::reconstruct::{Localization, RouteReconstructor, SourceRegion};
+use crate::reconstruct::{AnnotatedLocalization, Localization, RouteReconstructor, SourceRegion};
+use crate::replay::DuplicateSuppressor;
 use crate::verify::{AnonTable, SinkVerifier, TopologyResolver, VerifiedChain, VerifyMode};
 
 /// Default number of per-report anonymous-ID tables the engine keeps live.
@@ -65,6 +66,8 @@ pub struct SinkConfig {
     max_radius: Option<usize>,
     classifier: Option<TrafficClassifier>,
     isolation: Option<IsolationPolicy>,
+    dedup_capacity: Option<usize>,
+    min_support: usize,
 }
 
 impl SinkConfig {
@@ -77,6 +80,8 @@ impl SinkConfig {
             max_radius: None,
             classifier: None,
             isolation: None,
+            dedup_capacity: None,
+            min_support: 1,
         }
     }
 
@@ -109,6 +114,24 @@ impl SinkConfig {
     /// Enables the quarantine stage under the given policy.
     pub fn isolation(mut self, policy: IsolationPolicy) -> Self {
         self.isolation = Some(policy);
+        self
+    }
+
+    /// Enables idempotent duplicate suppression: a packet whose encoded
+    /// bytes were already ingested (within the last `capacity` distinct
+    /// packets) is rejected as [`RejectReason::Duplicate`] without touching
+    /// any evidence. Duplicating links (MAC retransmissions, fault
+    /// injection) then cannot skew support counts or rate windows.
+    pub fn dedup(mut self, capacity: usize) -> Self {
+        self.dedup_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Requires `n` supporting chains before
+    /// [`SinkEngine::localize_annotated`] reports a single most-upstream
+    /// node; thinner evidence widens to a region (default 1 = never widen).
+    pub fn min_localization_support(mut self, n: usize) -> Self {
+        self.min_support = n.max(1);
         self
     }
 
@@ -163,6 +186,10 @@ pub struct SinkCounters {
     pub suspicious: usize,
     /// Packets the classifier rejected as benign (never verified).
     pub benign: usize,
+    /// Byte buffers that failed wire decoding (corrupted/garbled input).
+    pub malformed: usize,
+    /// Packets rejected as exact duplicates of an already-ingested packet.
+    pub duplicates_suppressed: usize,
 }
 
 impl SinkCounters {
@@ -190,6 +217,8 @@ impl AddAssign for SinkCounters {
         self.resolver_fallback_scans += rhs.resolver_fallback_scans;
         self.suspicious += rhs.suspicious;
         self.benign += rhs.benign;
+        self.malformed += rhs.malformed;
+        self.duplicates_suppressed += rhs.duplicates_suppressed;
     }
 }
 
@@ -208,21 +237,47 @@ impl std::iter::Sum for SinkCounters {
     }
 }
 
+/// Why the pipeline refused a packet before verification.
+///
+/// Rejections are *counted outcomes*, never panics: the sink must stay
+/// total over whatever the network delivers, including corrupted frames
+/// and replayed duplicates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The bytes did not decode as a wire packet (bit corruption,
+    /// truncation, garbage injection). Carries the structured decode error.
+    Malformed(WireError),
+    /// The exact packet bytes were already ingested; suppressing the copy
+    /// keeps ingestion idempotent under duplicating links.
+    Duplicate,
+}
+
 /// What the pipeline decided about one packet.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SinkOutcome {
     /// The classifier's verdict; `None` when no classifier is configured
     /// (every packet proceeds to verification).
     pub verdict: Option<Verdict>,
-    /// The verified chain; `None` only when the classifier rejected the
-    /// packet as benign before verification.
+    /// The verified chain; `None` when the classifier rejected the packet
+    /// as benign before verification or the packet was rejected outright.
     pub chain: Option<VerifiedChain>,
+    /// Set when the packet was refused before verification (malformed
+    /// bytes, suppressed duplicate); `None` on every admitted or
+    /// classified packet.
+    pub reject: Option<RejectReason>,
 }
 
 impl SinkOutcome {
     /// `true` if the packet reached the verify stage.
     pub fn admitted(&self) -> bool {
         self.chain.is_some()
+    }
+
+    /// `true` if the packet was refused before classification (malformed
+    /// or duplicate).
+    pub fn rejected(&self) -> bool {
+        self.reject.is_some()
     }
 }
 
@@ -279,6 +334,8 @@ pub struct SinkEngine {
     first_unequivocal: Option<usize>,
     quarantine: QuarantineFilter,
     last_quarantined_source: Option<NodeId>,
+    dedup: Option<DuplicateSuppressor>,
+    min_support: usize,
 }
 
 impl SinkEngine {
@@ -312,6 +369,8 @@ impl SinkEngine {
             first_unequivocal: None,
             quarantine: QuarantineFilter::new(),
             last_quarantined_source: None,
+            dedup: config.dedup_capacity.map(DuplicateSuppressor::new),
+            min_support: config.min_support,
         }
     }
 
@@ -321,10 +380,60 @@ impl SinkEngine {
         self.ingest_at(packet, packet.report.timestamp)
     }
 
+    /// Runs raw received bytes through the pipeline, stamped with the
+    /// decoded report's own timestamp.
+    ///
+    /// This entry point is **total**: bytes that fail wire decoding become
+    /// a counted [`RejectReason::Malformed`] outcome — never a panic, never
+    /// an `unwrap` on [`WireError`] — so the sink survives whatever a
+    /// corrupting channel delivers.
+    pub fn ingest_bytes(&mut self, bytes: &[u8]) -> SinkOutcome {
+        match Packet::from_bytes(bytes) {
+            Ok(packet) => {
+                let now_us = packet.report.timestamp;
+                self.ingest_at(&packet, now_us)
+            }
+            Err(e) => self.reject_malformed(e),
+        }
+    }
+
+    /// [`SinkEngine::ingest_bytes`] with an explicit arrival clock for the
+    /// classifier's rate window.
+    pub fn ingest_bytes_at(&mut self, bytes: &[u8], now_us: u64) -> SinkOutcome {
+        match Packet::from_bytes(bytes) {
+            Ok(packet) => self.ingest_at(&packet, now_us),
+            Err(e) => self.reject_malformed(e),
+        }
+    }
+
+    fn reject_malformed(&mut self, error: WireError) -> SinkOutcome {
+        self.counters.packets += 1;
+        self.counters.malformed += 1;
+        SinkOutcome {
+            verdict: None,
+            chain: None,
+            reject: Some(RejectReason::Malformed(error)),
+        }
+    }
+
     /// Runs one packet through the full pipeline with an explicit arrival
     /// clock for the classifier's rate window.
     pub fn ingest_at(&mut self, packet: &Packet, now_us: u64) -> SinkOutcome {
         self.counters.packets += 1;
+
+        // Stage 0: idempotent duplicate suppression (when configured).
+        // Runs before the classifier so duplicated frames cannot skew its
+        // rate window, and before verification so they cost no hashes.
+        if let Some(dedup) = &mut self.dedup {
+            if !dedup.observe(&packet.to_bytes()) {
+                self.counters.duplicates_suppressed += 1;
+                return SinkOutcome {
+                    verdict: None,
+                    chain: None,
+                    reject: Some(RejectReason::Duplicate),
+                };
+            }
+        }
 
         // Stage 1: classify/admit.
         let verdict = self
@@ -337,6 +446,7 @@ impl SinkEngine {
                 return SinkOutcome {
                     verdict,
                     chain: None,
+                    reject: None,
                 };
             }
             Some(Verdict::Suspicious) => self.counters.suspicious += 1,
@@ -361,6 +471,7 @@ impl SinkEngine {
         SinkOutcome {
             verdict,
             chain: Some(chain),
+            reject: None,
         }
     }
 
@@ -390,6 +501,9 @@ impl SinkEngine {
     /// a best-effort diagnostic, since shard-local packet counts are not a
     /// global arrival order. After absorbing, the quarantine stage re-runs
     /// on the next trigger (the merged graph may localize differently).
+    /// Duplicate-suppression windows are engine-local and not merged; a
+    /// partitioned deployment relies on duplicates hashing to the same
+    /// partition (they do — identical bytes share a report).
     pub fn absorb(&mut self, other: &SinkEngine) {
         debug_assert_eq!(self.mode, other.mode, "absorbing mismatched verify modes");
         self.counters += other.counters;
@@ -543,6 +657,15 @@ impl SinkEngine {
     /// Current localization decision.
     pub fn localize(&self) -> Localization {
         self.reconstructor.localize()
+    }
+
+    /// Current localization with its support/confidence annotation, under
+    /// the configured minimum support
+    /// ([`SinkConfig::min_localization_support`]): thin evidence degrades
+    /// to a wider [`Localization::Ambiguous`] region instead of a single
+    /// possibly-wrong node.
+    pub fn localize_annotated(&self) -> AnnotatedLocalization {
+        self.reconstructor.localize_annotated(self.min_support)
     }
 
     /// Reconstructed source regions (multi-mole deployments).
@@ -884,14 +1007,161 @@ mod tests {
             resolver_fallback_scans: 7,
             suspicious: 8,
             benign: 9,
+            malformed: 10,
+            duplicates_suppressed: 11,
         };
         let mut b = a;
         b.merge(&a);
         assert_eq!(b, a + a);
         assert_eq!(b.packets, 2);
         assert_eq!(b.benign, 18);
+        assert_eq!(b.malformed, 20);
+        assert_eq!(b.duplicates_suppressed, 22);
         let total: SinkCounters = [a, a, a].into_iter().sum();
         assert_eq!(total.hash_count, 6);
+    }
+
+    #[test]
+    fn ingest_bytes_is_total_over_garbage() {
+        let n = 6u16;
+        let ks = keys(n);
+        let mut engine = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        // Arbitrary garbage, empty input, and a truncated valid packet all
+        // become counted rejections, never panics.
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut rng = StdRng::seed_from_u64(13);
+        let valid = packet(&ks, &scheme, n, 1, &mut rng).to_bytes();
+        let inputs: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            vec![0xff; 3],
+            vec![0u8; 4096],
+            valid[..valid.len() - 1].to_vec(),
+            {
+                let mut v = valid.clone();
+                v.push(0);
+                v
+            },
+        ];
+        for bytes in &inputs {
+            let out = engine.ingest_bytes(bytes);
+            assert!(!out.admitted());
+            assert!(out.rejected());
+            assert!(matches!(out.reject, Some(RejectReason::Malformed(_))));
+        }
+        let c = engine.counters();
+        assert_eq!(c.packets, inputs.len());
+        assert_eq!(c.malformed, inputs.len());
+        assert_eq!(c.marks_verified + c.marks_rejected, 0);
+        assert_eq!(engine.observed_count(), 0);
+    }
+
+    #[test]
+    fn ingest_bytes_matches_ingest_on_valid_packets() {
+        let n = 8u16;
+        let ks = keys(n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut rng = StdRng::seed_from_u64(14);
+        let packets: Vec<Packet> = (0..20)
+            .map(|s| packet(&ks, &scheme, n, s, &mut rng))
+            .collect();
+        let mut by_packet = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        let mut by_bytes = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        for p in &packets {
+            let a = by_packet.ingest(p);
+            let b = by_bytes.ingest_bytes(&p.to_bytes());
+            assert_eq!(a, b);
+        }
+        assert_eq!(by_packet.counters(), by_bytes.counters());
+        assert_eq!(by_packet.localize(), by_bytes.localize());
+    }
+
+    #[test]
+    fn dedup_makes_ingestion_idempotent() {
+        let n = 6u16;
+        let ks = keys(n);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(15);
+        let pkt = packet(&ks, &scheme, n, 1, &mut rng);
+
+        let mut once = SinkEngine::new(
+            Arc::clone(&ks),
+            SinkConfig::new(VerifyMode::Nested).dedup(64),
+        );
+        let first = once.ingest(&pkt);
+        assert!(first.admitted());
+        let after_one = (once.counters(), once.localize());
+
+        for _ in 0..10 {
+            let dup = once.ingest(&pkt);
+            assert!(!dup.admitted());
+            assert_eq!(dup.reject, Some(RejectReason::Duplicate));
+        }
+        // Evidence untouched; only the packet/duplicate tallies moved.
+        assert_eq!(once.localize(), after_one.1);
+        let c = once.counters();
+        assert_eq!(c.duplicates_suppressed, 10);
+        assert_eq!(c.packets, after_one.0.packets + 10);
+        assert_eq!(c.marks_verified, after_one.0.marks_verified);
+        assert_eq!(c.hash_count, after_one.0.hash_count);
+        assert_eq!(c.table_cache_hits, after_one.0.table_cache_hits);
+    }
+
+    #[test]
+    fn dedup_distinguishes_differently_marked_copies() {
+        // Same report, different mark sets: not duplicates (the whole
+        // packet bytes are the key, not just the report).
+        let n = 6u16;
+        let ks = keys(n);
+        let cfg = MarkingConfig::builder().marking_probability(0.5).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut engine = SinkEngine::new(
+            Arc::clone(&ks),
+            SinkConfig::new(VerifyMode::Nested).dedup(64),
+        );
+        let mut admitted = 0;
+        for _ in 0..20 {
+            let pkt = packet(&ks, &scheme, n, 1, &mut rng);
+            if engine.ingest(&pkt).admitted() {
+                admitted += 1;
+            }
+        }
+        // Probabilistic marking varies the mark set: most copies differ.
+        assert!(admitted > 1, "only {admitted} admitted");
+    }
+
+    #[test]
+    fn engine_annotated_localization_uses_configured_support() {
+        let n = 8u16;
+        let ks = keys(n);
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(17);
+        let pkt = packet(&ks, &scheme, n, 1, &mut rng);
+        let mut engine = SinkEngine::new(
+            Arc::clone(&ks),
+            SinkConfig::new(VerifyMode::Nested).min_localization_support(3),
+        );
+        engine.ingest(&pkt);
+        // One fully verified chain: support 1 < 3 → widened region.
+        let a = engine.localize_annotated();
+        assert!(!a.is_unequivocal());
+        assert_eq!(a.support, 1);
+        match &a.localization {
+            Localization::Ambiguous(region) => {
+                assert!(region.contains(&NodeId(0)));
+                assert!(region.len() >= 2);
+            }
+            other => panic!("expected widened region, got {other:?}"),
+        }
+        // Two more identical chains push support past the threshold.
+        engine.ingest(&pkt);
+        engine.ingest(&pkt);
+        let a = engine.localize_annotated();
+        assert!(a.is_unequivocal());
+        assert_eq!(a.support, 3);
+        assert_eq!(a.localization, Localization::MostUpstream(NodeId(0)));
     }
 
     #[test]

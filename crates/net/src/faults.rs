@@ -1,0 +1,459 @@
+//! Injectable link faults: bursty loss, duplication, reordering, corruption.
+//!
+//! The base [`RadioModel`](crate::RadioModel) models i.i.d. per-hop loss —
+//! the paper's idealized substrate. Real sensor links misbehave in richer
+//! ways: loss comes in *bursts* (interference, congested neighborhoods),
+//! MAC-layer retransmissions *duplicate* frames, queueing jitter *reorders*
+//! them, and marginal links *corrupt* bits that slip past the CRC. This
+//! module provides a seeded, deterministic [`FaultPlan`] describing all
+//! four, which [`Network::with_faults`](crate::Network::with_faults) wires
+//! into delivery. Every injected fault is tallied in
+//! [`FaultCounters`](crate::network::FaultCounters) on the run report, so
+//! degradation experiments can correlate sink-side precision with the
+//! exact fault mix the network experienced.
+//!
+//! The fault layer draws from its **own** RNG stream (seeded by
+//! [`FaultPlan::seed`]), never from the simulation RNG: enabling a fault
+//! plan with all intensities at zero reproduces the fault-free run
+//! bit-for-bit, and sweeping one fault axis never perturbs the draws of
+//! another.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Draws a uniform f64 in `[0, 1)` from 53 random bits.
+fn unit(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn assert_probability(p: f64, what: &str) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "{what} {p} not a probability in [0, 1]"
+    );
+}
+
+/// A two-state Gilbert–Elliott bursty-loss channel.
+///
+/// The channel is a Markov chain over `{Good, Bad}`: each transmission
+/// first advances the state (`p_gb` = P\[Good→Bad\], `p_bg` = P\[Bad→Good\]),
+/// then drops the packet with the state's loss probability. Small `p_bg`
+/// means long bad bursts — the regime where consecutive marked packets
+/// vanish together and i.i.d.-loss analysis is most misleading.
+///
+/// # Examples
+///
+/// ```
+/// use pnm_net::GilbertElliott;
+///
+/// // ~20% long-run loss in bursts averaging 10 transmissions.
+/// let ge = GilbertElliott::bursty(0.2, 10.0);
+/// assert!((ge.steady_state_loss() - 0.2).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// P\[Good → Bad\] per transmission.
+    pub p_gb: f64,
+    /// P\[Bad → Good\] per transmission.
+    pub p_bg: f64,
+    /// Loss probability while Good (usually ~0).
+    pub loss_good: f64,
+    /// Loss probability while Bad (usually ~1).
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// Builds a channel from the four chain parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is outside `[0, 1]`.
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> Self {
+        assert_probability(p_gb, "P[good->bad]");
+        assert_probability(p_bg, "P[bad->good]");
+        assert_probability(loss_good, "good-state loss");
+        assert_probability(loss_bad, "bad-state loss");
+        GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+        }
+    }
+
+    /// The classic simplification: lossless Good state, total-loss Bad
+    /// state, parameterized by the long-run loss fraction
+    /// `target_loss` in `[0, 1)` and the mean burst length in
+    /// transmissions (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_loss` is not in `[0, 1)` or `mean_burst_len < 1`.
+    pub fn bursty(target_loss: f64, mean_burst_len: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&target_loss),
+            "target loss {target_loss} not in [0, 1)"
+        );
+        assert!(
+            mean_burst_len >= 1.0,
+            "mean burst length {mean_burst_len} < 1"
+        );
+        // Stationary P[Bad] = p_gb / (p_gb + p_bg); mean burst = 1 / p_bg.
+        let p_bg = 1.0 / mean_burst_len;
+        let p_gb = if target_loss <= 0.0 {
+            0.0
+        } else {
+            p_bg * target_loss / (1.0 - target_loss)
+        };
+        GilbertElliott::new(p_gb.min(1.0), p_bg, 0.0, 1.0)
+    }
+
+    /// Long-run loss fraction of the chain.
+    pub fn steady_state_loss(&self) -> f64 {
+        let denom = self.p_gb + self.p_bg;
+        if denom <= 0.0 {
+            // A frozen chain stays in its initial (Good) state.
+            return self.loss_good;
+        }
+        let p_bad = self.p_gb / denom;
+        p_bad * self.loss_bad + (1.0 - p_bad) * self.loss_good
+    }
+}
+
+/// Per-node channel state for the Gilbert–Elliott chain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) enum ChannelState {
+    /// Low-loss state.
+    #[default]
+    Good,
+    /// Burst-loss state.
+    Bad,
+}
+
+impl ChannelState {
+    /// Advances the chain one step and samples a loss decision.
+    pub(crate) fn step(&mut self, ge: &GilbertElliott, rng: &mut StdRng) -> bool {
+        let flip = unit(rng);
+        *self = match *self {
+            ChannelState::Good if flip < ge.p_gb => ChannelState::Bad,
+            ChannelState::Bad if flip < ge.p_bg => ChannelState::Good,
+            s => s,
+        };
+        let loss_p = match *self {
+            ChannelState::Good => ge.loss_good,
+            ChannelState::Bad => ge.loss_bad,
+        };
+        loss_p > 0.0 && unit(rng) < loss_p
+    }
+}
+
+/// A seeded, deterministic description of every fault the network injects.
+///
+/// All axes default off; [`FaultPlan::default`] (or `FaultPlan::new(seed)`)
+/// is therefore a no-op plan, and enabling it must not change a
+/// simulation's outcome. Builder methods switch individual axes on:
+///
+/// ```
+/// use pnm_net::{FaultPlan, GilbertElliott};
+///
+/// let plan = FaultPlan::new(7)
+///     .with_burst_loss(GilbertElliott::bursty(0.2, 8.0))
+///     .with_duplication(0.05)
+///     .with_reordering(0.1, 40_000)
+///     .with_corruption(0.01);
+/// assert!(plan.any_enabled());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the dedicated fault RNG stream.
+    pub seed: u64,
+    /// Bursty-loss channel, applied per transmitting node.
+    pub burst: Option<GilbertElliott>,
+    /// Probability a transmission is duplicated at the receiver.
+    pub duplicate_probability: f64,
+    /// Probability a transmission is held back by extra delay (reordering).
+    pub reorder_probability: f64,
+    /// Maximum extra delay for a reordered transmission, in microseconds.
+    pub reorder_max_extra_us: u64,
+    /// Per-byte probability that one bit of the encoded packet flips.
+    pub corrupt_byte_probability: f64,
+}
+
+impl FaultPlan {
+    /// An all-off plan drawing from the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            burst: None,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_max_extra_us: 0,
+            corrupt_byte_probability: 0.0,
+        }
+    }
+
+    /// Enables Gilbert–Elliott bursty loss.
+    pub fn with_burst_loss(mut self, channel: GilbertElliott) -> Self {
+        self.burst = Some(channel);
+        self
+    }
+
+    /// Enables per-hop duplication with probability `p` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert_probability(p, "duplication probability");
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Enables bounded reordering: with probability `p` a transmission is
+    /// delayed by up to `max_extra_us` additional microseconds, letting
+    /// later packets overtake it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_reordering(mut self, p: f64, max_extra_us: u64) -> Self {
+        assert_probability(p, "reorder probability");
+        self.reorder_probability = p;
+        self.reorder_max_extra_us = max_extra_us;
+        self
+    }
+
+    /// Enables bit corruption: each byte of the encoded packet flips one
+    /// (uniformly chosen) bit with probability `p` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        assert_probability(p, "corruption probability");
+        self.corrupt_byte_probability = p;
+        self
+    }
+
+    /// `true` if any fault axis is switched on.
+    pub fn any_enabled(&self) -> bool {
+        self.burst.is_some()
+            || self.duplicate_probability > 0.0
+            || self.reorder_probability > 0.0
+            || self.corrupt_byte_probability > 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(0)
+    }
+}
+
+/// Live fault-injection state during one simulation run: the dedicated RNG
+/// plus per-node channel states.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    channels: Vec<ChannelState>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, nodes: usize) -> Self {
+        FaultState {
+            rng: StdRng::seed_from_u64(plan.seed),
+            channels: vec![ChannelState::default(); nodes],
+            plan,
+        }
+    }
+
+    /// The plan this state was built from.
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether the bursty channel eats this transmission from `node`.
+    pub(crate) fn burst_lost(&mut self, node: u16) -> bool {
+        match self.plan.burst {
+            Some(ge) => self.channels[node as usize].step(&ge, &mut self.rng),
+            None => false,
+        }
+    }
+
+    /// Whether this transmission is duplicated at the receiver.
+    pub(crate) fn duplicated(&mut self) -> bool {
+        self.plan.duplicate_probability > 0.0
+            && unit(&mut self.rng) < self.plan.duplicate_probability
+    }
+
+    /// Extra reordering delay for this transmission (0 = in order).
+    pub(crate) fn reorder_delay_us(&mut self) -> u64 {
+        if self.plan.reorder_probability <= 0.0
+            || self.plan.reorder_max_extra_us == 0
+            || unit(&mut self.rng) >= self.plan.reorder_probability
+        {
+            return 0;
+        }
+        // 1..=max so a "reordered" packet is always actually late.
+        1 + self.rng.next_u64() % self.plan.reorder_max_extra_us
+    }
+
+    /// Applies per-byte bit flips to `bytes`; returns the number of bytes
+    /// corrupted (0 = untouched).
+    pub(crate) fn corrupt(&mut self, bytes: &mut [u8]) -> usize {
+        if self.plan.corrupt_byte_probability <= 0.0 {
+            return 0;
+        }
+        let mut flipped = 0;
+        for b in bytes.iter_mut() {
+            if unit(&mut self.rng) < self.plan.corrupt_byte_probability {
+                *b ^= 1 << (self.rng.next_u64() % 8) as u8;
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursty_hits_target_loss_rate() {
+        for target in [0.05, 0.2, 0.5] {
+            let ge = GilbertElliott::bursty(target, 8.0);
+            assert!((ge.steady_state_loss() - target).abs() < 1e-9);
+            let mut state = ChannelState::default();
+            let mut rng = StdRng::seed_from_u64(7);
+            let losses = (0..50_000).filter(|_| state.step(&ge, &mut rng)).count() as f64;
+            let rate = losses / 50_000.0;
+            assert!((rate - target).abs() < 0.03, "target {target}: got {rate}");
+        }
+    }
+
+    #[test]
+    fn bursty_losses_are_actually_bursty() {
+        // With mean burst length 20, loss runs should be far longer than
+        // under i.i.d. loss at the same rate (mean run 1/(1-p) ≈ 1.25).
+        let ge = GilbertElliott::bursty(0.2, 20.0);
+        let mut state = ChannelState::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcomes: Vec<bool> = (0..100_000).map(|_| state.step(&ge, &mut rng)).collect();
+        let mut runs = Vec::new();
+        let mut run = 0usize;
+        for lost in outcomes {
+            if lost {
+                run += 1;
+            } else if run > 0 {
+                runs.push(run);
+                run = 0;
+            }
+        }
+        let mean_run = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        assert!(mean_run > 5.0, "mean loss run {mean_run} not bursty");
+    }
+
+    #[test]
+    fn zero_target_loss_never_drops() {
+        let ge = GilbertElliott::bursty(0.0, 4.0);
+        let mut state = ChannelState::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..10_000).all(|_| !state.step(&ge, &mut rng)));
+    }
+
+    #[test]
+    fn frozen_chain_stays_good() {
+        let ge = GilbertElliott::new(0.0, 0.0, 0.0, 1.0);
+        assert_eq!(ge.steady_state_loss(), 0.0);
+    }
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.any_enabled());
+        let mut state = FaultState::new(plan, 4);
+        let mut bytes = vec![0xa5; 64];
+        let orig = bytes.clone();
+        for _ in 0..100 {
+            assert!(!state.burst_lost(0));
+            assert!(!state.duplicated());
+            assert_eq!(state.reorder_delay_us(), 0);
+            assert_eq!(state.corrupt(&mut bytes), 0);
+        }
+        assert_eq!(bytes, orig);
+    }
+
+    #[test]
+    fn corruption_flips_roughly_expected_bytes() {
+        let plan = FaultPlan::new(11).with_corruption(0.1);
+        let mut state = FaultState::new(plan, 1);
+        let mut flipped = 0usize;
+        for _ in 0..100 {
+            let mut bytes = vec![0u8; 100];
+            flipped += state.corrupt(&mut bytes);
+        }
+        // 10_000 bytes at 10%: ~1000 flips.
+        assert!((700..1300).contains(&flipped), "flipped {flipped}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_per_hit_byte() {
+        let plan = FaultPlan::new(5).with_corruption(1.0);
+        let mut state = FaultState::new(plan, 1);
+        let mut bytes = vec![0u8; 32];
+        let n = state.corrupt(&mut bytes);
+        assert_eq!(n, 32);
+        assert!(bytes.iter().all(|b| b.count_ones() == 1));
+    }
+
+    #[test]
+    fn reordering_bounded_and_sometimes_zero() {
+        let plan = FaultPlan::new(9).with_reordering(0.5, 1_000);
+        let mut state = FaultState::new(plan, 1);
+        let delays: Vec<u64> = (0..1000).map(|_| state.reorder_delay_us()).collect();
+        assert!(delays.iter().all(|&d| d <= 1_000));
+        assert!(delays.contains(&0));
+        assert!(delays.iter().any(|&d| d > 0));
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_in_seed() {
+        let plan = FaultPlan::new(42)
+            .with_burst_loss(GilbertElliott::bursty(0.3, 4.0))
+            .with_duplication(0.2)
+            .with_reordering(0.2, 500)
+            .with_corruption(0.05);
+        let sample = |p: FaultPlan| {
+            let mut s = FaultState::new(p, 2);
+            let mut trace = Vec::new();
+            let mut bytes = vec![0u8; 16];
+            for i in 0..200u16 {
+                trace.push((
+                    s.burst_lost(i % 2),
+                    s.duplicated(),
+                    s.reorder_delay_us(),
+                    s.corrupt(&mut bytes),
+                ));
+            }
+            (trace, bytes)
+        };
+        assert_eq!(sample(plan), sample(plan));
+        let other = FaultPlan { seed: 43, ..plan };
+        assert_ne!(sample(plan), sample(other));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_duplication_rejected() {
+        let _ = FaultPlan::new(0).with_duplication(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1)")]
+    fn invalid_burst_target_rejected() {
+        let _ = GilbertElliott::bursty(1.0, 4.0);
+    }
+}

@@ -9,6 +9,8 @@
 //! - [`routing`] — stable sink-rooted routes: BFS tree (TinyDB-style) and
 //!   greedy geographic forwarding (GPSR-style).
 //! - [`radio`] — Mica2-like radio timing (19.2 kbps, ~50 pkt/s) and loss.
+//! - [`faults`] — injectable link faults: Gilbert–Elliott bursty loss,
+//!   duplication, bounded reordering, bit corruption.
 //! - [`energy`] — per-node transmit/receive energy accounting.
 //! - [`des`] — a deterministic discrete-event queue.
 //! - [`network`] — the composed simulator, with a [`NodeHandler`] hook
@@ -42,6 +44,7 @@
 pub mod des;
 pub mod dynamics;
 pub mod energy;
+pub mod faults;
 pub mod gpsr;
 pub mod graph;
 pub mod network;
@@ -53,9 +56,13 @@ pub mod workload;
 pub use des::EventQueue;
 pub use dynamics::{heal_tree, relative_order_preserved, FailureSet};
 pub use energy::{EnergyLedger, EnergyModel};
+pub use faults::{FaultPlan, GilbertElliott};
 pub use gpsr::{gabriel_graph, gpsr_coverage, gpsr_route};
 pub use graph::{cut_vertices, stranded_by};
-pub use network::{Delivery, Injection, Network, NodeDecision, NodeHandler, SimReport};
+pub use network::{
+    Delivery, FaultCounters, GarbledDelivery, Injection, Network, NodeDecision, NodeHandler,
+    SimReport,
+};
 pub use radio::RadioModel;
 pub use routing::{NextHop, RoutingTable};
 pub use topology::Topology;

@@ -13,6 +13,7 @@ use pnm_wire::Packet;
 
 use crate::des::EventQueue;
 use crate::energy::{EnergyLedger, EnergyModel};
+use crate::faults::{FaultPlan, FaultState};
 use crate::radio::RadioModel;
 use crate::routing::{NextHop, RoutingTable};
 use crate::topology::Topology;
@@ -77,17 +78,62 @@ pub struct Delivery {
     pub source: u16,
 }
 
+/// A frame that reached the sink so bit-corrupted it no longer decodes.
+///
+/// Mid-path, such frames are dropped (the receiving node's decoder rejects
+/// them); on the final hop the sink sees the raw bytes and must reject
+/// them itself — this is the input class that exercises
+/// `SinkEngine::ingest_bytes` totality.
+#[derive(Clone, Debug)]
+pub struct GarbledDelivery {
+    /// The corrupted frame exactly as received.
+    pub bytes: Vec<u8>,
+    /// Arrival time in microseconds.
+    pub time_us: u64,
+    /// The node that originated it (ground truth, for evaluation only).
+    pub source: u16,
+}
+
+/// Tallies of every fault the [`FaultPlan`] injected during one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Transmissions eaten by the Gilbert–Elliott bursty channel.
+    pub burst_losses: usize,
+    /// Transmissions duplicated at the receiver.
+    pub duplicates: usize,
+    /// Transmissions held back by extra reordering delay.
+    pub reordered: usize,
+    /// Transmissions whose payload suffered at least one bit flip.
+    pub corrupted: usize,
+    /// Corrupted frames dropped mid-path because they no longer decode.
+    pub corrupt_drops: usize,
+    /// Corrupted frames that reached the sink undecodable (see
+    /// [`SimReport::garbled`]).
+    pub garbled_deliveries: usize,
+}
+
+impl FaultCounters {
+    /// Total transmissions affected by any injected fault.
+    pub fn total(&self) -> usize {
+        self.burst_losses + self.duplicates + self.reordered + self.corrupted
+    }
+}
+
 /// Aggregate outcome of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimReport {
     /// Packets received at the sink, in arrival order.
     pub deliveries: Vec<Delivery>,
+    /// Undecodable corrupted frames received at the sink, in arrival order.
+    pub garbled: Vec<GarbledDelivery>,
     /// Packets lost to radio errors.
     pub radio_losses: usize,
     /// Packets dropped by node behavior (filters, selective-drop moles).
     pub node_drops: usize,
     /// Packets that hit a routing dead end.
     pub undeliverable: usize,
+    /// Per-fault injection tallies (all zero without a fault plan).
+    pub faults: FaultCounters,
     /// Per-node energy expenditure.
     pub ledger: EnergyLedger,
     /// Time of the last event processed, in microseconds.
@@ -112,6 +158,7 @@ pub struct Network {
     radio: RadioModel,
     energy: EnergyModel,
     contention: bool,
+    faults: Option<FaultPlan>,
 }
 
 /// In-flight event: `holder` is about to run its forwarding behavior.
@@ -133,6 +180,7 @@ impl Network {
             radio: RadioModel::mica2(),
             energy: EnergyModel::mica2(),
             contention: false,
+            faults: None,
         }
     }
 
@@ -160,6 +208,14 @@ impl Network {
     /// Replaces the energy model.
     pub fn with_energy(mut self, energy: EnergyModel) -> Self {
         self.energy = energy;
+        self
+    }
+
+    /// Installs a fault-injection plan (bursty loss, duplication,
+    /// reordering, corruption). The plan draws from its own seeded RNG, so
+    /// an all-off plan reproduces the fault-free run bit-for-bit.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -206,14 +262,19 @@ impl Network {
 
         let mut report = SimReport {
             deliveries: Vec::with_capacity(injected),
+            garbled: Vec::new(),
             radio_losses: 0,
             node_drops: 0,
             undeliverable: 0,
+            faults: FaultCounters::default(),
             ledger: EnergyLedger::new(self.topology.len()),
             end_time_us: 0,
         };
         // Per-node radio-busy horizon for the contention model.
         let mut busy_until = vec![0u64; self.topology.len()];
+        // The fault layer draws from its own RNG stream so that enabling
+        // an all-off plan cannot perturb the simulation RNG.
+        let mut faults = self.faults.map(|p| FaultState::new(p, self.topology.len()));
 
         while let Some((now, mut ev)) = queue.pop() {
             report.end_time_us = now;
@@ -233,9 +294,34 @@ impl Network {
                 continue;
             }
             report.ledger.charge_tx(&self.energy, ev.holder, bytes);
+            // Injected bursty loss consumes the transmission just like a
+            // radio error (energy already spent).
+            if let Some(fs) = faults.as_mut() {
+                if fs.burst_lost(ev.holder) {
+                    report.faults.burst_losses += 1;
+                    continue;
+                }
+            }
             if self.radio.is_lost(&mut rng) {
                 report.radio_losses += 1;
                 continue;
+            }
+            // Injected corruption: re-encode the frame, flip bits, try to
+            // decode what the receiver would see. A frame that no longer
+            // decodes is dropped mid-path; on the sink hop its raw bytes
+            // are delivered as a garbled frame.
+            let mut garbled_bytes: Option<Vec<u8>> = None;
+            if let Some(fs) = faults.as_mut() {
+                if fs.plan().corrupt_byte_probability > 0.0 {
+                    let mut raw = ev.packet.to_bytes();
+                    if fs.corrupt(&mut raw) > 0 {
+                        report.faults.corrupted += 1;
+                        match Packet::from_bytes(&raw) {
+                            Ok(p) => ev.packet = p,
+                            Err(_) => garbled_bytes = Some(raw),
+                        }
+                    }
+                }
             }
             let delay = self.radio.hop_time_us(bytes);
             // With contention, the transmission waits for the node's radio.
@@ -246,34 +332,66 @@ impl Network {
             } else {
                 now
             };
-            let arrival = tx_start + delay;
-            match next {
-                NextHop::Sink => {
-                    report.deliveries.push(Delivery {
-                        packet: ev.packet,
-                        time_us: arrival,
-                        source: ev.source,
-                    });
-                    // Record completion time including the final hop.
-                    report.end_time_us = report.end_time_us.max(arrival);
+            let mut arrival = tx_start + delay;
+            // Injected reordering: extra propagation delay that lets later
+            // frames overtake this one. Duplication re-delivers the same
+            // frame (MAC-layer retransmission whose ack was lost).
+            let mut copies = 1usize;
+            if let Some(fs) = faults.as_mut() {
+                let extra = fs.reorder_delay_us();
+                if extra > 0 {
+                    report.faults.reordered += 1;
+                    arrival += extra;
                 }
-                NextHop::Node(v) => {
-                    report.ledger.charge_rx(&self.energy, v, bytes);
-                    queue.schedule(
-                        arrival,
-                        InFlight {
-                            holder: v,
-                            packet: ev.packet,
-                            source: ev.source,
-                        },
-                    );
+                if fs.duplicated() {
+                    report.faults.duplicates += 1;
+                    copies = 2;
                 }
-                NextHop::Unreachable => unreachable!("handled above"),
+            }
+            for _ in 0..copies {
+                match next {
+                    NextHop::Sink => {
+                        if let Some(raw) = garbled_bytes.clone() {
+                            report.faults.garbled_deliveries += 1;
+                            report.garbled.push(GarbledDelivery {
+                                bytes: raw,
+                                time_us: arrival,
+                                source: ev.source,
+                            });
+                        } else {
+                            report.deliveries.push(Delivery {
+                                packet: ev.packet.clone(),
+                                time_us: arrival,
+                                source: ev.source,
+                            });
+                        }
+                        // Record completion time including the final hop.
+                        report.end_time_us = report.end_time_us.max(arrival);
+                    }
+                    NextHop::Node(v) => {
+                        report.ledger.charge_rx(&self.energy, v, bytes);
+                        if garbled_bytes.is_some() {
+                            // The receiver's decoder rejects the frame.
+                            report.faults.corrupt_drops += 1;
+                            continue;
+                        }
+                        queue.schedule(
+                            arrival,
+                            InFlight {
+                                holder: v,
+                                packet: ev.packet.clone(),
+                                source: ev.source,
+                            },
+                        );
+                    }
+                    NextHop::Unreachable => unreachable!("handled above"),
+                }
             }
         }
         // Variable packet sizes mean final-hop completion can be slightly
         // out of order relative to processing; present arrival order.
         report.deliveries.sort_by_key(|d| d.time_us);
+        report.garbled.sort_by_key(|g| g.time_us);
         report
     }
 
@@ -484,6 +602,112 @@ mod tests {
             rep.end_time_us,
             ideal.end_time_us
         );
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing() {
+        let base =
+            Network::new(Topology::chain(8, 10.0)).with_radio(RadioModel::mica2().with_loss(0.1));
+        let faulty = base.clone().with_faults(crate::FaultPlan::new(99));
+        let mut h1 = forward_all;
+        let mut h2 = forward_all;
+        let a = base.simulate_stream(0, 50, 1000, report, &mut h1, 42);
+        let b = faulty.simulate_stream(0, 50, 1000, report, &mut h2, 42);
+        assert_eq!(a.deliveries.len(), b.deliveries.len());
+        assert_eq!(a.radio_losses, b.radio_losses);
+        assert_eq!(a.end_time_us, b.end_time_us);
+        assert_eq!(b.faults, FaultCounters::default());
+        assert!(b.garbled.is_empty());
+        for (x, y) in a.deliveries.iter().zip(&b.deliveries) {
+            assert_eq!(x.packet, y.packet);
+            assert_eq!(x.time_us, y.time_us);
+        }
+    }
+
+    #[test]
+    fn bursty_loss_thins_deliveries_and_counts() {
+        let plan =
+            crate::FaultPlan::new(5).with_burst_loss(crate::GilbertElliott::bursty(0.3, 6.0));
+        let net = Network::new(Topology::chain(6, 10.0)).with_faults(plan);
+        let mut handler = forward_all;
+        let rep = net.simulate_stream(0, 100, 1000, report, &mut handler, 3);
+        assert!(rep.faults.burst_losses > 0);
+        assert_eq!(rep.radio_losses, 0);
+        assert!(rep.deliveries.len() < 100);
+        assert!(!rep.deliveries.is_empty());
+    }
+
+    #[test]
+    fn duplication_inflates_deliveries() {
+        let plan = crate::FaultPlan::new(8).with_duplication(0.2);
+        let net = Network::new(Topology::chain(4, 10.0)).with_faults(plan);
+        let mut handler = forward_all;
+        let rep = net.simulate_stream(0, 50, 1000, report, &mut handler, 3);
+        assert!(rep.faults.duplicates > 0);
+        assert!(rep.deliveries.len() > 50, "got {}", rep.deliveries.len());
+    }
+
+    #[test]
+    fn corruption_yields_garbled_or_altered_frames() {
+        // Heavy corruption on a short path: some frames arrive garbled
+        // (undecodable raw bytes), some are dropped mid-path, and clean
+        // deliveries shrink accordingly.
+        let plan = crate::FaultPlan::new(2).with_corruption(0.05);
+        let net = Network::new(Topology::chain(3, 10.0)).with_faults(plan);
+        let mut handler = forward_all;
+        let rep = net.simulate_stream(0, 200, 1000, report, &mut handler, 3);
+        assert!(rep.faults.corrupted > 0);
+        assert_eq!(
+            rep.faults.garbled_deliveries,
+            rep.garbled.len(),
+            "garbled counter matches delivered garbled frames"
+        );
+        assert!(rep.deliveries.len() + rep.garbled.len() <= 200 + rep.faults.duplicates);
+    }
+
+    #[test]
+    fn reordering_shuffles_sink_arrival_order() {
+        // Huge extra delays relative to the injection interval let later
+        // packets overtake earlier ones end-to-end.
+        let plan = crate::FaultPlan::new(4).with_reordering(0.5, 200_000);
+        let net = Network::new(Topology::chain(4, 10.0)).with_faults(plan);
+        let mut handler = forward_all;
+        let rep = net.simulate_stream(0, 50, 2_000, report, &mut handler, 3);
+        assert!(rep.faults.reordered > 0);
+        assert_eq!(rep.deliveries.len(), 50);
+        let seqs: Vec<u64> = rep
+            .deliveries
+            .iter()
+            .map(|d| d.packet.report.timestamp)
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_ne!(seqs, sorted, "no packet overtook another");
+    }
+
+    #[test]
+    fn faulty_simulation_is_deterministic_in_seeds() {
+        let plan = crate::FaultPlan::new(11)
+            .with_burst_loss(crate::GilbertElliott::bursty(0.2, 5.0))
+            .with_duplication(0.1)
+            .with_reordering(0.2, 50_000)
+            .with_corruption(0.01);
+        let net = Network::new(Topology::chain(6, 10.0)).with_faults(plan);
+        let run = |net: &Network| {
+            let mut h = forward_all;
+            net.simulate_stream(0, 100, 1000, report, &mut h, 42)
+        };
+        let a = run(&net);
+        let b = run(&net);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.deliveries.len(), b.deliveries.len());
+        for (x, y) in a.deliveries.iter().zip(&b.deliveries) {
+            assert_eq!(x.packet, y.packet);
+            assert_eq!(x.time_us, y.time_us);
+        }
+        for (x, y) in a.garbled.iter().zip(&b.garbled) {
+            assert_eq!(x.bytes, y.bytes);
+        }
     }
 
     #[test]

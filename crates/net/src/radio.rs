@@ -15,7 +15,7 @@ pub struct RadioModel {
     pub bitrate_bps: u64,
     /// Fixed per-hop processing + MAC-layer latency in microseconds.
     pub per_hop_latency_us: u64,
-    /// Independent per-hop loss probability in `[0, 1)`.
+    /// Independent per-hop loss probability in `[0, 1]`.
     pub loss_probability: f64,
 }
 
@@ -29,13 +29,18 @@ impl RadioModel {
         }
     }
 
-    /// Returns a copy with the given loss probability.
+    /// Returns a copy with the given loss probability. The closed range
+    /// `[0, 1]` is accepted: `p = 1.0` models a total blackout, a
+    /// legitimate fault scenario.
     ///
     /// # Panics
     ///
-    /// Panics if `p` is not in `[0, 1)`.
+    /// Panics if `p` is not in `[0, 1]`.
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability {p} not in [0,1)");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} not in [0,1]"
+        );
         self.loss_probability = p;
         self
     }
@@ -107,8 +112,21 @@ mod tests {
     }
 
     #[test]
+    fn total_blackout_is_a_valid_loss_rate() {
+        let r = RadioModel::mica2().with_loss(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!((0..1000).all(|_| r.is_lost(&mut rng)));
+    }
+
+    #[test]
     #[should_panic(expected = "loss probability")]
     fn invalid_loss_rejected() {
-        let _ = RadioModel::mica2().with_loss(1.0);
+        let _ = RadioModel::mica2().with_loss(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn negative_loss_rejected() {
+        let _ = RadioModel::mica2().with_loss(-0.1);
     }
 }

@@ -1,6 +1,16 @@
 //! Build-time description of a traceback service.
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use pnm_core::SinkConfig;
+use pnm_wire::Packet;
+
+/// A fault-injection predicate evaluated by each shard worker before a
+/// packet reaches the engine; returning `true` makes the worker panic as
+/// if the packet had crashed the pipeline. See
+/// [`ServiceConfig::poison_hook`].
+pub type PoisonHook = Arc<dyn Fn(&Packet) -> bool + Send + Sync>;
 
 /// What `ingest` does when a shard's bounded queue is full.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -19,7 +29,7 @@ pub enum BackpressurePolicy {
 /// Only the inner [`SinkConfig`] is mandatory; defaults give one shard per
 /// available core (capped at 8), a 1024-slot queue per shard, and blocking
 /// backpressure.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServiceConfig {
     sink: SinkConfig,
     shards: usize,
@@ -27,6 +37,25 @@ pub struct ServiceConfig {
     backpressure: BackpressurePolicy,
     keep_outcomes: bool,
     start_paused: bool,
+    poison_hook: Option<PoisonHook>,
+    checkpoint_interval: u64,
+    drain_timeout: Duration,
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("sink", &self.sink)
+            .field("shards", &self.shards)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("backpressure", &self.backpressure)
+            .field("keep_outcomes", &self.keep_outcomes)
+            .field("start_paused", &self.start_paused)
+            .field("poison_hook", &self.poison_hook.as_ref().map(|_| "<fn>"))
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("drain_timeout", &self.drain_timeout)
+            .finish()
+    }
 }
 
 impl ServiceConfig {
@@ -43,6 +72,9 @@ impl ServiceConfig {
             backpressure: BackpressurePolicy::Block,
             keep_outcomes: false,
             start_paused: false,
+            poison_hook: None,
+            checkpoint_interval: 1,
+            drain_timeout: Duration::from_secs(30),
         }
     }
 
@@ -83,9 +115,54 @@ impl ServiceConfig {
         self
     }
 
+    /// Installs a fault-injection predicate: each shard worker evaluates
+    /// it on every dequeued packet *before* the engine sees the packet,
+    /// and panics if it returns `true` — simulating a packet that crashes
+    /// the pipeline. The supervisor catches the panic, records the packet
+    /// as poison, and restarts the shard from its last checkpoint. Chaos
+    /// and supervision tests use this; production services leave it unset.
+    pub fn poison_hook(mut self, hook: impl Fn(&Packet) -> bool + Send + Sync + 'static) -> Self {
+        self.poison_hook = Some(Arc::new(hook));
+        self
+    }
+
+    /// Sets how many successfully processed packets a shard handles
+    /// between checkpoints of its engine (≥ 1; default 1). The checkpoint
+    /// is the "last good merge" a crashed shard restarts from: a larger
+    /// interval trades per-packet clone cost for losing up to
+    /// `interval − 1` packets of evidence on a crash.
+    pub fn checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval.max(1);
+        self
+    }
+
+    /// Sets the drain watchdog budget: [`drain`](crate::ServicePool::drain)
+    /// waits at most this long, in total, for shards to hand in their
+    /// final state. Shards that miss the deadline are recorded as wedged
+    /// and detached rather than joined, so `drain` can never hang.
+    pub fn drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
+
     /// The per-shard sink pipeline configuration.
     pub fn sink(&self) -> &SinkConfig {
         &self.sink
+    }
+
+    /// The configured fault-injection predicate, if any.
+    pub fn poison_hook_fn(&self) -> Option<&PoisonHook> {
+        self.poison_hook.as_ref()
+    }
+
+    /// Configured checkpoint interval (packets between engine clones).
+    pub fn checkpoint_interval_packets(&self) -> u64 {
+        self.checkpoint_interval
+    }
+
+    /// Configured drain watchdog budget.
+    pub fn drain_timeout_budget(&self) -> Duration {
+        self.drain_timeout
     }
 
     /// Configured shard count.

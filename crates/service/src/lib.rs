@@ -22,6 +22,14 @@
 //!   shard count and any arrival interleaving. Isolation policy is applied
 //!   once, to the merged graph, at drain time (shard-local quarantine
 //!   would be partition-dependent).
+//! * **Supervision.** Shard workers run every packet under
+//!   `catch_unwind`: a packet that panics the pipeline is recorded as
+//!   poison ([`PoisonRecord`]) and quarantined, and the shard restarts
+//!   from a fresh engine plus its last good checkpoint. A drain watchdog
+//!   ([`ServiceConfig::drain_timeout`]) bounds how long
+//!   [`ServicePool::drain`] waits for a wedged shard, and
+//!   [`ServicePool::ingest_with_retry`] adds bounded retry-with-backoff
+//!   under shedding.
 //! * **Telemetry.** Every shard records queue-wait, service, and total
 //!   latency in mergeable power-of-two histograms; [`ServicePool::snapshot`]
 //!   folds them with the per-shard [`SinkCounters`](pnm_core::SinkCounters)
@@ -37,8 +45,8 @@ mod config;
 mod pool;
 mod telemetry;
 
-pub use config::{BackpressurePolicy, ServiceConfig};
-pub use pool::{DrainReport, IngestError, ServicePool};
+pub use config::{BackpressurePolicy, PoisonHook, ServiceConfig};
+pub use pool::{DrainReport, IngestError, PoisonRecord, ServicePool};
 pub use telemetry::{counters_json, LatencyHistogram, ServiceSnapshot, ShardSnapshot};
 
 #[cfg(test)]
@@ -56,5 +64,7 @@ mod send_sync {
         assert_send_sync::<LatencyHistogram>();
         assert_send_sync::<DrainReport>();
         assert_send_sync::<IngestError>();
+        assert_send_sync::<PoisonRecord>();
+        assert_send_sync::<PoisonHook>();
     }
 }

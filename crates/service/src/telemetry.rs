@@ -136,6 +136,9 @@ pub struct ShardSnapshot {
     pub shed: u64,
     /// Packets fully processed by this shard's engine.
     pub processed: u64,
+    /// Packets that crashed this shard's worker (each one was quarantined
+    /// as poison and the shard restarted from its last good checkpoint).
+    pub panics: u64,
     /// The shard engine's pipeline counters.
     pub counters: SinkCounters,
     /// Time spent waiting in the bounded queue.
@@ -160,12 +163,16 @@ pub struct ServiceSnapshot {
     pub shed: u64,
     /// Total packets fully processed.
     pub processed: u64,
+    /// Total packets that crashed a shard worker (quarantined as poison).
+    pub panics: u64,
 }
 
 impl ServiceSnapshot {
     /// Packets accepted but not yet processed (in queues or in flight).
+    /// Poison packets are accounted separately — they were consumed by a
+    /// crash, not left in flight.
     pub fn backlog(&self) -> u64 {
-        self.accepted.saturating_sub(self.processed)
+        self.accepted.saturating_sub(self.processed + self.panics)
     }
 
     /// Cross-shard end-to-end latency histogram (merge of every shard's
@@ -190,7 +197,8 @@ impl ServiceSnapshot {
             .map(|s| {
                 format!(
                     concat!(
-                        "    {{\"shard\": {}, \"accepted\": {}, \"shed\": {}, \"processed\": {},\n",
+                        "    {{\"shard\": {}, \"accepted\": {}, \"shed\": {}, ",
+                        "\"processed\": {}, \"panics\": {},\n",
                         "     \"counters\": {},\n",
                         "     \"queue_wait_us\": {},\n",
                         "     \"service_us\": {},\n",
@@ -200,6 +208,7 @@ impl ServiceSnapshot {
                     s.accepted,
                     s.shed,
                     s.processed,
+                    s.panics,
                     counters_json(&s.counters),
                     s.queue_wait_us.to_json(),
                     s.service_us.to_json(),
@@ -213,6 +222,7 @@ impl ServiceSnapshot {
                 "  \"accepted\": {},\n",
                 "  \"shed\": {},\n",
                 "  \"processed\": {},\n",
+                "  \"panics\": {},\n",
                 "  \"backlog\": {},\n",
                 "  \"totals\": {},\n",
                 "  \"shards\": [\n{}\n  ]\n",
@@ -221,6 +231,7 @@ impl ServiceSnapshot {
             self.accepted,
             self.shed,
             self.processed,
+            self.panics,
             self.backlog(),
             counters_json(&self.totals),
             shards.join(",\n"),
@@ -235,7 +246,8 @@ pub fn counters_json(c: &SinkCounters) -> String {
             "{{\"packets\": {}, \"hash_count\": {}, \"marks_verified\": {}, ",
             "\"marks_rejected\": {}, \"table_builds\": {}, \"table_cache_hits\": {}, ",
             "\"table_cache_hit_rate\": {}, \"resolver_fallback_scans\": {}, ",
-            "\"suspicious\": {}, \"benign\": {}}}"
+            "\"suspicious\": {}, \"benign\": {}, \"malformed\": {}, ",
+            "\"duplicates_suppressed\": {}}}"
         ),
         c.packets,
         c.hash_count,
@@ -248,6 +260,8 @@ pub fn counters_json(c: &SinkCounters) -> String {
         c.resolver_fallback_scans,
         c.suspicious,
         c.benign,
+        c.malformed,
+        c.duplicates_suppressed,
     )
 }
 

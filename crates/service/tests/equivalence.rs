@@ -168,4 +168,107 @@ proptest! {
         prop_assert_eq!(report.snapshot.processed as usize, packets.len());
         prop_assert_eq!(report.snapshot.shed, 0);
     }
+
+    /// A shard killed by an injected panicking packet restarts, the
+    /// poison packets are quarantined, and the drained merge still equals
+    /// a sequential engine fed only the surviving (non-poison) packets —
+    /// graceful degradation loses exactly the poison, nothing else.
+    #[test]
+    fn poisoned_service_equals_sequential_engine_on_survivors(
+        n_paths in 1u16..3,
+        path_len in 2u16..8,
+        n_reports in 1u64..4,
+        n_packets in 1usize..32,
+        shards in 1usize..5,
+        n_poison in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (keys, config, packets) = scenario(n_paths, path_len, n_reports, n_packets, seed);
+
+        // Poison packets are ordinary, fully marked packets whose event
+        // bytes trip the injected hook before the engine sees them.
+        let scheme = ProbabilisticNestedMarking::paper_default(path_len as usize);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let mut stream: Vec<(bool, Packet)> =
+            packets.into_iter().map(|p| (false, p)).collect();
+        for i in 0..n_poison {
+            let report = Report::new(
+                format!("poison-{i}").into_bytes(),
+                Location::new(0.0, 0.0),
+                i as u64,
+            );
+            let mut pkt = Packet::new(report);
+            for hop in 0..path_len {
+                let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+                scheme.mark(&ctx, &mut pkt, &mut rng);
+            }
+            let pos = (seed as usize).wrapping_add(i * 7919) % (stream.len() + 1);
+            stream.insert(pos, (true, pkt));
+        }
+
+        // Sequential baseline over the survivors only.
+        let mut seq = SinkEngine::new(
+            Arc::clone(&keys),
+            config.clone().without_isolation(),
+        );
+        let mut seq_out = Vec::new();
+        for (is_poison, pkt) in &stream {
+            if !*is_poison {
+                seq_out.push(seq.ingest(pkt));
+            }
+        }
+        let seq_final = drain_sweep(&keys, &config, &seq);
+
+        let pool = ServicePool::new(
+            Arc::clone(&keys),
+            ServiceConfig::new(config.clone())
+                .shards(shards)
+                .queue_capacity(8)
+                .keep_outcomes(true)
+                .poison_hook(|pkt: &Packet| pkt.report.event.starts_with(b"poison")),
+        );
+        let mut poison_seqs = BTreeSet::new();
+        let mut survivor_seqs = Vec::new();
+        for (is_poison, pkt) in &stream {
+            let ticket = pool.ingest(pkt.clone()).expect("block policy never sheds");
+            if *is_poison {
+                poison_seqs.insert(ticket);
+            } else {
+                survivor_seqs.push(ticket);
+            }
+        }
+        let report = pool.drain();
+
+        // Every poison packet was caught, quarantined, and nothing else.
+        prop_assert!(report.wedged.is_empty());
+        prop_assert_eq!(report.poisoned.len(), n_poison);
+        prop_assert_eq!(report.snapshot.panics as usize, n_poison);
+        let caught: BTreeSet<u64> = report.poisoned.iter().map(|p| p.seq).collect();
+        prop_assert_eq!(&caught, &poison_seqs);
+
+        // Survivor outcomes: verdict-for-verdict, in admission order.
+        prop_assert_eq!(report.outcomes.len(), seq_out.len());
+        for (((ticket, got), want), expect_seq) in report
+            .outcomes
+            .iter()
+            .zip(seq_out.iter())
+            .zip(survivor_seqs.iter())
+        {
+            prop_assert_eq!(ticket, expect_seq);
+            prop_assert_eq!(got, want);
+        }
+
+        // Same localization and quarantine story as the survivor-only
+        // sequential engine.
+        prop_assert_eq!(report.engine.localize(), seq_final.localize());
+        prop_assert_eq!(report.engine.source_regions(), seq_final.source_regions());
+        prop_assert_eq!(quarantined(&report.engine), quarantined(&seq_final));
+        let totals = report.snapshot.totals;
+        let base = seq.counters();
+        prop_assert_eq!(totals.packets, base.packets);
+        prop_assert_eq!(totals.suspicious, base.suspicious);
+        prop_assert_eq!(totals.benign, base.benign);
+        prop_assert_eq!(totals.marks_verified, base.marks_verified);
+        prop_assert_eq!(totals.marks_rejected, base.marks_rejected);
+    }
 }

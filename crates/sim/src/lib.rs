@@ -6,6 +6,8 @@
 //! - [`figures`] — regenerates Figures 4–7.
 //! - [`attack_matrix`](mod@attack_matrix) — the scheme × attack security matrix (§3, §5).
 //! - [`latency`] — the §7 traceback-latency claim on the Mica2 radio model.
+//! - [`chaos`] — fault-injection soak: localization degradation under
+//!   bursty loss, corruption, and duplication (the `chaos_soak` binary).
 //! - [`table`] — console/CSV result tables.
 //!
 //! The `regen-figures` binary drives all of it:
@@ -21,6 +23,7 @@ pub mod ablation;
 pub mod attack_matrix;
 pub mod background;
 pub mod baselines_cmp;
+pub mod chaos;
 pub mod dynamics;
 pub mod field_study;
 pub mod figures;
@@ -40,6 +43,10 @@ pub use ablation::{
 pub use attack_matrix::{attack_matrix, evaluate_cell, AttackScenario, Outcome};
 pub use background::{background_table, run_background_traffic, BackgroundRun};
 pub use baselines_cmp::{baselines_table, compare_approaches, ApproachCost};
+pub use chaos::{
+    run_point as run_chaos_point, sweep_points as chaos_sweep_points, ChaosConfig, ChaosPoint,
+    ChaosRun,
+};
 pub use dynamics::{dynamics_table, run_with_churn, DynamicsRun};
 pub use field_study::{field_study_table, run_field_study, FieldRound, FieldStudy};
 pub use figures::{fig4, fig5, fig6, fig67, fig7, identification_sweep, IdentificationPoint};
