@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use pnm_crypto::{anon_id, HmacSha256, MacKey, Sha256};
+use pnm_crypto::{anon_id, anon_id_prepared, mark_mac_prepared, HmacSha256, MacKey, Sha256};
 
 fn sha256_bulk(c: &mut Criterion) {
     let mut g = c.benchmark_group("sha256_bulk");
@@ -61,6 +61,32 @@ fn anon_id_computation(c: &mut Criterion) {
     g.finish();
 }
 
+fn precomputed_vs_oneshot(c: &mut Criterion) {
+    // The PR-4 hot path: a prepared `HmacKey` stores the RFC 2104 pad-block
+    // midstates, so every MAC saves two SHA-256 compressions over the
+    // one-shot path that re-derives the pads per call.
+    let key = MacKey::derive(b"bench", 9);
+    let prepared = key.prepare();
+    let msg = vec![0x3cu8; 40]; // report (~32 B) + 8-byte anon id
+    let report = vec![0x77u8; 30];
+
+    let mut g = c.benchmark_group("precomputed_vs_oneshot");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("mark_mac_oneshot_40B", |b| {
+        b.iter(|| key.mark_mac(black_box(&msg), 8))
+    });
+    g.bench_function("mark_mac_prepared_40B", |b| {
+        b.iter(|| mark_mac_prepared(black_box(&prepared), black_box(&msg), 8))
+    });
+    g.bench_function("anon_id_oneshot_30B", |b| {
+        b.iter(|| anon_id(black_box(&key), black_box(&report), black_box(1234)))
+    });
+    g.bench_function("anon_id_prepared_30B", |b| {
+        b.iter(|| anon_id_prepared(black_box(&prepared), black_box(&report), black_box(1234)))
+    });
+    g.finish();
+}
+
 fn mac_verification(c: &mut Criterion) {
     let key = MacKey::derive(b"bench", 2);
     let msg = vec![0x11u8; 96];
@@ -76,6 +102,7 @@ criterion_group!(
     hmac_small_messages,
     hmac_rate,
     anon_id_computation,
+    precomputed_vs_oneshot,
     mac_verification
 );
 criterion_main!(benches);

@@ -81,7 +81,8 @@ pub use scheme::{
 };
 pub use sink::{RejectReason, SinkConfig, SinkCounters, SinkEngine, SinkOutcome};
 pub use verify::{
-    AnonTable, Resolution, SinkVerifier, StopReason, TopologyResolver, VerifiedChain, VerifyMode,
+    AnonTable, CandidateSet, Resolution, SinkVerifier, StopReason, TopologyResolver, VerifiedChain,
+    VerifyMode,
 };
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 
 use core::fmt;
 
-use crate::hmac::HmacSha256;
+use crate::hmac::{HmacKey, HmacSha256};
 use crate::mac::{MacKey, DOMAIN_ANON};
 
 /// Width of an anonymous ID in bytes.
@@ -68,7 +68,21 @@ impl AsRef<[u8]> for AnonId {
 /// `H'` is domain-separated from the marking MAC `H`, so knowing one never
 /// helps forging the other.
 pub fn anon_id(key: &MacKey, report: &[u8], real_id: u16) -> AnonId {
-    let mut h = HmacSha256::new(key.as_bytes());
+    anon_id_from(HmacSha256::new(key.as_bytes()), report, real_id)
+}
+
+/// [`anon_id`] through a precomputed [`HmacKey`] schedule.
+///
+/// Identical output for the same underlying key (pinned by proptest in
+/// `lib.rs`), two SHA-256 compressions cheaper per evaluation — the sink
+/// hot path, where `H'` is evaluated once per provisioned node per report
+/// (see `pnm-core::verify::AnonTable`).
+pub fn anon_id_prepared(key: &HmacKey, report: &[u8], real_id: u16) -> AnonId {
+    anon_id_from(key.begin(), report, real_id)
+}
+
+/// Shared `H'_{k}(M | i)` composition over an opened HMAC context.
+fn anon_id_from(mut h: HmacSha256, report: &[u8], real_id: u16) -> AnonId {
     h.update(DOMAIN_ANON);
     h.update(report);
     h.update(&real_id.to_be_bytes());
@@ -112,6 +126,22 @@ mod tests {
         let k1 = MacKey::derive(b"m", 1);
         let k2 = MacKey::derive(b"other", 1);
         assert_ne!(anon_id(&k1, report, 1), anon_id(&k2, report, 1));
+    }
+
+    #[test]
+    fn prepared_matches_oneshot() {
+        let k = MacKey::derive(b"m", 5);
+        let prepared = k.prepare();
+        for (report, id) in [
+            (&b"r1"[..], 0u16),
+            (b"r2", 5),
+            (b"a longer report body", 999),
+        ] {
+            assert_eq!(
+                anon_id_prepared(&prepared, report, id),
+                anon_id(&k, report, id)
+            );
+        }
     }
 
     #[test]

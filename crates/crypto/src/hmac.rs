@@ -4,31 +4,72 @@
 //! function" shared between each node and the sink. HMAC over our SHA-256
 //! implementation is the standard instantiation of such a PRF.
 //!
+//! Two entry points share one implementation:
+//!
+//! - [`HmacKey`] precomputes the RFC 2104 key schedule **once**: the inner
+//!   (`key ⊕ ipad`) and outer (`key ⊕ opad`) pad blocks are compressed at
+//!   construction and kept as SHA-256 [`Midstate`]s. Every subsequent
+//!   [`HmacKey::mac`] replays the midstates instead of re-deriving the
+//!   schedule, saving two compressions per MAC — a ~2× speedup for the
+//!   short messages marks and anonymous IDs are made of. The sink, whose
+//!   per-node keys are fixed for the deployment lifetime, uses this
+//!   everywhere (see `pnm_crypto::keystore::KeySchedule`).
+//! - [`HmacSha256`] is the one-shot/streaming API, now a thin wrapper that
+//!   builds an [`HmacKey`] and streams from it. `HmacSha256::mac(k, m)` and
+//!   `HmacKey::new(k).mac(m)` are equal by construction (and pinned by
+//!   proptest in `lib.rs`).
+//!
 //! # Examples
 //!
 //! ```
-//! use pnm_crypto::hmac::HmacSha256;
+//! use pnm_crypto::hmac::{HmacKey, HmacSha256};
 //!
 //! let tag = HmacSha256::mac(b"key", b"message");
 //! assert!(HmacSha256::verify(b"key", b"message", tag.as_bytes()));
 //! assert!(!HmacSha256::verify(b"key", b"tampered", tag.as_bytes()));
+//!
+//! // Precomputed schedule: same tags, two fewer compressions per call.
+//! let key = HmacKey::new(b"key");
+//! assert_eq!(key.mac(b"message"), tag);
 //! ```
 
-use crate::sha256::{constant_time_eq, Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
+use crate::sha256::{constant_time_eq, Digest, Midstate, Sha256, BLOCK_LEN, DIGEST_LEN};
 
 const IPAD: u8 = 0x36;
 const OPAD: u8 = 0x5c;
 
-/// Incremental HMAC-SHA256 computation.
-#[derive(Clone, Debug)]
-pub struct HmacSha256 {
-    inner: Sha256,
-    /// Key XOR opad, retained for the outer hash.
-    outer_key: [u8; BLOCK_LEN],
+/// Minimum accepted truncated-tag width in bytes.
+///
+/// A zero-length tag is an empty prefix, and an empty prefix trivially
+/// matches any digest under [`constant_time_eq`] — accepting it would turn
+/// every verification into a forgery oracle. One byte is the hard floor the
+/// verifier enforces; it is **not** a recommended deployment width: the
+/// MAC-width ablation (`crates/sim/src/ablation.rs::mac_width_table`) shows
+/// a 1-byte tag admits brute-force mark framing at ≈2⁻⁸ per attempt, so
+/// sensor-grade deployments truncate to at least 4 bytes (the reproduction
+/// defaults to 8, [`crate::mac::DEFAULT_MAC_LEN`]; see DESIGN.md §6.1).
+pub const MIN_TAG_LEN: usize = 1;
+
+/// A precomputed HMAC-SHA256 key schedule.
+///
+/// Stores the SHA-256 [`Midstate`]s reached after compressing the inner
+/// (`key ⊕ ipad`) and outer (`key ⊕ opad`) pad blocks. Construction costs
+/// two compressions (plus one key hash for keys longer than 64 bytes);
+/// every [`HmacKey::mac`] after that skips both, so a short-message MAC
+/// drops from four compressions to two.
+///
+/// The raw key is **not** retained — only the pad midstates, which suffice
+/// to compute and verify MACs but never leave via `Debug`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct HmacKey {
+    /// State after compressing `key ⊕ ipad`.
+    inner: Midstate,
+    /// State after compressing `key ⊕ opad`.
+    outer: Midstate,
 }
 
-impl HmacSha256 {
-    /// Creates an HMAC context keyed with `key`.
+impl HmacKey {
+    /// Precomputes the schedule for `key`.
     ///
     /// Keys longer than the 64-byte block are first hashed, per RFC 2104.
     pub fn new(key: &[u8]) -> Self {
@@ -49,7 +90,70 @@ impl HmacSha256 {
 
         let mut inner = Sha256::new();
         inner.update(&inner_key);
-        HmacSha256 { inner, outer_key }
+        let mut outer = Sha256::new();
+        outer.update(&outer_key);
+        HmacKey {
+            inner: inner.midstate(),
+            outer: outer.midstate(),
+        }
+    }
+
+    /// Opens a streaming MAC computation keyed by this schedule.
+    pub fn begin(&self) -> HmacSha256 {
+        HmacSha256 {
+            inner: Sha256::from_midstate(self.inner),
+            outer: self.outer,
+        }
+    }
+
+    /// Computes the 32-byte HMAC tag of `message`.
+    ///
+    /// Equal to [`HmacSha256::mac`] under the same key, two compressions
+    /// cheaper.
+    pub fn mac(&self, message: &[u8]) -> Digest {
+        let mut h = self.begin();
+        h.update(message);
+        h.finalize()
+    }
+
+    /// Verifies a truncated tag in constant time.
+    ///
+    /// `tag` must be [`MIN_TAG_LEN`]..=32 bytes; anything outside that
+    /// range is rejected outright.
+    pub fn verify(&self, message: &[u8], tag: &[u8]) -> bool {
+        if tag.len() < MIN_TAG_LEN || tag.len() > DIGEST_LEN {
+            return false;
+        }
+        let full = self.mac(message);
+        constant_time_eq(&full.as_bytes()[..tag.len()], tag)
+    }
+}
+
+impl core::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print the pad midstates: they are equivalent to the key for
+        // MAC-forging purposes.
+        write!(f, "HmacKey(…redacted…)")
+    }
+}
+
+/// Incremental HMAC-SHA256 computation.
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// State after compressing `key ⊕ opad`, replayed at finalize.
+    outer: Midstate,
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC context keyed with `key`.
+    ///
+    /// Keys longer than the 64-byte block are first hashed, per RFC 2104.
+    /// This is [`HmacKey::new`] + [`HmacKey::begin`]; callers MAC-ing under
+    /// the same key repeatedly should hold the [`HmacKey`] instead and skip
+    /// the schedule recomputation.
+    pub fn new(key: &[u8]) -> Self {
+        HmacKey::new(key).begin()
     }
 
     /// Absorbs message bytes.
@@ -60,8 +164,7 @@ impl HmacSha256 {
     /// Completes the computation, returning the 32-byte tag.
     pub fn finalize(self) -> Digest {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.outer_key);
+        let mut outer = Sha256::from_midstate(self.outer);
         outer.update(inner_digest.as_bytes());
         outer.finalize()
     }
@@ -75,14 +178,13 @@ impl HmacSha256 {
 
     /// Verifies a (possibly truncated) tag in constant time.
     ///
-    /// `tag` may be any prefix of the full 32-byte HMAC output, which is how
-    /// sensor-grade truncated MACs are checked.
+    /// `tag` may be any prefix of the full 32-byte HMAC output of width
+    /// [`MIN_TAG_LEN`]..=32 — how sensor-grade truncated MACs are checked.
+    /// Zero-length tags are rejected: an empty prefix matches trivially and
+    /// would make verification vacuous (see [`MIN_TAG_LEN`] for the
+    /// deployment-width discussion).
     pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
-        if tag.is_empty() || tag.len() > DIGEST_LEN {
-            return false;
-        }
-        let full = Self::mac(key, message);
-        constant_time_eq(&full.as_bytes()[..tag.len()], tag)
+        HmacKey::new(key).verify(message, tag)
     }
 }
 
@@ -140,6 +242,20 @@ mod tests {
     }
 
     #[test]
+    fn rfc4231_case_5_truncated_128_bits() {
+        // Test Case 5 exercises exactly our sensor-grade truncation path:
+        // the spec publishes only the first 128 bits of the tag.
+        let key = vec![0x0c; 20];
+        let msg = b"Test With Truncation";
+        let tag = HmacSha256::mac(&key, msg);
+        let expected = hex("a3b6167473100ee06e0c796c2955552b");
+        assert_eq!(&tag.as_bytes()[..16], expected.as_slice());
+        // Both verifiers accept the truncated vector.
+        assert!(HmacSha256::verify(&key, msg, &expected));
+        assert!(HmacKey::new(&key).verify(msg, &expected));
+    }
+
+    #[test]
     fn rfc4231_case_6_long_key() {
         let key = vec![0xaa; 131];
         let tag = HmacSha256::mac(
@@ -164,6 +280,45 @@ mod tests {
     }
 
     #[test]
+    fn precomputed_key_matches_oneshot_on_rfc_vectors() {
+        // Every RFC 4231 key shape (short, exact, longer-than-block) MACs
+        // identically through the precomputed schedule.
+        let cases: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (vec![0x0b; 20], b"Hi There".to_vec()),
+            (b"Jefe".to_vec(), b"what do ya want for nothing?".to_vec()),
+            (vec![0xaa; 20], vec![0xdd; 50]),
+            (vec![0xaa; 64], vec![0x33; 100]),
+            (vec![0xaa; 131], vec![0x44; 200]),
+            (Vec::new(), Vec::new()),
+        ];
+        for (key, msg) in &cases {
+            let prepared = HmacKey::new(key);
+            assert_eq!(prepared.mac(msg), HmacSha256::mac(key, msg));
+        }
+    }
+
+    #[test]
+    fn precomputed_key_is_reusable() {
+        let key = HmacKey::new(b"reused-key");
+        let a1 = key.mac(b"first");
+        let b1 = key.mac(b"second");
+        assert_eq!(a1, HmacSha256::mac(b"reused-key", b"first"));
+        assert_eq!(b1, HmacSha256::mac(b"reused-key", b"second"));
+        assert_ne!(a1, b1);
+    }
+
+    #[test]
+    fn precomputed_streaming_matches_oneshot() {
+        let key = HmacKey::new(b"stream-key");
+        let msg = b"a message split into several pieces for streaming";
+        let mut h = key.begin();
+        for chunk in msg.chunks(5) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), key.mac(msg));
+    }
+
+    #[test]
     fn incremental_matches_oneshot() {
         let key = b"incremental-key";
         let msg = b"a message split into several pieces for streaming";
@@ -179,7 +334,7 @@ mod tests {
         let key = b"k";
         let msg = b"m";
         let full = HmacSha256::mac(key, msg);
-        for n in 1..=32 {
+        for n in MIN_TAG_LEN..=32 {
             assert!(
                 HmacSha256::verify(key, msg, &full.as_bytes()[..n]),
                 "len {n}"
@@ -195,12 +350,23 @@ mod tests {
     }
 
     #[test]
+    fn verify_rejects_zero_length_tag() {
+        // Regression: an empty prefix trivially satisfies constant_time_eq,
+        // so a verifier that forgot the width floor would accept it for
+        // *any* key and message. Both entry points must refuse.
+        assert!(constant_time_eq(b"", b"")); // the trap this guards against
+        assert!(!HmacSha256::verify(b"key", b"msg", &[]));
+        assert!(!HmacKey::new(b"key").verify(b"msg", &[]));
+    }
+
+    #[test]
     fn verify_rejects_degenerate_tags() {
         let tag = HmacSha256::mac(b"key", b"msg");
         assert!(!HmacSha256::verify(b"key", b"msg", &[]));
         let mut long = tag.as_bytes().to_vec();
         long.push(0);
         assert!(!HmacSha256::verify(b"key", b"msg", &long));
+        assert!(!HmacKey::new(b"key").verify(b"msg", &long));
     }
 
     #[test]
@@ -215,5 +381,12 @@ mod tests {
         // HMAC is defined for empty keys and messages; must not panic.
         let t = HmacSha256::mac(b"", b"");
         assert_eq!(t.as_bytes().len(), 32);
+        assert_eq!(HmacKey::new(b"").mac(b""), t);
+    }
+
+    #[test]
+    fn hmac_key_debug_redacts() {
+        let k = HmacKey::new(b"super-secret");
+        assert_eq!(format!("{k:?}"), "HmacKey(…redacted…)");
     }
 }

@@ -6,8 +6,11 @@
 //! function `H_k`". This crate provides everything the marking schemes need,
 //! implemented from scratch with no external crypto dependencies:
 //!
-//! - [`sha256`] — FIPS 180-4 SHA-256, validated against NIST vectors.
-//! - [`hmac`] — HMAC-SHA256 (RFC 2104 / RFC 4231).
+//! - [`sha256`] — FIPS 180-4 SHA-256, validated against NIST vectors, with
+//!   exported midstates ([`sha256::Midstate`]) for precomputed-prefix
+//!   hashing.
+//! - [`hmac`] — HMAC-SHA256 (RFC 2104 / RFC 4231), plus the precomputed
+//!   key schedule [`hmac::HmacKey`] the sink hot path runs on.
 //! - [`mac`] — truncated sensor-grade MAC tags and per-node keys with
 //!   domain separation between the marking MAC `H` and anonymous-ID hash `H'`.
 //! - [`anon`] — the anonymous node-ID function `i' = H'_{k_i}(M | i)` that
@@ -34,19 +37,77 @@ pub mod keystore;
 pub mod mac;
 pub mod sha256;
 
-pub use anon::{anon_id, AnonId, ANON_ID_LEN};
-pub use hmac::HmacSha256;
-pub use keystore::KeyStore;
-pub use mac::{MacKey, MacTag, DEFAULT_MAC_LEN};
-pub use sha256::{Digest, Sha256};
+pub use anon::{anon_id, anon_id_prepared, AnonId, ANON_ID_LEN};
+pub use hmac::{HmacKey, HmacSha256, MIN_TAG_LEN};
+pub use keystore::{KeySchedule, KeyStore};
+pub use mac::{mark_mac_prepared, verify_mark_mac_prepared, MacKey, MacTag, DEFAULT_MAC_LEN};
+pub use sha256::{Digest, Midstate, Sha256};
 
 #[cfg(test)]
 mod proptests {
     use proptest::prelude::*;
 
-    use crate::hmac::HmacSha256;
+    use crate::hmac::{HmacKey, HmacSha256};
     use crate::mac::MacKey;
     use crate::sha256::{Digest, Sha256};
+
+    proptest! {
+        /// The precomputed key schedule is a pure optimization:
+        /// `HmacKey::mac` ≡ `HmacSha256::mac` for arbitrary key and message
+        /// lengths, including keys longer than the 64-byte block (which RFC
+        /// 2104 hashes first) and empty keys/messages.
+        #[test]
+        fn hmac_key_equals_oneshot(
+            key in proptest::collection::vec(any::<u8>(), 0..192),
+            msg in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let prepared = HmacKey::new(&key);
+            prop_assert_eq!(prepared.mac(&msg), HmacSha256::mac(&key, &msg));
+        }
+
+        /// Prepared streaming agrees with one-shot across arbitrary
+        /// chunkings, and both verifiers agree on every truncation width.
+        #[test]
+        fn hmac_key_streaming_and_verify_agree(
+            key in proptest::collection::vec(any::<u8>(), 0..100),
+            msg in proptest::collection::vec(any::<u8>(), 0..256),
+            chunk in 1usize..32,
+            width in 1usize..=32,
+        ) {
+            let prepared = HmacKey::new(&key);
+            let mut h = prepared.begin();
+            for piece in msg.chunks(chunk) {
+                h.update(piece);
+            }
+            let tag = h.finalize();
+            prop_assert_eq!(tag, HmacSha256::mac(&key, &msg));
+            prop_assert_eq!(
+                prepared.verify(&msg, &tag.as_bytes()[..width]),
+                HmacSha256::verify(&key, &msg, &tag.as_bytes()[..width])
+            );
+        }
+
+        /// Both domain-separated sink functions agree between the raw-key
+        /// and precomputed paths for arbitrary inputs.
+        #[test]
+        fn prepared_domain_functions_equal_raw(
+            master in proptest::collection::vec(any::<u8>(), 1..32),
+            report in proptest::collection::vec(any::<u8>(), 0..128),
+            node in any::<u16>(),
+            width in 1usize..=32,
+        ) {
+            let k = MacKey::derive(&master, node as u64);
+            let prepared = k.prepare();
+            prop_assert_eq!(
+                crate::anon::anon_id_prepared(&prepared, &report, node),
+                crate::anon::anon_id(&k, &report, node)
+            );
+            prop_assert_eq!(
+                crate::mac::mark_mac_prepared(&prepared, &report, width),
+                k.mark_mac(&report, width)
+            );
+        }
+    }
 
     proptest! {
         /// Streaming and one-shot hashing agree for arbitrary inputs and

@@ -8,7 +8,7 @@
 
 use core::fmt;
 
-use crate::hmac::HmacSha256;
+use crate::hmac::{HmacKey, HmacSha256};
 use crate::sha256::{constant_time_eq, DIGEST_LEN};
 
 /// Default truncated-MAC width in bytes used throughout the reproduction.
@@ -155,20 +155,24 @@ impl MacKey {
         &self.0
     }
 
+    /// Precomputes the HMAC key schedule for this key.
+    ///
+    /// The returned [`HmacKey`] computes the same marking MACs and
+    /// anonymous IDs (via [`mark_mac_prepared`] /
+    /// [`crate::anon::anon_id_prepared`]) two SHA-256 compressions cheaper
+    /// per call. The sink precomputes one per provisioned node
+    /// ([`crate::keystore::KeyStore::schedule`]).
+    pub fn prepare(&self) -> HmacKey {
+        HmacKey::new(&self.0)
+    }
+
     /// Computes the marking MAC `H_k(message)`, truncated to `width` bytes.
     ///
     /// # Panics
     ///
     /// Panics if `width` is 0 or greater than 32.
     pub fn mark_mac(&self, message: &[u8], width: usize) -> MacTag {
-        assert!(
-            (1..=DIGEST_LEN).contains(&width),
-            "MAC width must be 1..=32, got {width}"
-        );
-        let mut h = HmacSha256::new(&self.0);
-        h.update(DOMAIN_MARK);
-        h.update(message);
-        MacTag::from_bytes(&h.finalize().as_bytes()[..width])
+        mark_mac_from(HmacSha256::new(&self.0), message, width)
     }
 
     /// Verifies a truncated marking MAC in constant time.
@@ -176,6 +180,32 @@ impl MacKey {
         let expected = self.mark_mac(message, tag.len());
         expected == *tag
     }
+}
+
+/// [`MacKey::mark_mac`] through a precomputed [`HmacKey`] schedule —
+/// identical output for the same underlying key, two compressions cheaper.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 32.
+pub fn mark_mac_prepared(key: &HmacKey, message: &[u8], width: usize) -> MacTag {
+    mark_mac_from(key.begin(), message, width)
+}
+
+/// [`MacKey::verify_mark_mac`] through a precomputed [`HmacKey`] schedule.
+pub fn verify_mark_mac_prepared(key: &HmacKey, message: &[u8], tag: &MacTag) -> bool {
+    mark_mac_prepared(key, message, tag.len()) == *tag
+}
+
+/// Shared `H_k(DOMAIN_MARK | message)` composition over an opened context.
+fn mark_mac_from(mut h: HmacSha256, message: &[u8], width: usize) -> MacTag {
+    assert!(
+        (1..=DIGEST_LEN).contains(&width),
+        "MAC width must be 1..=32, got {width}"
+    );
+    h.update(DOMAIN_MARK);
+    h.update(message);
+    MacTag::from_bytes(&h.finalize().as_bytes()[..width])
 }
 
 impl fmt::Debug for MacKey {
@@ -229,6 +259,27 @@ mod tests {
                 "bit {bit}"
             );
         }
+    }
+
+    #[test]
+    fn prepared_mark_mac_matches_oneshot() {
+        let k = MacKey::derive(b"m", 11);
+        let prepared = k.prepare();
+        for width in [1usize, 4, 8, 32] {
+            let msg = b"a mark-sized message body";
+            assert_eq!(
+                mark_mac_prepared(&prepared, msg, width),
+                k.mark_mac(msg, width)
+            );
+        }
+        let tag = k.mark_mac(b"payload", 8);
+        assert!(verify_mark_mac_prepared(&prepared, b"payload", &tag));
+        assert!(!verify_mark_mac_prepared(
+            &prepared,
+            b"payload",
+            &tag.corrupted()
+        ));
+        assert!(!verify_mark_mac_prepared(&prepared, b"other", &tag));
     }
 
     #[test]

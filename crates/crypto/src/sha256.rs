@@ -159,6 +159,55 @@ pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
     acc == 0
 }
 
+/// A captured SHA-256 compression state at a block boundary.
+///
+/// A midstate is the 8-word chaining value after absorbing a whole number
+/// of 64-byte blocks, together with how many bytes produced it. Restoring
+/// it with [`Sha256::from_midstate`] resumes hashing exactly where the
+/// capture left off, so a fixed prefix (e.g. an HMAC key pad block) is
+/// compressed **once** and replayed for free on every subsequent message.
+/// This is the standard "exported midstate" trick Bitcoin miners and
+/// long-lived MAC verifiers use; here it powers [`crate::hmac::HmacKey`].
+///
+/// # Examples
+///
+/// ```
+/// use pnm_crypto::sha256::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(&[0x36u8; 64]); // one full block: state is at a boundary
+/// let mid = h.midstate();
+///
+/// let mut resumed = Sha256::from_midstate(mid);
+/// resumed.update(b"suffix");
+/// h.update(b"suffix");
+/// assert_eq!(resumed.finalize(), h.finalize());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Midstate {
+    state: [u32; 8],
+    /// Bytes absorbed to reach this state (always a multiple of 64).
+    byte_len: u64,
+}
+
+impl Midstate {
+    /// Bytes absorbed to reach this state (always a multiple of
+    /// [`BLOCK_LEN`]).
+    pub fn byte_len(&self) -> u64 {
+        self.byte_len
+    }
+}
+
+impl fmt::Debug for Midstate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Midstates derived from secret key pads must not leak: printing
+        // the chaining value would hand an attacker the precomputed pad.
+        f.debug_struct("Midstate")
+            .field("byte_len", &self.byte_len)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Incremental SHA-256 hasher.
 ///
 /// Use [`Sha256::digest`] for one-shot hashing, or `update`/`finalize` for
@@ -218,6 +267,38 @@ impl Sha256 {
         h.finalize()
     }
 
+    /// Captures the current compression state as a [`Midstate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the hasher sits exactly on a 64-byte block boundary
+    /// (no buffered partial block): a midstate is a chaining value, and
+    /// chaining values only exist between whole compressed blocks.
+    pub fn midstate(&self) -> Midstate {
+        assert!(
+            self.buf_len == 0,
+            "midstate capture requires a block boundary ({} buffered bytes)",
+            self.buf_len
+        );
+        Midstate {
+            state: self.state,
+            byte_len: self.total_len,
+        }
+    }
+
+    /// Resumes hashing from a previously captured [`Midstate`].
+    ///
+    /// The restored hasher behaves exactly as if it had just absorbed the
+    /// `midstate.byte_len()` bytes that produced the capture.
+    pub fn from_midstate(midstate: Midstate) -> Self {
+        Sha256 {
+            state: midstate.state,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+            total_len: midstate.byte_len,
+        }
+    }
+
     /// Absorbs `data` into the hash state.
     pub fn update(&mut self, mut data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
@@ -254,21 +335,19 @@ impl Sha256 {
     /// Consumes the hasher; clone it first if you need to continue hashing.
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.total_len.wrapping_mul(8);
-        // Append 0x80 then zero-pad to 56 mod 64, then the 64-bit length.
-        let mut pad = [0u8; BLOCK_LEN * 2];
-        pad[0] = 0x80;
+        // Append 0x80 then zero-pad to 56 mod 64, then the 64-bit length —
+        // staged entirely on the stack (at most two blocks), so finalizing
+        // never allocates. This is the HMAC hot path: every MAC finalizes
+        // twice (inner and outer hash).
+        let mut tail = [0u8; BLOCK_LEN * 2];
+        tail[0] = 0x80;
         let pad_len = if self.buf_len < 56 {
             56 - self.buf_len
         } else {
             BLOCK_LEN + 56 - self.buf_len
         };
-        let mut tail = Vec::with_capacity(pad_len + 8);
-        tail.extend_from_slice(&pad[..pad_len]);
-        tail.extend_from_slice(&bit_len.to_be_bytes());
-        // Careful: update() must not count padding toward total_len, but
-        // total_len is already captured in bit_len, so further counting is
-        // harmless.
-        self.update_padding(&tail);
+        tail[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        self.update_padding(&tail[..pad_len + 8]);
 
         let mut out = [0u8; DIGEST_LEN];
         for (i, word) in self.state.iter().enumerate() {
@@ -478,6 +557,56 @@ mod tests {
         let a = Sha256::digest(b"input-a");
         let b = Sha256::digest(b"input-b");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn midstate_resume_matches_oneshot() {
+        // Capture after 1, 2, and 3 whole blocks; resuming must agree with
+        // hashing the concatenation in one go.
+        let data: Vec<u8> = (0..256u32).map(|i| (i * 7 % 251) as u8).collect();
+        for blocks in 1..=3usize {
+            let cut = blocks * BLOCK_LEN;
+            let mut h = Sha256::new();
+            h.update(&data[..cut]);
+            let mid = h.midstate();
+            assert_eq!(mid.byte_len(), cut as u64);
+            let mut resumed = Sha256::from_midstate(mid);
+            resumed.update(&data[cut..]);
+            assert_eq!(resumed.finalize(), Sha256::digest(&data), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn midstate_is_reusable() {
+        // One capture, many resumptions — the HMAC-key usage pattern.
+        let mut h = Sha256::new();
+        h.update(&[0x5c; BLOCK_LEN]);
+        let mid = h.midstate();
+        for suffix in [&b"a"[..], b"bb", b"ccc"] {
+            let mut full = Sha256::new();
+            full.update(&[0x5c; BLOCK_LEN]);
+            full.update(suffix);
+            let mut resumed = Sha256::from_midstate(mid);
+            resumed.update(suffix);
+            assert_eq!(resumed.finalize(), full.finalize());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block boundary")]
+    fn midstate_off_boundary_panics() {
+        let mut h = Sha256::new();
+        h.update(b"partial");
+        let _ = h.midstate();
+    }
+
+    #[test]
+    fn midstate_debug_redacts_state() {
+        let mid = Sha256::new().midstate();
+        let s = format!("{mid:?}");
+        assert!(s.contains("byte_len"));
+        // The chaining words must not be printed (H0 starts 0x6a09e667).
+        assert!(!s.contains("6a09e667") && !s.contains("1779033703"));
     }
 
     #[test]

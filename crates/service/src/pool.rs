@@ -188,6 +188,11 @@ impl ServicePool {
     /// policy once, to the cross-shard merged route graph, at drain time.
     pub fn new(keys: impl Into<Arc<KeyStore>>, config: ServiceConfig) -> Self {
         let keys = keys.into();
+        // Prewarm the precomputed HMAC schedule before any shard spawns:
+        // the build runs exactly once here, and every shard's verifier picks
+        // up the same cached `Arc<KeySchedule>` through the shared keystore
+        // instead of racing to build its own on first packet.
+        let _ = keys.schedule();
         let shards = config.shard_count();
         let shard_sink = config.sink().clone().without_isolation();
         let gate = Arc::new((Mutex::new(config.starts_paused()), Condvar::new()));

@@ -96,7 +96,9 @@ pub fn tradeoff_table(runs: usize, seed: u64) -> Table {
 /// One row of the MAC-width ablation.
 #[derive(Clone, Debug)]
 pub struct MacWidthRow {
-    /// Truncated MAC width in bytes.
+    /// Truncated MAC width in bytes. The verifier rejects anything below
+    /// [`pnm_crypto::hmac::MIN_TAG_LEN`], so width 0 is unrepresentable —
+    /// the ablation sweeps 1..=8.
     pub width: usize,
     /// Forged marks the mole submitted.
     pub forgeries_attempted: usize,
