@@ -63,6 +63,7 @@ pub mod reconstruct;
 pub mod replay;
 pub mod scheme;
 pub mod sink;
+pub mod stage;
 pub mod verify;
 
 pub use classifier::{EventRegistry, TrafficClassifier, Verdict, VolumeMonitor};
@@ -80,6 +81,7 @@ pub use scheme::{
     ProbabilisticNestedMarking, ProbabilisticNestedPlainId,
 };
 pub use sink::{RejectReason, SinkConfig, SinkCounters, SinkEngine, SinkOutcome};
+pub use stage::{StageMetrics, STAGE_NAMES};
 pub use verify::{
     AnonTable, CandidateSet, Resolution, SinkVerifier, StopReason, TopologyResolver, VerifiedChain,
     VerifyMode,

@@ -35,7 +35,10 @@ use std::collections::HashMap;
 use std::ops::{Add, AddAssign};
 use std::sync::Arc;
 
+use std::time::Instant;
+
 use pnm_crypto::KeyStore;
+use pnm_obs::Tracer;
 use pnm_wire::{NodeId, Packet, WireError};
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +46,7 @@ use crate::classifier::{TrafficClassifier, Verdict};
 use crate::isolation::{quarantine_set, IsolationPolicy, QuarantineFilter};
 use crate::reconstruct::{AnnotatedLocalization, Localization, RouteReconstructor, SourceRegion};
 use crate::replay::DuplicateSuppressor;
+use crate::stage::StageMetrics;
 use crate::verify::{AnonTable, SinkVerifier, TopologyResolver, VerifiedChain, VerifyMode};
 
 /// Default number of per-report anonymous-ID tables the engine keeps live.
@@ -69,6 +73,8 @@ pub struct SinkConfig {
     isolation: Option<IsolationPolicy>,
     dedup_capacity: Option<usize>,
     min_support: usize,
+    tracer: Tracer,
+    stage_timing: bool,
 }
 
 impl SinkConfig {
@@ -84,6 +90,8 @@ impl SinkConfig {
             isolation: None,
             dedup_capacity: None,
             min_support: 1,
+            tracer: Tracer::noop(),
+            stage_timing: false,
         }
     }
 
@@ -144,6 +152,24 @@ impl SinkConfig {
     /// node; thinner evidence widens to a region (default 1 = never widen).
     pub fn min_localization_support(mut self, n: usize) -> Self {
         self.min_support = n.max(1);
+        self
+    }
+
+    /// Attaches a tracer: the engine then emits per-stage spans
+    /// (`sink.classify`, `sink.verify`, `sink.resolve`, `sink.reconstruct`,
+    /// `sink.localize`) and table-build/cache instant events. The default
+    /// [`Tracer::noop`] is inert — the pipeline pays one branch per stage.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Enables per-stage latency histograms
+    /// ([`SinkEngine::stage_metrics`]) without requiring a tracer.
+    /// Attaching a tracer implies stage timing. Default off: the
+    /// uninstrumented pipeline never reads the clock.
+    pub fn stage_timing(mut self, on: bool) -> Self {
+        self.stage_timing = on;
         self
     }
 
@@ -349,6 +375,36 @@ pub struct SinkEngine {
     last_quarantined_source: Option<NodeId>,
     dedup: Option<DuplicateSuppressor>,
     min_support: usize,
+    tracer: Tracer,
+    stage_timing: bool,
+    stages: StageMetrics,
+}
+
+/// A lap clock for stage timing: reads the monotonic clock only when
+/// instrumentation is on, so the default pipeline stays clock-free.
+struct StageClock(Option<Instant>);
+
+impl StageClock {
+    fn start(enabled: bool) -> Self {
+        StageClock(enabled.then(Instant::now))
+    }
+
+    /// Microseconds since start/previous lap; 0 (and no clock read) when
+    /// disabled.
+    fn lap_us(&mut self) -> u64 {
+        match &mut self.0 {
+            Some(t) => {
+                let elapsed = t.elapsed().as_micros() as u64;
+                *t = Instant::now();
+                elapsed
+            }
+            None => 0,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
 }
 
 impl SinkEngine {
@@ -385,6 +441,9 @@ impl SinkEngine {
             last_quarantined_source: None,
             dedup: config.dedup_capacity.map(DuplicateSuppressor::new),
             min_support: config.min_support,
+            tracer: config.tracer,
+            stage_timing: config.stage_timing,
+            stages: StageMetrics::new(),
         }
     }
 
@@ -434,13 +493,22 @@ impl SinkEngine {
     /// clock for the classifier's rate window.
     pub fn ingest_at(&mut self, packet: &Packet, now_us: u64) -> SinkOutcome {
         self.counters.packets += 1;
+        let tracer = self.tracer.clone();
+        let mut clock = StageClock::start(self.stage_timing || tracer.enabled());
 
         // Stage 0: idempotent duplicate suppression (when configured).
         // Runs before the classifier so duplicated frames cannot skew its
         // rate window, and before verification so they cost no hashes.
+        // Timed as part of classify: both are admission gates.
+        let mut classify_span = tracer.span("sink.classify");
         if let Some(dedup) = &mut self.dedup {
             if !dedup.observe(&packet.to_bytes()) {
                 self.counters.duplicates_suppressed += 1;
+                classify_span.field("duplicate", true);
+                drop(classify_span);
+                if clock.enabled() {
+                    self.stages.classify.record(clock.lap_us());
+                }
                 return SinkOutcome {
                     verdict: None,
                     chain: None,
@@ -457,6 +525,11 @@ impl SinkEngine {
         match verdict {
             Some(Verdict::Benign) => {
                 self.counters.benign += 1;
+                classify_span.field("benign", true);
+                drop(classify_span);
+                if clock.enabled() {
+                    self.stages.classify.record(clock.lap_us());
+                }
                 return SinkOutcome {
                     verdict,
                     chain: None,
@@ -466,21 +539,46 @@ impl SinkEngine {
             Some(Verdict::Suspicious) => self.counters.suspicious += 1,
             None => {}
         }
+        drop(classify_span);
+        if clock.enabled() {
+            self.stages.classify.record(clock.lap_us());
+        }
 
         // Stages 2–3: verify marks, resolving anonymous IDs.
-        let chain = self.verify_stage(packet);
+        let verify_span = tracer.span("sink.verify");
+        let (chain, resolve_us) = self.verify_stage(packet);
+        drop(verify_span);
+        if clock.enabled() {
+            // The verify histogram is net of resolution time, so
+            // verify + resolve sums to the measured wall time.
+            let total_us = clock.lap_us();
+            self.stages.resolve.record(resolve_us);
+            self.stages
+                .verify
+                .record(total_us.saturating_sub(resolve_us));
+        }
         self.counters.marks_verified += chain.nodes.len();
         self.counters.marks_rejected += chain.total_marks - chain.nodes.len();
 
         // Stage 4: fold into the reconstructed route.
+        let reconstruct_span = tracer.span("sink.reconstruct");
         self.reconstructor.observe_chain(&chain.nodes);
         if self.first_unequivocal.is_none() && self.reconstructor.is_unequivocal() {
             self.first_unequivocal = Some(self.counters.packets);
         }
+        drop(reconstruct_span);
+        if clock.enabled() {
+            self.stages.reconstruct.record(clock.lap_us());
+        }
 
         // Stage 5: quarantine maintenance (cheap: only runs on a new
         // unequivocal source).
+        let localize_span = tracer.span("sink.localize");
         self.update_quarantine();
+        drop(localize_span);
+        if clock.enabled() {
+            self.stages.localize.record(clock.lap_us());
+        }
 
         SinkOutcome {
             verdict,
@@ -521,6 +619,7 @@ impl SinkEngine {
     pub fn absorb(&mut self, other: &SinkEngine) {
         debug_assert_eq!(self.mode, other.mode, "absorbing mismatched verify modes");
         self.counters += other.counters;
+        self.stages.merge(&other.stages);
         self.reconstructor.merge(&other.reconstructor);
         self.quarantine.merge(&other.quarantine);
         self.first_unequivocal = match (self.first_unequivocal, other.first_unequivocal) {
@@ -530,48 +629,66 @@ impl SinkEngine {
         self.last_quarantined_source = None;
     }
 
-    /// Verify + anonymous-ID resolution for one admitted packet.
-    fn verify_stage(&mut self, packet: &Packet) -> VerifiedChain {
+    /// Verify + anonymous-ID resolution for one admitted packet. Returns
+    /// the chain plus the microseconds spent on anonymous-ID resolution
+    /// (0 when stage timing is off).
+    fn verify_stage(&mut self, packet: &Packet) -> (VerifiedChain, u64) {
         if self.mode != VerifyMode::Nested {
-            return self.verifier.verify(packet, self.mode);
+            return (self.verifier.verify(packet, self.mode), 0);
         }
+        let timed = self.stage_timing || self.tracer.enabled();
         let report_bytes = packet.report.to_bytes();
         if let Some(resolver) = &self.resolver {
             // §7 topology-guided resolution: no table build at all; each
             // anonymous ID is searched ring by ring from the previously
-            // verified node.
+            // verified node. Resolution is interleaved with verification,
+            // so its time is accumulated per call, not spanned.
             let mut hashes = 0usize;
             let mut fallbacks = 0usize;
+            let mut resolve_ns = 0u128;
             let chain = self.verifier.verify_nested_with(
                 packet,
                 &mut self.scratch,
                 &mut self.cand_buf,
-                &mut |aid, anchor, out| match resolver.resolve(&report_bytes, aid, anchor) {
-                    Some(res) => {
-                        hashes += res.hash_count;
-                        fallbacks += res.via_fallback as usize;
-                        out.push(res.id.raw());
+                &mut |aid, anchor, out| {
+                    let start = timed.then(Instant::now);
+                    match resolver.resolve(&report_bytes, aid, anchor) {
+                        Some(res) => {
+                            hashes += res.hash_count;
+                            fallbacks += res.via_fallback as usize;
+                            out.push(res.id.raw());
+                        }
+                        None => {
+                            // Unresolvable: the resolver scanned everything.
+                            hashes += resolver.keys().len();
+                            fallbacks += 1;
+                        }
                     }
-                    None => {
-                        // Unresolvable: the resolver scanned everything.
-                        hashes += resolver.keys().len();
-                        fallbacks += 1;
+                    if let Some(start) = start {
+                        resolve_ns += start.elapsed().as_nanos();
                     }
                 },
             );
             self.counters.hash_count += hashes;
             self.counters.resolver_fallback_scans += fallbacks;
-            return chain;
+            return (chain, (resolve_ns / 1000) as u64);
         }
-        // Brute-force §4.2 resolution through the per-report table cache.
+        // Brute-force §4.2 resolution through the per-report table cache:
+        // resolution cost is the table lookup/build, so that is what the
+        // resolve stage measures.
+        let start = timed.then(Instant::now);
+        let resolve_span = self.tracer.clone().span("sink.resolve");
         let idx = self.lookup_or_build_table(&report_bytes);
+        drop(resolve_span);
+        let resolve_us = start.map_or(0, |s| s.elapsed().as_micros() as u64);
         let table = &self.table_cache[idx].1;
-        self.verifier.verify_nested_with(
+        let chain = self.verifier.verify_nested_with(
             packet,
             &mut self.scratch,
             &mut self.cand_buf,
             &mut |aid, _anchor, out| out.extend_from_slice(table.resolve(aid)),
-        )
+        );
+        (chain, resolve_us)
     }
 
     /// Returns the cache index of the table for `report_bytes`, building
@@ -583,6 +700,9 @@ impl SinkEngine {
             .position(|(rb, _)| rb == report_bytes)
         {
             self.counters.table_cache_hits += 1;
+            self.tracer.event_with("sink.table_cache_hit", |f| {
+                f.push(("cached_tables", self.table_cache.len().into()));
+            });
             // Move to the back: most recently used.
             let entry = self.table_cache.remove(pos);
             self.table_cache.push(entry);
@@ -591,6 +711,10 @@ impl SinkEngine {
                 AnonTable::build_parallel(&self.keys, report_bytes, self.table_build_threads);
             self.counters.table_builds += 1;
             self.counters.hash_count += table.hash_count;
+            self.tracer.event_with("sink.table_build", |f| {
+                f.push(("hashes", table.hash_count.into()));
+                f.push(("threads", self.table_build_threads.into()));
+            });
             if self.table_cache.len() >= self.table_cache_capacity {
                 self.table_cache.remove(0);
             }
@@ -662,6 +786,12 @@ impl SinkEngine {
     /// Read access to the verify stage (for one-off out-of-band checks).
     pub fn verifier(&self) -> &SinkVerifier {
         &self.verifier
+    }
+
+    /// Per-stage latency histograms. Empty unless
+    /// [`SinkConfig::stage_timing`] was enabled or a tracer is attached.
+    pub fn stage_metrics(&self) -> &StageMetrics {
+        &self.stages
     }
 
     /// Snapshot of the pipeline's instrumentation counters.
@@ -1225,6 +1355,113 @@ mod tests {
             assert_eq!(c.table_builds, 0, "{mode:?}");
             assert_eq!(c.hash_count, 0, "{mode:?}");
         }
+    }
+
+    /// Instrumentation is observably free: with a tracer and stage timing
+    /// on, every verdict, counter, and localization matches the
+    /// uninstrumented engine exactly, while stage histograms fill and the
+    /// trace balances.
+    #[test]
+    fn instrumented_engine_matches_uninstrumented() {
+        let n = 8u16;
+        let ks = keys(n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut rng = StdRng::seed_from_u64(31);
+        let packets: Vec<Packet> = (0..60)
+            .map(|s| packet(&ks, &scheme, n, s, &mut rng))
+            .collect();
+
+        let base_cfg = SinkConfig::new(VerifyMode::Nested)
+            .table_cache_capacity(4)
+            .dedup(16)
+            .isolation(IsolationPolicy::SuspectsOnly);
+
+        let mut plain = SinkEngine::new(Arc::clone(&ks), base_cfg.clone());
+        let plain_out: Vec<SinkOutcome> = packets.iter().map(|p| plain.ingest(p)).collect();
+        assert!(plain.stage_metrics().is_empty(), "timing off by default");
+
+        let (tracer, ring) = pnm_obs::Tracer::ring(100_000);
+        let mut traced = SinkEngine::new(
+            Arc::clone(&ks),
+            base_cfg.clone().tracer(tracer).stage_timing(true),
+        );
+        let traced_out: Vec<SinkOutcome> = packets.iter().map(|p| traced.ingest(p)).collect();
+
+        assert_eq!(plain_out, traced_out);
+        assert_eq!(plain.counters(), traced.counters());
+        assert_eq!(plain.localize(), traced.localize());
+        assert_eq!(plain.unequivocal_source(), traced.unequivocal_source());
+
+        // Every stage histogram saw every admitted packet.
+        let stages = traced.stage_metrics();
+        assert_eq!(stages.classify.count(), 60);
+        assert_eq!(stages.verify.count(), 60);
+        assert_eq!(stages.resolve.count(), 60);
+        assert_eq!(stages.reconstruct.count(), 60);
+        assert_eq!(stages.localize.count(), 60);
+
+        // The trace carries balanced spans plus table-build events.
+        use pnm_obs::EventKind;
+        let events = ring.events();
+        let opens = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanOpen)
+            .count();
+        let closes = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanClose)
+            .count();
+        assert_eq!(opens, closes);
+        assert!(events.iter().any(|e| e.name == "sink.table_build"));
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    /// Stage timing alone (no tracer) fills histograms; topology-guided
+    /// resolution attributes ring-search time to the resolve stage.
+    #[test]
+    fn stage_timing_covers_topology_resolution() {
+        let n = 8u16;
+        let ks = keys(n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = SinkConfig::new(VerifyMode::Nested)
+            .topology(chain_adjacency(n))
+            .stage_timing(true);
+        let mut engine = SinkEngine::new(Arc::clone(&ks), cfg);
+        for seq in 0..40 {
+            let pkt = packet(&ks, &scheme, n, seq, &mut rng);
+            engine.ingest(&pkt);
+        }
+        let stages = engine.stage_metrics();
+        assert_eq!(stages.verify.count(), 40);
+        assert_eq!(stages.resolve.count(), 40);
+        assert_eq!(engine.counters().table_builds, 0);
+    }
+
+    /// `absorb` folds stage histograms exactly like counters.
+    #[test]
+    fn absorb_merges_stage_metrics() {
+        let n = 6u16;
+        let ks = keys(n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut rng = StdRng::seed_from_u64(77);
+        let cfg = SinkConfig::new(VerifyMode::Nested).stage_timing(true);
+        let mut a = SinkEngine::new(Arc::clone(&ks), cfg.clone());
+        let mut b = SinkEngine::new(Arc::clone(&ks), cfg);
+        for seq in 0..10 {
+            let pkt = packet(&ks, &scheme, n, seq, &mut rng);
+            if seq % 2 == 0 {
+                a.ingest(&pkt);
+            } else {
+                b.ingest(&pkt);
+            }
+        }
+        let before = a.stage_metrics().clone();
+        a.absorb(&b);
+        assert_eq!(a.stage_metrics().classify.count(), 10);
+        let mut expect = before;
+        expect.merge(b.stage_metrics());
+        assert_eq!(a.stage_metrics(), &expect);
     }
 }
 

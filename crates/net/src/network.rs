@@ -9,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use pnm_obs::{Counter, Registry, Tracer};
 use pnm_wire::Packet;
 
 use crate::des::EventQueue;
@@ -159,6 +160,35 @@ pub struct Network {
     energy: EnergyModel,
     contention: bool,
     faults: Option<FaultPlan>,
+    tracer: Tracer,
+    metrics: Option<Registry>,
+}
+
+/// Registry handles for the fault tallies, resolved once per run so the
+/// per-fault cost is a single relaxed atomic add. Series share one metric
+/// name (`pnm_net_faults_total`) with a `kind` label per fault class —
+/// the registry-backed view of [`FaultCounters`].
+struct FaultSeries {
+    burst_losses: Counter,
+    duplicates: Counter,
+    reordered: Counter,
+    corrupted: Counter,
+    corrupt_drops: Counter,
+    garbled_deliveries: Counter,
+}
+
+impl FaultSeries {
+    fn new(registry: &Registry) -> Self {
+        let c = |kind: &str| registry.counter("pnm_net_faults_total", &[("kind", kind)]);
+        FaultSeries {
+            burst_losses: c("burst_loss"),
+            duplicates: c("duplicate"),
+            reordered: c("reorder"),
+            corrupted: c("corrupt"),
+            corrupt_drops: c("corrupt_drop"),
+            garbled_deliveries: c("garbled"),
+        }
+    }
 }
 
 /// In-flight event: `holder` is about to run its forwarding behavior.
@@ -181,6 +211,8 @@ impl Network {
             energy: EnergyModel::mica2(),
             contention: false,
             faults: None,
+            tracer: Tracer::noop(),
+            metrics: None,
         }
     }
 
@@ -216,6 +248,25 @@ impl Network {
     /// an all-off plan reproduces the fault-free run bit-for-bit.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a tracer: each injected fault then emits an instant event
+    /// (`net.fault.burst_loss`, `net.fault.corrupt`, `net.fault.reorder`,
+    /// `net.fault.duplicate`, `net.fault.corrupt_drop`,
+    /// `net.fault.garbled`) with the faulting node/frame context. The
+    /// default noop tracer costs one branch per fault site.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a metrics registry: fault tallies are then mirrored live
+    /// into the `pnm_net_faults_total{kind=...}` counter family, one
+    /// series per [`FaultCounters`] field, in addition to the per-run
+    /// counts in [`SimReport::faults`].
+    pub fn with_metrics(mut self, registry: Registry) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -275,6 +326,8 @@ impl Network {
         // The fault layer draws from its own RNG stream so that enabling
         // an all-off plan cannot perturb the simulation RNG.
         let mut faults = self.faults.map(|p| FaultState::new(p, self.topology.len()));
+        let tracer = self.tracer.clone();
+        let series = self.metrics.as_ref().map(FaultSeries::new);
 
         while let Some((now, mut ev)) = queue.pop() {
             report.end_time_us = now;
@@ -299,6 +352,13 @@ impl Network {
             if let Some(fs) = faults.as_mut() {
                 if fs.burst_lost(ev.holder) {
                     report.faults.burst_losses += 1;
+                    if let Some(s) = &series {
+                        s.burst_losses.inc();
+                    }
+                    tracer.event_with("net.fault.burst_loss", |f| {
+                        f.push(("node", ev.holder.into()));
+                        f.push(("at_sim_us", now.into()));
+                    });
                     continue;
                 }
             }
@@ -314,12 +374,27 @@ impl Network {
             if let Some(fs) = faults.as_mut() {
                 if fs.plan().corrupt_byte_probability > 0.0 {
                     let mut raw = ev.packet.to_bytes();
-                    if fs.corrupt(&mut raw) > 0 {
+                    let flips = fs.corrupt(&mut raw);
+                    if flips > 0 {
                         report.faults.corrupted += 1;
-                        match Packet::from_bytes(&raw) {
-                            Ok(p) => ev.packet = p,
-                            Err(_) => garbled_bytes = Some(raw),
+                        if let Some(s) = &series {
+                            s.corrupted.inc();
                         }
+                        let decodes = match Packet::from_bytes(&raw) {
+                            Ok(p) => {
+                                ev.packet = p;
+                                true
+                            }
+                            Err(_) => {
+                                garbled_bytes = Some(raw);
+                                false
+                            }
+                        };
+                        tracer.event_with("net.fault.corrupt", |f| {
+                            f.push(("node", ev.holder.into()));
+                            f.push(("flips", flips.into()));
+                            f.push(("decodes", decodes.into()));
+                        });
                     }
                 }
             }
@@ -341,10 +416,23 @@ impl Network {
                 let extra = fs.reorder_delay_us();
                 if extra > 0 {
                     report.faults.reordered += 1;
+                    if let Some(s) = &series {
+                        s.reordered.inc();
+                    }
+                    tracer.event_with("net.fault.reorder", |f| {
+                        f.push(("node", ev.holder.into()));
+                        f.push(("delay_us", extra.into()));
+                    });
                     arrival += extra;
                 }
                 if fs.duplicated() {
                     report.faults.duplicates += 1;
+                    if let Some(s) = &series {
+                        s.duplicates.inc();
+                    }
+                    tracer.event_with("net.fault.duplicate", |f| {
+                        f.push(("node", ev.holder.into()));
+                    });
                     copies = 2;
                 }
             }
@@ -353,6 +441,13 @@ impl Network {
                     NextHop::Sink => {
                         if let Some(raw) = garbled_bytes.clone() {
                             report.faults.garbled_deliveries += 1;
+                            if let Some(s) = &series {
+                                s.garbled_deliveries.inc();
+                            }
+                            tracer.event_with("net.fault.garbled", |f| {
+                                f.push(("source", ev.source.into()));
+                                f.push(("bytes", raw.len().into()));
+                            });
                             report.garbled.push(GarbledDelivery {
                                 bytes: raw,
                                 time_us: arrival,
@@ -373,6 +468,12 @@ impl Network {
                         if garbled_bytes.is_some() {
                             // The receiver's decoder rejects the frame.
                             report.faults.corrupt_drops += 1;
+                            if let Some(s) = &series {
+                                s.corrupt_drops.inc();
+                            }
+                            tracer.event_with("net.fault.corrupt_drop", |f| {
+                                f.push(("node", v.into()));
+                            });
                             continue;
                         }
                         queue.schedule(
@@ -707,6 +808,72 @@ mod tests {
         }
         for (x, y) in a.garbled.iter().zip(&b.garbled) {
             assert_eq!(x.bytes, y.bytes);
+        }
+    }
+
+    #[test]
+    fn fault_metrics_mirror_report_counters() {
+        let plan = crate::FaultPlan::new(11)
+            .with_burst_loss(crate::GilbertElliott::bursty(0.2, 5.0))
+            .with_duplication(0.1)
+            .with_reordering(0.2, 50_000)
+            .with_corruption(0.01);
+        let registry = Registry::new();
+        let (tracer, ring) = Tracer::ring(50_000);
+        let net = Network::new(Topology::chain(6, 10.0))
+            .with_faults(plan)
+            .with_metrics(registry.clone())
+            .with_tracer(tracer);
+        let mut handler = forward_all;
+        let rep = net.simulate_stream(0, 150, 1000, report, &mut handler, 42);
+        assert!(rep.faults.total() > 0, "faults actually fired");
+
+        // Registry series match the per-run counters exactly.
+        let get = |kind: &str| {
+            registry
+                .counter("pnm_net_faults_total", &[("kind", kind)])
+                .get()
+        };
+        assert_eq!(get("burst_loss"), rep.faults.burst_losses as u64);
+        assert_eq!(get("duplicate"), rep.faults.duplicates as u64);
+        assert_eq!(get("reorder"), rep.faults.reordered as u64);
+        assert_eq!(get("corrupt"), rep.faults.corrupted as u64);
+        assert_eq!(get("corrupt_drop"), rep.faults.corrupt_drops as u64);
+        assert_eq!(get("garbled"), rep.faults.garbled_deliveries as u64);
+        assert!(registry
+            .prometheus_text()
+            .contains("pnm_net_faults_total{kind="));
+
+        // The trace saw one instant event per counted fault.
+        let events = ring.events();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("net.fault.burst_loss"), rep.faults.burst_losses);
+        assert_eq!(count("net.fault.duplicate"), rep.faults.duplicates);
+        assert_eq!(count("net.fault.reorder"), rep.faults.reordered);
+        assert_eq!(count("net.fault.corrupt"), rep.faults.corrupted);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn instrumentation_does_not_perturb_the_simulation() {
+        let plan = crate::FaultPlan::new(7)
+            .with_burst_loss(crate::GilbertElliott::bursty(0.3, 4.0))
+            .with_corruption(0.02);
+        let base = Network::new(Topology::chain(5, 10.0)).with_faults(plan);
+        let instrumented = base
+            .clone()
+            .with_metrics(Registry::new())
+            .with_tracer(Tracer::ring(1024).0);
+        let mut h1 = forward_all;
+        let mut h2 = forward_all;
+        let a = base.simulate_stream(0, 80, 1000, report, &mut h1, 9);
+        let b = instrumented.simulate_stream(0, 80, 1000, report, &mut h2, 9);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.deliveries.len(), b.deliveries.len());
+        assert_eq!(a.end_time_us, b.end_time_us);
+        for (x, y) in a.deliveries.iter().zip(&b.deliveries) {
+            assert_eq!(x.packet, y.packet);
+            assert_eq!(x.time_us, y.time_us);
         }
     }
 

@@ -1,0 +1,536 @@
+//! Metrics: mergeable latency histograms and a labeled metric registry.
+//!
+//! [`LatencyHistogram`] moved here from `pnm-service` (still re-exported
+//! there) so every crate can record stage latencies without depending on
+//! the service layer. [`Registry`] is a process-local, thread-safe
+//! registry of named counters, gauges, and histograms with label support
+//! and two exposition formats: Prometheus text ([`Registry::prometheus_text`])
+//! and JSON ([`Registry::to_json`]). Handles returned by the registry are
+//! cheap `Arc` clones; the hot path touches one atomic (counters/gauges)
+//! or one uncontended mutex (histograms).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonValue;
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds, except bucket 0 which also holds 0 µs.
+/// 40 buckets cover up to ~2^40 µs ≈ 12.7 days, far past any real latency.
+pub const BUCKETS: usize = 40;
+
+/// A mergeable power-of-two latency histogram (microsecond samples).
+///
+/// Recording is a couple of integer ops; merging across shards is
+/// element-wise addition; quantile queries return conservative
+/// (upper-bound) estimates. All arithmetic saturates: a stream of extreme
+/// samples (up to `u64::MAX`) degrades `sum_us`/`mean_us` gracefully
+/// instead of wrapping (or panicking in debug builds).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        // floor(log2(us)) with 0 mapped to bucket 0, clamped to the top.
+        (63 - (us | 1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[Self::bucket_of(us)] = self.buckets[Self::bucket_of(us)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Folds another histogram into this one (element-wise sum).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples in microseconds (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Largest recorded sample.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Per-bucket sample counts; bucket `i` covers `[2^i, 2^(i+1))` µs
+    /// (bucket 0 also holds 0 µs, the top bucket is open-ended).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Inclusive upper edge of bucket `i` in µs (`u64::MAX` for the
+    /// open-ended top bucket).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i + 1 >= BUCKETS {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Conservative (upper-bound) estimate of the `q`-quantile, `q` in
+    /// `[0, 1]`. Returns the inclusive upper edge of the bucket holding the
+    /// quantile sample, capped at the true maximum; 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(b);
+            if seen >= rank {
+                // The top bucket is open-ended; its only honest upper
+                // bound is the recorded maximum.
+                return Self::bucket_upper_bound(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// The histogram's summary as a JSON tree (count, mean, p50/p90/p99,
+    /// max) — compose into larger documents before rendering.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("count", JsonValue::UInt(self.count)),
+            ("mean_us", JsonValue::f1(self.mean_us())),
+            ("p50_us", JsonValue::UInt(self.quantile_us(0.50))),
+            ("p90_us", JsonValue::UInt(self.quantile_us(0.90))),
+            ("p99_us", JsonValue::UInt(self.quantile_us(0.99))),
+            ("max_us", JsonValue::UInt(self.max_us)),
+        ])
+    }
+
+    /// Renders the summary as a compact JSON object string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+}
+
+/// Sorted `label="value"` pairs identifying one time series of a metric.
+type LabelSet = Vec<(String, String)>;
+
+#[derive(Clone)]
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<Mutex<LatencyHistogram>>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A monotonically increasing counter handle. Clones share the same cell.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value. Intended for mirroring an externally
+    /// maintained cumulative tally (e.g. `SinkCounters`) into the
+    /// registry at scrape time, not for hot-path use.
+    pub fn store(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+}
+
+/// A gauge handle (can go up and down). Clones share the same cell.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram handle backed by a [`LatencyHistogram`]. Clones share the
+/// same cell.
+#[derive(Clone)]
+pub struct Histogram(Arc<Mutex<LatencyHistogram>>);
+
+impl Histogram {
+    /// Records one microsecond sample.
+    pub fn record(&self, us: u64) {
+        self.0.lock().expect("histogram lock poisoned").record(us);
+    }
+
+    /// Folds `other` into this histogram.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        self.0.lock().expect("histogram lock poisoned").merge(other);
+    }
+
+    /// Replaces the contents. Intended for mirroring an externally
+    /// maintained histogram into the registry at scrape time.
+    pub fn set(&self, h: LatencyHistogram) {
+        *self.0.lock().expect("histogram lock poisoned") = h;
+    }
+
+    /// A copy of the current contents.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.0.lock().expect("histogram lock poisoned").clone()
+    }
+}
+
+/// A thread-safe registry of named metrics with label support.
+///
+/// `Registry` is `Clone` (a shallow handle); all clones observe the same
+/// metrics. Lookup (`counter`/`gauge`/`histogram`) is get-or-create and
+/// takes a short global lock — call it once at setup and keep the returned
+/// handle for the hot path. Registering the same name/labels with a
+/// different metric type panics: that is a programming error, and silently
+/// forking the series would corrupt the exposition.
+#[derive(Clone, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<(String, LabelSet), Slot>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.metrics.lock().map(|m| m.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("metrics", &n).finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&self, name: &str, labels: &[(&str, &str)], make: fn() -> Slot) -> Slot {
+        let mut labels: LabelSet = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        let mut metrics = self.metrics.lock().expect("registry lock poisoned");
+        let slot = metrics
+            .entry((name.to_string(), labels))
+            .or_insert_with(make);
+        let want = make();
+        assert!(
+            std::mem::discriminant(slot) == std::mem::discriminant(&want),
+            "metric {name:?} already registered as a {}",
+            slot.kind()
+        );
+        slot.clone()
+    }
+
+    /// Get-or-create a counter for `name` + `labels`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.slot(name, labels, || Slot::Counter(Arc::new(AtomicU64::new(0)))) {
+            Slot::Counter(c) => Counter(c),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get-or-create a gauge for `name` + `labels`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.slot(name, labels, || Slot::Gauge(Arc::new(AtomicI64::new(0)))) {
+            Slot::Gauge(g) => Gauge(g),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get-or-create a histogram for `name` + `labels`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.slot(name, labels, || {
+            Slot::Histogram(Arc::new(Mutex::new(LatencyHistogram::new())))
+        }) {
+            Slot::Histogram(h) => Histogram(h),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Renders every metric in Prometheus text exposition format.
+    ///
+    /// Output is deterministic: series sort by name then label set, and
+    /// `# TYPE` comments are emitted once per metric name. Histograms
+    /// render as cumulative `_bucket{le="..."}` series (upper edges are
+    /// the histogram's power-of-two bucket bounds, plus `+Inf`), with
+    /// `_sum` and `_count` in microseconds.
+    pub fn prometheus_text(&self) -> String {
+        let metrics = self.metrics.lock().expect("registry lock poisoned");
+        let mut out = String::new();
+        let mut last_name = "";
+        for ((name, labels), slot) in metrics.iter() {
+            if name != last_name {
+                let _ = writeln!(out, "# TYPE {name} {}", slot.kind());
+                last_name = name;
+            }
+            match slot {
+                Slot::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        label_text(labels, None),
+                        c.load(Ordering::Relaxed)
+                    );
+                }
+                Slot::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        label_text(labels, None),
+                        g.load(Ordering::Relaxed)
+                    );
+                }
+                Slot::Histogram(h) => {
+                    let h = h.lock().expect("histogram lock poisoned");
+                    let mut cumulative = 0u64;
+                    for (i, &b) in h.buckets().iter().enumerate() {
+                        cumulative = cumulative.saturating_add(b);
+                        let le = if i + 1 >= BUCKETS {
+                            "+Inf".to_string()
+                        } else {
+                            LatencyHistogram::bucket_upper_bound(i).to_string()
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cumulative}",
+                            label_text(labels, Some(&le)),
+                        );
+                    }
+                    let _ = writeln!(out, "{name}_sum{} {}", label_text(labels, None), h.sum_us());
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {}",
+                        label_text(labels, None),
+                        h.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The registry as a JSON tree: one entry per series, keyed
+    /// `name{label="v",...}`, with histograms as summary objects.
+    pub fn to_json_value(&self) -> JsonValue {
+        let metrics = self.metrics.lock().expect("registry lock poisoned");
+        let entries = metrics
+            .iter()
+            .map(|((name, labels), slot)| {
+                let key = format!("{name}{}", label_text(labels, None));
+                let value = match slot {
+                    Slot::Counter(c) => JsonValue::UInt(c.load(Ordering::Relaxed)),
+                    Slot::Gauge(g) => JsonValue::Int(g.load(Ordering::Relaxed)),
+                    Slot::Histogram(h) => {
+                        h.lock().expect("histogram lock poisoned").to_json_value()
+                    }
+                };
+                (key, value)
+            })
+            .collect();
+        JsonValue::Object(entries)
+    }
+
+    /// Renders [`Registry::to_json_value`] compactly.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+}
+
+fn label_text(labels: &LabelSet, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge_saturate_at_u64_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_us(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.max_us(), u64::MAX);
+
+        let mut other = LatencyHistogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_us(), u64::MAX);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+        // Mean stays finite and within range.
+        assert!(h.mean_us() <= u64::MAX as f64);
+    }
+
+    #[test]
+    fn counters_and_gauges_share_cells_across_clones() {
+        let reg = Registry::new();
+        let c = reg.counter("pnm_packets_total", &[("shard", "0")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("pnm_packets_total", &[("shard", "0")]).get(), 5);
+        // Label order does not fork the series.
+        let c2 = reg.counter("pnm_x", &[("a", "1"), ("b", "2")]);
+        c2.inc();
+        assert_eq!(reg.counter("pnm_x", &[("b", "2"), ("a", "1")]).get(), 1);
+
+        let g = reg.gauge("pnm_backlog", &[]);
+        g.set(7);
+        g.add(-3);
+        assert_eq!(reg.gauge("pnm_backlog", &[]).get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("pnm_thing", &[]);
+        reg.gauge("pnm_thing", &[]);
+    }
+
+    #[test]
+    fn prometheus_text_is_deterministic_and_complete() {
+        let reg = Registry::new();
+        reg.counter("pnm_packets_total", &[("shard", "1")]).add(3);
+        reg.counter("pnm_packets_total", &[("shard", "0")]).add(2);
+        reg.gauge("pnm_backlog", &[]).set(-1);
+        let h = reg.histogram("pnm_stage_us", &[("stage", "verify")]);
+        h.record(3);
+        h.record(700);
+
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE pnm_packets_total counter"));
+        assert!(text.contains("pnm_packets_total{shard=\"0\"} 2"));
+        assert!(text.contains("pnm_packets_total{shard=\"1\"} 3"));
+        assert!(text.contains("# TYPE pnm_backlog gauge"));
+        assert!(text.contains("pnm_backlog -1"));
+        assert!(text.contains("# TYPE pnm_stage_us histogram"));
+        assert!(text.contains("pnm_stage_us_bucket{stage=\"verify\",le=\"3\"} 1"));
+        assert!(text.contains("pnm_stage_us_bucket{stage=\"verify\",le=\"+Inf\"} 2"));
+        assert!(text.contains("pnm_stage_us_sum{stage=\"verify\"} 703"));
+        assert!(text.contains("pnm_stage_us_count{stage=\"verify\"} 2"));
+        // Deterministic: two renders are identical.
+        assert_eq!(text, reg.prometheus_text());
+        // Sorted: shard 0 before shard 1.
+        let i0 = text.find("shard=\"0\"").unwrap();
+        let i1 = text.find("shard=\"1\"").unwrap();
+        assert!(i0 < i1);
+    }
+
+    #[test]
+    fn registry_json_parses_and_carries_series() {
+        let reg = Registry::new();
+        reg.counter("pnm_a", &[]).add(9);
+        reg.histogram("pnm_h", &[]).record(5);
+        let parsed = crate::json::parse(&reg.to_json()).unwrap();
+        assert_eq!(parsed.get("pnm_a").and_then(|v| v.as_u64()), Some(9));
+        assert_eq!(
+            parsed
+                .get("pnm_h")
+                .and_then(|v| v.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn histogram_json_matches_house_format() {
+        let mut h = LatencyHistogram::new();
+        for us in [0, 1, 2, 3, 5, 9, 17, 100, 1000] {
+            h.record(us);
+        }
+        let json = h.to_json();
+        assert!(json.starts_with("{\"count\": 9, \"mean_us\": "));
+        assert!(json.contains("\"p50_us\": "));
+        assert!(json.contains("\"max_us\": 1000"));
+        crate::json::validate(&json).unwrap();
+    }
+}

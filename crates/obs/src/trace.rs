@@ -1,0 +1,531 @@
+//! Span/event tracing: monotonic timing, structured fields, pluggable
+//! collectors, JSONL export.
+//!
+//! The design center is zero cost when disabled: a [`Tracer::noop`]
+//! tracer holds no allocation and no collector, [`Tracer::span`] returns
+//! an inert guard without reading the clock, and
+//! [`Tracer::event_with`] never runs its field-building closure. The
+//! `bench_obs` bin in `pnm-sim` pins this with an end-to-end overhead
+//! assertion. When enabled, a [`Span`] guard records a `span_open` event
+//! at creation and a `span_close` event (with duration and any attached
+//! fields) on drop; instant events carry fields directly. Events flow
+//! into a pluggable [`Collector`] — typically the bounded
+//! [`RingCollector`], which keeps the newest events and exports JSONL.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::JsonValue;
+
+/// A structured field value attached to an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered with 3 decimal places in JSONL).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<u16> for FieldValue {
+    fn from(v: u16) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            FieldValue::U64(v) => JsonValue::UInt(*v),
+            FieldValue::I64(v) => JsonValue::Int(*v),
+            FieldValue::F64(v) => JsonValue::Float {
+                value: *v,
+                precision: 3,
+            },
+            FieldValue::Bool(v) => JsonValue::Bool(*v),
+            FieldValue::Str(v) => JsonValue::Str(v.clone()),
+        }
+    }
+}
+
+/// What an [`Event`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span started. `span` identifies it; the matching close carries
+    /// the duration.
+    SpanOpen,
+    /// A span ended; `dur_us` holds the measured duration and `fields`
+    /// anything attached to the guard.
+    SpanClose,
+    /// A point event with no duration.
+    Instant,
+}
+
+impl EventKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanOpen => "span_open",
+            EventKind::SpanClose => "span_close",
+            EventKind::Instant => "instant",
+        }
+    }
+}
+
+/// One trace record delivered to a [`Collector`].
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Static event/span name (e.g. `"sink.verify"`).
+    pub name: &'static str,
+    /// Open / close / instant.
+    pub kind: EventKind,
+    /// Span id (0 for instant events emitted outside a span).
+    pub span: u64,
+    /// Microseconds since the tracer's epoch.
+    pub at_us: u64,
+    /// Measured duration; present on `span_close` only.
+    pub dur_us: Option<u64>,
+    /// Structured key/value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// The event as one JSONL-ready JSON tree.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut entries: Vec<(String, JsonValue)> = vec![
+            ("event".to_string(), JsonValue::Str(self.name.to_string())),
+            (
+                "kind".to_string(),
+                JsonValue::Str(self.kind.as_str().to_string()),
+            ),
+            ("span".to_string(), JsonValue::UInt(self.span)),
+            ("at_us".to_string(), JsonValue::UInt(self.at_us)),
+        ];
+        if let Some(dur) = self.dur_us {
+            entries.push(("dur_us".to_string(), JsonValue::UInt(dur)));
+        }
+        if !self.fields.is_empty() {
+            entries.push((
+                "fields".to_string(),
+                JsonValue::Object(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                        .collect(),
+                ),
+            ));
+        }
+        JsonValue::Object(entries)
+    }
+}
+
+/// Receives events from a [`Tracer`]. Implementations must be cheap and
+/// non-blocking: collectors run inline on the instrumented path.
+pub trait Collector: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: Event);
+}
+
+/// A collector that discards everything. Useful to measure the cost of
+/// event *construction* separately from event *storage* (see `bench_obs`);
+/// for a tracer that skips construction entirely, use [`Tracer::noop`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopCollector;
+
+impl Collector for NoopCollector {
+    fn record(&self, _event: Event) {}
+}
+
+/// A bounded in-memory collector: keeps the newest `capacity` events,
+/// counts what it had to drop, and exports JSONL.
+#[derive(Debug)]
+pub struct RingCollector {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl RingCollector {
+    /// A ring holding at most `capacity` events (capacity 0 drops all).
+    pub fn new(capacity: usize) -> Self {
+        RingCollector {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring lock poisoned").len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted (or refused, for capacity 0) since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("ring lock poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Renders the buffered events as JSONL (one compact JSON object per
+    /// line), oldest first.
+    pub fn export_jsonl(&self) -> String {
+        let buf = self.buf.lock().expect("ring lock poisoned");
+        let mut out = String::new();
+        for event in buf.iter() {
+            out.push_str(&event.to_json_value().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`RingCollector::export_jsonl`] to `path`.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.export_jsonl())
+    }
+}
+
+impl Collector for RingCollector {
+    fn record(&self, event: Event) {
+        if self.capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut buf = self.buf.lock().expect("ring lock poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+}
+
+struct TracerInner {
+    collector: Arc<dyn Collector>,
+    epoch: Instant,
+    next_span: AtomicU64,
+}
+
+/// Entry point for emitting spans and events.
+///
+/// A tracer is a cheap cloneable handle. [`Tracer::noop`] (the `Default`)
+/// is completely inert: no allocation, no clock reads, no collector —
+/// instrumented code pays only an `Option` check. [`Tracer::new`] wires a
+/// [`Collector`] and starts the microsecond epoch.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer feeding `collector`.
+    pub fn new(collector: Arc<dyn Collector>) -> Self {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                collector,
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// A tracer feeding a fresh [`RingCollector`] of `capacity` events;
+    /// returns the collector too so the caller can export it later.
+    pub fn ring(capacity: usize) -> (Self, Arc<RingCollector>) {
+        let ring = Arc::new(RingCollector::new(capacity));
+        (Tracer::new(ring.clone()), ring)
+    }
+
+    /// The inert tracer: every operation is a no-op.
+    pub fn noop() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// True when spans/events are actually recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span. The guard records `span_open` now and `span_close`
+    /// (with duration and attached fields) when dropped. Inert guards
+    /// cost nothing.
+    #[must_use = "dropping the guard immediately closes the span"]
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.inner {
+            None => Span { active: None },
+            Some(inner) => {
+                let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                inner.collector.record(Event {
+                    name,
+                    kind: EventKind::SpanOpen,
+                    span: id,
+                    at_us: inner.epoch.elapsed().as_micros() as u64,
+                    dur_us: None,
+                    fields: Vec::new(),
+                });
+                Span {
+                    active: Some(ActiveSpan {
+                        inner: inner.clone(),
+                        name,
+                        id,
+                        start,
+                        fields: Vec::new(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Emits an instant event with no fields.
+    pub fn event(&self, name: &'static str) {
+        self.event_with(name, |_| {});
+    }
+
+    /// Emits an instant event, running `fill` to attach fields only when
+    /// the tracer is enabled (so field construction is free when
+    /// disabled).
+    pub fn event_with(
+        &self,
+        name: &'static str,
+        fill: impl FnOnce(&mut Vec<(&'static str, FieldValue)>),
+    ) {
+        if let Some(inner) = &self.inner {
+            let mut fields = Vec::new();
+            fill(&mut fields);
+            inner.collector.record(Event {
+                name,
+                kind: EventKind::Instant,
+                span: 0,
+                at_us: inner.epoch.elapsed().as_micros() as u64,
+                dur_us: None,
+                fields,
+            });
+        }
+    }
+}
+
+struct ActiveSpan {
+    inner: Arc<TracerInner>,
+    name: &'static str,
+    id: u64,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// RAII span guard returned by [`Tracer::span`]. Dropping it records the
+/// `span_close` event with the measured duration.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// Attaches a field, delivered with the `span_close` event. No-op on
+    /// inert guards.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(active) = &mut self.active {
+            active.fields.push((key, value.into()));
+        }
+    }
+
+    /// True when this guard actually records (i.e. its tracer was
+    /// enabled).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let dur_us = active.start.elapsed().as_micros() as u64;
+            active.inner.collector.record(Event {
+                name: active.name,
+                kind: EventKind::SpanClose,
+                span: active.id,
+                at_us: active.inner.epoch.elapsed().as_micros() as u64,
+                dur_us: Some(dur_us),
+                fields: active.fields,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn noop_tracer_is_inert() {
+        let t = Tracer::noop();
+        assert!(!t.enabled());
+        let mut span = t.span("anything");
+        span.field("k", 1u64);
+        assert!(!span.is_recording());
+        drop(span);
+        t.event("instant");
+        t.event_with("never", |_| {
+            panic!("field closure must not run when disabled")
+        });
+    }
+
+    #[test]
+    fn spans_balance_and_carry_duration_and_fields() {
+        let (t, ring) = Tracer::ring(64);
+        {
+            let mut span = t.span("sink.verify");
+            span.field("hashes", 12u64);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        t.event_with("sink.table_build", |f| f.push(("hashes", 40u64.into())));
+
+        let events = ring.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::SpanOpen);
+        assert_eq!(events[1].kind, EventKind::SpanClose);
+        assert_eq!(events[0].span, events[1].span);
+        assert!(events[1].dur_us.unwrap() >= 1000);
+        assert_eq!(events[1].fields, vec![("hashes", FieldValue::U64(12))]);
+        assert_eq!(events[2].kind, EventKind::Instant);
+        assert_eq!(events[2].fields, vec![("hashes", FieldValue::U64(40))]);
+        // at_us is monotone in emission order.
+        assert!(events[0].at_us <= events[1].at_us);
+        assert!(events[1].at_us <= events[2].at_us);
+    }
+
+    #[test]
+    fn ring_collector_bounds_memory_and_counts_drops() {
+        let (t, ring) = Tracer::ring(4);
+        for _ in 0..10 {
+            t.event("tick");
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+
+        let (t0, ring0) = Tracer::ring(0);
+        t0.event("tick");
+        assert!(ring0.is_empty());
+        assert_eq!(ring0.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_export_parses_line_by_line() {
+        let (t, ring) = Tracer::ring(16);
+        {
+            let mut s = t.span("outer");
+            s.field("label", "a\"quoted\"");
+            let _inner = t.span("inner");
+        }
+        let jsonl = ring.export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let v = json::parse(line).expect("every JSONL line parses");
+            assert!(v.get("event").is_some());
+            assert!(v.get("kind").is_some());
+            assert!(v.get("span").and_then(|s| s.as_u64()).is_some());
+        }
+        // Nesting closes inner before outer.
+        let kinds: Vec<String> = lines
+            .iter()
+            .map(|l| {
+                json::parse(l)
+                    .unwrap()
+                    .get("kind")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            ["span_open", "span_open", "span_close", "span_close"]
+        );
+    }
+
+    #[test]
+    fn tracer_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tracer>();
+        assert_send_sync::<RingCollector>();
+        assert_send_sync::<NoopCollector>();
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for [`LatencyHistogram`] semantics: merge forms a
+//! commutative monoid over histograms, quantiles are monotone in `q`, and
+//! bucket-edge behavior (empty, single-sample, top-bucket cap) is exact.
+
+use pnm_obs::LatencyHistogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Samples spanning every bucket regime: zeros, small values, and values
+/// near/at the open-ended top bucket.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        1u64..1024,
+        (0u32..64).prop_map(|shift| 1u64 << shift.min(63)),
+        any::<u64>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        xs in vec(sample(), 0..40),
+        ys in vec(sample(), 0..40),
+    ) {
+        let mut ab = hist_of(&xs);
+        ab.merge(&hist_of(&ys));
+        let mut ba = hist_of(&ys);
+        ba.merge(&hist_of(&xs));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in vec(sample(), 0..24),
+        ys in vec(sample(), 0..24),
+        zs in vec(sample(), 0..24),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = hist_of(&xs);
+        left.merge(&hist_of(&ys));
+        left.merge(&hist_of(&zs));
+        // a ⊕ (b ⊕ c)
+        let mut bc = hist_of(&ys);
+        bc.merge(&hist_of(&zs));
+        let mut right = hist_of(&xs);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream(
+        xs in vec(sample(), 0..40),
+        ys in vec(sample(), 0..40),
+    ) {
+        let mut merged = hist_of(&xs);
+        merged.merge(&hist_of(&ys));
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        xs in vec(sample(), 0..60),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&xs);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile_us(lo) <= h.quantile_us(hi));
+    }
+
+    #[test]
+    fn quantile_is_a_valid_upper_bound(
+        xs in vec(sample(), 1..60),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&xs);
+        let estimate = h.quantile_us(q);
+        // Never past the true maximum...
+        prop_assert!(estimate <= h.max_us());
+        // ...and never below the true quantile of the raw samples.
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+        prop_assert!(estimate >= sorted[rank - 1]);
+    }
+
+    #[test]
+    fn single_sample_quantile_is_exact(s in sample(), q in 0.0f64..1.0) {
+        let h = hist_of(&[s]);
+        // One sample: every quantile's bucket upper bound caps at the
+        // recorded max, which IS the sample.
+        prop_assert_eq!(h.quantile_us(q), s);
+        prop_assert_eq!(h.max_us(), s);
+        prop_assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn top_bucket_caps_at_recorded_max(
+        // All samples land in the open-ended top bucket (>= 2^39 µs).
+        xs in vec((1u64 << 39)..=u64::MAX, 1..20),
+    ) {
+        let h = hist_of(&xs);
+        let max = *xs.iter().max().unwrap();
+        // The top bucket's only honest upper bound is the recorded max.
+        prop_assert_eq!(h.quantile_us(0.5), max);
+        prop_assert_eq!(h.quantile_us(1.0), max);
+    }
+}
+
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = LatencyHistogram::new();
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile_us(q), 0);
+    }
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.mean_us(), 0.0);
+}

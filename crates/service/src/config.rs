@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pnm_core::SinkConfig;
+use pnm_obs::Tracer;
 use pnm_wire::Packet;
 
 /// A fault-injection predicate evaluated by each shard worker before a
@@ -40,6 +41,8 @@ pub struct ServiceConfig {
     poison_hook: Option<PoisonHook>,
     checkpoint_interval: u64,
     drain_timeout: Duration,
+    tracer: Tracer,
+    stage_timing: bool,
 }
 
 impl std::fmt::Debug for ServiceConfig {
@@ -54,6 +57,8 @@ impl std::fmt::Debug for ServiceConfig {
             .field("poison_hook", &self.poison_hook.as_ref().map(|_| "<fn>"))
             .field("checkpoint_interval", &self.checkpoint_interval)
             .field("drain_timeout", &self.drain_timeout)
+            .field("tracer", &self.tracer)
+            .field("stage_timing", &self.stage_timing)
             .finish()
     }
 }
@@ -75,6 +80,8 @@ impl ServiceConfig {
             poison_hook: None,
             checkpoint_interval: 1,
             drain_timeout: Duration::from_secs(30),
+            tracer: Tracer::noop(),
+            stage_timing: true,
         }
     }
 
@@ -145,9 +152,37 @@ impl ServiceConfig {
         self
     }
 
+    /// Attaches a tracer: every shard engine emits its per-stage spans and
+    /// table-build events to this tracer's collector. Defaults to the
+    /// inert no-op tracer, which costs nothing on the hot path.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Enables or disables per-stage latency histograms in the shard
+    /// engines (on by default). When on, each [`ShardSnapshot`](crate::ShardSnapshot)
+    /// (crate::ShardSnapshot) carries a populated
+    /// [`StageMetrics`](pnm_core::StageMetrics) breakdown; turning it off
+    /// removes the two clock reads per pipeline stage.
+    pub fn stage_timing(mut self, enabled: bool) -> Self {
+        self.stage_timing = enabled;
+        self
+    }
+
     /// The per-shard sink pipeline configuration.
     pub fn sink(&self) -> &SinkConfig {
         &self.sink
+    }
+
+    /// The tracer shard engines report to.
+    pub fn tracer_handle(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Whether shard engines record per-stage latency histograms.
+    pub fn stage_timing_enabled(&self) -> bool {
+        self.stage_timing
     }
 
     /// The configured fault-injection predicate, if any.

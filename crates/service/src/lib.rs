@@ -31,9 +31,16 @@
 //!   [`ServicePool::ingest_with_retry`] adds bounded retry-with-backoff
 //!   under shedding.
 //! * **Telemetry.** Every shard records queue-wait, service, and total
-//!   latency in mergeable power-of-two histograms; [`ServicePool::snapshot`]
-//!   folds them with the per-shard [`SinkCounters`](pnm_core::SinkCounters)
-//!   into a serializable [`ServiceSnapshot`].
+//!   latency in mergeable power-of-two histograms (the
+//!   [`LatencyHistogram`] from `pnm-obs`, re-exported here), plus a
+//!   per-stage pipeline breakdown
+//!   ([`StageMetrics`](pnm_core::StageMetrics));
+//!   [`ServicePool::snapshot`] folds them with the per-shard
+//!   [`SinkCounters`](pnm_core::SinkCounters) into a serializable
+//!   [`ServiceSnapshot`], and [`ServicePool::metrics_text`] exposes the
+//!   same state through a `pnm-obs` [`Registry`](pnm_obs::Registry) in
+//!   Prometheus text format. [`ServiceConfig::tracer`] attaches a span
+//!   collector to every shard engine.
 //!
 //! Classifier caveat: registry-backed verdicts are per-report and thus
 //! partition-invariant, but the volume monitor's rate window is
@@ -47,7 +54,9 @@ mod telemetry;
 
 pub use config::{BackpressurePolicy, PoisonHook, ServiceConfig};
 pub use pool::{DrainReport, IngestError, PoisonRecord, ServicePool};
-pub use telemetry::{counters_json, LatencyHistogram, ServiceSnapshot, ShardSnapshot};
+pub use telemetry::{
+    counters_json, counters_json_value, LatencyHistogram, ServiceSnapshot, ShardSnapshot,
+};
 
 #[cfg(test)]
 mod send_sync {

@@ -9,8 +9,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use pnm_core::{SinkConfig, SinkEngine, SinkOutcome};
+use pnm_core::{SinkConfig, SinkEngine, SinkOutcome, StageMetrics};
 use pnm_crypto::KeyStore;
+use pnm_obs::{Counter, Registry};
 use pnm_wire::Packet;
 
 use crate::config::{BackpressurePolicy, PoisonHook, ServiceConfig};
@@ -53,6 +54,7 @@ struct ShardTelemetry {
     counters: pnm_core::SinkCounters,
     processed: u64,
     panics: u64,
+    stages: StageMetrics,
     queue_wait_us: LatencyHistogram,
     service_us: LatencyHistogram,
     total_us: LatencyHistogram,
@@ -170,8 +172,11 @@ pub struct ServicePool {
     /// collects with a timeout so a wedged shard cannot hang it.
     done_rx: Mutex<Option<Receiver<(usize, ShardFinal)>>>,
     telemetry: Vec<Arc<Mutex<ShardTelemetry>>>,
-    accepted: Vec<AtomicU64>,
-    shed: Vec<AtomicU64>,
+    /// Queue-admission counters, registry-backed so a scrape sees the
+    /// same atomics the ingest path increments.
+    accepted: Vec<Counter>,
+    shed: Vec<Counter>,
+    registry: Registry,
     next_seq: AtomicU64,
     /// Start gate: workers wait here while `true` (see
     /// [`ServiceConfig::start_paused`]).
@@ -194,8 +199,14 @@ impl ServicePool {
         // instead of racing to build its own on first packet.
         let _ = keys.schedule();
         let shards = config.shard_count();
-        let shard_sink = config.sink().clone().without_isolation();
+        let shard_sink = config
+            .sink()
+            .clone()
+            .without_isolation()
+            .tracer(config.tracer_handle().clone())
+            .stage_timing(config.stage_timing_enabled());
         let gate = Arc::new((Mutex::new(config.starts_paused()), Condvar::new()));
+        let registry = Registry::new();
 
         let (done_tx, done_rx) = std::sync::mpsc::channel::<(usize, ShardFinal)>();
         let mut senders = Vec::with_capacity(shards);
@@ -228,8 +239,15 @@ impl ServicePool {
             handles: Mutex::new(handles),
             done_rx: Mutex::new(Some(done_rx)),
             telemetry,
-            accepted: (0..shards).map(|_| AtomicU64::new(0)).collect(),
-            shed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            accepted: (0..shards)
+                .map(|i| {
+                    registry.counter("pnm_service_accepted_total", &[("shard", &i.to_string())])
+                })
+                .collect(),
+            shed: (0..shards)
+                .map(|i| registry.counter("pnm_service_shed_total", &[("shard", &i.to_string())]))
+                .collect(),
+            registry,
             next_seq: AtomicU64::new(0),
             gate,
             keys,
@@ -291,13 +309,13 @@ impl ServicePool {
             BackpressurePolicy::Shed => match tx.try_send(job) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
-                    self.shed[shard].fetch_add(1, Ordering::Relaxed);
+                    self.shed[shard].inc();
                     return Err(IngestError::Shed);
                 }
                 Err(TrySendError::Disconnected(_)) => return Err(IngestError::Closed),
             },
         }
-        self.accepted[shard].fetch_add(1, Ordering::Relaxed);
+        self.accepted[shard].inc();
         Ok(seq)
     }
 
@@ -358,11 +376,12 @@ impl ServicePool {
             totals += t.counters;
             shards.push(ShardSnapshot {
                 shard: i,
-                accepted: self.accepted[i].load(Ordering::Relaxed),
-                shed: self.shed[i].load(Ordering::Relaxed),
+                accepted: self.accepted[i].get(),
+                shed: self.shed[i].get(),
                 processed: t.processed,
                 panics: t.panics,
                 counters: t.counters,
+                stages: t.stages.clone(),
                 queue_wait_us: t.queue_wait_us.clone(),
                 service_us: t.service_us.clone(),
                 total_us: t.total_us.clone(),
@@ -380,6 +399,69 @@ impl ServicePool {
             processed,
             panics,
         }
+    }
+
+    /// The metrics registry backing the pool's queue-admission counters.
+    /// Scrape-only consumers should prefer [`metrics_text`](Self::metrics_text),
+    /// which also mirrors the snapshot-derived metrics before rendering.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Renders the pool's current state in Prometheus text exposition
+    /// format. Queue-admission counters (`pnm_service_accepted_total`,
+    /// `pnm_service_shed_total`) are live registry atomics; processed and
+    /// panic counts, the merged sink counters, the queue/service/total
+    /// latency histograms, and the five per-stage pipeline histograms are
+    /// mirrored from a fresh [`snapshot`](Self::snapshot) at scrape time.
+    pub fn metrics_text(&self) -> String {
+        let snap = self.snapshot();
+        for s in &snap.shards {
+            let shard = s.shard.to_string();
+            let labels: [(&str, &str); 1] = [("shard", shard.as_str())];
+            self.registry
+                .counter("pnm_service_processed_total", &labels)
+                .store(s.processed);
+            self.registry
+                .counter("pnm_service_panics_total", &labels)
+                .store(s.panics);
+            self.registry
+                .histogram("pnm_service_queue_wait_us", &labels)
+                .set(s.queue_wait_us.clone());
+            self.registry
+                .histogram("pnm_service_service_us", &labels)
+                .set(s.service_us.clone());
+            self.registry
+                .histogram("pnm_service_total_us", &labels)
+                .set(s.total_us.clone());
+        }
+        let totals = [
+            ("packets", snap.totals.packets),
+            ("hash_count", snap.totals.hash_count),
+            ("marks_verified", snap.totals.marks_verified),
+            ("marks_rejected", snap.totals.marks_rejected),
+            ("table_builds", snap.totals.table_builds),
+            ("table_cache_hits", snap.totals.table_cache_hits),
+            (
+                "resolver_fallback_scans",
+                snap.totals.resolver_fallback_scans,
+            ),
+            ("suspicious", snap.totals.suspicious),
+            ("benign", snap.totals.benign),
+            ("malformed", snap.totals.malformed),
+            ("duplicates_suppressed", snap.totals.duplicates_suppressed),
+        ];
+        for (name, value) in totals {
+            self.registry
+                .counter(&format!("pnm_sink_{name}_total"), &[])
+                .store(value as u64);
+        }
+        for (stage, hist) in snap.stage_metrics().iter() {
+            self.registry
+                .histogram("pnm_sink_stage_us", &[("stage", stage)])
+                .set(hist.clone());
+        }
+        self.registry.prometheus_text()
     }
 
     /// Gracefully drains and shuts down: closes ingestion, lets every
@@ -510,9 +592,10 @@ fn shard_worker(rx: Receiver<Job>, ctx: ShardContext) {
                     let mut t = ctx.slot.lock().expect("telemetry lock");
                     t.counters = engine.counters();
                     t.processed += 1;
+                    t.stages = engine.stage_metrics().clone();
                     t.queue_wait_us.record(queue_wait);
                     t.service_us.record(service);
-                    t.total_us.record(queue_wait + service);
+                    t.total_us.record(queue_wait.saturating_add(service));
                 }
                 if ctx.keep_outcomes {
                     outcomes.push((job.seq, outcome));
@@ -535,6 +618,7 @@ fn shard_worker(rx: Receiver<Job>, ctx: ShardContext) {
                 let mut t = ctx.slot.lock().expect("telemetry lock");
                 t.panics += 1;
                 t.counters = engine.counters();
+                t.stages = engine.stage_metrics().clone();
             }
         }
     }
@@ -654,6 +738,91 @@ mod tests {
         let json = report.snapshot.to_json();
         assert!(json.contains("\"processed\": 10"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn stage_metrics_flow_from_engines_to_snapshot_and_drain() {
+        let n = 10u16;
+        let ks = keys(n);
+        let (tracer, ring) = pnm_obs::Tracer::ring(1 << 14);
+        let config = ServiceConfig::new(SinkConfig::new(VerifyMode::Nested))
+            .shards(3)
+            .tracer(tracer);
+        let pool = ServicePool::new(Arc::clone(&ks), config);
+        let mut rng = StdRng::seed_from_u64(29);
+        for seq in 0..90 {
+            pool.ingest(marked_packet(&ks, n, seq, &mut rng)).unwrap();
+        }
+        let report = pool.drain();
+        // Every distinct suspicious packet ran all five stages; the merged
+        // engine and the snapshot agree on the breakdown.
+        let merged = report.snapshot.stage_metrics();
+        for (stage, hist) in merged.iter() {
+            assert_eq!(hist.count(), 90, "stage {stage} undercounted");
+        }
+        assert_eq!(&merged, report.engine.stage_metrics());
+        // The shard engines traced into the shared ring: spans balance.
+        let events = ring.events();
+        assert!(!events.is_empty());
+        let opens = events
+            .iter()
+            .filter(|e| e.kind == pnm_obs::EventKind::SpanOpen)
+            .count();
+        let closes = events
+            .iter()
+            .filter(|e| e.kind == pnm_obs::EventKind::SpanClose)
+            .count();
+        assert_eq!(opens, closes);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn stage_timing_off_leaves_snapshot_stages_empty() {
+        let ks = keys(6);
+        let config = ServiceConfig::new(SinkConfig::new(VerifyMode::Nested))
+            .shards(2)
+            .stage_timing(false);
+        let pool = ServicePool::new(Arc::clone(&ks), config);
+        let mut rng = StdRng::seed_from_u64(41);
+        for seq in 0..20 {
+            pool.ingest(marked_packet(&ks, 6, seq, &mut rng)).unwrap();
+        }
+        let report = pool.drain();
+        assert_eq!(report.snapshot.processed, 20);
+        assert!(report.snapshot.stage_metrics().is_empty());
+    }
+
+    #[test]
+    fn metrics_text_exposes_counters_and_stage_histograms() {
+        let n = 8u16;
+        let ks = keys(n);
+        let config = ServiceConfig::new(SinkConfig::new(VerifyMode::Nested)).shards(2);
+        let pool = ServicePool::new(Arc::clone(&ks), config);
+        let mut rng = StdRng::seed_from_u64(53);
+        for seq in 0..30 {
+            pool.ingest(marked_packet(&ks, n, seq, &mut rng)).unwrap();
+        }
+        pool.close();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while pool.snapshot().backlog() > 0 {
+            assert!(Instant::now() < deadline, "backlog never drained");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let text = pool.metrics_text();
+        assert!(text.contains("# TYPE pnm_service_accepted_total counter"));
+        assert!(text.contains("pnm_service_accepted_total{shard=\"0\"}"));
+        assert!(text.contains("pnm_service_accepted_total{shard=\"1\"}"));
+        assert!(text.contains("pnm_sink_packets_total 30"));
+        assert!(text.contains("pnm_service_total_us_bucket"));
+        for stage in pnm_core::STAGE_NAMES {
+            assert!(
+                text.contains(&format!("pnm_sink_stage_us_count{{stage=\"{stage}\"}} 30")),
+                "missing stage series for {stage}:\n{text}"
+            );
+        }
+        // Scrapes are idempotent: mirroring twice must not double-count.
+        assert_eq!(text, pool.metrics_text());
+        drop(pool);
     }
 
     #[test]

@@ -4,126 +4,21 @@
 //! Every shard records, for each packet it processes, how long the packet
 //! waited in its bounded queue (`queue_wait_us`), how long the sink
 //! pipeline spent on it (`service_us`), and the end-to-end total
-//! (`total_us`). Histograms use power-of-two buckets so recording is a
-//! couple of integer ops, merging across shards is element-wise addition,
-//! and quantile queries come back as conservative (upper-bound) estimates.
-//! [`ServiceSnapshot`] merges the per-shard [`SinkCounters`] and
-//! histograms into one picture and renders itself as JSON without any
-//! format-crate dependency.
+//! (`total_us`). Histograms are the mergeable power-of-two
+//! [`LatencyHistogram`] from `pnm-obs` (re-exported here for
+//! compatibility): recording is a couple of integer ops, merging across
+//! shards is element-wise addition, and quantile queries come back as
+//! conservative (upper-bound) estimates. [`ServiceSnapshot`] merges the
+//! per-shard [`SinkCounters`], latency histograms, and per-stage pipeline
+//! breakdowns ([`StageMetrics`]) into one picture and renders itself as
+//! JSON through the `pnm-obs` JSON model — one renderer for the whole
+//! workspace, no format-crate dependency.
 
-use pnm_core::SinkCounters;
+use pnm_core::{SinkCounters, StageMetrics};
+use pnm_obs::JsonValue;
 use serde::{Deserialize, Serialize};
 
-/// Number of power-of-two latency buckets: bucket `i` holds samples in
-/// `[2^i, 2^(i+1))` microseconds, except bucket 0 which also holds 0 µs.
-/// 40 buckets cover up to ~2^40 µs ≈ 12.7 days, far past any real latency.
-const BUCKETS: usize = 40;
-
-/// A mergeable power-of-two latency histogram (microsecond samples).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    buckets: [u64; BUCKETS],
-    count: u64,
-    sum_us: u64,
-    max_us: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0; BUCKETS],
-            count: 0,
-            sum_us: 0,
-            max_us: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn bucket_of(us: u64) -> usize {
-        // floor(log2(us)) with 0 mapped to bucket 0, clamped to the top.
-        (63 - (us | 1).leading_zeros() as usize).min(BUCKETS - 1)
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, us: u64) {
-        self.buckets[Self::bucket_of(us)] += 1;
-        self.count += 1;
-        self.sum_us += us;
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Folds another histogram into this one (element-wise sum).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *b += o;
-        }
-        self.count += other.count;
-        self.sum_us += other.sum_us;
-        self.max_us = self.max_us.max(other.max_us);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Largest recorded sample.
-    pub fn max_us(&self) -> u64 {
-        self.max_us
-    }
-
-    /// Mean of recorded samples (0 when empty).
-    pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_us as f64 / self.count as f64
-        }
-    }
-
-    /// Conservative (upper-bound) estimate of the `q`-quantile, `q` in
-    /// `[0, 1]`. Returns the inclusive upper edge of the bucket holding the
-    /// quantile sample, capped at the true maximum; 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= rank {
-                // The top bucket is open-ended; its only honest upper
-                // bound is the recorded maximum.
-                let upper = if i + 1 >= BUCKETS {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
-                return upper.min(self.max_us);
-            }
-        }
-        self.max_us
-    }
-
-    fn to_json(&self) -> String {
-        format!(
-            "{{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
-            self.count,
-            self.mean_us(),
-            self.quantile_us(0.50),
-            self.quantile_us(0.90),
-            self.quantile_us(0.99),
-            self.max_us,
-        )
-    }
-}
+pub use pnm_obs::LatencyHistogram;
 
 /// One shard's view at snapshot time.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -141,12 +36,34 @@ pub struct ShardSnapshot {
     pub panics: u64,
     /// The shard engine's pipeline counters.
     pub counters: SinkCounters,
+    /// Per-stage latency breakdown of the shard engine's pipeline
+    /// (classify → verify → resolve → reconstruct → localize). Empty when
+    /// the service was configured with stage timing off.
+    pub stages: StageMetrics,
     /// Time spent waiting in the bounded queue.
     pub queue_wait_us: LatencyHistogram,
     /// Time spent inside the sink pipeline.
     pub service_us: LatencyHistogram,
     /// End-to-end (enqueue → verdict) latency.
     pub total_us: LatencyHistogram,
+}
+
+impl ShardSnapshot {
+    /// The shard's snapshot as a structured JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("shard", JsonValue::UInt(self.shard as u64)),
+            ("accepted", JsonValue::UInt(self.accepted)),
+            ("shed", JsonValue::UInt(self.shed)),
+            ("processed", JsonValue::UInt(self.processed)),
+            ("panics", JsonValue::UInt(self.panics)),
+            ("counters", counters_json_value(&self.counters)),
+            ("stages", self.stages.to_json_value()),
+            ("queue_wait_us", self.queue_wait_us.to_json_value()),
+            ("service_us", self.service_us.to_json_value()),
+            ("total_us", self.total_us.to_json_value()),
+        ])
+    }
 }
 
 /// The merged, serializable service view: per-shard snapshots plus
@@ -185,84 +102,74 @@ impl ServiceSnapshot {
         h
     }
 
-    /// Renders the snapshot as a self-contained JSON document.
-    ///
-    /// The vendored serde stub performs no format serialization, so the
-    /// service renders its own JSON; the derives keep the types compatible
-    /// with real serde if a future PR vendors it.
-    pub fn to_json(&self) -> String {
-        let shards: Vec<String> = self
-            .shards
-            .iter()
-            .map(|s| {
-                format!(
-                    concat!(
-                        "    {{\"shard\": {}, \"accepted\": {}, \"shed\": {}, ",
-                        "\"processed\": {}, \"panics\": {},\n",
-                        "     \"counters\": {},\n",
-                        "     \"queue_wait_us\": {},\n",
-                        "     \"service_us\": {},\n",
-                        "     \"total_us\": {}}}"
-                    ),
-                    s.shard,
-                    s.accepted,
-                    s.shed,
-                    s.processed,
-                    s.panics,
-                    counters_json(&s.counters),
-                    s.queue_wait_us.to_json(),
-                    s.service_us.to_json(),
-                    s.total_us.to_json(),
-                )
-            })
-            .collect();
-        format!(
-            concat!(
-                "{{\n",
-                "  \"accepted\": {},\n",
-                "  \"shed\": {},\n",
-                "  \"processed\": {},\n",
-                "  \"panics\": {},\n",
-                "  \"backlog\": {},\n",
-                "  \"totals\": {},\n",
-                "  \"shards\": [\n{}\n  ]\n",
-                "}}"
-            ),
-            self.accepted,
-            self.shed,
-            self.processed,
-            self.panics,
-            self.backlog(),
-            counters_json(&self.totals),
-            shards.join(",\n"),
-        )
+    /// Cross-shard per-stage pipeline breakdown (merge of every shard's
+    /// [`StageMetrics`]).
+    pub fn stage_metrics(&self) -> StageMetrics {
+        let mut m = StageMetrics::new();
+        for s in &self.shards {
+            m.merge(&s.stages);
+        }
+        m
     }
+
+    /// The snapshot as a structured JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("accepted", JsonValue::UInt(self.accepted)),
+            ("shed", JsonValue::UInt(self.shed)),
+            ("processed", JsonValue::UInt(self.processed)),
+            ("panics", JsonValue::UInt(self.panics)),
+            ("backlog", JsonValue::UInt(self.backlog())),
+            ("totals", counters_json_value(&self.totals)),
+            ("stages", self.stage_metrics().to_json_value()),
+            (
+                "shards",
+                JsonValue::Array(self.shards.iter().map(|s| s.to_json_value()).collect()),
+            ),
+        ])
+    }
+
+    /// Renders the snapshot as a self-contained JSON document via the
+    /// shared `pnm-obs` renderer.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render_pretty()
+    }
+}
+
+/// [`SinkCounters`] as a structured JSON value.
+pub fn counters_json_value(c: &SinkCounters) -> JsonValue {
+    JsonValue::obj(vec![
+        ("packets", JsonValue::UInt(c.packets as u64)),
+        ("hash_count", JsonValue::UInt(c.hash_count as u64)),
+        ("marks_verified", JsonValue::UInt(c.marks_verified as u64)),
+        ("marks_rejected", JsonValue::UInt(c.marks_rejected as u64)),
+        ("table_builds", JsonValue::UInt(c.table_builds as u64)),
+        (
+            "table_cache_hits",
+            JsonValue::UInt(c.table_cache_hits as u64),
+        ),
+        (
+            "table_cache_hit_rate",
+            c.table_cache_hit_rate()
+                .map_or(JsonValue::Null, JsonValue::f4),
+        ),
+        (
+            "resolver_fallback_scans",
+            JsonValue::UInt(c.resolver_fallback_scans as u64),
+        ),
+        ("suspicious", JsonValue::UInt(c.suspicious as u64)),
+        ("benign", JsonValue::UInt(c.benign as u64)),
+        ("malformed", JsonValue::UInt(c.malformed as u64)),
+        (
+            "duplicates_suppressed",
+            JsonValue::UInt(c.duplicates_suppressed as u64),
+        ),
+    ])
 }
 
 /// Renders [`SinkCounters`] as a JSON object.
 pub fn counters_json(c: &SinkCounters) -> String {
-    format!(
-        concat!(
-            "{{\"packets\": {}, \"hash_count\": {}, \"marks_verified\": {}, ",
-            "\"marks_rejected\": {}, \"table_builds\": {}, \"table_cache_hits\": {}, ",
-            "\"table_cache_hit_rate\": {}, \"resolver_fallback_scans\": {}, ",
-            "\"suspicious\": {}, \"benign\": {}, \"malformed\": {}, ",
-            "\"duplicates_suppressed\": {}}}"
-        ),
-        c.packets,
-        c.hash_count,
-        c.marks_verified,
-        c.marks_rejected,
-        c.table_builds,
-        c.table_cache_hits,
-        c.table_cache_hit_rate()
-            .map_or("null".to_string(), |r| format!("{r:.4}")),
-        c.resolver_fallback_scans,
-        c.suspicious,
-        c.benign,
-        c.malformed,
-        c.duplicates_suppressed,
-    )
+    counters_json_value(c).render()
 }
 
 #[cfg(test)]
@@ -270,44 +177,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_and_quantiles() {
+    fn relocated_histogram_still_saturates_and_quantiles() {
+        // The histogram now lives in pnm-obs; the re-export must behave
+        // identically to the old local type.
         let mut h = LatencyHistogram::new();
         for us in [0, 1, 2, 3, 5, 9, 17, 100, 1000] {
             h.record(us);
         }
         assert_eq!(h.count(), 9);
         assert_eq!(h.max_us(), 1000);
-        assert!(h.mean_us() > 0.0);
-        // Quantiles are conservative upper bounds, never past the max.
         assert!(h.quantile_us(0.5) >= 3);
         assert_eq!(h.quantile_us(1.0), 1000);
-        assert!(h.quantile_us(0.99) <= 1000);
-        assert_eq!(LatencyHistogram::new().quantile_us(0.5), 0);
-    }
-
-    #[test]
-    fn histogram_merge_matches_combined_stream() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut whole = LatencyHistogram::new();
-        for us in 0..200u64 {
-            whole.record(us * 7);
-            if us % 2 == 0 {
-                a.record(us * 7);
-            } else {
-                b.record(us * 7);
-            }
-        }
-        a.merge(&b);
-        assert_eq!(a, whole);
-    }
-
-    #[test]
-    fn huge_samples_clamp_to_top_bucket() {
-        let mut h = LatencyHistogram::new();
         h.record(u64::MAX);
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.quantile_us(0.5), u64::MAX);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+        assert_eq!(h.count(), 10);
     }
 
     #[test]
@@ -319,8 +202,36 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"shards\""));
         assert!(json.contains("\"totals\""));
+        assert!(json.contains("\"stages\""));
         assert_eq!(json.matches("\"shard\":").count(), 2);
         // Balanced braces (cheap structural sanity check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The shared renderer round-trips through the shared parser.
+        let parsed = pnm_obs::json::parse(&json).expect("snapshot JSON parses");
+        assert_eq!(parsed.get("processed").and_then(JsonValue::as_u64), Some(0));
+    }
+
+    #[test]
+    fn counters_json_renders_null_hit_rate_when_no_lookups() {
+        let json = counters_json(&SinkCounters::default());
+        assert!(json.contains("\"table_cache_hit_rate\": null"));
+        pnm_obs::json::parse(&json).expect("counters JSON parses");
+    }
+
+    #[test]
+    fn stage_metrics_merge_across_shards() {
+        let mut a = ShardSnapshot::default();
+        a.stages.classify.record(10);
+        let mut b = ShardSnapshot::default();
+        b.stages.classify.record(20);
+        b.stages.localize.record(5);
+        let snap = ServiceSnapshot {
+            shards: vec![a, b],
+            ..ServiceSnapshot::default()
+        };
+        let merged = snap.stage_metrics();
+        assert_eq!(merged.classify.count(), 2);
+        assert_eq!(merged.localize.count(), 1);
+        assert_eq!(merged.verify.count(), 0);
     }
 }

@@ -1,0 +1,220 @@
+//! Measures what observability costs on the canonical sink scenario and
+//! pins the tentpole claim: a disabled tracer is free.
+//!
+//! ```text
+//! bench-obs [--smoke] [--out FILE]
+//! ```
+//!
+//! Four engine variants ingest the same seeded stream — the paper's §6.2
+//! setting (20-hop path, PNM np = 3, distinct reports):
+//!
+//! * `baseline` — a plain engine, no observability configured.
+//! * `noop_tracer` — an explicit [`Tracer::noop`]; this is the disabled
+//!   path the whole workspace runs by default, and the bench **asserts**
+//!   its overhead over `baseline` stays under 2% (5% in `--smoke`, which
+//!   runs fewer, noisier rounds).
+//! * `stage_timing` — per-stage latency histograms on (two clock reads
+//!   per stage).
+//! * `ring_collector` — a live ring-buffer collector recording every
+//!   span; the steepest configuration, reported but not bounded.
+//!
+//! The variants run interleaved, several rounds each, and the minimum
+//! wall time per variant is reported (min-of-rounds discards scheduler
+//! noise). Every variant must produce byte-identical pipeline counters —
+//! instrumentation that changed an answer would fail the bench outright.
+//! Results land in `BENCH_obs.json`.
+
+use std::env;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pnm_core::{NodeContext, SinkConfig, SinkCounters, SinkEngine, StageMetrics, VerifyMode};
+use pnm_obs::{JsonValue, Tracer};
+use pnm_sim::{bogus_packet, PathScenario, SchemeKind};
+use pnm_wire::{NodeId, Packet};
+
+const PATH_LEN: u16 = 20;
+const SEED: u64 = 2007;
+const PACKETS: usize = 200;
+const ROUNDS: usize = 9;
+const SMOKE_PACKETS: usize = 100;
+const SMOKE_ROUNDS: usize = 5;
+const FULL_LIMIT_PCT: f64 = 2.0;
+const SMOKE_LIMIT_PCT: f64 = 5.0;
+
+const VARIANTS: [&str; 4] = ["baseline", "noop_tracer", "stage_timing", "ring_collector"];
+
+/// Builds the canonical distinct-report stream once; every variant
+/// ingests the identical packets.
+fn build_stream(packets: usize) -> (Arc<pnm_crypto::KeyStore>, Vec<Packet>) {
+    let scenario = PathScenario::paper(PATH_LEN);
+    let keys = Arc::new(scenario.keystore(0));
+    let scheme = SchemeKind::Pnm.build(scenario.config());
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let stream = (0..packets as u64)
+        .map(|seq| {
+            let mut pkt = bogus_packet(seq, SEED);
+            for hop in 0..PATH_LEN {
+                let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+                scheme.mark(&ctx, &mut pkt, &mut rng);
+            }
+            pkt
+        })
+        .collect();
+    (keys, stream)
+}
+
+/// Ingests the stream through a fresh engine and returns wall nanoseconds
+/// plus the counters and stage metrics it ended with.
+fn run_once(
+    keys: &Arc<pnm_crypto::KeyStore>,
+    stream: &[Packet],
+    cfg: SinkConfig,
+) -> (u64, SinkCounters, StageMetrics) {
+    let mut sink = SinkEngine::new(Arc::clone(keys), cfg);
+    let start = Instant::now();
+    for pkt in stream {
+        sink.ingest(pkt);
+    }
+    let ns = start.elapsed().as_nanos() as u64;
+    (ns, sink.counters(), sink.stage_metrics().clone())
+}
+
+fn variant_config(variant: &str) -> SinkConfig {
+    let base = SinkConfig::new(VerifyMode::Nested);
+    match variant {
+        "baseline" => base,
+        "noop_tracer" => base.tracer(Tracer::noop()),
+        "stage_timing" => base.stage_timing(true),
+        "ring_collector" => base.tracer(Tracer::ring(1 << 16).0),
+        other => unreachable!("unknown variant {other}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_obs.json".to_string();
+    let mut smoke = false;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => {
+                    eprintln!("error: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (packets, rounds, limit_pct) = if smoke {
+        (SMOKE_PACKETS, SMOKE_ROUNDS, SMOKE_LIMIT_PCT)
+    } else {
+        (PACKETS, ROUNDS, FULL_LIMIT_PCT)
+    };
+    let (keys, stream) = build_stream(packets);
+
+    let mut min_ns = [u64::MAX; VARIANTS.len()];
+    let mut counters: Vec<Option<SinkCounters>> = vec![None; VARIANTS.len()];
+    let mut timed_stages = StageMetrics::new();
+    for _ in 0..rounds {
+        for (i, variant) in VARIANTS.iter().enumerate() {
+            let (ns, c, stages) = run_once(&keys, &stream, variant_config(variant));
+            min_ns[i] = min_ns[i].min(ns);
+            match &counters[i] {
+                Some(first) => assert_eq!(
+                    first, &c,
+                    "{variant} counters changed between rounds — not deterministic"
+                ),
+                None => counters[i] = Some(c),
+            }
+            if *variant == "stage_timing" {
+                timed_stages = stages;
+            }
+        }
+    }
+
+    // Instrumentation must never change an answer.
+    let base_counters = counters[0].expect("rounds >= 1");
+    for (i, variant) in VARIANTS.iter().enumerate() {
+        assert_eq!(
+            Some(&base_counters),
+            counters[i].as_ref(),
+            "{variant} produced different pipeline counters than baseline"
+        );
+    }
+
+    let base_ns = min_ns[0] as f64;
+    let overhead_pct = |ns: u64| -> f64 { (ns as f64 / base_ns - 1.0) * 100.0 };
+    let noop_pct = overhead_pct(min_ns[1]);
+
+    let variant_entries: Vec<(String, JsonValue)> = VARIANTS
+        .iter()
+        .enumerate()
+        .map(|(i, variant)| {
+            let mut fields = vec![
+                ("min_wall_us", JsonValue::UInt(min_ns[i] / 1000)),
+                ("ns_per_packet", JsonValue::UInt(min_ns[i] / packets as u64)),
+            ];
+            if i > 0 {
+                fields.push(("overhead_pct", JsonValue::f1(overhead_pct(min_ns[i]))));
+            }
+            (variant.to_string(), JsonValue::obj(fields))
+        })
+        .collect();
+    let doc = JsonValue::obj(vec![
+        (
+            "scenario",
+            JsonValue::Str(format!(
+                "PNM np=3, {PATH_LEN}-hop path, {packets} distinct-report packets, seed {SEED}"
+            )),
+        ),
+        (
+            "claim",
+            JsonValue::Str(
+                "a disabled (no-op) tracer costs nothing on the sink hot path, and no \
+                 observability configuration changes a pipeline counter"
+                    .to_string(),
+            ),
+        ),
+        (
+            "mode",
+            JsonValue::Str(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("rounds", JsonValue::UInt(rounds as u64)),
+        ("noop_overhead_pct", JsonValue::f1(noop_pct)),
+        ("noop_overhead_limit_pct", JsonValue::f1(limit_pct)),
+        ("counters_identical_across_variants", JsonValue::Bool(true)),
+        ("variants", JsonValue::Object(variant_entries)),
+        ("stage_us", timed_stages.to_json_value()),
+    ]);
+    let json = doc.render_pretty();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+
+    for (i, variant) in VARIANTS.iter().enumerate() {
+        println!(
+            "{variant:<16} min {:>8} us  ({:>5} ns/pkt)",
+            min_ns[i] / 1000,
+            min_ns[i] / packets as u64,
+        );
+    }
+    println!("noop tracer overhead: {noop_pct:.1}% (limit {limit_pct:.1}%)");
+    if noop_pct >= limit_pct {
+        eprintln!("noop tracer overhead {noop_pct:.1}% exceeds the {limit_pct:.1}% budget");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

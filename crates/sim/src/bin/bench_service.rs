@@ -3,7 +3,7 @@
 //! `BENCH_service.json`.
 //!
 //! ```text
-//! bench-service [--smoke] [--out FILE]
+//! bench-service [--smoke] [--out FILE] [--trace FILE]
 //! ```
 //!
 //! Scenario: the paper's §6.2 setting — a 20-hop path, PNM with np = 3,
@@ -25,6 +25,12 @@
 //! `--smoke` runs a down-scaled sweep (shards 1 and 4) and skips the JSON
 //! artifact: a CI-speed check that the service produces identical outputs
 //! across shard counts on this scenario.
+//!
+//! `--trace FILE` attaches a ring-buffer trace collector to every shard
+//! engine and writes the pipeline spans as JSONL to FILE. Each run also
+//! records the per-stage latency breakdown (`stage_us`) from the shard
+//! engines' [`StageMetrics`](pnm_core::StageMetrics); neither changes the
+//! output digest the sweep checks.
 
 use std::env;
 use std::process::ExitCode;
@@ -35,6 +41,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pnm_core::{IsolationPolicy, NodeContext, SinkConfig, VerifyMode};
+use pnm_obs::Tracer;
 use pnm_service::{ServiceConfig, ServicePool, ServiceSnapshot};
 use pnm_sim::{PathScenario, SchemeKind};
 use pnm_wire::{Location, NodeId, Packet, Report};
@@ -99,13 +106,17 @@ fn run_once(
     packets: &[Packet],
     shards: usize,
     cache_capacity: usize,
+    tracer: &Tracer,
 ) -> (f64, ServiceSnapshot, u64, u64, String) {
     let sink = SinkConfig::new(VerifyMode::Nested)
         .table_cache_capacity(cache_capacity)
         .isolation(IsolationPolicy::SuspectsOnly);
     let pool = ServicePool::new(
         Arc::clone(keys),
-        ServiceConfig::new(sink).shards(shards).queue_capacity(256),
+        ServiceConfig::new(sink)
+            .shards(shards)
+            .queue_capacity(256)
+            .tracer(tracer.clone()),
     );
     let start = Instant::now();
     for pkt in packets {
@@ -152,6 +163,7 @@ fn sweep(
     distinct_reports: u64,
     cache_capacity: usize,
     rounds: usize,
+    tracer: &Tracer,
 ) -> Vec<RunResult> {
     let (keys, packets) = build_packets(distinct_reports, rounds);
     shard_counts
@@ -159,7 +171,7 @@ fn sweep(
         .map(|&shards| {
             let mut best: Option<(f64, ServiceSnapshot, u64, u64, String)> = None;
             for _ in 0..REPS {
-                let run = run_once(&keys, &packets, shards, cache_capacity);
+                let run = run_once(&keys, &packets, shards, cache_capacity, tracer);
                 if let Some(b) = &best {
                     assert_eq!(run.4, b.4, "digest changed between repetitions");
                 }
@@ -190,7 +202,8 @@ fn run_json(r: &RunResult) -> String {
         concat!(
             "    {{\"shards\": {}, \"wall_ms\": {:.1}, \"pkts_per_sec\": {:.0}, ",
             "\"table_builds\": {}, \"table_cache_hits\": {}, \"table_cache_hit_rate\": {}, ",
-            "\"hash_count\": {}, \"service_p50_us\": {}, \"service_p99_us\": {}}}"
+            "\"hash_count\": {}, \"service_p50_us\": {}, \"service_p99_us\": {},\n",
+            "     \"stage_us\": {}}}"
         ),
         r.shards,
         r.wall_ms,
@@ -201,11 +214,13 @@ fn run_json(r: &RunResult) -> String {
         t.hash_count,
         r.service_p50_us,
         r.service_p99_us,
+        r.snapshot.stage_metrics().to_json(),
     )
 }
 
 fn main() -> ExitCode {
     let mut out = "BENCH_service.json".to_string();
+    let mut trace: Option<String> = None;
     let mut smoke = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -215,6 +230,13 @@ fn main() -> ExitCode {
                 Some(v) => out = v,
                 None => {
                     eprintln!("error: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => match args.next() {
+                Some(v) => trace = Some(v),
+                None => {
+                    eprintln!("error: --trace needs a value");
                     return ExitCode::FAILURE;
                 }
             },
@@ -230,7 +252,26 @@ fn main() -> ExitCode {
     } else {
         (&SHARD_SWEEP, FULL_REPORTS, FULL_CACHE, FULL_ROUNDS)
     };
-    let results = sweep(shard_counts, reports, cache, rounds);
+    let (tracer, ring) = match &trace {
+        Some(_) => {
+            let (t, r) = Tracer::ring(1 << 21);
+            (t, Some(r))
+        }
+        None => (Tracer::noop(), None),
+    };
+    let results = sweep(shard_counts, reports, cache, rounds, &tracer);
+
+    if let (Some(path), Some(ring)) = (&trace, &ring) {
+        if let Err(e) = std::fs::write(path, ring.export_jsonl()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {path} ({} events, {} dropped)",
+            ring.len(),
+            ring.dropped()
+        );
+    }
 
     // The load-bearing check: shard count must not change any answer.
     let identical = results.iter().all(|r| r.digest == results[0].digest);

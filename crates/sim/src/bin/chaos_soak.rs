@@ -3,7 +3,7 @@
 //! marked forwarding chain and records how localization degrades.
 //!
 //! ```text
-//! chaos-soak [--smoke] [--out FILE] [--degradation FILE]
+//! chaos-soak [--smoke] [--out FILE] [--degradation FILE] [--trace FILE]
 //! ```
 //!
 //! Every sweep point runs under `catch_unwind`: the soak's first job is
@@ -24,13 +24,19 @@
 //!
 //! `--smoke` runs the CI-sized sweep (5 points, 120 packets each) with
 //! the same checks and artifacts.
+//!
+//! `--trace FILE` attaches a ring-buffer trace collector and writes every
+//! span and fault event as JSONL to FILE. Tracing is observation only:
+//! the degradation rows and both JSON artifacts are bit-identical with or
+//! without it.
 
 use std::env;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::process::ExitCode;
 
-use pnm_sim::chaos::{run_point, sweep_points, ChaosConfig, ChaosPoint, ChaosRun};
+use pnm_obs::Tracer;
+use pnm_sim::chaos::{run_point_traced, sweep_points, ChaosConfig, ChaosPoint, ChaosRun};
 
 fn run_json(r: &ChaosRun) -> String {
     let implicated = r
@@ -94,6 +100,7 @@ fn write_artifact(path: &str, json: &str) -> bool {
 fn main() -> ExitCode {
     let mut out = "BENCH_chaos.json".to_string();
     let mut degradation = "results/chaos_degradation.json".to_string();
+    let mut trace: Option<String> = None;
     let mut smoke = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -113,6 +120,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match args.next() {
+                Some(v) => trace = Some(v),
+                None => {
+                    eprintln!("error: --trace needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("error: unknown argument {other}");
                 return ExitCode::FAILURE;
@@ -126,11 +140,20 @@ fn main() -> ExitCode {
         ChaosConfig::full()
     };
     let points = sweep_points(smoke);
+    // A generous ring: the full sweep emits well under 2^21 events, so a
+    // trace never silently drops its oldest spans.
+    let (tracer, ring) = match &trace {
+        Some(_) => {
+            let (t, r) = Tracer::ring(1 << 21);
+            (t, Some(r))
+        }
+        None => (Tracer::noop(), None),
+    };
 
     let mut rows: Vec<ChaosRun> = Vec::with_capacity(points.len());
     let mut panics = 0usize;
     for point in &points {
-        match catch_unwind(AssertUnwindSafe(|| run_point(&cfg, point))) {
+        match catch_unwind(AssertUnwindSafe(|| run_point_traced(&cfg, point, &tracer))) {
             Ok(run) => {
                 println!(
                     "{:<40} delivered {:>3}/{:<3}  garbled {:>2}  region {:?}  fir {:.3}",
@@ -155,7 +178,9 @@ fn main() -> ExitCode {
     let acceptance = ChaosPoint::acceptance();
     let deterministic = match (
         rows.iter().find(|r| r.point == acceptance),
-        catch_unwind(AssertUnwindSafe(|| run_point(&cfg, &acceptance))),
+        catch_unwind(AssertUnwindSafe(|| {
+            run_point_traced(&cfg, &acceptance, &tracer)
+        })),
     ) {
         (Some(first), Ok(second)) => run_json(first) == run_json(&second),
         _ => false,
@@ -221,6 +246,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {degradation} and {out}");
+
+    if let (Some(path), Some(ring)) = (&trace, &ring) {
+        if !write_artifact(path, &ring.export_jsonl()) {
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {path} ({} events, {} dropped)",
+            ring.len(),
+            ring.dropped()
+        );
+        if ring.dropped() > 0 {
+            eprintln!("trace ring overflowed; enlarge the capacity");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if !zero_panics || !deterministic || max_fir > 0.0 {
         eprintln!(

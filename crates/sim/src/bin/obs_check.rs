@@ -1,0 +1,162 @@
+//! CI validator for observability artifacts.
+//!
+//! ```text
+//! obs-check [--trace FILE]... [--bench FILE]...
+//! ```
+//!
+//! For every `--trace` file (JSONL from a ring collector): each line must
+//! parse as a JSON object with the event envelope (`event`, `kind`,
+//! `span`, `at_us`), every `span_close` must carry a `dur_us` and match a
+//! prior `span_open` on the same span id, and opens must balance closes
+//! exactly at end of file.
+//!
+//! For every `--bench` file: the document must parse and contain, at some
+//! depth, a per-stage breakdown object carrying all five pipeline stage
+//! keys ([`STAGE_NAMES`]).
+//!
+//! Exits nonzero, naming the file and line, on the first violation.
+
+use std::collections::HashMap;
+use std::env;
+use std::process::ExitCode;
+
+use pnm_core::STAGE_NAMES;
+use pnm_obs::JsonValue;
+
+fn check_trace(path: &str) -> Result<(usize, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let mut open_spans: HashMap<u64, u64> = HashMap::new();
+    let mut events = 0usize;
+    let mut spans = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fail = |msg: &str| format!("{path}:{}: {msg}", lineno + 1);
+        let v = pnm_obs::json::parse(line).map_err(|e| fail(&format!("bad JSON: {e}")))?;
+        events += 1;
+        if v.get("event").and_then(JsonValue::as_str).is_none() {
+            return Err(fail("missing string field \"event\""));
+        }
+        if v.get("at_us").and_then(JsonValue::as_u64).is_none() {
+            return Err(fail("missing integer field \"at_us\""));
+        }
+        let kind = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| fail("missing string field \"kind\""))?;
+        let span = v
+            .get("span")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| fail("missing integer field \"span\""))?;
+        match kind {
+            "span_open" => {
+                spans += 1;
+                *open_spans.entry(span).or_insert(0) += 1;
+            }
+            "span_close" => {
+                if v.get("dur_us").and_then(JsonValue::as_u64).is_none() {
+                    return Err(fail("span_close without integer \"dur_us\""));
+                }
+                let depth = open_spans
+                    .get_mut(&span)
+                    .ok_or_else(|| fail(&format!("span_close for unopened span {span}")))?;
+                *depth -= 1;
+                if *depth == 0 {
+                    open_spans.remove(&span);
+                }
+            }
+            "instant" => {}
+            other => return Err(fail(&format!("unknown event kind {other:?}"))),
+        }
+    }
+    if !open_spans.is_empty() {
+        let mut ids: Vec<u64> = open_spans.keys().copied().collect();
+        ids.sort_unstable();
+        return Err(format!(
+            "{path}: {} span(s) never closed: {ids:?}",
+            ids.len()
+        ));
+    }
+    Ok((events, spans))
+}
+
+/// True when `v` (at any depth) is an object carrying every pipeline
+/// stage key — the shape `StageMetrics::to_json_value` emits.
+fn has_stage_block(v: &JsonValue) -> bool {
+    match v {
+        JsonValue::Object(entries) => {
+            STAGE_NAMES
+                .iter()
+                .all(|stage| entries.iter().any(|(k, _)| k == stage))
+                || entries.iter().any(|(_, child)| has_stage_block(child))
+        }
+        JsonValue::Array(items) => items.iter().any(has_stage_block),
+        _ => false,
+    }
+}
+
+fn check_bench(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let v = pnm_obs::json::parse(&text).map_err(|e| format!("{path}: bad JSON: {e}"))?;
+    if !has_stage_block(&v) {
+        return Err(format!(
+            "{path}: no object carries all five stage keys {STAGE_NAMES:?}"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut traces = Vec::new();
+    let mut benches = Vec::new();
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => match args.next() {
+                Some(v) => traces.push(v),
+                None => {
+                    eprintln!("error: --trace needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bench" => match args.next() {
+                Some(v) => benches.push(v),
+                None => {
+                    eprintln!("error: --bench needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if traces.is_empty() && benches.is_empty() {
+        eprintln!("usage: obs-check [--trace FILE]... [--bench FILE]...");
+        return ExitCode::FAILURE;
+    }
+
+    for path in &traces {
+        match check_trace(path) {
+            Ok((events, spans)) => {
+                println!("{path}: ok ({events} events, {spans} spans, balanced)");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for path in &benches {
+        match check_bench(path) {
+            Ok(()) => println!("{path}: ok (stage breakdown present)"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -36,6 +36,7 @@ use pnm_core::{
 };
 use pnm_crypto::KeyStore;
 use pnm_net::{FaultPlan, GilbertElliott, Network, NodeDecision, SimReport, Topology};
+use pnm_obs::Tracer;
 use pnm_wire::{NodeId, Packet};
 
 use crate::runner::bogus_packet;
@@ -173,12 +174,26 @@ pub fn fault_plan(cfg: &ChaosConfig, point: &ChaosPoint) -> FaultPlan {
 /// Runs the marked bogus stream through the faulty network and returns
 /// the keystore plus the raw simulation report.
 pub fn simulate_faulty_path(cfg: &ChaosConfig, point: &ChaosPoint) -> (Arc<KeyStore>, SimReport) {
+    simulate_faulty_path_traced(cfg, point, &Tracer::noop())
+}
+
+/// [`simulate_faulty_path`] with a tracer attached to the network's fault
+/// layer: every injected fault emits a structured event. Tracing is
+/// observation only — the simulation's RNG streams, deliveries, and fault
+/// counters are bit-identical with or without it.
+pub fn simulate_faulty_path_traced(
+    cfg: &ChaosConfig,
+    point: &ChaosPoint,
+    tracer: &Tracer,
+) -> (Arc<KeyStore>, SimReport) {
     let keys = Arc::new(KeyStore::derive_from_master(b"chaos", cfg.path_len));
     let scheme = ProbabilisticNestedMarking::paper_default(cfg.path_len as usize);
     let contexts: Vec<NodeContext> = (0..cfg.path_len)
         .map(|i| NodeContext::new(NodeId(i), *keys.key(i).expect("provisioned")))
         .collect();
-    let net = Network::new(Topology::chain(cfg.path_len, 10.0)).with_faults(fault_plan(cfg, point));
+    let net = Network::new(Topology::chain(cfg.path_len, 10.0))
+        .with_faults(fault_plan(cfg, point))
+        .with_tracer(tracer.clone());
     let mut handler = |node: u16, pkt: &mut Packet, _now: u64, rng: &mut StdRng| {
         scheme.mark(&contexts[node as usize], pkt, rng);
         NodeDecision::Forward
@@ -212,7 +227,22 @@ pub fn ingest_sim_report(
     keys: &Arc<KeyStore>,
     sim: &SimReport,
 ) -> (SinkEngine, Vec<SinkOutcome>) {
-    let mut engine = SinkEngine::new(Arc::clone(keys), chaos_sink_config(cfg));
+    ingest_sim_report_traced(cfg, keys, sim, &Tracer::noop())
+}
+
+/// [`ingest_sim_report`] with a tracer attached to the sink engine: every
+/// pipeline stage emits a span. Verdicts, counters, and localization are
+/// unchanged by the instrumentation.
+pub fn ingest_sim_report_traced(
+    cfg: &ChaosConfig,
+    keys: &Arc<KeyStore>,
+    sim: &SimReport,
+    tracer: &Tracer,
+) -> (SinkEngine, Vec<SinkOutcome>) {
+    let mut engine = SinkEngine::new(
+        Arc::clone(keys),
+        chaos_sink_config(cfg).tracer(tracer.clone()),
+    );
     let mut outcomes = Vec::with_capacity(sim.deliveries.len());
     let (mut d, mut g) = (0, 0);
     while d < sim.deliveries.len() || g < sim.garbled.len() {
@@ -249,8 +279,16 @@ pub fn implicated_nodes(loc: &Localization) -> Vec<u16> {
 
 /// Runs one sweep point end to end and computes the degradation metrics.
 pub fn run_point(cfg: &ChaosConfig, point: &ChaosPoint) -> ChaosRun {
-    let (keys, sim) = simulate_faulty_path(cfg, point);
-    let (engine, _outcomes) = ingest_sim_report(cfg, &keys, &sim);
+    run_point_traced(cfg, point, &Tracer::noop())
+}
+
+/// [`run_point`] with spans and fault events flowing to `tracer`. The
+/// returned [`ChaosRun`] is bit-identical to the untraced run — timing
+/// never enters the degradation metrics, so the JSON artifacts stay a
+/// pure function of the seed.
+pub fn run_point_traced(cfg: &ChaosConfig, point: &ChaosPoint, tracer: &Tracer) -> ChaosRun {
+    let (keys, sim) = simulate_faulty_path_traced(cfg, point, tracer);
+    let (engine, _outcomes) = ingest_sim_report_traced(cfg, &keys, &sim, tracer);
 
     let annotated = engine.localize_annotated();
     let implicated = implicated_nodes(&annotated.localization);
@@ -393,6 +431,23 @@ mod tests {
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.annotated, b.annotated);
         assert_eq!(a.implicated, b.implicated);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let cfg = small();
+        let plain = run_point(&cfg, &ChaosPoint::acceptance());
+        let (tracer, ring) = Tracer::ring(1 << 16);
+        let traced = run_point_traced(&cfg, &ChaosPoint::acceptance(), &tracer);
+        assert_eq!(plain.faults, traced.faults);
+        assert_eq!(plain.counters, traced.counters);
+        assert_eq!(plain.annotated, traced.annotated);
+        assert_eq!(plain.implicated, traced.implicated);
+        // The trace saw both the fault layer and the sink pipeline.
+        let events = ring.events();
+        assert!(events.iter().any(|e| e.name.starts_with("net.fault.")));
+        assert!(events.iter().any(|e| e.name == "sink.classify"));
+        assert_eq!(ring.dropped(), 0);
     }
 
     #[test]
