@@ -64,6 +64,7 @@ pub mod replay;
 pub mod scheme;
 pub mod sink;
 pub mod stage;
+pub mod store;
 pub mod verify;
 
 pub use classifier::{EventRegistry, TrafficClassifier, Verdict, VolumeMonitor};
@@ -82,6 +83,7 @@ pub use scheme::{
 };
 pub use sink::{RejectReason, SinkConfig, SinkCounters, SinkEngine, SinkOutcome};
 pub use stage::{StageMetrics, STAGE_NAMES};
+pub use store::{Evidence, EvidenceStore, LogStore, MemStore, RecordKind, StoreError, StoreReplay};
 pub use verify::{
     AnonTable, CandidateSet, Resolution, SinkVerifier, StopReason, TopologyResolver, VerifiedChain,
     VerifyMode,

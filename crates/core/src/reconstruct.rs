@@ -179,6 +179,53 @@ impl RouteReconstructor {
         self.cached_source = std::sync::OnceLock::new();
     }
 
+    /// Raw node set, for evidence export.
+    pub(crate) fn nodes_set(&self) -> &BTreeSet<u16> {
+        &self.nodes
+    }
+
+    /// Order-matrix edges flattened to `(u, v)` pairs, for evidence export.
+    pub(crate) fn edge_pairs(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
+        self.edges
+            .iter()
+            .flat_map(|(&u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Raw head-support counts, for evidence export.
+    pub(crate) fn head_support_map(&self) -> &BTreeMap<u16, usize> {
+        &self.head_support
+    }
+
+    /// Raw edge-support counts, for evidence export.
+    pub(crate) fn edge_support_map(&self) -> &BTreeMap<(u16, u16), usize> {
+        &self.edge_support
+    }
+
+    /// Merges raw evidence parts into this reconstructor — the inverse of
+    /// the export accessors, with the same commutative-monoid semantics
+    /// as [`RouteReconstructor::merge`]. Invalidates the cached source.
+    pub(crate) fn install(
+        &mut self,
+        nodes: impl IntoIterator<Item = u16>,
+        edges: impl IntoIterator<Item = (u16, u16)>,
+        chains_observed: usize,
+        head_support: impl IntoIterator<Item = (u16, usize)>,
+        edge_support: impl IntoIterator<Item = ((u16, u16), usize)>,
+    ) {
+        self.nodes.extend(nodes);
+        for (u, v) in edges {
+            self.edges.entry(u).or_default().insert(v);
+        }
+        self.chains_observed += chains_observed;
+        for (n, c) in head_support {
+            *self.head_support.entry(n).or_default() += c;
+        }
+        for (e, c) in edge_support {
+            *self.edge_support.entry(e).or_default() += c;
+        }
+        self.cached_source = std::sync::OnceLock::new();
+    }
+
     /// All nodes whose marks have been collected so far.
     pub fn observed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.nodes.iter().map(|&n| NodeId(n))

@@ -47,6 +47,7 @@ use crate::isolation::{quarantine_set, IsolationPolicy, QuarantineFilter};
 use crate::reconstruct::{AnnotatedLocalization, Localization, RouteReconstructor, SourceRegion};
 use crate::replay::DuplicateSuppressor;
 use crate::stage::StageMetrics;
+use crate::store::{Evidence, EvidenceStore, RecordKind, StoreError};
 use crate::verify::{AnonTable, SinkVerifier, TopologyResolver, VerifiedChain, VerifyMode};
 
 /// Default number of per-report anonymous-ID tables the engine keeps live.
@@ -378,6 +379,16 @@ pub struct SinkEngine {
     tracer: Tracer,
     stage_timing: bool,
     stages: StageMetrics,
+    store: Option<EngineStore>,
+}
+
+/// An attached evidence store plus the high-water mark of what it has
+/// already been given, so checkpoints append only the delta.
+#[derive(Clone, Debug)]
+struct EngineStore {
+    store: Arc<dyn EvidenceStore>,
+    shard: u32,
+    last_persisted: Evidence,
 }
 
 /// A lap clock for stage timing: reads the monotonic clock only when
@@ -444,6 +455,7 @@ impl SinkEngine {
             tracer: config.tracer,
             stage_timing: config.stage_timing,
             stages: StageMetrics::new(),
+            store: None,
         }
     }
 
@@ -616,6 +628,13 @@ impl SinkEngine {
     /// Duplicate-suppression windows are engine-local and not merged; a
     /// partitioned deployment relies on duplicates hashing to the same
     /// partition (they do — identical bytes share a report).
+    ///
+    /// **Interaction with an attached store:** absorb merges in memory
+    /// only — it appends nothing and does not advance the persistence
+    /// high-water mark, so the absorbed evidence is carried by the *next*
+    /// [`SinkEngine::checkpoint_to_store`] delta exactly once. Replaying
+    /// the store therefore never double-counts absorbed evidence. The
+    /// other engine's store attachment (if any) is not taken over.
     pub fn absorb(&mut self, other: &SinkEngine) {
         debug_assert_eq!(self.mode, other.mode, "absorbing mismatched verify modes");
         self.counters += other.counters;
@@ -846,6 +865,96 @@ impl SinkEngine {
     /// The quarantine filter maintained by the isolation stage.
     pub fn quarantine(&self) -> &QuarantineFilter {
         &self.quarantine
+    }
+
+    /// Exports the engine's accumulated traceback evidence — counters,
+    /// route graph with support counts, quarantine set, and the
+    /// first-unequivocal packet index — as one serializable [`Evidence`]
+    /// value. Transient state (dedup window, table cache, scratch
+    /// buffers, stage latency histograms) is deliberately excluded: it is
+    /// either reproducible or observability, not evidence.
+    pub fn evidence(&self) -> Evidence {
+        let r = &self.reconstructor;
+        Evidence {
+            counters: self.counters,
+            chains_observed: r.chains_observed(),
+            nodes: r.nodes_set().clone(),
+            edges: r.edge_pairs().collect(),
+            head_support: r.head_support_map().clone(),
+            edge_support: r.edge_support_map().clone(),
+            quarantined: self.quarantine.quarantined().map(|n| n.raw()).collect(),
+            first_unequivocal: self.first_unequivocal.map(|v| v as u64),
+        }
+    }
+
+    /// Merges previously exported evidence into this engine — the replay
+    /// half of crash recovery. Same monoid semantics as
+    /// [`SinkEngine::absorb`]: counters sum, route graph and quarantine
+    /// union, `first_unequivocal` takes the minimum. Installing the
+    /// evidence of an uninterrupted run into a fresh engine reproduces
+    /// its localization, quarantine, and counters exactly.
+    pub fn install_evidence(&mut self, evidence: &Evidence) {
+        self.counters += evidence.counters;
+        self.reconstructor.install(
+            evidence.nodes.iter().copied(),
+            evidence.edges.iter().copied(),
+            evidence.chains_observed,
+            evidence.head_support.iter().map(|(&n, &c)| (n, c)),
+            evidence.edge_support.iter().map(|(&e, &c)| (e, c)),
+        );
+        self.quarantine.quarantine(evidence.quarantined_nodes());
+        self.first_unequivocal = match (
+            self.first_unequivocal,
+            evidence.first_unequivocal.map(|v| v as usize),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_quarantined_source = None;
+    }
+
+    /// Attaches a persistence backend. The engine's *current* evidence
+    /// becomes the persistence high-water mark — it is presumed already
+    /// in the store (true both for a fresh engine and for one just
+    /// rebuilt via [`SinkEngine::install_evidence`] from that store), so
+    /// the first checkpoint appends only what happens after attachment.
+    pub fn attach_store(&mut self, store: Arc<dyn EvidenceStore>, shard: u32) {
+        self.store = Some(EngineStore {
+            shard,
+            last_persisted: self.evidence(),
+            store,
+        });
+    }
+
+    /// Whether a persistence backend is attached.
+    pub fn store_attached(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Appends the evidence accumulated since the last checkpoint (or
+    /// attachment) to the attached store as one delta record. Returns
+    /// `Ok(false)` when nothing changed (no record written).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotAttached`] without a store; otherwise whatever
+    /// the backend's append returns. On error the high-water mark is not
+    /// advanced, so the failed delta is retried in full by the next
+    /// checkpoint.
+    pub fn checkpoint_to_store(&mut self) -> Result<bool, StoreError> {
+        let now = self.evidence();
+        let Some(attached) = &mut self.store else {
+            return Err(StoreError::NotAttached);
+        };
+        let delta = now.delta_since(&attached.last_persisted);
+        if delta.is_empty() {
+            return Ok(false);
+        }
+        attached
+            .store
+            .append(attached.shard, RecordKind::Delta, &delta)?;
+        attached.last_persisted = now;
+        Ok(true)
     }
 }
 
@@ -1138,6 +1247,84 @@ mod tests {
         assert_eq!(a.localize(), whole.localize());
         assert_eq!(a.source_regions(), whole.source_regions());
         assert_eq!(a.unequivocal_source(), whole.unequivocal_source());
+    }
+
+    #[test]
+    fn evidence_round_trips_through_install() {
+        let n = 10u16;
+        let ks = keys(n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut rng = StdRng::seed_from_u64(31);
+        let cfg = SinkConfig::new(VerifyMode::Nested).isolation(IsolationPolicy::SuspectsOnly);
+        let mut engine = SinkEngine::new(Arc::clone(&ks), cfg.clone());
+        for seq in 0..80 {
+            let pkt = packet(&ks, &scheme, n, seq, &mut rng);
+            engine.ingest(&pkt);
+        }
+        engine.refresh_quarantine();
+        let evidence = engine.evidence();
+        assert!(!evidence.quarantined.is_empty());
+
+        let mut rebuilt = SinkEngine::new(Arc::clone(&ks), cfg);
+        rebuilt.install_evidence(&evidence);
+        // Byte-identical evidence, identical verdicts.
+        assert_eq!(rebuilt.evidence().to_bytes(), evidence.to_bytes());
+        assert_eq!(rebuilt.counters(), engine.counters());
+        assert_eq!(rebuilt.localize(), engine.localize());
+        assert_eq!(rebuilt.unequivocal_source(), engine.unequivocal_source());
+        assert_eq!(rebuilt.first_unequivocal(), engine.first_unequivocal());
+        let q: Vec<NodeId> = rebuilt.quarantine().quarantined().collect();
+        let q0: Vec<NodeId> = engine.quarantine().quarantined().collect();
+        assert_eq!(q, q0);
+    }
+
+    #[test]
+    fn absorb_with_attached_store_emits_delta_once() {
+        // Satellite check: absorb merges in memory only; the absorbed
+        // evidence rides the *next* checkpoint delta exactly once, so a
+        // replay of the store never double-counts it.
+        let n = 8u16;
+        let ks = keys(n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut rng = StdRng::seed_from_u64(37);
+        let packets: Vec<Packet> = (0..20)
+            .map(|s| packet(&ks, &scheme, n, s, &mut rng))
+            .collect();
+
+        let store = Arc::new(crate::store::MemStore::new());
+        let mut a = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        a.attach_store(Arc::clone(&store) as Arc<dyn EvidenceStore>, 0);
+        assert!(a.store_attached());
+        for p in &packets[..10] {
+            a.ingest(p);
+        }
+        assert!(a.checkpoint_to_store().unwrap());
+
+        let mut b = SinkEngine::new(Arc::clone(&ks), SinkConfig::new(VerifyMode::Nested));
+        for p in &packets[10..] {
+            b.ingest(p);
+        }
+        a.absorb(&b);
+        // Absorb wrote nothing; the next checkpoint carries it.
+        assert_eq!(store.len(), 1);
+        assert!(a.checkpoint_to_store().unwrap());
+        assert_eq!(store.len(), 2);
+
+        let replayed = store.replay().unwrap().merged();
+        assert_eq!(replayed.to_bytes(), a.evidence().to_bytes());
+        // Nothing new accumulated: no further record is written.
+        assert!(!a.checkpoint_to_store().unwrap());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_without_store_is_an_error() {
+        let ks = keys(4);
+        let mut engine = SinkEngine::new(ks, SinkConfig::new(VerifyMode::Nested));
+        assert!(matches!(
+            engine.checkpoint_to_store(),
+            Err(crate::store::StoreError::NotAttached)
+        ));
     }
 
     #[test]

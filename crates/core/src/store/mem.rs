@@ -1,0 +1,120 @@
+//! The in-memory backend: today's behavior, behind the store trait.
+
+use std::sync::Mutex;
+
+use crate::store::{Evidence, EvidenceStore, RecordKind, StoreError, StoreReplay};
+
+/// An in-memory [`EvidenceStore`]: records live in a `Vec` and vanish
+/// with the process. The null durability layer — it preserves the
+/// pre-store behavior and perf exactly (no encoding, no I/O) while
+/// letting the same checkpoint/replay code paths run in tests.
+///
+/// # Examples
+///
+/// ```
+/// use pnm_core::store::{Evidence, EvidenceStore, MemStore, RecordKind};
+///
+/// let store = MemStore::new();
+/// let mut ev = Evidence::default();
+/// ev.nodes.insert(7);
+/// store.append(0, RecordKind::Delta, &ev)?;
+/// assert_eq!(store.replay()?.shards[&0], ev);
+/// # Ok::<(), pnm_core::store::StoreError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MemStore {
+    records: Mutex<Vec<(u32, RecordKind, Evidence)>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("memstore lock poisoned").len()
+    }
+
+    /// `true` when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EvidenceStore for MemStore {
+    fn append(&self, shard: u32, kind: RecordKind, evidence: &Evidence) -> Result<(), StoreError> {
+        self.records
+            .lock()
+            .expect("memstore lock poisoned")
+            .push((shard, kind, evidence.clone()));
+        Ok(())
+    }
+
+    fn replay(&self) -> Result<StoreReplay, StoreError> {
+        let records = self.records.lock().expect("memstore lock poisoned");
+        let mut replay = StoreReplay::default();
+        for (shard, kind, evidence) in records.iter() {
+            replay.apply(*shard, *kind, evidence.clone());
+        }
+        Ok(replay)
+    }
+
+    fn compact(&self) -> Result<(), StoreError> {
+        let replay = self.replay()?;
+        let mut records = self.records.lock().expect("memstore lock poisoned");
+        records.clear();
+        for (shard, evidence) in replay.shards {
+            records.push((shard, RecordKind::Snapshot, evidence));
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: u16) -> Evidence {
+        let mut e = Evidence::default();
+        e.nodes.insert(node);
+        e.counters.packets = 1;
+        e
+    }
+
+    #[test]
+    fn append_replay_compact() {
+        let store = MemStore::new();
+        assert!(store.is_empty());
+        store.append(0, RecordKind::Delta, &ev(1)).unwrap();
+        store.append(0, RecordKind::Delta, &ev(2)).unwrap();
+        store.append(1, RecordKind::Delta, &ev(3)).unwrap();
+        assert_eq!(store.len(), 3);
+
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.records, 3);
+        assert_eq!(replay.rejected_frames, 0);
+        assert_eq!(replay.shards[&0].counters.packets, 2);
+        assert_eq!(replay.merged().nodes.len(), 3);
+
+        store.compact().unwrap();
+        assert_eq!(store.len(), 2); // one snapshot per shard
+        let after = store.replay().unwrap();
+        assert_eq!(after.shards, replay.shards);
+        store.sync().unwrap();
+    }
+
+    #[test]
+    fn snapshot_resets_shard_state() {
+        let store = MemStore::new();
+        store.append(0, RecordKind::Delta, &ev(1)).unwrap();
+        store.append(0, RecordKind::Snapshot, &ev(9)).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.shards[&0], ev(9));
+    }
+}

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use pnm_core::SinkConfig;
+use pnm_core::{EvidenceStore, SinkConfig};
 use pnm_obs::Tracer;
 use pnm_wire::Packet;
 
@@ -43,6 +43,7 @@ pub struct ServiceConfig {
     drain_timeout: Duration,
     tracer: Tracer,
     stage_timing: bool,
+    store: Option<Arc<dyn EvidenceStore>>,
 }
 
 impl std::fmt::Debug for ServiceConfig {
@@ -59,6 +60,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("drain_timeout", &self.drain_timeout)
             .field("tracer", &self.tracer)
             .field("stage_timing", &self.stage_timing)
+            .field("store", &self.store.as_ref().map(|_| "<store>"))
             .finish()
     }
 }
@@ -82,6 +84,7 @@ impl ServiceConfig {
             drain_timeout: Duration::from_secs(30),
             tracer: Tracer::noop(),
             stage_timing: true,
+            store: None,
         }
     }
 
@@ -168,6 +171,27 @@ impl ServiceConfig {
     pub fn stage_timing(mut self, enabled: bool) -> Self {
         self.stage_timing = enabled;
         self
+    }
+
+    /// Attaches a durable evidence store: every shard appends an evidence
+    /// delta at each checkpoint (the [`checkpoint_interval`] cadence) and
+    /// again as it exits at drain, so the store always holds the pool's
+    /// evidence up to the last checkpoint. A pool killed mid-ingest is
+    /// rebuilt with [`ServicePool::recover`](crate::ServicePool::recover).
+    /// Append failures are counted per shard (see
+    /// [`ShardSnapshot::store_errors`](crate::ShardSnapshot)) rather than
+    /// crashing the worker. Without a store, checkpoints stay the
+    /// in-memory engine clones they always were.
+    ///
+    /// [`checkpoint_interval`]: ServiceConfig::checkpoint_interval
+    pub fn store(mut self, store: Arc<dyn EvidenceStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached evidence store, if any.
+    pub fn store_handle(&self) -> Option<&Arc<dyn EvidenceStore>> {
+        self.store.as_ref()
     }
 
     /// The per-shard sink pipeline configuration.

@@ -30,6 +30,16 @@
 //!   [`ServicePool::drain`] waits for a wedged shard, and
 //!   [`ServicePool::ingest_with_retry`] adds bounded retry-with-backoff
 //!   under shedding.
+//! * **Durability.** [`ServiceConfig::store`] attaches an
+//!   [`EvidenceStore`](pnm_core::EvidenceStore) (typically the
+//!   append-only [`LogStore`](pnm_core::LogStore)): each shard appends an
+//!   evidence delta at every checkpoint and once more at drain, and
+//!   [`ServicePool::recover`] (or the [`ServicePool::recover_from_log`]
+//!   shortcut) rebuilds a pool from the log after a process crash — the
+//!   replayed engines are byte-identical in evidence to what the crashed
+//!   shards had last checkpointed. The poison-quarantine restart reuses
+//!   the same replay semantics. Store append failures are counted per
+//!   shard ([`ShardSnapshot::store_errors`]), never fatal.
 //! * **Telemetry.** Every shard records queue-wait, service, and total
 //!   latency in mergeable power-of-two histograms (the
 //!   [`LatencyHistogram`] from `pnm-obs`, re-exported here), plus a
@@ -53,7 +63,7 @@ mod pool;
 mod telemetry;
 
 pub use config::{BackpressurePolicy, PoisonHook, ServiceConfig};
-pub use pool::{DrainReport, IngestError, PoisonRecord, ServicePool};
+pub use pool::{DrainReport, IngestError, PoisonRecord, RecoveryStats, ServicePool};
 pub use telemetry::{
     counters_json, counters_json_value, LatencyHistogram, ServiceSnapshot, ShardSnapshot,
 };
@@ -75,5 +85,6 @@ mod send_sync {
         assert_send_sync::<IngestError>();
         assert_send_sync::<PoisonRecord>();
         assert_send_sync::<PoisonHook>();
+        assert_send_sync::<RecoveryStats>();
     }
 }

@@ -9,6 +9,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use pnm_core::store::{Evidence, EvidenceStore, LogStore, StoreError};
 use pnm_core::{SinkConfig, SinkEngine, SinkOutcome, StageMetrics};
 use pnm_crypto::KeyStore;
 use pnm_obs::{Counter, Registry};
@@ -54,6 +58,7 @@ struct ShardTelemetry {
     counters: pnm_core::SinkCounters,
     processed: u64,
     panics: u64,
+    store_errors: u64,
     stages: StageMetrics,
     queue_wait_us: LatencyHistogram,
     service_us: LatencyHistogram,
@@ -94,6 +99,25 @@ struct ShardContext {
     poison: Option<PoisonHook>,
     checkpoint_interval: u64,
     done: Sender<(usize, ShardFinal)>,
+    /// Durable evidence backend; when set, checkpoints append deltas here
+    /// instead of staying purely in-memory.
+    store: Option<Arc<dyn EvidenceStore>>,
+    /// Evidence replayed from the store for this shard (crash recovery);
+    /// installed into the engine before the store is attached.
+    recover: Option<Evidence>,
+}
+
+/// What [`ServicePool::recover`] found in the store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Valid records replayed from the store.
+    pub records: usize,
+    /// Frames found damaged (torn tail, bad CRC) and skipped/truncated.
+    pub rejected_frames: usize,
+    /// Distinct writer shards present in the store.
+    pub source_shards: usize,
+    /// Packets of evidence restored (sum of replayed packet counters).
+    pub packets_restored: usize,
 }
 
 /// Everything the service knows once fully drained.
@@ -192,7 +216,77 @@ impl ServicePool {
     /// which packets a shard happened to see, so the service applies the
     /// policy once, to the cross-shard merged route graph, at drain time.
     pub fn new(keys: impl Into<Arc<KeyStore>>, config: ServiceConfig) -> Self {
-        let keys = keys.into();
+        Self::build(keys.into(), config, BTreeMap::new())
+    }
+
+    /// Rebuilds a pool from the evidence persisted in the config's
+    /// attached store — the restart path after a process crash. The store
+    /// is replayed once; each persisted shard's evidence is installed
+    /// into the worker shard it maps to (`log shard % shard count`, so a
+    /// pool may recover a log written with a different shard count), and
+    /// the same store is re-attached for continued appends. Because every
+    /// worker installs its evidence *before* attaching, recovery never
+    /// re-appends what was replayed.
+    ///
+    /// The same replay also serves the poison-quarantine restart: a shard
+    /// recovered this way restarts from replayed evidence exactly as a
+    /// panicked shard restarts from its checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotAttached`] if the config has no store;
+    /// otherwise whatever the store's replay returns (I/O, bad header).
+    /// Damaged individual records are *counted* in
+    /// [`RecoveryStats::rejected_frames`], not errors.
+    pub fn recover(
+        keys: impl Into<Arc<KeyStore>>,
+        config: ServiceConfig,
+    ) -> Result<(Self, RecoveryStats), StoreError> {
+        let Some(store) = config.store_handle() else {
+            return Err(StoreError::NotAttached);
+        };
+        let replay = store.replay()?;
+        let shards = config.shard_count();
+        let mut recover: BTreeMap<usize, Evidence> = BTreeMap::new();
+        let mut packets = 0usize;
+        for (&log_shard, evidence) in &replay.shards {
+            packets += evidence.counters.packets;
+            recover
+                .entry(log_shard as usize % shards)
+                .or_default()
+                .merge(evidence);
+        }
+        let stats = RecoveryStats {
+            records: replay.records,
+            rejected_frames: replay.rejected_frames,
+            source_shards: replay.shards.len(),
+            packets_restored: packets,
+        };
+        Ok((Self::build(keys.into(), config, recover), stats))
+    }
+
+    /// Convenience wrapper: opens (or creates) the append-only
+    /// [`LogStore`] at `path`, attaches it to `config`, and recovers.
+    /// Opening already truncates any torn tail left by the crash, so the
+    /// replayed evidence is exactly the log's last consistent prefix.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`LogStore::open`] or [`ServicePool::recover`] return.
+    pub fn recover_from_log(
+        keys: impl Into<Arc<KeyStore>>,
+        config: ServiceConfig,
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, RecoveryStats), StoreError> {
+        let store = Arc::new(LogStore::open(path)?);
+        Self::recover(keys, config.store(store))
+    }
+
+    fn build(
+        keys: Arc<KeyStore>,
+        config: ServiceConfig,
+        mut recover: BTreeMap<usize, Evidence>,
+    ) -> Self {
         // Prewarm the precomputed HMAC schedule before any shard spawns:
         // the build runs exactly once here, and every shard's verifier picks
         // up the same cached `Arc<KeySchedule>` through the shared keystore
@@ -225,6 +319,8 @@ impl ServicePool {
                 poison: config.poison_hook_fn().cloned(),
                 checkpoint_interval: config.checkpoint_interval_packets(),
                 done: done_tx.clone(),
+                store: config.store_handle().cloned(),
+                recover: recover.remove(&shard),
             };
             handles.push(std::thread::spawn(move || shard_worker(rx, ctx)));
             senders.push(tx);
@@ -380,6 +476,7 @@ impl ServicePool {
                 shed: self.shed[i].get(),
                 processed: t.processed,
                 panics: t.panics,
+                store_errors: t.store_errors,
                 counters: t.counters,
                 stages: t.stages.clone(),
                 queue_wait_us: t.queue_wait_us.clone(),
@@ -391,6 +488,7 @@ impl ServicePool {
         let shed = shards.iter().map(|s| s.shed).sum();
         let processed = shards.iter().map(|s| s.processed).sum();
         let panics = shards.iter().map(|s| s.panics).sum();
+        let store_errors = shards.iter().map(|s| s.store_errors).sum();
         ServiceSnapshot {
             shards,
             totals,
@@ -398,6 +496,7 @@ impl ServicePool {
             shed,
             processed,
             panics,
+            store_errors,
         }
     }
 
@@ -565,6 +664,15 @@ fn shard_worker(rx: Receiver<Job>, ctx: ShardContext) {
         }
     }
     let mut engine = SinkEngine::new(Arc::clone(&ctx.keys), ctx.sink.clone());
+    if let Some(evidence) = &ctx.recover {
+        engine.install_evidence(evidence);
+    }
+    if let Some(store) = &ctx.store {
+        // Install before attach: attachment pins the persistence
+        // high-water mark at the current evidence, so replayed evidence
+        // is never appended a second time.
+        engine.attach_store(Arc::clone(store), ctx.shard as u32);
+    }
     let mut checkpoint = engine.clone();
     let mut since_checkpoint = 0u64;
     let mut outcomes = Vec::new();
@@ -584,14 +692,23 @@ fn shard_worker(rx: Receiver<Job>, ctx: ShardContext) {
         match result {
             Ok(outcome) => {
                 since_checkpoint += 1;
+                let mut store_failed = false;
                 if since_checkpoint >= ctx.checkpoint_interval {
                     checkpoint = engine.clone();
                     since_checkpoint = 0;
+                    // Durable checkpoint: append the evidence delta. A
+                    // failed append is counted, never fatal — the
+                    // high-water mark stays put, so the next checkpoint
+                    // retries the cumulative delta.
+                    if engine.store_attached() {
+                        store_failed = engine.checkpoint_to_store().is_err();
+                    }
                 }
                 {
                     let mut t = ctx.slot.lock().expect("telemetry lock");
                     t.counters = engine.counters();
                     t.processed += 1;
+                    t.store_errors += u64::from(store_failed);
                     t.stages = engine.stage_metrics().clone();
                     t.queue_wait_us.record(queue_wait);
                     t.service_us.record(service);
@@ -607,6 +724,13 @@ fn shard_worker(rx: Receiver<Job>, ctx: ShardContext) {
                 // state known to be a complete merge.
                 let mut fresh = SinkEngine::new(Arc::clone(&ctx.keys), ctx.sink.clone());
                 fresh.absorb(&checkpoint);
+                if let Some(store) = &ctx.store {
+                    // Re-attach with the checkpoint's evidence as the
+                    // high-water mark: checkpoint clones and store
+                    // appends share the same cadence point, so this is
+                    // exactly what the log already holds for this shard.
+                    fresh.attach_store(Arc::clone(store), ctx.shard as u32);
+                }
                 engine = fresh;
                 since_checkpoint = 0;
                 poisoned.push(PoisonRecord {
@@ -621,6 +745,12 @@ fn shard_worker(rx: Receiver<Job>, ctx: ShardContext) {
                 t.stages = engine.stage_metrics().clone();
             }
         }
+    }
+    // Final durable checkpoint: whatever accrued since the last cadence
+    // point is flushed before the shard hands in its state, so a drained
+    // pool's log always holds its complete evidence.
+    if engine.store_attached() && engine.checkpoint_to_store().is_err() {
+        ctx.slot.lock().expect("telemetry lock").store_errors += 1;
     }
     // The receiver is gone when drain's watchdog already gave up on the
     // whole pool; nothing useful remains to do with the state then.

@@ -34,6 +34,12 @@ pub struct ShardSnapshot {
     /// Packets that crashed this shard's worker (each one was quarantined
     /// as poison and the shard restarted from its last good checkpoint).
     pub panics: u64,
+    /// Evidence-store appends that failed for this shard. Failures are
+    /// counted, not fatal: the engine keeps its in-memory evidence and
+    /// retries the cumulative delta at the next checkpoint. Always 0
+    /// without an attached store.
+    #[serde(default)]
+    pub store_errors: u64,
     /// The shard engine's pipeline counters.
     pub counters: SinkCounters,
     /// Per-stage latency breakdown of the shard engine's pipeline
@@ -57,6 +63,7 @@ impl ShardSnapshot {
             ("shed", JsonValue::UInt(self.shed)),
             ("processed", JsonValue::UInt(self.processed)),
             ("panics", JsonValue::UInt(self.panics)),
+            ("store_errors", JsonValue::UInt(self.store_errors)),
             ("counters", counters_json_value(&self.counters)),
             ("stages", self.stages.to_json_value()),
             ("queue_wait_us", self.queue_wait_us.to_json_value()),
@@ -82,6 +89,10 @@ pub struct ServiceSnapshot {
     pub processed: u64,
     /// Total packets that crashed a shard worker (quarantined as poison).
     pub panics: u64,
+    /// Total evidence-store append failures across all shards (0 without
+    /// an attached store).
+    #[serde(default)]
+    pub store_errors: u64,
 }
 
 impl ServiceSnapshot {
@@ -119,6 +130,7 @@ impl ServiceSnapshot {
             ("shed", JsonValue::UInt(self.shed)),
             ("processed", JsonValue::UInt(self.processed)),
             ("panics", JsonValue::UInt(self.panics)),
+            ("store_errors", JsonValue::UInt(self.store_errors)),
             ("backlog", JsonValue::UInt(self.backlog())),
             ("totals", counters_json_value(&self.totals)),
             ("stages", self.stage_metrics().to_json_value()),

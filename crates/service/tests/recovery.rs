@@ -1,0 +1,286 @@
+//! Crash/restore across the service layer: kill a pool mid-stream,
+//! recover from the append-only log, and require the recovered pool's
+//! evidence to be byte-identical to an uninterrupted run.
+//!
+//! The "kill" here is drain-then-damage: dropping a pool flushes final
+//! deltas (that is graceful shutdown, not a crash), so these tests
+//! simulate a SIGKILL by appending torn/garbage bytes to the log tail —
+//! exactly the state a process killed mid-append leaves behind.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use pnm_core::store::{EvidenceStore, LogStore, MemStore};
+use pnm_core::{
+    IsolationPolicy, MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig,
+    SinkEngine, VerifyMode,
+};
+use pnm_crypto::KeyStore;
+use pnm_service::{ServiceConfig, ServicePool};
+use pnm_wire::{Location, NodeId, Packet, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn temp_log(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "pnm-recovery-{}-{}-{}.log",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn keys(n: u16) -> Arc<KeyStore> {
+    Arc::new(KeyStore::derive_from_master(b"recovery-test", n))
+}
+
+fn marked_packet(ks: &KeyStore, n: u16, seq: u64, rng: &mut StdRng) -> Packet {
+    let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+    let report = Report::new(
+        format!("rec-{seq}").into_bytes(),
+        Location::new(seq as f32, 0.0),
+        seq,
+    );
+    let mut pkt = Packet::new(report);
+    for hop in 0..n {
+        let ctx = NodeContext::new(NodeId(hop), *ks.key(hop).unwrap());
+        scheme.mark(&ctx, &mut pkt, rng);
+    }
+    pkt
+}
+
+fn sink_config() -> SinkConfig {
+    SinkConfig::new(VerifyMode::Nested).isolation(IsolationPolicy::SuspectsOnly)
+}
+
+fn workload(ks: &KeyStore, n: u16, count: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(4057);
+    (0..count)
+        .map(|s| marked_packet(ks, n, s, &mut rng))
+        .collect()
+}
+
+/// The uninterrupted sequential reference: one engine over the whole
+/// stream, with the drain-time quarantine sweep applied. Comparable to a
+/// pooled run on counters, localization, and quarantine — but not on
+/// `first_unequivocal`, which is shard-local by design.
+fn reference_engine(ks: &Arc<KeyStore>, packets: &[Packet]) -> SinkEngine {
+    let mut engine = SinkEngine::new(Arc::clone(ks), sink_config());
+    for p in packets {
+        engine.ingest(p);
+    }
+    engine.refresh_quarantine();
+    engine.quarantine_source_regions();
+    engine
+}
+
+/// The uninterrupted pooled reference: a store-less pool with the same
+/// shard count over the whole stream. Byte-comparable to a recovered
+/// pool (identical partitioning, identical shard-local indices).
+fn reference_pool_evidence(ks: &Arc<KeyStore>, packets: &[Packet], shards: usize) -> Vec<u8> {
+    let config = ServiceConfig::new(sink_config()).shards(shards);
+    let pool = ServicePool::new(Arc::clone(ks), config);
+    for p in packets {
+        pool.ingest(p.clone()).unwrap();
+    }
+    pool.drain().engine.evidence().to_bytes()
+}
+
+#[test]
+fn pool_recovers_from_log_and_matches_uninterrupted_run() {
+    let n = 10u16;
+    let ks = keys(n);
+    let packets = workload(&ks, n, 120);
+    let path = temp_log("roundtrip");
+
+    // Phase 1: a pool with a durable log ingests the first half, then
+    // "crashes": we drain it (flushing deltas, as every checkpoint
+    // already did) and then damage the tail the way a torn write would.
+    let store = Arc::new(LogStore::open(&path).unwrap());
+    let config = ServiceConfig::new(sink_config())
+        .shards(3)
+        .store(Arc::clone(&store) as Arc<dyn EvidenceStore>);
+    let pool = ServicePool::new(Arc::clone(&ks), config);
+    for p in &packets[..60] {
+        pool.ingest(p.clone()).unwrap();
+    }
+    let first = pool.drain();
+    assert_eq!(first.snapshot.processed, 60);
+    assert_eq!(first.snapshot.store_errors, 0);
+    drop(store);
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    f.write_all(&[0xAB; 13]).unwrap(); // torn frame from the "kill"
+    drop(f);
+
+    // Phase 2: recover and continue with the second half.
+    let config = ServiceConfig::new(sink_config()).shards(3);
+    let (pool, stats) = ServicePool::recover_from_log(Arc::clone(&ks), config, &path).unwrap();
+    assert_eq!(stats.rejected_frames, 1);
+    assert!(stats.records > 0);
+    assert_eq!(stats.packets_restored, 60);
+    for p in &packets[60..] {
+        pool.ingest(p.clone()).unwrap();
+    }
+    let report = pool.drain();
+
+    // Localization, quarantine, and counters equal the uninterrupted
+    // sequential run...
+    let reference = reference_engine(&ks, &packets);
+    assert_eq!(report.engine.counters(), reference.counters());
+    assert_eq!(report.engine.localize(), reference.localize());
+    assert_eq!(
+        report.engine.unequivocal_source(),
+        reference.unequivocal_source()
+    );
+    let seq_ev = reference.evidence();
+    let recovered_evidence = report.engine.evidence();
+    assert_eq!(recovered_evidence.quarantined, seq_ev.quarantined);
+    // ...and the full evidence is byte-identical to an uninterrupted
+    // *pool* of the same shape (shard-local first-unequivocal indices
+    // included).
+    assert_eq!(
+        recovered_evidence.to_bytes(),
+        reference_pool_evidence(&ks, &packets, 3),
+        "recovered evidence must be byte-identical to the uninterrupted pool"
+    );
+
+    // A second recovery from the drained log alone (no further packets)
+    // also reproduces the full evidence: the final flush covered it.
+    let config = ServiceConfig::new(sink_config()).shards(3);
+    let (pool, stats) = ServicePool::recover_from_log(Arc::clone(&ks), config, &path).unwrap();
+    assert_eq!(stats.packets_restored, 120);
+    let report = pool.drain();
+    assert_eq!(
+        report.engine.evidence().to_bytes(),
+        recovered_evidence.to_bytes()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn recovery_remaps_shards_when_count_changes() {
+    // A log written by a 4-shard pool recovers into a 2-shard pool: the
+    // evidence is a commutative monoid, so the remap (log shard % 2)
+    // loses nothing.
+    let n = 8u16;
+    let ks = keys(n);
+    let packets = workload(&ks, n, 80);
+    let path = temp_log("remap");
+
+    let store = Arc::new(LogStore::open(&path).unwrap());
+    let config = ServiceConfig::new(sink_config())
+        .shards(4)
+        .store(store as Arc<dyn EvidenceStore>);
+    let pool = ServicePool::new(Arc::clone(&ks), config);
+    for p in &packets {
+        pool.ingest(p.clone()).unwrap();
+    }
+    let original = pool.drain().engine.evidence().to_bytes();
+
+    let config = ServiceConfig::new(sink_config()).shards(2);
+    let (pool, stats) = ServicePool::recover_from_log(Arc::clone(&ks), config, &path).unwrap();
+    assert_eq!(stats.packets_restored, 80);
+    assert_eq!(stats.source_shards, 4);
+    let report = pool.drain();
+    // The remapped merge is the same monoid sum: byte-identical to what
+    // the 4-shard pool drained.
+    assert_eq!(report.engine.evidence().to_bytes(), original);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn poison_restart_with_store_does_not_double_count() {
+    // A shard that panics restarts from its checkpoint and re-attaches
+    // the store; the evidence the log accumulates must still match the
+    // poison-free packet set exactly (no delta written twice).
+    let n = 8u16;
+    let ks = keys(n);
+    let packets = workload(&ks, n, 40);
+    let path = temp_log("poison");
+
+    let store = Arc::new(LogStore::open(&path).unwrap());
+    let config = ServiceConfig::new(sink_config())
+        .shards(2)
+        .store(Arc::clone(&store) as Arc<dyn EvidenceStore>)
+        .poison_hook(|pkt: &Packet| pkt.report.event.starts_with(b"poison"));
+    let pool = ServicePool::new(Arc::clone(&ks), config);
+    let mut rng = StdRng::seed_from_u64(99);
+    for p in &packets[..20] {
+        pool.ingest(p.clone()).unwrap();
+    }
+    let poison = {
+        let report = Report::new(b"poison-x".to_vec(), Location::new(0.0, 0.0), 7);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut pkt = Packet::new(report);
+        for hop in 0..n {
+            let ctx = NodeContext::new(NodeId(hop), *ks.key(hop).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+        pkt
+    };
+    pool.ingest(poison).unwrap();
+    for p in &packets[20..] {
+        pool.ingest(p.clone()).unwrap();
+    }
+    let report = pool.drain();
+    assert_eq!(report.poisoned.len(), 1);
+    assert_eq!(report.snapshot.store_errors, 0);
+
+    // Replay equals the merged engine equals the poison-free reference.
+    let replayed = store.replay().unwrap().merged();
+    let reference = reference_engine(&ks, &packets);
+    assert_eq!(replayed.counters, reference.counters());
+    assert_eq!(replayed.nodes, reference.evidence().nodes);
+    assert_eq!(replayed.edge_support, reference.evidence().edge_support);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn memstore_pool_matches_storeless_pool() {
+    // MemStore is the null backend: attaching it changes nothing about
+    // the drained evidence.
+    let n = 8u16;
+    let ks = keys(n);
+    let packets = workload(&ks, n, 60);
+
+    let mem = Arc::new(MemStore::new());
+    let config = ServiceConfig::new(sink_config())
+        .shards(2)
+        .store(Arc::clone(&mem) as Arc<dyn EvidenceStore>);
+    let with_store = ServicePool::new(Arc::clone(&ks), config);
+    let config = ServiceConfig::new(sink_config()).shards(2);
+    let without = ServicePool::new(Arc::clone(&ks), config);
+    for p in &packets {
+        with_store.ingest(p.clone()).unwrap();
+        without.ingest(p.clone()).unwrap();
+    }
+    let a = with_store.drain();
+    let b = without.drain();
+    assert_eq!(
+        a.engine.evidence().to_bytes(),
+        b.engine.evidence().to_bytes()
+    );
+    // And the MemStore replay reproduces the same merged evidence (the
+    // merged engines carry drain-time quarantine the shards never see).
+    let mut replayed = SinkEngine::new(Arc::clone(&ks), sink_config());
+    replayed.install_evidence(&mem.replay().unwrap().merged());
+    replayed.refresh_quarantine();
+    replayed.quarantine_source_regions();
+    assert_eq!(
+        replayed.evidence().to_bytes(),
+        a.engine.evidence().to_bytes()
+    );
+}
+
+#[test]
+fn recover_without_store_is_an_error() {
+    let ks = keys(4);
+    let config = ServiceConfig::new(sink_config()).shards(1);
+    assert!(ServicePool::recover(ks, config).is_err());
+}

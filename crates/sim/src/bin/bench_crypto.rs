@@ -21,6 +21,11 @@
 //! Every variant is checked for output equivalence before timing — the fast
 //! paths must be pure optimizations. `--smoke` runs the equivalence checks
 //! with tiny iteration counts and writes nothing, for CI.
+//!
+//! The full benchmark refuses to run when `available_parallelism` clamps
+//! the parallel builds to a single worker: a serial measurement recorded
+//! under a "parallel" label is worse than no measurement, so the run exits
+//! non-zero instead of writing `parallel_threads_effective: 1`.
 
 use std::collections::HashMap;
 use std::env;
@@ -205,6 +210,22 @@ fn main() -> ExitCode {
         }
         println!("bench-crypto smoke: all fast paths equivalent");
         return ExitCode::SUCCESS;
+    }
+
+    // A "parallel" run on one effective worker is silently serial: the
+    // artifact would still say parallel_threads_requested = 4 and publish a
+    // ~1.0 "speedup" that is really spawn/join overhead. Refuse to measure
+    // rather than record a lie (the --smoke equivalence checks above remain
+    // valid on any core count).
+    let threads = effective_threads();
+    if PARALLEL_THREADS > 1 && threads <= 1 {
+        eprintln!(
+            "error: available_parallelism clamps the requested {PARALLEL_THREADS} build \
+             threads to {threads}; a serial run must not be recorded as a parallel \
+             measurement. Re-run on a multi-core host (or use --smoke for the \
+             equivalence checks only)."
+        );
+        return ExitCode::FAILURE;
     }
 
     let mac = bench_mac(7, 20_000);

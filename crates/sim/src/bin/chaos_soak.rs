@@ -17,10 +17,18 @@
 //! exactly zero — corruption can shorten nested-MAC chains but never
 //! redirect them at an off-path node.
 //!
+//! A kill-and-recover sweep follows the fault sweep: at clean and
+//! acceptance intensities the arrival stream is cut partway, the process
+//! state discarded, the evidence log's tail damaged the way a SIGKILL
+//! mid-append leaves it, and a fresh engine rebuilt from the log finishes
+//! the stream. Recovered verdicts must equal the uninterrupted run's and
+//! the zero-false-implication bar holds through the crash.
+//!
 //! Artifacts (deterministic for a fixed seed):
 //! - `results/chaos_degradation.json` — one row per sweep point.
 //! - `BENCH_chaos.json` — summary: zero-panic verdict, determinism
-//!   check, acceptance-point row, sweep-wide false-implication maximum.
+//!   check, acceptance-point row, kill-and-recover rows, sweep-wide
+//!   false-implication maximum.
 //!
 //! `--smoke` runs the CI-sized sweep (5 points, 120 packets each) with
 //! the same checks and artifacts.
@@ -36,7 +44,10 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use pnm_obs::Tracer;
-use pnm_sim::chaos::{run_point_traced, sweep_points, ChaosConfig, ChaosPoint, ChaosRun};
+use pnm_sim::chaos::{
+    recovery_sweep, run_point_traced, run_recovery_point, sweep_points, ChaosConfig, ChaosPoint,
+    ChaosRun, RecoveryRun,
+};
 
 fn run_json(r: &ChaosRun) -> String {
     let implicated = r
@@ -78,6 +89,32 @@ fn run_json(r: &ChaosRun) -> String {
         r.implicated.len(),
         r.false_implication_rate,
         implicated,
+    )
+}
+
+fn recovery_json(r: &RecoveryRun) -> String {
+    format!(
+        concat!(
+            "    {{\"burst_loss\": {}, \"corrupt_byte\": {}, \"duplicate\": {}, ",
+            "\"kill_fraction\": {},\n",
+            "     \"arrivals\": {}, \"killed_after\": {}, \"records_replayed\": {}, ",
+            "\"rejected_frames\": {}, \"packets_restored\": {},\n",
+            "     \"verdict_identical\": {}, \"evidence_identical\": {}, ",
+            "\"contains_true_source\": {}, \"false_implication_rate\": {:.4}}}"
+        ),
+        r.point.burst_loss,
+        r.point.corrupt_byte,
+        r.point.duplicate,
+        r.kill_fraction,
+        r.arrivals,
+        r.killed_after,
+        r.records_replayed,
+        r.rejected_frames,
+        r.packets_restored,
+        r.verdict_identical,
+        r.evidence_identical,
+        r.contains_true_source,
+        r.false_implication_rate,
     )
 }
 
@@ -173,6 +210,37 @@ fn main() -> ExitCode {
         }
     }
 
+    // Kill-and-recover sweep: cut the stream, discard the process, damage
+    // the evidence log's tail, rebuild from the log, finish the stream.
+    // The verdicts must match the uninterrupted run and the zero-false-
+    // implication bar holds through the crash.
+    let mut recovery_rows: Vec<RecoveryRun> = Vec::new();
+    for (point, fraction) in recovery_sweep(smoke) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_recovery_point(&cfg, &point, fraction)
+        })) {
+            Ok(run) => {
+                println!(
+                    "recover {:<40} kill {:.2}  replayed {:>3} ({} torn)  verdicts {}  fir {:.3}",
+                    point.label(),
+                    fraction,
+                    run.records_replayed,
+                    run.rejected_frames,
+                    if run.verdict_identical { "ok" } else { "DIFF" },
+                    run.false_implication_rate,
+                );
+                recovery_rows.push(run);
+            }
+            Err(_) => {
+                eprintln!(
+                    "PANIC at recovery point {} kill {fraction:.2}",
+                    point.label()
+                );
+                panics += 1;
+            }
+        }
+    }
+
     // The artifacts must be a pure function of the seed: re-run the
     // acceptance combo and demand a bit-identical row.
     let acceptance = ChaosPoint::acceptance();
@@ -190,8 +258,17 @@ fn main() -> ExitCode {
     let max_fir = rows
         .iter()
         .map(|r| r.false_implication_rate)
+        .chain(recovery_rows.iter().map(|r| r.false_implication_rate))
         .fold(0.0f64, f64::max);
-    println!("zero panics: {zero_panics}  deterministic: {deterministic}  max false-implication rate: {max_fir:.4}");
+    // The recovery bar: a crash must never change the verdict. Whether
+    // the (honestly degraded) verdict still contains the true source is
+    // a fault-intensity property, recorded per row but not gated on.
+    let recovery_ok =
+        !recovery_rows.is_empty() && recovery_rows.iter().all(|r| r.verdict_identical);
+    println!(
+        "zero panics: {zero_panics}  deterministic: {deterministic}  recovery verdicts: {}  max false-implication rate: {max_fir:.4}",
+        if recovery_ok { "ok" } else { "FAILED" }
+    );
 
     let degradation_json = format!(
         concat!(
@@ -228,6 +305,8 @@ fn main() -> ExitCode {
             "  \"zero_panics\": {},\n",
             "  \"deterministic\": {},\n",
             "  \"max_false_implication_rate\": {:.4},\n",
+            "  \"recovery_verdicts_identical\": {},\n",
+            "  \"recovery\": [\n{}\n  ],\n",
             "  \"acceptance\": {}\n",
             "}}\n"
         ),
@@ -239,6 +318,12 @@ fn main() -> ExitCode {
         zero_panics,
         deterministic,
         max_fir,
+        recovery_ok,
+        recovery_rows
+            .iter()
+            .map(recovery_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
         acceptance_json.trim_start(),
     );
 
@@ -262,9 +347,10 @@ fn main() -> ExitCode {
         }
     }
 
-    if !zero_panics || !deterministic || max_fir > 0.0 {
+    if !zero_panics || !deterministic || !recovery_ok || max_fir > 0.0 {
         eprintln!(
-            "soak failed: zero_panics={zero_panics} deterministic={deterministic} max_fir={max_fir}"
+            "soak failed: zero_panics={zero_panics} deterministic={deterministic} \
+             recovery_ok={recovery_ok} max_fir={max_fir}"
         );
         return ExitCode::FAILURE;
     }
