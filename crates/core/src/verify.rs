@@ -261,6 +261,21 @@ impl AnonTable {
         Self::build_parallel_with(&keys.schedule(), report_bytes, threads)
     }
 
+    /// Number of workers [`AnonTable::build_parallel`] actually dispatches
+    /// for a schedule of `n` keys and a requested `threads` count: one for
+    /// the serial fallback (`threads <= 1` or `n < 2`), otherwise one per
+    /// shard, `min(threads, n)`. The count is a property of the dispatch,
+    /// not of the host's core count — workers beyond the available cores
+    /// still run (interleaved by the OS scheduler), which is what lets a
+    /// benchmark exercise the real sharded path on any machine.
+    pub fn parallel_workers(n: usize, threads: usize) -> usize {
+        if threads <= 1 || n < 2 {
+            1
+        } else {
+            threads.min(n)
+        }
+    }
+
     /// [`AnonTable::build_parallel`] over an already-shared [`KeySchedule`].
     pub fn build_parallel_with(
         schedule: &KeySchedule,
@@ -268,7 +283,7 @@ impl AnonTable {
         threads: usize,
     ) -> Self {
         let n = schedule.len();
-        if threads <= 1 || n < 2 {
+        if Self::parallel_workers(n, threads) == 1 {
             return Self::build_with(schedule, report_bytes);
         }
         fn hash_shard(
@@ -281,7 +296,7 @@ impl AnonTable {
                 .map(|(&id, key)| (anon_id_prepared(key, report_bytes, id), id))
                 .collect()
         }
-        let chunk = n.div_ceil(threads.min(n));
+        let chunk = n.div_ceil(Self::parallel_workers(n, threads));
         let shards: Vec<Vec<(AnonId, u16)>> = std::thread::scope(|scope| {
             let mut chunks = schedule
                 .ids()

@@ -1,0 +1,139 @@
+//! A minimal blocking client for the gateway protocol.
+//!
+//! Used by the benches, the integration tests, and the README quickstart;
+//! also a reference implementation for anyone speaking the envelope
+//! protocol from another language. One connection, requests answered in
+//! order, [`ingest`](GatewayClient::ingest) pipelined with no response.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::envelope::{Envelope, OpCode, Response, Status};
+use crate::tenant::DrainVerdict;
+
+/// Cap on one response payload accepted by the client. Sized for a drain
+/// verdict carrying up to `MAX_EVIDENCE_BYTES` of canonical evidence plus
+/// its JSON summary.
+pub const CLIENT_MAX_RESPONSE: usize = 96 << 20;
+
+enum ClientSock {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl ClientSock {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientSock::Tcp(s) => s.read(buf),
+            ClientSock::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            ClientSock::Tcp(s) => s.write_all(buf),
+            ClientSock::Unix(s) => s.write_all(buf),
+        }
+    }
+}
+
+/// A blocking gateway connection.
+pub struct GatewayClient {
+    sock: ClientSock,
+    /// Response bytes read but not yet decoded.
+    buf: Vec<u8>,
+}
+
+impl GatewayClient {
+    /// Connects over TCP (Nagle disabled — requests are small frames).
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        s.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(GatewayClient {
+            sock: ClientSock::Tcp(s),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    pub fn connect_uds(path: impl AsRef<Path>) -> io::Result<Self> {
+        let s = UnixStream::connect(path)?;
+        s.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(GatewayClient {
+            sock: ClientSock::Unix(s),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one canonical packet for `tenant`. Fire-and-forget: returns
+    /// as soon as the kernel accepts the frame; admission outcomes are
+    /// visible in the gateway's metrics, not per packet.
+    pub fn ingest(&mut self, tenant: &[u8], packet_bytes: &[u8]) -> io::Result<()> {
+        self.sock
+            .write_all(&Envelope::ingest(tenant, packet_bytes).encode())
+    }
+
+    /// Requests the tenant's live service snapshot as JSON.
+    pub fn snapshot(&mut self, tenant: &[u8]) -> io::Result<String> {
+        let payload = self.request(Envelope::control(OpCode::Snapshot, tenant))?;
+        String::from_utf8(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Requests the whole gateway's Prometheus text exposition.
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        let payload = self.request(Envelope::control(OpCode::MetricsText, b"_"))?;
+        String::from_utf8(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Drains the tenant and returns its verdict (idempotent server-side).
+    pub fn drain(&mut self, tenant: &[u8]) -> io::Result<DrainVerdict> {
+        let payload = self.request(Envelope::control(OpCode::Drain, tenant))?;
+        DrainVerdict::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    fn request(&mut self, env: Envelope) -> io::Result<Vec<u8>> {
+        self.sock.write_all(&env.encode())?;
+        let resp = self.read_response()?;
+        match resp.status {
+            Status::Ok => Ok(resp.payload),
+            Status::Rejected | Status::Error => Err(io::Error::other(format!(
+                "gateway {}: {}",
+                if resp.status == Status::Rejected {
+                    "rejected request"
+                } else {
+                    "protocol error"
+                },
+                String::from_utf8_lossy(&resp.payload)
+            ))),
+        }
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            match Response::decode(&self.buf, CLIENT_MAX_RESPONSE) {
+                Ok(Some((resp, used))) => {
+                    self.buf.drain(..used);
+                    return Ok(resp);
+                }
+                Ok(None) => {}
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            }
+            match self.sock.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "gateway closed the connection mid-response",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! The gateway's framed envelope protocol.
+//!
+//! Every request on a gateway connection is one length-prefixed frame
+//! carrying `pnm-wire` canonical packet bytes (or nothing, for control
+//! opcodes) plus a small envelope identifying the tenant:
+//!
+//! ```text
+//! magic(2 = "PG") | version(1) | opcode(1) | tenant_len(1) | tenant |
+//! payload_len(4, BE) | payload
+//! ```
+//!
+//! Responses are simpler — requests are answered in order on the same
+//! connection, so no correlation id is needed:
+//!
+//! ```text
+//! status(1) | payload_len(4, BE) | payload
+//! ```
+//!
+//! Decoding is **total** in the same sense as `pnm-wire`: for any byte
+//! stream the decoder returns a frame, "need more bytes", or a structured
+//! [`EnvelopeError`] — never a panic, and never an allocation driven by an
+//! unvalidated length field (both length fields are checked against hard
+//! caps before any buffer grows). Because frames are delimited only by
+//! their own lengths, a connection that produced an envelope error cannot
+//! be resynchronized and must be closed; the gateway counts the rejection
+//! first.
+
+use std::fmt;
+
+/// Frame magic: `"PG"` (PNM gateway).
+pub const MAGIC: [u8; 2] = *b"PG";
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Fixed bytes before the tenant id: magic + version + opcode + tenant_len.
+pub const FIXED_HEADER: usize = 5;
+
+/// Hard cap on the tenant-id length (the field is one byte, but tenant
+/// names double as metrics label values, so keep them short).
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Default cap on a request payload. A marked packet is a few hundred
+/// bytes; 1 MiB leaves two orders of magnitude of headroom while bounding
+/// what a hostile length field can make the server buffer.
+pub const DEFAULT_MAX_PAYLOAD: usize = 1 << 20;
+
+/// What the client asks the gateway to do with a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpCode {
+    /// Payload is one canonical packet; feed it to the tenant's pool.
+    /// Fire-and-forget: no response frame, rejections are counted.
+    Ingest = 0,
+    /// Respond with the tenant's live service snapshot as JSON.
+    Snapshot = 1,
+    /// Respond with the whole gateway's Prometheus text exposition
+    /// (every tenant, `tenant="..."` labels). The envelope's tenant field
+    /// is ignored — scrape agents are not tenants.
+    MetricsText = 2,
+    /// Drain the tenant's pool and respond with its verdict: canonical
+    /// evidence bytes plus a JSON summary (see
+    /// [`crate::DrainVerdict`]). Idempotent — a second drain returns the
+    /// same bytes.
+    Drain = 3,
+}
+
+impl OpCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(OpCode::Ingest),
+            1 => Some(OpCode::Snapshot),
+            2 => Some(OpCode::MetricsText),
+            3 => Some(OpCode::Drain),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Protocol version (always [`VERSION`] after a successful decode).
+    pub version: u8,
+    /// The requested operation.
+    pub opcode: OpCode,
+    /// Tenant id bytes (1..=[`MAX_TENANT_LEN`]).
+    pub tenant: Vec<u8>,
+    /// Operation payload (canonical packet bytes for `Ingest`).
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Builds an ingest frame for a tenant.
+    pub fn ingest(tenant: &[u8], packet_bytes: &[u8]) -> Self {
+        Envelope {
+            version: VERSION,
+            opcode: OpCode::Ingest,
+            tenant: tenant.to_vec(),
+            payload: packet_bytes.to_vec(),
+        }
+    }
+
+    /// Builds a payload-less control frame.
+    pub fn control(opcode: OpCode, tenant: &[u8]) -> Self {
+        Envelope {
+            version: VERSION,
+            opcode,
+            tenant: tenant.to_vec(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Canonical frame encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant id is empty or longer than
+    /// [`MAX_TENANT_LEN`], or the payload exceeds `u32::MAX` — both are
+    /// caller bugs, not wire conditions.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(
+            !self.tenant.is_empty() && self.tenant.len() <= MAX_TENANT_LEN,
+            "tenant id must be 1..={MAX_TENANT_LEN} bytes"
+        );
+        assert!(u32::try_from(self.payload.len()).is_ok(), "payload too big");
+        let mut out = Vec::with_capacity(FIXED_HEADER + self.tenant.len() + 4 + self.payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(self.version);
+        out.push(self.opcode as u8);
+        out.push(self.tenant.len() as u8);
+        out.extend_from_slice(&self.tenant);
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Tries to decode one frame from the front of `buf`.
+    ///
+    /// Returns `Ok(Some((envelope, consumed)))` on a complete frame,
+    /// `Ok(None)` when `buf` holds a valid but incomplete prefix (read
+    /// more bytes and retry), or a structured [`EnvelopeError`] as soon as
+    /// the prefix can no longer begin a valid frame. Total: never panics,
+    /// never allocates more than the frame's checked lengths.
+    pub fn decode(
+        buf: &[u8],
+        max_payload: usize,
+    ) -> Result<Option<(Envelope, usize)>, EnvelopeError> {
+        // Validate fixed fields as soon as their bytes exist, so garbage
+        // fails fast instead of stalling as a "partial frame".
+        if !buf.is_empty() && buf[0] != MAGIC[0] {
+            return Err(EnvelopeError::BadMagic([buf[0], 0]));
+        }
+        if buf.len() >= 2 && buf[..2] != MAGIC {
+            return Err(EnvelopeError::BadMagic([buf[0], buf[1]]));
+        }
+        if buf.len() >= 3 && buf[2] != VERSION {
+            return Err(EnvelopeError::BadVersion(buf[2]));
+        }
+        if buf.len() >= 4 && OpCode::from_u8(buf[3]).is_none() {
+            return Err(EnvelopeError::BadOpcode(buf[3]));
+        }
+        if buf.len() >= 5 && (buf[4] == 0 || buf[4] as usize > MAX_TENANT_LEN) {
+            return Err(EnvelopeError::BadTenantLen(buf[4]));
+        }
+        if buf.len() < FIXED_HEADER {
+            return Ok(None);
+        }
+        let opcode = OpCode::from_u8(buf[3]).expect("validated above");
+        let tenant_len = buf[4] as usize;
+        let len_off = FIXED_HEADER + tenant_len;
+        if buf.len() < len_off + 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_be_bytes([
+            buf[len_off],
+            buf[len_off + 1],
+            buf[len_off + 2],
+            buf[len_off + 3],
+        ]) as usize;
+        if declared > max_payload {
+            return Err(EnvelopeError::PayloadTooLarge {
+                declared,
+                max: max_payload,
+            });
+        }
+        let end = len_off + 4 + declared;
+        if buf.len() < end {
+            return Ok(None);
+        }
+        Ok(Some((
+            Envelope {
+                version: VERSION,
+                opcode,
+                tenant: buf[FIXED_HEADER..len_off].to_vec(),
+                payload: buf[len_off + 4..end].to_vec(),
+            },
+            end,
+        )))
+    }
+}
+
+/// Response status byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The operation succeeded; the payload is its result.
+    Ok = 0,
+    /// The operation was refused (unknown tenant, drained tenant); the
+    /// payload is a short human-readable reason.
+    Rejected = 1,
+    /// The connection violated the protocol; the payload is the reason
+    /// and the server closes the connection after writing it.
+    Error = 2,
+}
+
+impl Status {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Rejected),
+            2 => Some(Status::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded response frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Outcome of the request.
+    pub status: Status,
+    /// Result bytes (`Ok`) or a reason string (`Rejected`/`Error`).
+    pub payload: Vec<u8>,
+}
+
+impl Response {
+    /// Builds a response.
+    pub fn new(status: Status, payload: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            payload: payload.into(),
+        }
+    }
+
+    /// Canonical response encoding: `status | payload_len(4, BE) | payload`.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(u32::try_from(self.payload.len()).is_ok(), "payload too big");
+        let mut out = Vec::with_capacity(5 + self.payload.len());
+        out.push(self.status as u8);
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Tries to decode one response from the front of `buf`; same
+    /// contract as [`Envelope::decode`].
+    pub fn decode(
+        buf: &[u8],
+        max_payload: usize,
+    ) -> Result<Option<(Response, usize)>, EnvelopeError> {
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let Some(status) = Status::from_u8(buf[0]) else {
+            return Err(EnvelopeError::BadStatus(buf[0]));
+        };
+        if buf.len() < 5 {
+            return Ok(None);
+        }
+        let declared = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+        if declared > max_payload {
+            return Err(EnvelopeError::PayloadTooLarge {
+                declared,
+                max: max_payload,
+            });
+        }
+        if buf.len() < 5 + declared {
+            return Ok(None);
+        }
+        Ok(Some((
+            Response {
+                status,
+                payload: buf[5..5 + declared].to_vec(),
+            },
+            5 + declared,
+        )))
+    }
+}
+
+/// Why a byte stream cannot continue as a valid frame sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// The first two bytes are not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Tenant length zero or beyond [`MAX_TENANT_LEN`].
+    BadTenantLen(u8),
+    /// Unknown response status byte.
+    BadStatus(u8),
+    /// Declared payload length exceeds the negotiated cap.
+    PayloadTooLarge {
+        /// The length the frame claimed.
+        declared: usize,
+        /// The cap it violated.
+        max: usize,
+    },
+}
+
+impl EnvelopeError {
+    /// Stable short name, used as the `reason` label on rejection
+    /// counters.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            EnvelopeError::BadMagic(_) => "bad_magic",
+            EnvelopeError::BadVersion(_) => "bad_version",
+            EnvelopeError::BadOpcode(_) => "bad_opcode",
+            EnvelopeError::BadTenantLen(_) => "bad_tenant_len",
+            EnvelopeError::BadStatus(_) => "bad_status",
+            EnvelopeError::PayloadTooLarge { .. } => "oversized",
+        }
+    }
+}
+
+impl fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvelopeError::BadMagic(b) => write!(f, "bad frame magic {b:02x?}"),
+            EnvelopeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            EnvelopeError::BadOpcode(v) => write!(f, "unknown opcode {v}"),
+            EnvelopeError::BadTenantLen(v) => write!(f, "tenant length {v} out of range"),
+            EnvelopeError::BadStatus(v) => write!(f, "unknown response status {v}"),
+            EnvelopeError::PayloadTooLarge { declared, max } => {
+                write!(f, "declared payload {declared} exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Envelope {
+        Envelope::ingest(b"alpha", b"some canonical packet bytes")
+    }
+
+    #[test]
+    fn round_trip() {
+        for env in [
+            sample(),
+            Envelope::control(OpCode::Snapshot, b"t"),
+            Envelope::control(OpCode::MetricsText, b"scraper"),
+            Envelope::control(OpCode::Drain, &[0xff; MAX_TENANT_LEN]),
+        ] {
+            let bytes = env.encode();
+            let (decoded, used) = Envelope::decode(&bytes, DEFAULT_MAX_PAYLOAD)
+                .unwrap()
+                .unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, env);
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        for resp in [
+            Response::new(Status::Ok, &b"payload"[..]),
+            Response::new(Status::Rejected, &b"unknown tenant"[..]),
+            Response::new(Status::Error, &b""[..]),
+        ] {
+            let bytes = resp.encode();
+            let (decoded, used) = Response::decode(&bytes, DEFAULT_MAX_PAYLOAD)
+                .unwrap()
+                .unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_incomplete_not_error() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Envelope::decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD).unwrap(),
+                None,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_sequence() {
+        let a = sample();
+        let b = Envelope::control(OpCode::Drain, b"beta");
+        let mut stream = a.encode();
+        stream.extend_from_slice(&b.encode());
+        let (first, used) = Envelope::decode(&stream, DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(first, a);
+        let (second, used2) = Envelope::decode(&stream[used..], DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(second, b);
+        assert_eq!(used + used2, stream.len());
+    }
+
+    #[test]
+    fn garbage_prefixes_fail_fast() {
+        assert_eq!(
+            Envelope::decode(b"XX", 64).unwrap_err().reason(),
+            "bad_magic"
+        );
+        // Wrong first byte fails on one byte already.
+        assert_eq!(
+            Envelope::decode(b"Q", 64).unwrap_err().reason(),
+            "bad_magic"
+        );
+        assert_eq!(
+            Envelope::decode(b"PG\x07", 64).unwrap_err().reason(),
+            "bad_version"
+        );
+        assert_eq!(
+            Envelope::decode(b"PG\x01\x63", 64).unwrap_err().reason(),
+            "bad_opcode"
+        );
+        assert_eq!(
+            Envelope::decode(b"PG\x01\x00\x00", 64)
+                .unwrap_err()
+                .reason(),
+            "bad_tenant_len"
+        );
+    }
+
+    #[test]
+    fn oversized_payload_rejected_before_buffering() {
+        let mut bytes = sample().encode();
+        // Rewrite the payload length field to something absurd.
+        let len_off = FIXED_HEADER + 5; // tenant "alpha"
+        bytes[len_off..len_off + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            Envelope::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+            EnvelopeError::PayloadTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "tenant id")]
+    fn encoding_empty_tenant_is_a_caller_bug() {
+        let _ = Envelope::ingest(b"", b"x").encode();
+    }
+}

@@ -1,0 +1,547 @@
+//! Tenant registry: many independent sensor networks behind one gateway.
+//!
+//! Each tenant is a complete, isolated traceback deployment: its own
+//! [`KeyStore`] (tenants never share key material), its own
+//! [`ServicePool`] (own shard set, own queues and backpressure policy,
+//! own optional evidence log), and its own metrics subtree — one
+//! [`TenantRegistry::metrics_text`] scrape renders every tenant with
+//! `tenant="..."` labels, so operators watch the fleet through a single
+//! exposition endpoint.
+//!
+//! Isolation is structural, not policy: a tenant's packets are admitted
+//! against its *name*, decoded, and enqueued into the pool owned by that
+//! name. There is no shared engine, cache, or evidence path through which
+//! one tenant's bytes could reach another tenant's verdict — the
+//! end-to-end test in `tests/isolation.rs` pins this by byte-comparing
+//! gateway-served evidence against per-tenant sequential runs.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use pnm_core::store::{LogStore, StoreError};
+use pnm_crypto::KeyStore;
+use pnm_obs::{Counter, JsonValue, Registry};
+use pnm_service::{IngestError, ServiceConfig, ServicePool};
+use pnm_wire::Packet;
+
+use crate::admission::TokenBucket;
+use crate::envelope::MAX_TENANT_LEN;
+
+/// Per-tenant ingest rate limit (token bucket parameters).
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimit {
+    /// Sustained packets per second.
+    pub packets_per_sec: f64,
+    /// Burst capacity in packets.
+    pub burst: f64,
+}
+
+/// Everything needed to provision one tenant.
+#[derive(Clone)]
+pub struct TenantConfig {
+    keys: Arc<KeyStore>,
+    service: ServiceConfig,
+    rate_limit: Option<RateLimit>,
+}
+
+impl TenantConfig {
+    /// A tenant with its own key material and service configuration.
+    pub fn new(keys: impl Into<Arc<KeyStore>>, service: ServiceConfig) -> Self {
+        TenantConfig {
+            keys: keys.into(),
+            service,
+            rate_limit: None,
+        }
+    }
+
+    /// Caps the tenant's sustained ingest rate; packets beyond the bucket
+    /// are counted as `rate_limited` rejections and dropped before they
+    /// cost a decode. No limit by default.
+    pub fn rate_limit(mut self, packets_per_sec: f64, burst: f64) -> Self {
+        self.rate_limit = Some(RateLimit {
+            packets_per_sec,
+            burst,
+        });
+        self
+    }
+}
+
+/// Why the gateway refused (or accepted) one ingest frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestStatus {
+    /// Enqueued into the tenant's pool.
+    Accepted,
+    /// The envelope named no provisioned tenant.
+    UnknownTenant,
+    /// The payload failed `Packet::from_bytes` — counted, never a panic,
+    /// exactly as `SinkEngine::ingest_bytes` counts malformed bytes.
+    Malformed,
+    /// The tenant's token bucket was empty.
+    RateLimited,
+    /// The tenant's pool shed the packet (bounded queue full under
+    /// [`pnm_service::BackpressurePolicy::Shed`]).
+    Shed,
+    /// The tenant was already drained; its verdict is final.
+    Drained,
+}
+
+impl IngestStatus {
+    /// Stable rejection-counter label (`None` for `Accepted`).
+    pub fn reason(&self) -> Option<&'static str> {
+        match self {
+            IngestStatus::Accepted => None,
+            IngestStatus::UnknownTenant => Some("unknown_tenant"),
+            IngestStatus::Malformed => Some("malformed"),
+            IngestStatus::RateLimited => Some("rate_limited"),
+            IngestStatus::Shed => Some("shed"),
+            IngestStatus::Drained => Some("drained"),
+        }
+    }
+}
+
+/// A drained tenant's final, immutable verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DrainVerdict {
+    /// Canonical [`pnm_core::store::Evidence`] bytes of the merged
+    /// engine — byte-comparable against any other run of the same packet
+    /// stream.
+    pub evidence_bytes: Vec<u8>,
+    /// Human/JSON summary: localization, counters, pool telemetry.
+    pub summary_json: String,
+}
+
+impl DrainVerdict {
+    /// Encodes the verdict as a drain-response payload:
+    /// `evidence_len(4, BE) | evidence | summary JSON (UTF-8)`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.evidence_bytes.len() + self.summary_json.len());
+        out.extend_from_slice(&(self.evidence_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.evidence_bytes);
+        out.extend_from_slice(self.summary_json.as_bytes());
+        out
+    }
+
+    /// Decodes a drain-response payload. Total: structured error on any
+    /// malformed input.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        if payload.len() < 4 {
+            return Err("drain payload shorter than its length prefix".into());
+        }
+        let len = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+        if payload.len() < 4 + len {
+            return Err(format!(
+                "drain payload declares {len} evidence bytes, only {} present",
+                payload.len() - 4
+            ));
+        }
+        let summary = std::str::from_utf8(&payload[4 + len..])
+            .map_err(|e| format!("drain summary is not UTF-8: {e}"))?;
+        Ok(DrainVerdict {
+            evidence_bytes: payload[4..4 + len].to_vec(),
+            summary_json: summary.to_string(),
+        })
+    }
+}
+
+/// One provisioned tenant.
+struct Tenant {
+    name: String,
+    /// `Some` while running; taken by the first drain.
+    pool: Mutex<Option<ServicePool>>,
+    /// Set by the first drain; subsequent drains return the same verdict.
+    verdict: Mutex<Option<Arc<DrainVerdict>>>,
+    bucket: Option<Mutex<TokenBucket>>,
+    ingested: Counter,
+    rejected_malformed: Counter,
+    rejected_rate: Counter,
+    rejected_shed: Counter,
+    rejected_drained: Counter,
+}
+
+/// The gateway's tenant table plus its own metrics registry.
+///
+/// Build one with [`TenantRegistry::builder`], share it (`Arc`) between
+/// the server and any in-process observers, and drop it after draining.
+pub struct TenantRegistry {
+    tenants: BTreeMap<Vec<u8>, Tenant>,
+    registry: Registry,
+    rejected_unknown: Counter,
+}
+
+/// Builder for [`TenantRegistry`].
+#[derive(Default)]
+pub struct TenantRegistryBuilder {
+    tenants: Vec<(String, TenantConfig)>,
+    evidence_dir: Option<PathBuf>,
+}
+
+impl TenantRegistryBuilder {
+    /// Provisions a tenant. Names must be 1..=64 bytes of
+    /// `[A-Za-z0-9._-]` (they double as metrics label values and evidence
+    /// file names) and unique.
+    pub fn tenant(mut self, name: &str, config: TenantConfig) -> Self {
+        assert!(
+            !name.is_empty()
+                && name.len() <= MAX_TENANT_LEN
+                && name
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b"._-".contains(&b)),
+            "tenant name {name:?} must be 1..={MAX_TENANT_LEN} bytes of [A-Za-z0-9._-]"
+        );
+        self.tenants.push((name.to_string(), config));
+        self
+    }
+
+    /// Gives every tenant (that has no explicit store already) a durable
+    /// evidence log at `<dir>/<tenant>.pnme` — one file per tenant, so
+    /// evidence never shares a byte stream across tenants and each tenant
+    /// recovers independently.
+    pub fn evidence_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.evidence_dir = Some(dir.into());
+        self
+    }
+
+    /// Spawns every tenant's pool and returns the registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from opening a tenant's evidence log.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate tenant names (a provisioning bug).
+    pub fn build(self) -> Result<TenantRegistry, StoreError> {
+        let registry = Registry::new();
+        let mut tenants = BTreeMap::new();
+        for (name, config) in self.tenants {
+            let mut service = config.service;
+            if let (Some(dir), None) = (&self.evidence_dir, service.store_handle()) {
+                let store = Arc::new(LogStore::open(dir.join(format!("{name}.pnme")))?);
+                service = service.store(store);
+            }
+            let labels: [(&str, &str); 1] = [("tenant", &name)];
+            let rejected = |reason: &str| {
+                registry.counter(
+                    "pnm_gateway_rejected_total",
+                    &[("tenant", &name), ("reason", reason)],
+                )
+            };
+            let tenant = Tenant {
+                pool: Mutex::new(Some(ServicePool::new(config.keys, service))),
+                bucket: config
+                    .rate_limit
+                    .map(|r| Mutex::new(TokenBucket::new(r.packets_per_sec, r.burst))),
+                verdict: Mutex::new(None),
+                ingested: registry.counter("pnm_gateway_ingested_total", &labels),
+                rejected_malformed: rejected("malformed"),
+                rejected_rate: rejected("rate_limited"),
+                rejected_shed: rejected("shed"),
+                rejected_drained: rejected("drained"),
+                name,
+            };
+            let prior = tenants.insert(tenant.name.clone().into_bytes(), tenant);
+            assert!(prior.is_none(), "duplicate tenant name");
+        }
+        Ok(TenantRegistry {
+            tenants,
+            rejected_unknown: registry.counter(
+                "pnm_gateway_rejected_total",
+                &[("reason", "unknown_tenant")],
+            ),
+            registry,
+        })
+    }
+}
+
+impl TenantRegistry {
+    /// Starts provisioning a registry.
+    pub fn builder() -> TenantRegistryBuilder {
+        TenantRegistryBuilder::default()
+    }
+
+    /// Provisioned tenant names, sorted.
+    pub fn tenant_names(&self) -> Vec<&str> {
+        self.tenants.values().map(|t| t.name.as_str()).collect()
+    }
+
+    /// The gateway-level metrics registry (admission and rejection
+    /// counters; per-pool series are rendered by
+    /// [`metrics_text`](Self::metrics_text)).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Admits one ingest frame: token bucket, then packet decode, then
+    /// the tenant's pool (whose Block/Shed policy applies as configured).
+    /// Every outcome is counted under the tenant's metrics namespace;
+    /// nothing here panics on hostile payload bytes.
+    pub fn ingest(&self, tenant: &[u8], payload: &[u8], now: Instant) -> IngestStatus {
+        let Some(t) = self.tenants.get(tenant) else {
+            self.rejected_unknown.inc();
+            return IngestStatus::UnknownTenant;
+        };
+        if let Some(bucket) = &t.bucket {
+            if !bucket.lock().expect("bucket lock").try_take_at(now) {
+                t.rejected_rate.inc();
+                return IngestStatus::RateLimited;
+            }
+        }
+        let packet = match Packet::from_bytes(payload) {
+            Ok(p) => p,
+            Err(_) => {
+                t.rejected_malformed.inc();
+                return IngestStatus::Malformed;
+            }
+        };
+        let pool = t.pool.lock().expect("pool lock");
+        match pool.as_ref() {
+            Some(pool) => match pool.ingest(packet) {
+                Ok(_) => {
+                    t.ingested.inc();
+                    IngestStatus::Accepted
+                }
+                Err(IngestError::Shed) => {
+                    t.rejected_shed.inc();
+                    IngestStatus::Shed
+                }
+                Err(IngestError::Closed) => {
+                    t.rejected_drained.inc();
+                    IngestStatus::Drained
+                }
+            },
+            None => {
+                t.rejected_drained.inc();
+                IngestStatus::Drained
+            }
+        }
+    }
+
+    /// The tenant's live service snapshot as pretty JSON, or the final
+    /// drain summary once drained. `None` for unknown tenants.
+    pub fn snapshot_json(&self, tenant: &[u8]) -> Option<String> {
+        let t = self.tenants.get(tenant)?;
+        if let Some(pool) = t.pool.lock().expect("pool lock").as_ref() {
+            return Some(pool.snapshot().to_json());
+        }
+        let verdict = t.verdict.lock().expect("verdict lock");
+        Some(
+            verdict
+                .as_ref()
+                .map(|v| v.summary_json.clone())
+                .unwrap_or_else(|| "{}".to_string()),
+        )
+    }
+
+    /// Drains the tenant's pool (first call) and returns its verdict;
+    /// idempotent thereafter. `None` for unknown tenants.
+    ///
+    /// The verdict's evidence bytes are the canonical encoding of the
+    /// merged engine's [`pnm_core::store::Evidence`] — the unit of the
+    /// cross-tenant isolation guarantee.
+    pub fn drain(&self, tenant: &[u8]) -> Option<Arc<DrainVerdict>> {
+        let t = self.tenants.get(tenant)?;
+        // Take the pool out of the slot first, so a concurrent ingest
+        // observes "drained" rather than blocking behind the (long) drain.
+        let pool = t.pool.lock().expect("pool lock").take();
+        if let Some(pool) = pool {
+            let report = pool.drain();
+            let engine = &report.engine;
+            let summary = JsonValue::obj(vec![
+                ("tenant", JsonValue::Str(t.name.clone())),
+                (
+                    "unequivocal_source",
+                    match engine.unequivocal_source() {
+                        Some(id) => JsonValue::UInt(u64::from(id.raw())),
+                        None => JsonValue::Null,
+                    },
+                ),
+                (
+                    "quarantined",
+                    JsonValue::Array(
+                        engine
+                            .quarantine()
+                            .quarantined()
+                            .map(|n| JsonValue::UInt(u64::from(n.raw())))
+                            .collect(),
+                    ),
+                ),
+                ("packets", JsonValue::UInt(engine.counters().packets as u64)),
+                (
+                    "suspicious",
+                    JsonValue::UInt(engine.counters().suspicious as u64),
+                ),
+                (
+                    "malformed",
+                    JsonValue::UInt(engine.counters().malformed as u64),
+                ),
+                ("processed", JsonValue::UInt(report.snapshot.processed)),
+                ("shed", JsonValue::UInt(report.snapshot.shed)),
+                ("panics", JsonValue::UInt(report.snapshot.panics)),
+                ("wedged", JsonValue::UInt(report.wedged.len() as u64)),
+            ]);
+            let verdict = Arc::new(DrainVerdict {
+                evidence_bytes: engine.evidence().to_bytes(),
+                summary_json: summary.render_pretty(),
+            });
+            *t.verdict.lock().expect("verdict lock") = Some(Arc::clone(&verdict));
+            return Some(verdict);
+        }
+        // Already drained: hand back the recorded verdict. The slot can
+        // only be empty after a drain stored one.
+        let verdict = t.verdict.lock().expect("verdict lock");
+        verdict.as_ref().map(Arc::clone)
+    }
+
+    /// One scrape covering the gateway and every running tenant pool:
+    /// gateway-level admission/rejection counters (already
+    /// tenant-labelled), then each pool's full exposition with
+    /// `tenant="..."` merged into every series.
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.registry.prometheus_text();
+        for t in self.tenants.values() {
+            if let Some(pool) = t.pool.lock().expect("pool lock").as_ref() {
+                out.push_str(&pool.metrics_text_labelled(&[("tenant", &t.name)]));
+            }
+        }
+        out
+    }
+
+    /// Total backlog across every running tenant pool (packets admitted
+    /// but not yet processed) — lets benches wait for quiescence without
+    /// draining.
+    pub fn backlog(&self) -> u64 {
+        self.tenants
+            .values()
+            .filter_map(|t| {
+                t.pool
+                    .lock()
+                    .expect("pool lock")
+                    .as_ref()
+                    .map(|p| p.snapshot().backlog())
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnm_core::{
+        MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig, VerifyMode,
+    };
+    use pnm_wire::{Location, NodeId, Report};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    fn tenant_config(master: &[u8], n: u16) -> TenantConfig {
+        TenantConfig::new(
+            KeyStore::derive_from_master(master, n),
+            ServiceConfig::new(SinkConfig::new(VerifyMode::Nested)).shards(1),
+        )
+    }
+
+    fn marked_packet(master: &[u8], n: u16, seq: u64) -> Packet {
+        let keys = KeyStore::derive_from_master(master, n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut rng = StdRng::seed_from_u64(seq);
+        let report = Report::new(
+            format!("t-{seq}").into_bytes(),
+            Location::new(seq as f32, 0.0),
+            seq,
+        );
+        let mut pkt = Packet::new(report);
+        for hop in 0..n {
+            let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+        pkt
+    }
+
+    #[test]
+    fn unknown_and_malformed_are_counted_not_fatal() {
+        let reg = TenantRegistry::builder()
+            .tenant("alpha", tenant_config(b"alpha", 6))
+            .build()
+            .unwrap();
+        let now = Instant::now();
+        assert_eq!(
+            reg.ingest(b"nope", b"anything", now),
+            IngestStatus::UnknownTenant
+        );
+        assert_eq!(
+            reg.ingest(b"alpha", b"\xff\xff garbage", now),
+            IngestStatus::Malformed
+        );
+        let ok = marked_packet(b"alpha", 6, 1).to_bytes();
+        assert_eq!(reg.ingest(b"alpha", &ok, now), IngestStatus::Accepted);
+        let text = reg.metrics_text();
+        assert!(text.contains("pnm_gateway_rejected_total{reason=\"unknown_tenant\"} 1"));
+        assert!(
+            text.contains("pnm_gateway_rejected_total{reason=\"malformed\",tenant=\"alpha\"} 1")
+        );
+        assert!(text.contains("pnm_gateway_ingested_total{tenant=\"alpha\"} 1"));
+        reg.drain(b"alpha");
+    }
+
+    #[test]
+    fn rate_limit_sheds_exactly_beyond_burst() {
+        let reg = TenantRegistry::builder()
+            .tenant("alpha", tenant_config(b"alpha", 4).rate_limit(1.0, 2.0))
+            .build()
+            .unwrap();
+        let now = Instant::now();
+        let bytes = marked_packet(b"alpha", 4, 1).to_bytes();
+        assert_eq!(reg.ingest(b"alpha", &bytes, now), IngestStatus::Accepted);
+        assert_eq!(reg.ingest(b"alpha", &bytes, now), IngestStatus::Accepted);
+        assert_eq!(reg.ingest(b"alpha", &bytes, now), IngestStatus::RateLimited);
+        // One second refills one token.
+        assert_eq!(
+            reg.ingest(b"alpha", &bytes, now + Duration::from_secs(1)),
+            IngestStatus::Accepted
+        );
+        assert!(reg
+            .metrics_text()
+            .contains("pnm_gateway_rejected_total{reason=\"rate_limited\",tenant=\"alpha\"} 1"));
+        reg.drain(b"alpha");
+    }
+
+    #[test]
+    fn drain_is_idempotent_and_final() {
+        let reg = TenantRegistry::builder()
+            .tenant("alpha", tenant_config(b"alpha", 6))
+            .build()
+            .unwrap();
+        let now = Instant::now();
+        for seq in 0..20 {
+            let bytes = marked_packet(b"alpha", 6, seq).to_bytes();
+            assert_eq!(reg.ingest(b"alpha", &bytes, now), IngestStatus::Accepted);
+        }
+        let v1 = reg.drain(b"alpha").unwrap();
+        let v2 = reg.drain(b"alpha").unwrap();
+        assert_eq!(v1.evidence_bytes, v2.evidence_bytes);
+        assert_eq!(v1.summary_json, v2.summary_json);
+        assert!(v1.summary_json.contains("\"unequivocal_source\""));
+        assert!(v1.summary_json.contains("\"processed\": 20"));
+        // Post-drain ingest is a counted rejection.
+        let bytes = marked_packet(b"alpha", 6, 99).to_bytes();
+        assert_eq!(reg.ingest(b"alpha", &bytes, now), IngestStatus::Drained);
+        // Round trip of the response payload.
+        let decoded = DrainVerdict::decode(&v1.encode()).unwrap();
+        assert_eq!(&decoded, v1.as_ref());
+    }
+
+    #[test]
+    fn drain_verdict_decode_is_total() {
+        assert!(DrainVerdict::decode(&[]).is_err());
+        assert!(DrainVerdict::decode(&[0, 0, 0, 9, 1]).is_err());
+        assert!(DrainVerdict::decode(&[0, 0, 0, 1, 1, 0xff, 0xfe]).is_err());
+        let ok = DrainVerdict {
+            evidence_bytes: vec![1, 2, 3],
+            summary_json: "{}".into(),
+        };
+        assert_eq!(DrainVerdict::decode(&ok.encode()).unwrap(), ok);
+    }
+}

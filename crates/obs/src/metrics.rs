@@ -332,10 +332,23 @@ impl Registry {
     /// the histogram's power-of-two bucket bounds, plus `+Inf`), with
     /// `_sum` and `_count` in microseconds.
     pub fn prometheus_text(&self) -> String {
+        self.prometheus_text_with(&[])
+    }
+
+    /// [`Registry::prometheus_text`] with `extra` label pairs merged into
+    /// every series — how a multi-tenant front-end scrapes one registry
+    /// per tenant yet exposes a single namespace (`tenant="..."` on each
+    /// line). Extra labels sort together with the series' own labels, so
+    /// the output stays deterministic.
+    pub fn prometheus_text_with(&self, extra: &[(&str, &str)]) -> String {
         let metrics = self.metrics.lock().expect("registry lock poisoned");
         let mut out = String::new();
         let mut last_name = "";
-        for ((name, labels), slot) in metrics.iter() {
+        for ((name, own_labels), slot) in metrics.iter() {
+            let mut merged: LabelSet = own_labels.clone();
+            merged.extend(extra.iter().map(|(k, v)| (k.to_string(), v.to_string())));
+            merged.sort();
+            let labels = &merged;
             if name != last_name {
                 let _ = writeln!(out, "# TYPE {name} {}", slot.kind());
                 last_name = name;
@@ -503,6 +516,25 @@ mod tests {
         let i0 = text.find("shard=\"0\"").unwrap();
         let i1 = text.find("shard=\"1\"").unwrap();
         assert!(i0 < i1);
+    }
+
+    #[test]
+    fn extra_labels_merge_and_sort_into_every_series() {
+        let reg = Registry::new();
+        reg.counter("pnm_packets_total", &[("shard", "0")]).add(2);
+        reg.gauge("pnm_backlog", &[]).set(3);
+        reg.histogram("pnm_stage_us", &[("stage", "verify")])
+            .record(5);
+
+        let text = reg.prometheus_text_with(&[("tenant", "alpha")]);
+        // Injected pairs sort together with the series' own labels.
+        assert!(text.contains("pnm_packets_total{shard=\"0\",tenant=\"alpha\"} 2"));
+        assert!(text.contains("pnm_backlog{tenant=\"alpha\"} 3"));
+        // 5 µs lands in the (3, 7] power-of-two bucket.
+        assert!(text.contains("pnm_stage_us_bucket{stage=\"verify\",tenant=\"alpha\",le=\"7\"} 1"));
+        assert!(text.contains("pnm_stage_us_count{stage=\"verify\",tenant=\"alpha\"} 1"));
+        // Empty extra labels reproduce the plain rendering exactly.
+        assert_eq!(reg.prometheus_text_with(&[]), reg.prometheus_text());
     }
 
     #[test]

@@ -514,6 +514,14 @@ impl ServicePool {
     /// latency histograms, and the five per-stage pipeline histograms are
     /// mirrored from a fresh [`snapshot`](Self::snapshot) at scrape time.
     pub fn metrics_text(&self) -> String {
+        self.metrics_text_labelled(&[])
+    }
+
+    /// [`metrics_text`](Self::metrics_text) with extra label pairs merged
+    /// into every series. A multi-tenant front-end scrapes one pool per
+    /// tenant with `[("tenant", name)]` so all pools share one exposition
+    /// namespace without colliding series.
+    pub fn metrics_text_labelled(&self, extra: &[(&str, &str)]) -> String {
         let snap = self.snapshot();
         for s in &snap.shards {
             let shard = s.shard.to_string();
@@ -560,7 +568,7 @@ impl ServicePool {
                 .histogram("pnm_sink_stage_us", &[("stage", stage)])
                 .set(hist.clone());
         }
-        self.registry.prometheus_text()
+        self.registry.prometheus_text_with(extra)
     }
 
     /// Gracefully drains and shuts down: closes ingestion, lets every
@@ -952,6 +960,11 @@ mod tests {
         }
         // Scrapes are idempotent: mirroring twice must not double-count.
         assert_eq!(text, pool.metrics_text());
+        // The labelled variant namespaces every series for multi-tenant
+        // exposition without forking the registry.
+        let labelled = pool.metrics_text_labelled(&[("tenant", "alpha")]);
+        assert!(labelled.contains("pnm_service_accepted_total{shard=\"0\",tenant=\"alpha\"}"));
+        assert!(labelled.contains("pnm_sink_packets_total{tenant=\"alpha\"} 30"));
         drop(pool);
     }
 

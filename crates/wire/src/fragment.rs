@@ -126,6 +126,11 @@ pub struct Reassembler {
     order: Vec<u16>,
     /// Packets discarded because the buffer was full.
     pub evicted: u64,
+    /// Fragments dropped as malformed (zero total, index out of range)
+    /// or inconsistent with the first-seen fragment geometry. A nonzero
+    /// count is a loud signal of corruption or a misbehaving sender —
+    /// these drops used to be silent.
+    pub dropped: u64,
 }
 
 impl Reassembler {
@@ -141,14 +146,29 @@ impl Reassembler {
             pending: HashMap::new(),
             order: Vec::new(),
             evicted: 0,
+            dropped: 0,
         }
     }
 
     /// Accepts one fragment; returns the complete packet bytes when the
     /// last missing fragment arrives. Duplicate fragments are ignored;
-    /// fragments inconsistent with the first-seen `total` are dropped.
+    /// malformed fragments and fragments inconsistent with the
+    /// first-seen `total` are dropped and counted in
+    /// [`dropped`](Reassembler::dropped) — never a panic, never silent.
     pub fn accept(&mut self, frame: Frame) -> Option<Vec<u8>> {
+        // `Frame::from_bytes` enforces these invariants, but a hand-built
+        // frame can violate them; drop-and-count instead of indexing out
+        // of bounds below.
+        if frame.total == 0 || frame.index >= frame.total {
+            self.dropped += 1;
+            return None;
+        }
         let total = frame.total as usize;
+        // A single-fragment packet is complete on arrival: it needs no
+        // buffer slot, so it must not evict an in-flight packet.
+        if total == 1 && !self.pending.contains_key(&frame.packet_id) {
+            return Some(frame.payload);
+        }
         if !self.pending.contains_key(&frame.packet_id) {
             if self.order.len() == self.capacity {
                 let evict = self.order.remove(0);
@@ -160,7 +180,8 @@ impl Reassembler {
         }
         let slots = self.pending.get_mut(&frame.packet_id)?;
         if slots.len() != total {
-            return None; // inconsistent total: drop
+            self.dropped += 1; // inconsistent with first-seen geometry
+            return None;
         }
         let idx = frame.index as usize;
         if slots[idx].is_none() {
@@ -281,6 +302,125 @@ mod tests {
         }
         assert_eq!(r.in_flight(), 2);
         assert_eq!(r.evicted, 2);
+    }
+
+    #[test]
+    fn single_frame_packet_at_capacity_completes_without_evicting() {
+        // Regression: a complete-on-arrival packet used to claim a buffer
+        // slot first, spuriously evicting an in-flight packet.
+        let big = marked_packet_bytes(10);
+        let mut r = Reassembler::new(2);
+        let fa = fragment(1, &big);
+        let fb = fragment(2, &big);
+        assert!(r.accept(fa[0].clone()).is_none());
+        assert!(r.accept(fb[0].clone()).is_none());
+        assert_eq!(r.in_flight(), 2);
+        // A storm of single-frame packets at full capacity...
+        for id in 10..30u16 {
+            let small = fragment(id, b"tiny");
+            assert_eq!(r.accept(small[0].clone()).unwrap(), b"tiny");
+        }
+        // ...evicts nothing: both partials are still completable.
+        assert_eq!(r.evicted, 0);
+        assert_eq!(r.in_flight(), 2);
+        let mut done = 0;
+        for f in fa.into_iter().skip(1).chain(fb.into_iter().skip(1)) {
+            if let Some(p) = r.accept(f) {
+                assert_eq!(p, big);
+                done += 1;
+            }
+        }
+        assert_eq!(done, 2);
+    }
+
+    #[test]
+    fn interleaved_storm_eviction_is_exactly_counted() {
+        // Eight multi-fragment packets round-robined through a capacity-2
+        // buffer: memory stays bounded, nothing completes (each restart
+        // evicts the oldest entry before it can fill), and the eviction
+        // count is exact. Every fragment arrival for a not-pending packet
+        // is a fresh start, so starts = evicted + in_flight at the end.
+        let bytes = marked_packet_bytes(10);
+        let storms: Vec<Vec<Frame>> = (0..8u16).map(|id| fragment(id, &bytes)).collect();
+        let n_frags = storms[0].len();
+        assert!(n_frags > 1);
+        let mut r = Reassembler::new(2);
+        for i in 0..n_frags {
+            for s in &storms {
+                assert!(r.accept(s[i].clone()).is_none(), "thrash cannot complete");
+                assert!(r.in_flight() <= 2, "capacity bound violated");
+            }
+        }
+        // Round 0 starts 8 and keeps 2 (6 evictions); every later round
+        // restarts all 8 (8 evictions each).
+        assert_eq!(r.evicted, 6 + 8 * (n_frags as u64 - 1));
+        assert_eq!(r.in_flight(), 2);
+        assert_eq!(r.dropped, 0);
+
+        // The same storm through a buffer that fits all eight packets:
+        // every packet completes, nothing is evicted.
+        let mut r = Reassembler::new(8);
+        let mut completed = 0;
+        for i in 0..n_frags {
+            for s in &storms {
+                if let Some(p) = r.accept(s[i].clone()) {
+                    assert_eq!(p, bytes);
+                    completed += 1;
+                }
+            }
+        }
+        assert_eq!(completed, 8);
+        assert_eq!(r.evicted, 0);
+        assert_eq!(r.in_flight(), 0);
+    }
+
+    #[test]
+    fn hand_built_out_of_range_fragment_is_counted_drop_not_panic() {
+        // Regression: `index >= total` from a hand-built frame used to
+        // panic on the slot index; zero-total used to insert a
+        // zero-slot entry that "completed" as an empty packet.
+        let mut r = Reassembler::new(2);
+        assert_eq!(
+            r.accept(Frame {
+                packet_id: 1,
+                index: 5,
+                total: 2,
+                payload: vec![0xaa],
+            }),
+            None
+        );
+        assert_eq!(
+            r.accept(Frame {
+                packet_id: 2,
+                index: 0,
+                total: 0,
+                payload: vec![0xbb],
+            }),
+            None
+        );
+        assert_eq!(r.dropped, 2);
+        assert_eq!(r.in_flight(), 0, "malformed fragments buffer nothing");
+    }
+
+    #[test]
+    fn inconsistent_total_is_a_counted_drop() {
+        // Regression: these drops used to be silent.
+        let bytes = marked_packet_bytes(10);
+        let frames = fragment(5, &bytes);
+        assert!(frames.len() >= 2);
+        let mut r = Reassembler::new(2);
+        assert!(r.accept(frames[0].clone()).is_none());
+        // Same packet id, different claimed geometry: dropped, counted,
+        // and the original reassembly is unharmed.
+        let mut liar = frames[1].clone();
+        liar.total = frames.len() as u8 + 3;
+        assert!(r.accept(liar).is_none());
+        assert_eq!(r.dropped, 1);
+        let mut out = None;
+        for f in frames.iter().skip(1) {
+            out = out.or(r.accept(f.clone()));
+        }
+        assert_eq!(out.unwrap(), bytes);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! | [`adversary`] | `pnm-adversary` | the seven colluding attacks, source/forwarding moles |
 //! | [`analysis`] | `pnm-analysis` | the §6.1 analytical model and statistics |
 //! | [`sim`] | `pnm-sim` | figure regeneration, attack matrix, latency experiments |
+//! | [`service`] | `pnm-service` | sharded concurrent sink service: backpressure, drain, supervision |
+//! | [`gateway`] | `pnm-gateway` | multi-tenant TCP/UDS ingestion front-end over the wire format |
 //!
 //! # Quickstart
 //!
@@ -55,6 +57,7 @@ pub use pnm_baselines as baselines;
 pub use pnm_core as core;
 pub use pnm_crypto as crypto;
 pub use pnm_filter as filter;
+pub use pnm_gateway as gateway;
 pub use pnm_net as net;
 pub use pnm_service as service;
 pub use pnm_sim as sim;
