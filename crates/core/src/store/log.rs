@@ -69,8 +69,11 @@ static CRC_TABLE: [u32; 256] = {
     table
 };
 
-/// CRC-32/IEEE over `bytes`.
-pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+/// CRC-32/IEEE over `bytes` — the same checksum that frames the evidence
+/// log, exported for other wire layers (e.g. the gateway's sequenced
+/// ingest frames) that need an end-to-end integrity check without
+/// growing a dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);

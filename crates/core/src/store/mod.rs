@@ -25,7 +25,7 @@ mod log;
 mod mem;
 
 pub use evidence::{Evidence, MAX_EVIDENCE_BYTES};
-pub use log::{LogStore, MAX_FRAME_BYTES};
+pub use log::{crc32, LogStore, MAX_FRAME_BYTES};
 pub use mem::MemStore;
 
 use std::collections::BTreeMap;

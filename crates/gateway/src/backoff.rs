@@ -1,0 +1,215 @@
+//! Capped exponential backoff with seeded, bounded jitter.
+//!
+//! Pure and deterministic: the delay for attempt `n` is a function of
+//! (policy, seed, n) alone, so a soak run replays byte-for-byte from its
+//! seed and the proptests in this module can pin the schedule's shape —
+//! monotone non-decreasing until the cap, jitter inside its band.
+
+use std::time::Duration;
+
+use crate::chaos::splitmix64;
+
+/// Jitter is clamped to at most 1/3: a doubling schedule stays monotone
+/// non-decreasing exactly when `2·(1−j) ≥ (1+j)`, i.e. `j ≤ 1/3`.
+pub const MAX_JITTER: f64 = 1.0 / 3.0;
+
+/// The shape of a backoff schedule: base delay, doubling, cap, jitter
+/// fraction.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffPolicy {
+    base: Duration,
+    cap: Duration,
+    jitter: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy::new(Duration::from_millis(10), Duration::from_secs(2))
+    }
+}
+
+impl BackoffPolicy {
+    /// Doubling from `base` up to `cap`, no jitter. `cap` is raised to at
+    /// least `base`.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        BackoffPolicy {
+            base,
+            cap: cap.max(base),
+            jitter: 0.0,
+        }
+    }
+
+    /// Multiplies every delay by a seeded factor in `[1−j, 1+j)`. `j` is
+    /// clamped to `[0, 1/3]` ([`MAX_JITTER`]) so the schedule stays
+    /// monotone non-decreasing below the cap.
+    pub fn jitter(mut self, j: f64) -> Self {
+        self.jitter = if j.is_finite() {
+            j.clamp(0.0, MAX_JITTER)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// The nominal (jitter-free) delay for `attempt` (0-based):
+    /// `min(base · 2^attempt, cap)`.
+    pub fn nominal(&self, attempt: u32) -> Duration {
+        let base = self.base.as_nanos();
+        let cap = self.cap.as_nanos();
+        let exp = base.saturating_mul(1u128.checked_shl(attempt.min(96)).unwrap_or(u128::MAX));
+        let ns = exp.min(cap);
+        Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+
+    /// Binds the policy to a seed, yielding the concrete schedule.
+    pub fn schedule(self, seed: u64) -> BackoffSchedule {
+        BackoffSchedule { policy: self, seed }
+    }
+}
+
+/// A [`BackoffPolicy`] bound to a seed — a pure function from attempt
+/// number to delay.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffSchedule {
+    policy: BackoffPolicy,
+    seed: u64,
+}
+
+impl BackoffSchedule {
+    /// The delay before retry number `attempt` (0-based). Deterministic:
+    /// the same (policy, seed, attempt) always yields the same delay, and
+    /// the draw is keyed by attempt (not by call order), so interleaved
+    /// queries cannot skew the schedule.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let nominal = self.policy.nominal(attempt);
+        let j = self.policy.jitter;
+        if j == 0.0 {
+            return nominal;
+        }
+        let mut state = self.seed ^ (u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let unit = (splitmix64(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let factor = 1.0 - j + 2.0 * j * unit;
+        Duration::from_nanos((nominal.as_nanos() as f64 * factor) as u64)
+    }
+
+    /// The policy's jitter-free delay for `attempt`.
+    pub fn nominal(&self, attempt: u32) -> Duration {
+        self.policy.nominal(attempt)
+    }
+
+    /// The configured jitter fraction.
+    pub fn jitter(&self) -> f64 {
+        self.policy.jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_jitter_doubles_to_the_cap_exactly() {
+        let s = BackoffPolicy::new(Duration::from_millis(10), Duration::from_millis(100))
+            .schedule(1234);
+        assert_eq!(s.delay(0), Duration::from_millis(10));
+        assert_eq!(s.delay(1), Duration::from_millis(20));
+        assert_eq!(s.delay(2), Duration::from_millis(40));
+        assert_eq!(s.delay(3), Duration::from_millis(80));
+        assert_eq!(s.delay(4), Duration::from_millis(100), "capped");
+        assert_eq!(s.delay(60), Duration::from_millis(100));
+        // Huge attempt numbers must not overflow.
+        assert_eq!(s.delay(u32::MAX), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn jitter_clamps_to_the_monotone_bound() {
+        assert_eq!(
+            BackoffPolicy::default().jitter(0.9).schedule(0).jitter(),
+            MAX_JITTER
+        );
+        assert_eq!(
+            BackoffPolicy::default()
+                .jitter(f64::NAN)
+                .schedule(0)
+                .jitter(),
+            0.0
+        );
+        assert_eq!(
+            BackoffPolicy::default().jitter(-1.0).schedule(0).jitter(),
+            0.0
+        );
+    }
+
+    proptest! {
+        /// Delays never decrease while the nominal value is below the cap.
+        #[test]
+        fn monotone_nondecreasing_up_to_the_cap(
+            seed in any::<u64>(),
+            base_ms in 1u64..500,
+            cap_mult in 1u64..64,
+            jitter in 0.0f64..1.0,
+        ) {
+            let base = Duration::from_millis(base_ms);
+            let cap = Duration::from_millis(base_ms * cap_mult);
+            let s = BackoffPolicy::new(base, cap).jitter(jitter).schedule(seed);
+            for attempt in 0..20u32 {
+                // Once the next nominal hits the cap, jitter may wiggle
+                // within the cap band; below it, monotone must hold.
+                if s.nominal(attempt + 1) < cap {
+                    prop_assert!(
+                        s.delay(attempt + 1) >= s.delay(attempt),
+                        "attempt {attempt}: {:?} then {:?}",
+                        s.delay(attempt),
+                        s.delay(attempt + 1),
+                    );
+                }
+            }
+        }
+
+        /// Every delay stays inside its jitter band around the nominal.
+        #[test]
+        fn jitter_stays_within_bounds(
+            seed in any::<u64>(),
+            base_ms in 1u64..1000,
+            cap_mult in 1u64..64,
+            jitter in 0.0f64..1.0,
+        ) {
+            let base = Duration::from_millis(base_ms);
+            let cap = Duration::from_millis(base_ms * cap_mult);
+            let s = BackoffPolicy::new(base, cap).jitter(jitter).schedule(seed);
+            let j = s.jitter();
+            for attempt in 0..24u32 {
+                let nominal = s.nominal(attempt).as_nanos() as f64;
+                let d = s.delay(attempt).as_nanos() as f64;
+                // One nanosecond of slack for the float round-trip.
+                prop_assert!(d >= nominal * (1.0 - j) - 1.0);
+                prop_assert!(d <= nominal * (1.0 + j) + 1.0);
+                prop_assert!(s.delay(attempt) <= Duration::from_nanos(
+                    (cap.as_nanos() as f64 * (1.0 + j)) as u64 + 1
+                ));
+            }
+        }
+
+        /// Same seed, same schedule; different seed, (almost surely)
+        /// different draws but identical nominal shape.
+        #[test]
+        fn deterministic_per_seed(
+            seed in any::<u64>(),
+            base_ms in 1u64..1000,
+            jitter in 0.01f64..1.0,
+        ) {
+            let policy = BackoffPolicy::new(
+                Duration::from_millis(base_ms),
+                Duration::from_millis(base_ms * 32),
+            ).jitter(jitter);
+            let a = policy.schedule(seed);
+            let b = policy.schedule(seed);
+            let c = policy.schedule(seed ^ 0xdead_beef);
+            for attempt in 0..16u32 {
+                prop_assert_eq!(a.delay(attempt), b.delay(attempt));
+                prop_assert_eq!(a.nominal(attempt), c.nominal(attempt));
+            }
+        }
+    }
+}

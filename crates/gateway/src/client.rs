@@ -4,77 +4,189 @@
 //! also a reference implementation for anyone speaking the envelope
 //! protocol from another language. One connection, requests answered in
 //! order, [`ingest`](GatewayClient::ingest) pipelined with no response.
+//!
+//! The client is transport-generic ([`Transport`]): the connect helpers
+//! build TCP/UDS streams with [`ClientConfig`] timeouts applied in one
+//! place, and [`GatewayClient::from_transport`] accepts anything else —
+//! notably a [`crate::ChaosTransport`]. For automatic reconnect and
+//! retry, wrap it in [`crate::ResilientClient`].
 
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::Duration;
 
-use crate::envelope::{Envelope, OpCode, Response, Status};
+use crate::envelope::{Envelope, IngestAck, OpCode, Response, Status};
 use crate::tenant::DrainVerdict;
+use crate::transport::Transport;
 
 /// Cap on one response payload accepted by the client. Sized for a drain
 /// verdict carrying up to `MAX_EVIDENCE_BYTES` of canonical evidence plus
 /// its JSON summary.
 pub const CLIENT_MAX_RESPONSE: usize = 96 << 20;
 
-enum ClientSock {
-    Tcp(TcpStream),
-    Unix(UnixStream),
+/// Connection and per-request I/O deadlines, applied identically to every
+/// transport flavor — the one code path that used to be two hardcoded
+/// 30-second `set_read_timeout` calls.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    write_timeout: Duration,
 }
 
-impl ClientSock {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            ClientSock::Tcp(s) => s.read(buf),
-            ClientSock::Unix(s) => s.read(buf),
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
         }
     }
+}
 
-    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
-        match self {
-            ClientSock::Tcp(s) => s.write_all(buf),
-            ClientSock::Unix(s) => s.write_all(buf),
-        }
+impl ClientConfig {
+    /// TCP connect deadline (Unix-domain connects are effectively local
+    /// and ignore it). Default 5 s.
+    pub fn connect_timeout(mut self, t: Duration) -> Self {
+        self.connect_timeout = t;
+        self
+    }
+
+    /// Per-read deadline — the client's per-request timeout, since every
+    /// request is one write followed by reads until its response frame
+    /// completes. Default 30 s.
+    pub fn read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    /// Per-write deadline. Default 30 s.
+    pub fn write_timeout(mut self, t: Duration) -> Self {
+        self.write_timeout = t;
+        self
+    }
+
+    /// The configured connect deadline.
+    pub fn connect_deadline(&self) -> Duration {
+        self.connect_timeout
+    }
+
+    fn apply(&self, t: &dyn Transport) -> io::Result<()> {
+        t.set_read_timeout(Some(self.read_timeout))?;
+        t.set_write_timeout(Some(self.write_timeout))
     }
 }
 
 /// A blocking gateway connection.
 pub struct GatewayClient {
-    sock: ClientSock,
+    transport: Box<dyn Transport>,
     /// Response bytes read but not yet decoded.
     buf: Vec<u8>,
 }
 
 impl GatewayClient {
-    /// Connects over TCP (Nagle disabled — requests are small frames).
+    /// Connects over TCP with default [`ClientConfig`] deadlines (Nagle
+    /// disabled — requests are small frames).
     pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let s = TcpStream::connect(addr)?;
-        s.set_nodelay(true)?;
-        s.set_read_timeout(Some(Duration::from_secs(30)))?;
-        Ok(GatewayClient {
-            sock: ClientSock::Tcp(s),
-            buf: Vec::new(),
-        })
+        Self::connect_tcp_with(addr, ClientConfig::default())
     }
 
-    /// Connects over a Unix-domain socket.
+    /// Connects over TCP with explicit deadlines.
+    pub fn connect_tcp_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let s = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
+        s.set_nodelay(true)?;
+        Self::from_transport_with(Box::new(s), config)
+    }
+
+    /// Connects over a Unix-domain socket with default deadlines.
     pub fn connect_uds(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::connect_uds_with(path, ClientConfig::default())
+    }
+
+    /// Connects over a Unix-domain socket with explicit deadlines.
+    pub fn connect_uds_with(path: impl AsRef<Path>, config: ClientConfig) -> io::Result<Self> {
         let s = UnixStream::connect(path)?;
-        s.set_read_timeout(Some(Duration::from_secs(30)))?;
-        Ok(GatewayClient {
-            sock: ClientSock::Unix(s),
+        Self::from_transport_with(Box::new(s), config)
+    }
+
+    /// Wraps an already-connected transport (a chaos wrapper, a test
+    /// double) without touching its deadlines.
+    pub fn from_transport(transport: Box<dyn Transport>) -> Self {
+        GatewayClient {
+            transport,
             buf: Vec::new(),
-        })
+        }
+    }
+
+    /// Wraps an already-connected transport and applies `config`'s I/O
+    /// deadlines to it.
+    pub fn from_transport_with(
+        transport: Box<dyn Transport>,
+        config: ClientConfig,
+    ) -> io::Result<Self> {
+        config.apply(transport.as_ref())?;
+        Ok(Self::from_transport(transport))
     }
 
     /// Sends one canonical packet for `tenant`. Fire-and-forget: returns
     /// as soon as the kernel accepts the frame; admission outcomes are
     /// visible in the gateway's metrics, not per packet.
     pub fn ingest(&mut self, tenant: &[u8], packet_bytes: &[u8]) -> io::Result<()> {
-        self.sock
+        self.transport
             .write_all(&Envelope::ingest(tenant, packet_bytes).encode())
+    }
+
+    /// Sends one **sequenced** packet and waits for its [`IngestAck`] —
+    /// the acked, exactly-once delivery path. The ack is integrity-checked
+    /// (CRC) and its echoed sequence number verified against `seq`, so a
+    /// damaged or misattributed ack surfaces as `InvalidData` (retryable
+    /// by reconnecting) rather than being trusted.
+    pub fn ingest_seq(
+        &mut self,
+        tenant: &[u8],
+        session: u64,
+        seq: u64,
+        packet_bytes: &[u8],
+    ) -> io::Result<IngestAck> {
+        let payload = self.request(Envelope::ingest_seq(tenant, session, seq, packet_bytes))?;
+        let ack = IngestAck::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        // Corrupt/UnknownTenant acks echo seq 0: the server could not
+        // trust (or find) the frame's own numbers.
+        if ack.seq != seq && ack.seq != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("ack echoes seq {} for request seq {seq}", ack.seq),
+            ));
+        }
+        Ok(ack)
+    }
+
+    /// Liveness probe: `Ok(())` means a worker answered.
+    pub fn health(&mut self) -> io::Result<()> {
+        self.request(Envelope::control(OpCode::Health, b"_"))
+            .map(|_| ())
+    }
+
+    /// Readiness probe: `Ok(true)` when the gateway accepts new work,
+    /// `Ok(false)` once it is draining.
+    pub fn ready(&mut self) -> io::Result<bool> {
+        self.transport
+            .write_all(&Envelope::control(OpCode::Ready, b"_").encode())?;
+        let resp = self.read_response()?;
+        match resp.status {
+            Status::Ok => Ok(true),
+            Status::Rejected => Ok(false),
+            Status::Error => Err(io::Error::other(format!(
+                "gateway protocol error: {}",
+                String::from_utf8_lossy(&resp.payload)
+            ))),
+        }
     }
 
     /// Requests the tenant's live service snapshot as JSON.
@@ -96,7 +208,7 @@ impl GatewayClient {
     }
 
     fn request(&mut self, env: Envelope) -> io::Result<Vec<u8>> {
-        self.sock.write_all(&env.encode())?;
+        self.transport.write_all(&env.encode())?;
         let resp = self.read_response()?;
         match resp.status {
             Status::Ok => Ok(resp.payload),
@@ -123,7 +235,7 @@ impl GatewayClient {
                 Ok(None) => {}
                 Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
             }
-            match self.sock.read(&mut chunk) {
+            match self.transport.read(&mut chunk) {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,

@@ -30,8 +30,14 @@ use std::fmt;
 /// Frame magic: `"PG"` (PNM gateway).
 pub const MAGIC: [u8; 2] = *b"PG";
 
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this build speaks. Version 2 added the resilience
+/// opcodes ([`OpCode::IngestSeq`], [`OpCode::Health`], [`OpCode::Ready`]);
+/// version-1 frames are still decoded (see [`MIN_VERSION`]) so a PR-7
+/// client keeps working unchanged against a version-2 server.
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version this build still accepts.
+pub const MIN_VERSION: u8 = 1;
 
 /// Fixed bytes before the tenant id: magic + version + opcode + tenant_len.
 pub const FIXED_HEADER: usize = 5;
@@ -62,6 +68,21 @@ pub enum OpCode {
     /// [`crate::DrainVerdict`]). Idempotent — a second drain returns the
     /// same bytes.
     Drain = 3,
+    /// Sequenced, acknowledged ingest (version 2). Payload is a
+    /// [`SeqFrame`]: client session id, monotone sequence number, a
+    /// CRC-32 binding both to the tenant and the packet bytes, then the
+    /// canonical packet. Always answered with [`Status::Ok`] carrying an
+    /// [`IngestAck`] — the ack code, not the response status, carries the
+    /// admission outcome, so a retried frame gets a structured
+    /// `Duplicate`/`Busy`/`Drained` instead of a silent drop.
+    IngestSeq = 4,
+    /// Liveness probe (version 2): answered `Ok` with `"ok"` as long as
+    /// the process serves frames, draining or not.
+    Health = 5,
+    /// Readiness probe (version 2): `Ok` with `"ready"` while the gateway
+    /// accepts new work, `Rejected` with `"draining"` once graceful
+    /// shutdown has begun.
+    Ready = 6,
 }
 
 impl OpCode {
@@ -71,15 +92,25 @@ impl OpCode {
             1 => Some(OpCode::Snapshot),
             2 => Some(OpCode::MetricsText),
             3 => Some(OpCode::Drain),
+            4 => Some(OpCode::IngestSeq),
+            5 => Some(OpCode::Health),
+            6 => Some(OpCode::Ready),
             _ => None,
         }
+    }
+
+    /// Whether `version` frames may carry this opcode (the resilience
+    /// opcodes require version 2).
+    fn in_version(self, version: u8) -> bool {
+        version >= 2 || (self as u8) <= OpCode::Drain as u8
     }
 }
 
 /// One decoded request frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Envelope {
-    /// Protocol version (always [`VERSION`] after a successful decode).
+    /// Protocol version (within [`MIN_VERSION`]..=[`VERSION`] after a
+    /// successful decode).
     pub version: u8,
     /// The requested operation.
     pub opcode: OpCode,
@@ -107,6 +138,16 @@ impl Envelope {
             opcode,
             tenant: tenant.to_vec(),
             payload: Vec::new(),
+        }
+    }
+
+    /// Builds a sequenced, acknowledged ingest frame (see [`SeqFrame`]).
+    pub fn ingest_seq(tenant: &[u8], session: u64, seq: u64, packet_bytes: &[u8]) -> Self {
+        Envelope {
+            version: VERSION,
+            opcode: OpCode::IngestSeq,
+            tenant: tenant.to_vec(),
+            payload: SeqFrame::encode_payload(tenant, session, seq, packet_bytes),
         }
     }
 
@@ -153,11 +194,14 @@ impl Envelope {
         if buf.len() >= 2 && buf[..2] != MAGIC {
             return Err(EnvelopeError::BadMagic([buf[0], buf[1]]));
         }
-        if buf.len() >= 3 && buf[2] != VERSION {
+        if buf.len() >= 3 && !(MIN_VERSION..=VERSION).contains(&buf[2]) {
             return Err(EnvelopeError::BadVersion(buf[2]));
         }
-        if buf.len() >= 4 && OpCode::from_u8(buf[3]).is_none() {
-            return Err(EnvelopeError::BadOpcode(buf[3]));
+        if buf.len() >= 4 {
+            match OpCode::from_u8(buf[3]) {
+                Some(op) if op.in_version(buf[2]) => {}
+                _ => return Err(EnvelopeError::BadOpcode(buf[3])),
+            }
         }
         if buf.len() >= 5 && (buf[4] == 0 || buf[4] as usize > MAX_TENANT_LEN) {
             return Err(EnvelopeError::BadTenantLen(buf[4]));
@@ -189,13 +233,230 @@ impl Envelope {
         }
         Ok(Some((
             Envelope {
-                version: VERSION,
+                version: buf[2],
                 opcode,
                 tenant: buf[FIXED_HEADER..len_off].to_vec(),
                 payload: buf[len_off + 4..end].to_vec(),
             },
             end,
         )))
+    }
+}
+
+/// The payload of an [`OpCode::IngestSeq`] frame:
+///
+/// ```text
+/// session(8, BE) | seq(8, BE) | crc32(4, BE) | packet bytes
+/// ```
+///
+/// `session` identifies one client instance for the lifetime of its
+/// retry state (it survives reconnects — that is the point); `seq` is
+/// the client's monotone per-session sequence number. The CRC is
+/// CRC-32/IEEE over `tenant | session(8) | seq(8) | packet`, binding the
+/// frame to its tenant so a bit-flipped tenant id (or session, sequence
+/// number, or packet byte) is detected end-to-end as `Corrupt` instead of
+/// being absorbed — the integrity check that makes "acked ≡ counted
+/// exactly once" hold under wire corruption.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqFrame {
+    /// Client session id (stable across reconnects).
+    pub session: u64,
+    /// Monotone per-session sequence number.
+    pub seq: u64,
+    /// Canonical packet bytes.
+    pub packet: Vec<u8>,
+}
+
+/// Fixed prefix of a [`SeqFrame`] payload: session + seq + crc.
+pub const SEQ_FRAME_HEADER: usize = 8 + 8 + 4;
+
+impl SeqFrame {
+    fn crc(tenant: &[u8], session: u64, seq: u64, packet: &[u8]) -> u32 {
+        let mut bound = Vec::with_capacity(tenant.len() + 16 + packet.len());
+        bound.extend_from_slice(tenant);
+        bound.extend_from_slice(&session.to_be_bytes());
+        bound.extend_from_slice(&seq.to_be_bytes());
+        bound.extend_from_slice(packet);
+        pnm_core::store::crc32(&bound)
+    }
+
+    /// Encodes the payload for [`Envelope::ingest_seq`].
+    pub fn encode_payload(tenant: &[u8], session: u64, seq: u64, packet: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SEQ_FRAME_HEADER + packet.len());
+        out.extend_from_slice(&session.to_be_bytes());
+        out.extend_from_slice(&seq.to_be_bytes());
+        out.extend_from_slice(&Self::crc(tenant, session, seq, packet).to_be_bytes());
+        out.extend_from_slice(packet);
+        out
+    }
+
+    /// Decodes and integrity-checks an `IngestSeq` payload against the
+    /// envelope's tenant. Total: too-short payloads and CRC mismatches
+    /// come back as `Err` (the caller answers [`AckCode::Corrupt`]),
+    /// never a panic.
+    pub fn decode_payload(tenant: &[u8], payload: &[u8]) -> Result<Self, &'static str> {
+        if payload.len() < SEQ_FRAME_HEADER {
+            return Err("seq frame shorter than its header");
+        }
+        let session = u64::from_be_bytes(payload[0..8].try_into().expect("sized"));
+        let seq = u64::from_be_bytes(payload[8..16].try_into().expect("sized"));
+        let crc = u32::from_be_bytes(payload[16..20].try_into().expect("sized"));
+        let packet = &payload[SEQ_FRAME_HEADER..];
+        if Self::crc(tenant, session, seq, packet) != crc {
+            return Err("seq frame crc mismatch");
+        }
+        Ok(SeqFrame {
+            session,
+            seq,
+            packet: packet.to_vec(),
+        })
+    }
+}
+
+/// Outcome code inside an [`IngestAck`].
+///
+/// `Accepted` and `Duplicate` both mean **counted exactly once** — the
+/// packet is (already) absorbed into the tenant's evidence; everything
+/// else means **not counted**. Retryable codes (`Busy`, `Corrupt`,
+/// `RateLimited`) invite the client to resend the same sequence number;
+/// terminal codes (`Malformed`, `Drained`, `UnknownTenant`) will never
+/// succeed and the client should give the packet up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AckCode {
+    /// Counted: enqueued into the tenant's pool and recorded in the
+    /// dedup window.
+    Accepted = 0,
+    /// Counted earlier: the (session, seq) is already in the dedup
+    /// window; this retry was **not** absorbed a second time.
+    Duplicate = 1,
+    /// Not counted: the tenant's pool shed the packet. The ack's
+    /// `retry_after_ms` says when to try again — the structured reply
+    /// that replaces a silent shed.
+    Busy = 2,
+    /// Not counted, terminal: the packet bytes fail `Packet::from_bytes`.
+    Malformed = 3,
+    /// Not counted, retryable: the frame failed its CRC (bit damage
+    /// between client and server).
+    Corrupt = 4,
+    /// Not counted, terminal: the tenant is drained; its verdict is final.
+    Drained = 5,
+    /// Not counted, retryable: the tenant's token bucket was empty.
+    RateLimited = 6,
+    /// Not counted, terminal: no such tenant is provisioned.
+    UnknownTenant = 7,
+}
+
+impl AckCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(AckCode::Accepted),
+            1 => Some(AckCode::Duplicate),
+            2 => Some(AckCode::Busy),
+            3 => Some(AckCode::Malformed),
+            4 => Some(AckCode::Corrupt),
+            5 => Some(AckCode::Drained),
+            6 => Some(AckCode::RateLimited),
+            7 => Some(AckCode::UnknownTenant),
+            _ => None,
+        }
+    }
+
+    /// Whether this outcome means the packet is counted (exactly once).
+    pub fn is_counted(self) -> bool {
+        matches!(self, AckCode::Accepted | AckCode::Duplicate)
+    }
+
+    /// Whether resending the same sequence number can change the outcome.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            AckCode::Busy | AckCode::Corrupt | AckCode::RateLimited
+        )
+    }
+
+    /// Stable short name (metrics label / log text).
+    pub fn reason(self) -> &'static str {
+        match self {
+            AckCode::Accepted => "accepted",
+            AckCode::Duplicate => "duplicate",
+            AckCode::Busy => "busy",
+            AckCode::Malformed => "malformed",
+            AckCode::Corrupt => "corrupt",
+            AckCode::Drained => "drained",
+            AckCode::RateLimited => "rate_limited",
+            AckCode::UnknownTenant => "unknown_tenant",
+        }
+    }
+}
+
+/// The response payload to an [`OpCode::IngestSeq`] frame:
+///
+/// ```text
+/// code(1) | seq(8, BE) | retry_after_ms(4, BE) | crc32(4, BE)
+/// ```
+///
+/// The CRC covers the first 13 bytes, so a bit-flipped ack (say,
+/// `Malformed` damaged into `Duplicate`, which would make the client
+/// book an uncounted packet as counted) is rejected by the client and
+/// retried instead of trusted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestAck {
+    /// Admission outcome.
+    pub code: AckCode,
+    /// Echo of the request's sequence number — the client checks it
+    /// against its outstanding request.
+    pub seq: u64,
+    /// For [`AckCode::Busy`]: suggested wait before retrying, in
+    /// milliseconds. Zero otherwise.
+    pub retry_after_ms: u32,
+}
+
+/// Exact byte length of an encoded [`IngestAck`].
+pub const INGEST_ACK_LEN: usize = 1 + 8 + 4 + 4;
+
+impl IngestAck {
+    /// An ack with no retry hint.
+    pub fn new(code: AckCode, seq: u64) -> Self {
+        IngestAck {
+            code,
+            seq,
+            retry_after_ms: 0,
+        }
+    }
+
+    /// Sets the retry hint (meaningful for [`AckCode::Busy`] and
+    /// [`AckCode::RateLimited`]).
+    pub fn with_retry_after(mut self, ms: u32) -> Self {
+        self.retry_after_ms = ms;
+        self
+    }
+
+    /// Canonical encoding (see type docs).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(INGEST_ACK_LEN);
+        out.push(self.code as u8);
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.retry_after_ms.to_be_bytes());
+        out.extend_from_slice(&pnm_core::store::crc32(&out[..13]).to_be_bytes());
+        out
+    }
+
+    /// Decodes and integrity-checks an ack payload. Total: wrong length,
+    /// unknown code, and CRC damage are `Err`, never a panic.
+    pub fn decode(payload: &[u8]) -> Result<Self, &'static str> {
+        if payload.len() != INGEST_ACK_LEN {
+            return Err("ack payload has the wrong length");
+        }
+        let crc = u32::from_be_bytes(payload[13..17].try_into().expect("sized"));
+        if pnm_core::store::crc32(&payload[..13]) != crc {
+            return Err("ack crc mismatch");
+        }
+        let code = AckCode::from_u8(payload[0]).ok_or("unknown ack code")?;
+        Ok(IngestAck {
+            code,
+            seq: u64::from_be_bytes(payload[1..9].try_into().expect("sized")),
+            retry_after_ms: u32::from_be_bytes(payload[9..13].try_into().expect("sized")),
+        })
     }
 }
 
@@ -453,5 +714,114 @@ mod tests {
     #[should_panic(expected = "tenant id")]
     fn encoding_empty_tenant_is_a_caller_bug() {
         let _ = Envelope::ingest(b"", b"x").encode();
+    }
+
+    #[test]
+    fn v2_frames_round_trip() {
+        for env in [
+            Envelope::ingest_seq(b"alpha", 0xfeed, 42, b"packet bytes"),
+            Envelope::control(OpCode::Health, b"_"),
+            Envelope::control(OpCode::Ready, b"_"),
+        ] {
+            let bytes = env.encode();
+            let (decoded, used) = Envelope::decode(&bytes, DEFAULT_MAX_PAYLOAD)
+                .unwrap()
+                .unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, env);
+        }
+    }
+
+    #[test]
+    fn version_1_frames_still_decode_but_not_v2_opcodes() {
+        // A PR-7 client frame: version byte 1, opcode Snapshot.
+        let mut v1 = Envelope::control(OpCode::Snapshot, b"alpha");
+        v1.version = 1;
+        let bytes = v1.encode();
+        let (decoded, _) = Envelope::decode(&bytes, DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decoded.version, 1);
+        assert_eq!(decoded.opcode, OpCode::Snapshot);
+        // The same version byte with a resilience opcode is rejected.
+        let mut bad = Envelope::control(OpCode::Health, b"alpha");
+        bad.version = 1;
+        assert_eq!(
+            Envelope::decode(&bad.encode(), DEFAULT_MAX_PAYLOAD)
+                .unwrap_err()
+                .reason(),
+            "bad_opcode"
+        );
+    }
+
+    #[test]
+    fn seq_frame_binds_tenant_session_seq_and_packet() {
+        let payload = SeqFrame::encode_payload(b"alpha", 7, 9, b"pkt");
+        let frame = SeqFrame::decode_payload(b"alpha", &payload).unwrap();
+        assert_eq!(
+            (frame.session, frame.seq, frame.packet.as_slice()),
+            (7, 9, &b"pkt"[..])
+        );
+        // Wrong tenant → CRC mismatch (a bit-flipped tenant id cannot be
+        // silently absorbed by a neighbouring tenant).
+        assert!(SeqFrame::decode_payload(b"alphb", &payload).is_err());
+        // Any flipped byte → CRC mismatch.
+        for i in 0..payload.len() {
+            let mut damaged = payload.clone();
+            damaged[i] ^= 0x10;
+            assert!(
+                SeqFrame::decode_payload(b"alpha", &damaged).is_err(),
+                "flip at {i} must not verify"
+            );
+        }
+        assert!(SeqFrame::decode_payload(b"alpha", &payload[..10]).is_err());
+    }
+
+    #[test]
+    fn ingest_ack_round_trips_and_rejects_damage() {
+        for ack in [
+            IngestAck::new(AckCode::Accepted, 3),
+            IngestAck::new(AckCode::Duplicate, u64::MAX),
+            IngestAck {
+                code: AckCode::Busy,
+                seq: 12,
+                retry_after_ms: 250,
+            },
+        ] {
+            let bytes = ack.encode();
+            assert_eq!(bytes.len(), INGEST_ACK_LEN);
+            assert_eq!(IngestAck::decode(&bytes).unwrap(), ack);
+        }
+        // A single flipped bit anywhere is detected — including the code
+        // byte, where Malformed→Duplicate would otherwise book an
+        // uncounted packet as counted.
+        let bytes = IngestAck::new(AckCode::Malformed, 5).encode();
+        for i in 0..bytes.len() {
+            let mut damaged = bytes.clone();
+            damaged[i] ^= 0x02;
+            assert!(IngestAck::decode(&damaged).is_err(), "flip at {i}");
+        }
+        assert!(IngestAck::decode(&bytes[..7]).is_err());
+    }
+
+    #[test]
+    fn ack_code_classification() {
+        for code in [
+            AckCode::Accepted,
+            AckCode::Duplicate,
+            AckCode::Busy,
+            AckCode::Malformed,
+            AckCode::Corrupt,
+            AckCode::Drained,
+            AckCode::RateLimited,
+            AckCode::UnknownTenant,
+        ] {
+            assert_eq!(
+                code.is_counted(),
+                matches!(code, AckCode::Accepted | AckCode::Duplicate)
+            );
+            // No code is both counted and retryable.
+            assert!(!(code.is_counted() && code.is_retryable()));
+        }
     }
 }

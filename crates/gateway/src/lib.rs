@@ -13,8 +13,22 @@
 //!   bit-flips, and truncation become counted rejections or "need more
 //!   bytes", never a panic, and no unvalidated length field drives an
 //!   allocation. Opcodes: [`OpCode::Ingest`] (fire-and-forget packet
-//!   delivery), [`OpCode::Snapshot`], [`OpCode::MetricsText`], and
-//!   [`OpCode::Drain`].
+//!   delivery), [`OpCode::Snapshot`], [`OpCode::MetricsText`],
+//!   [`OpCode::Drain`], and — since protocol version 2 —
+//!   [`OpCode::IngestSeq`] (acked, exactly-once delivery),
+//!   [`OpCode::Health`], and [`OpCode::Ready`].
+//! * **Resilience.** Sequenced ingest carries a client session id, a
+//!   monotone sequence number, and an end-to-end CRC ([`SeqFrame`]); the
+//!   server answers every frame with an [`IngestAck`] and deduplicates
+//!   retries through a bounded per-tenant window ([`dedup`]), so a frame
+//!   is absorbed into the evidence monoid **exactly once** no matter how
+//!   often the connection dies mid-ack. [`ResilientClient`] wraps
+//!   reconnect, capped seeded-jitter backoff ([`BackoffPolicy`]), and
+//!   per-request timeouts; [`ChaosTransport`] injects deterministic
+//!   socket-level faults to prove all of it under fire.
+//!   [`GatewayHandle::shutdown_graceful`] stops accepting, flushes
+//!   in-flight connections, and writes a final per-tenant durable
+//!   checkpoint.
 //! * **Tenancy.** A [`TenantRegistry`] maps tenant ids to fully private
 //!   stacks: each tenant owns its [`KeyStore`](pnm_crypto::KeyStore), its
 //!   [`ServicePool`](pnm_service::ServicePool) (own shards, queues,
@@ -43,18 +57,28 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod backoff;
+mod chaos;
 mod client;
+pub mod dedup;
 mod envelope;
+mod resilient;
 mod server;
 mod tenant;
+mod transport;
 
 pub use admission::{ConnLimits, TokenBucket};
-pub use client::{GatewayClient, CLIENT_MAX_RESPONSE};
+pub use backoff::{BackoffPolicy, BackoffSchedule};
+pub use chaos::{ChaosCounters, ChaosPlan, ChaosTransport};
+pub use client::{ClientConfig, GatewayClient, CLIENT_MAX_RESPONSE};
 pub use envelope::{
-    Envelope, EnvelopeError, OpCode, Response, Status, DEFAULT_MAX_PAYLOAD, FIXED_HEADER, MAGIC,
-    MAX_TENANT_LEN, VERSION,
+    AckCode, Envelope, EnvelopeError, IngestAck, OpCode, Response, SeqFrame, Status,
+    DEFAULT_MAX_PAYLOAD, FIXED_HEADER, INGEST_ACK_LEN, MAGIC, MAX_TENANT_LEN, MIN_VERSION,
+    SEQ_FRAME_HEADER, VERSION,
 };
+pub use resilient::{ClientReport, Connector, ResilientClient, ResilientConfig, SendOutcome};
 pub use server::{Gateway, GatewayConfig, GatewayHandle};
 pub use tenant::{
     DrainVerdict, IngestStatus, RateLimit, TenantConfig, TenantRegistry, TenantRegistryBuilder,
 };
+pub use transport::Transport;

@@ -24,7 +24,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -164,6 +164,8 @@ impl Gateway {
             ));
         }
         let stop = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
         let mut threads = Vec::with_capacity(self.config.workers + 1);
         let mut senders = Vec::with_capacity(self.config.workers);
         for id in 0..self.config.workers {
@@ -174,6 +176,8 @@ impl Gateway {
                 limits: self.config.limits,
                 poll_interval: self.config.poll_interval,
                 stop: Arc::clone(&stop),
+                draining: Arc::clone(&draining),
+                active: Arc::clone(&active),
                 rx,
                 conns: Vec::new(),
             };
@@ -190,6 +194,8 @@ impl Gateway {
             senders,
             poll_interval: self.config.poll_interval,
             stop: Arc::clone(&stop),
+            draining: Arc::clone(&draining),
+            active: Arc::clone(&active),
         };
         threads.push(
             std::thread::Builder::new()
@@ -199,6 +205,8 @@ impl Gateway {
         Ok(GatewayHandle {
             registry: self.registry,
             stop,
+            draining,
+            active,
             threads,
             uds_paths: self.uds_paths,
         })
@@ -209,10 +217,14 @@ impl Gateway {
 /// [`shutdown`](GatewayHandle::shutdown)) stops the threads, closes every
 /// connection, and removes Unix socket files. Shutting the server down
 /// does **not** drain tenant pools — send [`OpCode::Drain`] per tenant, or
-/// keep a handle to the [`TenantRegistry`] and drain in-process.
+/// keep a handle to the [`TenantRegistry`] and drain in-process. For a
+/// shutdown that lets in-flight work land first, use
+/// [`shutdown_graceful`](GatewayHandle::shutdown_graceful).
 pub struct GatewayHandle {
     registry: Arc<TenantRegistry>,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
     threads: Vec<JoinHandle<()>>,
     uds_paths: Vec<PathBuf>,
 }
@@ -227,6 +239,39 @@ impl GatewayHandle {
     /// Stops accepting, closes every connection, and joins the threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
+    }
+
+    /// Graceful shutdown, in order: (1) stop accepting — the acceptor
+    /// exits and every listener closes, and [`OpCode::Ready`] starts
+    /// answering `Rejected("draining")` so load balancers steer away;
+    /// (2) let in-flight connections finish — workers serve what is
+    /// buffered and close each connection once it goes idle; (3) flush
+    /// every tenant pool — shard workers run their queues dry and write
+    /// their **final durable checkpoint** to the tenant's evidence log;
+    /// (4) stop the threads and remove socket files.
+    ///
+    /// Returns `true` if both the connections and every pool flushed
+    /// within `timeout`; `false` means the deadline cut something off
+    /// (the shutdown still completes). Tenant pools end up closed, not
+    /// drained: a later [`TenantRegistry::drain`] still yields the
+    /// verdict, and post-shutdown ingest is a counted `drained`
+    /// rejection.
+    pub fn shutdown_graceful(mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        self.draining.store(true, Ordering::Release);
+        while self.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let conns_flushed = self.active.load(Ordering::Acquire) == 0;
+        let pools_flushed = self.registry.flush_all(deadline);
+        self.stop_and_join();
+        conns_flushed && pools_flushed
+    }
+
+    /// Whether a graceful shutdown has begun (readiness is the wire-level
+    /// view of the same flag).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
     }
 
     fn stop_and_join(&mut self) {
@@ -312,6 +357,11 @@ struct Acceptor {
     senders: Vec<Sender<Conn>>,
     poll_interval: Duration,
     stop: Arc<AtomicBool>,
+    /// Graceful shutdown: exit the accept loop (closing every listener)
+    /// while workers keep serving what is already connected.
+    draining: Arc<AtomicBool>,
+    /// Connections accepted and not yet closed by a worker.
+    active: Arc<AtomicUsize>,
 }
 
 impl Acceptor {
@@ -321,7 +371,7 @@ impl Acceptor {
             .registry()
             .counter("pnm_gateway_connections_total", &[]);
         let mut next = 0usize;
-        while !self.stop.load(Ordering::Acquire) {
+        while !self.stop.load(Ordering::Acquire) && !self.draining.load(Ordering::Acquire) {
             let mut any = false;
             for l in &self.tcp {
                 while let Ok((s, _)) = l.accept() {
@@ -352,8 +402,11 @@ impl Acceptor {
     fn dispatch(&self, conn: Conn, next: &mut usize) {
         let w = *next % self.senders.len();
         *next = next.wrapping_add(1);
+        self.active.fetch_add(1, Ordering::AcqRel);
         // A worker can only be gone during shutdown; drop the connection.
-        let _ = self.senders[w].send(conn);
+        if self.senders[w].send(conn).is_err() {
+            self.active.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 }
 
@@ -362,6 +415,8 @@ struct Worker {
     limits: ConnLimits,
     poll_interval: Duration,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
     rx: Receiver<Conn>,
     conns: Vec<Conn>,
 }
@@ -381,6 +436,7 @@ impl Worker {
                         // swap_remove: order between connections carries no
                         // meaning, only order *within* one connection does.
                         self.conns.swap_remove(i);
+                        self.active.fetch_sub(1, Ordering::AcqRel);
                         progressed = true;
                     }
                     ConnFate::Keep => {
@@ -394,6 +450,9 @@ impl Worker {
                 std::thread::sleep(self.poll_interval);
             }
         }
+        // Hard stop: connections dropped without a graceful close still
+        // leave the active gauge consistent.
+        self.active.fetch_sub(self.conns.len(), Ordering::AcqRel);
     }
 
     /// One pass: flush, read, parse, dispatch, enforce deadlines.
@@ -422,6 +481,14 @@ impl Worker {
         }
         let conn = &mut self.conns[i];
         if conn.eof && conn.outbuf.is_empty() && !conn.poisoned {
+            return ConnFate::Close;
+        }
+        // Graceful drain: once the gateway stops accepting, an idle
+        // connection (nothing buffered either way) is flushed by
+        // definition — close it so shutdown can proceed. A connection
+        // mid-frame keeps its stall-deadline budget to finish.
+        if conn.inbuf.is_empty() && conn.outbuf.is_empty() && self.draining.load(Ordering::Acquire)
+        {
             return ConnFate::Close;
         }
         // Slow-client eviction: a parked partial frame or an unread
@@ -522,6 +589,26 @@ impl Worker {
                 Some(verdict) => Response::new(Status::Ok, verdict.encode()),
                 None => Response::new(Status::Rejected, "unknown tenant"),
             },
+            OpCode::IngestSeq => {
+                // Acked ingest: every frame gets an IngestAck carrying its
+                // admission outcome, so clients can retry safely.
+                let ack = self
+                    .registry
+                    .ingest_seq(&env.tenant, &env.payload, Instant::now());
+                Response::new(Status::Ok, ack.encode())
+            }
+            // Liveness: the worker answered, so the process serves.
+            OpCode::Health => Response::new(Status::Ok, "ok"),
+            // Readiness: flips to Rejected the moment a graceful
+            // shutdown begins, steering traffic away before the
+            // listeners close.
+            OpCode::Ready => {
+                if self.draining.load(Ordering::Acquire) {
+                    Response::new(Status::Rejected, "draining")
+                } else {
+                    Response::new(Status::Ok, "ready")
+                }
+            }
         };
         self.conns[i].outbuf.extend_from_slice(&response.encode());
     }

@@ -27,7 +27,8 @@ use pnm_service::{IngestError, ServiceConfig, ServicePool};
 use pnm_wire::Packet;
 
 use crate::admission::TokenBucket;
-use crate::envelope::MAX_TENANT_LEN;
+use crate::dedup::{DedupState, DedupVerdict, DEFAULT_MAX_SESSIONS, DEFAULT_WINDOW};
+use crate::envelope::{AckCode, IngestAck, SeqFrame, MAX_TENANT_LEN};
 
 /// Per-tenant ingest rate limit (token bucket parameters).
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +45,9 @@ pub struct TenantConfig {
     keys: Arc<KeyStore>,
     service: ServiceConfig,
     rate_limit: Option<RateLimit>,
+    busy_retry_after_ms: u32,
+    dedup_sessions: usize,
+    dedup_window: usize,
 }
 
 impl TenantConfig {
@@ -53,6 +57,9 @@ impl TenantConfig {
             keys: keys.into(),
             service,
             rate_limit: None,
+            busy_retry_after_ms: 25,
+            dedup_sessions: DEFAULT_MAX_SESSIONS,
+            dedup_window: DEFAULT_WINDOW,
         }
     }
 
@@ -64,6 +71,23 @@ impl TenantConfig {
             packets_per_sec,
             burst,
         });
+        self
+    }
+
+    /// How long a [`AckCode::Busy`] or [`AckCode::RateLimited`] ack tells
+    /// the client to wait before retrying. Default 25 ms.
+    pub fn busy_retry_after_ms(mut self, ms: u32) -> Self {
+        self.busy_retry_after_ms = ms;
+        self
+    }
+
+    /// Sizes the tenant's exactly-once dedup window: at most `sessions`
+    /// tracked client sessions (LRU-evicted beyond that) of at most
+    /// `window` non-contiguous acked sequence numbers each. See
+    /// [`crate::dedup`] for the degradation semantics at the bounds.
+    pub fn dedup_window(mut self, sessions: usize, window: usize) -> Self {
+        self.dedup_sessions = sessions;
+        self.dedup_window = window;
         self
     }
 }
@@ -153,11 +177,17 @@ struct Tenant {
     /// Set by the first drain; subsequent drains return the same verdict.
     verdict: Mutex<Option<Arc<DrainVerdict>>>,
     bucket: Option<Mutex<TokenBucket>>,
+    /// Exactly-once window for sequenced ingest.
+    dedup: Mutex<DedupState>,
+    busy_retry_after_ms: u32,
     ingested: Counter,
+    duplicate: Counter,
+    dedup_evicted: Counter,
     rejected_malformed: Counter,
     rejected_rate: Counter,
     rejected_shed: Counter,
     rejected_drained: Counter,
+    rejected_corrupt: Counter,
 }
 
 /// The gateway's tenant table plus its own metrics registry.
@@ -168,6 +198,9 @@ pub struct TenantRegistry {
     tenants: BTreeMap<Vec<u8>, Tenant>,
     registry: Registry,
     rejected_unknown: Counter,
+    /// Sequence frames whose CRC failed before a tenant could be
+    /// attributed — the tenant id itself is untrustworthy.
+    rejected_corrupt_unattributed: Counter,
 }
 
 /// Builder for [`TenantRegistry`].
@@ -234,11 +267,17 @@ impl TenantRegistryBuilder {
                     .rate_limit
                     .map(|r| Mutex::new(TokenBucket::new(r.packets_per_sec, r.burst))),
                 verdict: Mutex::new(None),
+                dedup: Mutex::new(DedupState::new(config.dedup_sessions, config.dedup_window)),
+                busy_retry_after_ms: config.busy_retry_after_ms,
                 ingested: registry.counter("pnm_gateway_ingested_total", &labels),
+                duplicate: registry.counter("pnm_gateway_duplicate_total", &labels),
+                dedup_evicted: registry
+                    .counter("pnm_gateway_dedup_evicted_sessions_total", &labels),
                 rejected_malformed: rejected("malformed"),
                 rejected_rate: rejected("rate_limited"),
                 rejected_shed: rejected("shed"),
                 rejected_drained: rejected("drained"),
+                rejected_corrupt: rejected("corrupt"),
                 name,
             };
             let prior = tenants.insert(tenant.name.clone().into_bytes(), tenant);
@@ -250,6 +289,8 @@ impl TenantRegistryBuilder {
                 "pnm_gateway_rejected_total",
                 &[("reason", "unknown_tenant")],
             ),
+            rejected_corrupt_unattributed: registry
+                .counter("pnm_gateway_rejected_total", &[("reason", "corrupt")]),
             registry,
         })
     }
@@ -316,6 +357,113 @@ impl TenantRegistry {
                 IngestStatus::Drained
             }
         }
+    }
+
+    /// Admits one **sequenced** ingest frame and returns the ack the
+    /// server should send back — the exactly-once path.
+    ///
+    /// Admission order is chosen so that retries are cheap and never
+    /// double-counted: CRC/decode of the sequence frame first (`Corrupt`
+    /// — the CRC binds the *tenant*, so a bit-flipped tenant id reads as
+    /// retryable corruption, not a terminal `UnknownTenant`) → tenant
+    /// lookup → dedup window (`Duplicate`, *before* the token bucket so a
+    /// retry of an already-counted frame never burns a token or gets
+    /// bounced) → rate limit → packet decode (`Malformed`, terminal and
+    /// deterministic, so it is *not* recorded in the window — a retry
+    /// re-derives the same verdict) → the pool (`Accepted` / `Busy` with a
+    /// retry hint / `Drained`). The dedup window records a frame **only**
+    /// when the pool actually absorbed it, so acked ≡ counted holds.
+    pub fn ingest_seq(&self, tenant: &[u8], payload: &[u8], now: Instant) -> IngestAck {
+        let t = self.tenants.get(tenant);
+        let frame = match SeqFrame::decode_payload(tenant, payload) {
+            Ok(f) => f,
+            Err(_) => {
+                match t {
+                    Some(t) => t.rejected_corrupt.inc(),
+                    None => self.rejected_corrupt_unattributed.inc(),
+                }
+                return IngestAck::new(AckCode::Corrupt, 0);
+            }
+        };
+        let seq = frame.seq;
+        let Some(t) = t else {
+            // The CRC passed over this tenant id, so the client really
+            // sent it: genuinely unknown, terminal.
+            self.rejected_unknown.inc();
+            return IngestAck::new(AckCode::UnknownTenant, seq);
+        };
+        if t.dedup
+            .lock()
+            .expect("dedup lock")
+            .lookup(frame.session, seq)
+            == DedupVerdict::Duplicate
+        {
+            t.duplicate.inc();
+            return IngestAck::new(AckCode::Duplicate, seq);
+        }
+        if let Some(bucket) = &t.bucket {
+            if !bucket.lock().expect("bucket lock").try_take_at(now) {
+                t.rejected_rate.inc();
+                return IngestAck::new(AckCode::RateLimited, seq)
+                    .with_retry_after(t.busy_retry_after_ms);
+            }
+        }
+        let packet = match Packet::from_bytes(&frame.packet) {
+            Ok(p) => p,
+            Err(_) => {
+                t.rejected_malformed.inc();
+                return IngestAck::new(AckCode::Malformed, seq);
+            }
+        };
+        let pool = t.pool.lock().expect("pool lock");
+        let outcome = match pool.as_ref() {
+            Some(pool) => match pool.ingest(packet) {
+                Ok(_) => {
+                    let mut dedup = t.dedup.lock().expect("dedup lock");
+                    dedup.record(frame.session, seq);
+                    t.dedup_evicted.store(dedup.evicted_sessions());
+                    t.ingested.inc();
+                    AckCode::Accepted
+                }
+                Err(IngestError::Shed) => {
+                    t.rejected_shed.inc();
+                    AckCode::Busy
+                }
+                Err(IngestError::Closed) => {
+                    t.rejected_drained.inc();
+                    AckCode::Drained
+                }
+            },
+            None => {
+                t.rejected_drained.inc();
+                AckCode::Drained
+            }
+        };
+        let ack = IngestAck::new(outcome, seq);
+        if outcome == AckCode::Busy {
+            ack.with_retry_after(t.busy_retry_after_ms)
+        } else {
+            ack
+        }
+    }
+
+    /// Closes every running tenant pool to new packets and waits (until
+    /// `deadline`) for the shard workers to finish their backlog and
+    /// flush their **final durable checkpoint** — the per-tenant flush
+    /// step of graceful shutdown. Returns `true` when every pool made it.
+    ///
+    /// Tenants remain drainable afterwards: [`drain`](Self::drain) on a
+    /// flushed pool collects the already-final shard states immediately.
+    /// Further ingest is a counted `drained` rejection.
+    pub fn flush_all(&self, deadline: Instant) -> bool {
+        let mut all = true;
+        for t in self.tenants.values() {
+            let pool = t.pool.lock().expect("pool lock");
+            if let Some(pool) = pool.as_ref() {
+                all &= pool.close_and_join(deadline);
+            }
+        }
+        all
     }
 
     /// The tenant's live service snapshot as pretty JSON, or the final

@@ -1,0 +1,117 @@
+//! The byte-stream abstraction under the gateway client.
+//!
+//! [`GatewayClient`](crate::GatewayClient) speaks the envelope protocol
+//! over anything implementing [`Transport`]: a TCP stream, a Unix-domain
+//! stream, or a [`ChaosTransport`](crate::ChaosTransport) wrapping either
+//! — which is the point of the trait: fault injection composes at the
+//! socket layer without the protocol code knowing.
+
+use std::io;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// A blocking, bidirectional byte stream with optional I/O deadlines.
+///
+/// Semantics follow `std::net`: `read` returning `Ok(0)` is EOF, a read
+/// past the deadline fails with `WouldBlock`/`TimedOut`, and `shutdown`
+/// tears down both directions best-effort (later operations fail).
+pub trait Transport: Send {
+    /// Reads up to `buf.len()` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Standard `std::io::Read` errors, including timeouts.
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Writes a prefix of `buf`, returning how many bytes were taken.
+    ///
+    /// # Errors
+    ///
+    /// Standard `std::io::Write` errors, including timeouts.
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize>;
+
+    /// Sets (or clears) the read deadline applied to each `read`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Sets (or clears) the write deadline applied to each `write`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Best-effort immediate teardown of both directions.
+    fn shutdown(&self);
+
+    /// Writes all of `buf` or fails.
+    ///
+    /// # Errors
+    ///
+    /// `WriteZero` if the stream stops taking bytes; otherwise whatever
+    /// `write` returned (`Interrupted` is retried).
+    fn write_all(&mut self, mut buf: &[u8]) -> io::Result<()> {
+        while !buf.is_empty() {
+            match self.write(buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "transport stopped accepting bytes",
+                    ))
+                }
+                Ok(n) => buf = &buf[n..],
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Transport for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(self, buf)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        io::Write::write(self, buf)
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, timeout)
+    }
+
+    fn shutdown(&self) {
+        let _ = TcpStream::shutdown(self, std::net::Shutdown::Both);
+    }
+}
+
+impl Transport for UnixStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(self, buf)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        io::Write::write(self, buf)
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_write_timeout(self, timeout)
+    }
+
+    fn shutdown(&self) {
+        let _ = UnixStream::shutdown(self, std::net::Shutdown::Both);
+    }
+}

@@ -1,0 +1,459 @@
+//! Edge resilience end-to-end: exactly-once acked ingest under connection
+//! chaos, graceful drain, and the health/readiness surface — all over real
+//! sockets.
+//!
+//! The headline property mirrors `isolation.rs`: a tenant fed through a
+//! [`ResilientClient`] whose every connection is wrapped in a
+//! [`ChaosTransport`] (kills, resets, partial writes, bit flips, stalls)
+//! must produce evidence **byte-identical** to the same packet stream sent
+//! over a fault-free connection. Retries resend the same (session, seq)
+//! identity, the server's dedup window absorbs each frame at most once,
+//! and the client's accounting balances exactly.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pnm_core::store::Evidence;
+use pnm_core::{
+    IsolationPolicy, MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig,
+    SinkEngine, VerifyMode,
+};
+use pnm_crypto::KeyStore;
+use pnm_gateway::{
+    AckCode, BackoffPolicy, ChaosPlan, ClientConfig, Connector, Envelope, Gateway, GatewayClient,
+    GatewayConfig, ResilientClient, ResilientConfig, Response, SendOutcome, Status, TenantConfig,
+    TenantRegistry,
+};
+use pnm_service::{BackpressurePolicy, ServiceConfig, ServicePool};
+use pnm_wire::{Location, NodeId, Packet, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const NODES: u16 = 6;
+
+fn temp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "pnm-res-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn sink_config() -> SinkConfig {
+    SinkConfig::new(VerifyMode::Nested)
+        .isolation(IsolationPolicy::SuspectsOnly)
+        .table_cache_capacity(4)
+}
+
+fn keys(master: &[u8]) -> Arc<KeyStore> {
+    Arc::new(KeyStore::derive_from_master(master, NODES))
+}
+
+fn workload(ks: &KeyStore, count: u64, seed: u64) -> Vec<Vec<u8>> {
+    let scheme = ProbabilisticNestedMarking::paper_default(NODES as usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|seq| {
+            let report = Report::new(
+                format!("res-{seq}").into_bytes(),
+                Location::new(seq as f32, 0.0),
+                seq,
+            );
+            let mut pkt = Packet::new(report);
+            for hop in 0..NODES {
+                let ctx = NodeContext::new(NodeId(hop), *ks.key(hop).unwrap());
+                scheme.mark(&ctx, &mut pkt, &mut rng);
+            }
+            pkt.to_bytes()
+        })
+        .collect()
+}
+
+/// First integer value of the metrics line carrying `name` and every
+/// label fragment in `labels` (label order in the exposition is not part
+/// of the contract).
+fn metric(text: &str, name: &str, labels: &[&str]) -> Option<u64> {
+    text.lines()
+        .find(|l| l.starts_with(name) && labels.iter().all(|frag| l.contains(frag)))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+fn fast_config() -> GatewayConfig {
+    GatewayConfig::default()
+        .workers(2)
+        .poll_interval(Duration::from_micros(200))
+}
+
+/// The tentpole: full-intensity chaos on the client's wire, and the acked
+/// packet stream still lands exactly once — evidence byte-identical to a
+/// fault-free run of the same packets, client accounting balanced to the
+/// last attempt, zero panics anywhere.
+#[test]
+fn acked_ingest_under_full_chaos_is_exactly_once() {
+    const PACKETS: u64 = 100;
+    let ks = keys(b"chaos-secret");
+    let packets = workload(&ks, PACKETS, 0xC0FFEE);
+
+    let registry = Arc::new(
+        TenantRegistry::builder()
+            .tenant(
+                "chaos",
+                TenantConfig::new(Arc::clone(&ks), ServiceConfig::new(sink_config()).shards(1)),
+            )
+            .tenant(
+                "calm",
+                TenantConfig::new(Arc::clone(&ks), ServiceConfig::new(sink_config()).shards(1)),
+            )
+            .build()
+            .unwrap(),
+    );
+    let mut gw = Gateway::new(Arc::clone(&registry), fast_config());
+    let sock = temp_path("chaos.sock");
+    gw.listen_uds(&sock).unwrap();
+    let handle = gw.spawn().unwrap();
+
+    // Fault-free reference stream into the "calm" tenant.
+    let mut calm = ResilientClient::new(Connector::uds(&sock), 1, ResilientConfig::default());
+    for p in &packets {
+        let out = calm.send(b"calm", p).unwrap();
+        assert!(matches!(
+            out,
+            SendOutcome::Counted {
+                code: AckCode::Accepted,
+                attempts: 1
+            }
+        ));
+    }
+    assert_eq!(
+        calm.chaos_counters().total(),
+        0,
+        "calm wire injects nothing"
+    );
+
+    // Same packets into the "chaos" tenant, through a wire that kills,
+    // resets, half-writes, bit-flips, stalls, and delays. The short read
+    // timeout turns the rare silently-swallowed frame (a bit flip that
+    // lands on the opcode) into a prompt retry.
+    let chaotic_wire = Connector::uds(&sock)
+        .config(
+            ClientConfig::default()
+                .connect_timeout(Duration::from_secs(2))
+                .read_timeout(Duration::from_millis(400))
+                .write_timeout(Duration::from_millis(400)),
+        )
+        .chaos(ChaosPlan::at_intensity(1.0), 0x5EED);
+    let mut chaos = ResilientClient::new(
+        chaotic_wire,
+        7,
+        ResilientConfig::default()
+            .backoff(
+                BackoffPolicy::new(Duration::from_millis(1), Duration::from_millis(30))
+                    .jitter(0.25),
+            )
+            .seed(0xA5A5)
+            .max_attempts(400),
+    );
+    for p in &packets {
+        let out = chaos.send(b"chaos", p).unwrap();
+        assert!(out.is_counted(), "chaos wire never loses an acked packet");
+    }
+
+    // Client accounting is exact by construction.
+    let report = chaos.report();
+    assert_eq!(report.counted, PACKETS);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.attempts - PACKETS, report.retries);
+    assert_eq!(report.connects - 1, report.reconnects);
+    assert!(
+        chaos.chaos_counters().total() > 0,
+        "full-intensity chaos must actually fire"
+    );
+
+    // Server-side balance: despite every retry, each tenant absorbed the
+    // stream exactly once.
+    let text = registry.metrics_text();
+    let ingested = |tenant: &str| {
+        metric(
+            text.as_str(),
+            "pnm_gateway_ingested_total",
+            &[&format!("tenant=\"{tenant}\"")],
+        )
+    };
+    assert_eq!(ingested("chaos"), Some(PACKETS));
+    assert_eq!(ingested("calm"), Some(PACKETS));
+    let dup = metric(&text, "pnm_gateway_duplicate_total", &["tenant=\"chaos\""]).unwrap_or(0);
+    assert!(
+        dup >= report.duplicates,
+        "server saw every duplicate the client trusted ({dup} < {})",
+        report.duplicates
+    );
+
+    // The whole point: chaos-tenant evidence is byte-identical to the
+    // fault-free run — no lost packet, no double count, no stray bytes.
+    let mut c = GatewayClient::connect_uds(&sock).unwrap();
+    let v_chaos = c.drain(b"chaos").unwrap();
+    let v_calm = c.drain(b"calm").unwrap();
+    assert_eq!(v_chaos.evidence_bytes, v_calm.evidence_bytes);
+    let ev = Evidence::from_bytes(&v_chaos.evidence_bytes).unwrap();
+    assert_eq!(ev.counters.packets, PACKETS as usize);
+    assert!(v_chaos.summary_json.contains("\"panics\": 0"));
+    assert!(v_calm.summary_json.contains("\"panics\": 0"));
+
+    handle.shutdown();
+}
+
+/// Satellite regression: a second `Drain` returns the cached verdict
+/// byte-identically, and sequenced ingest after the drain is a *counted,
+/// structured* rejection — not a hang, not a protocol error.
+#[test]
+fn drain_twice_is_cached_and_ingest_after_drain_is_structured_rejection() {
+    let ks = keys(b"drain-secret");
+    let packets = workload(&ks, 10, 0xD12A);
+    let registry = Arc::new(
+        TenantRegistry::builder()
+            .tenant(
+                "alpha",
+                TenantConfig::new(Arc::clone(&ks), ServiceConfig::new(sink_config()).shards(1)),
+            )
+            .build()
+            .unwrap(),
+    );
+    let mut gw = Gateway::new(Arc::clone(&registry), fast_config());
+    let sock = temp_path("drain.sock");
+    gw.listen_uds(&sock).unwrap();
+    let handle = gw.spawn().unwrap();
+
+    let mut c = GatewayClient::connect_uds(&sock).unwrap();
+    for (seq, p) in packets.iter().enumerate() {
+        let ack = c.ingest_seq(b"alpha", 3, seq as u64, p).unwrap();
+        assert_eq!(ack.code, AckCode::Accepted);
+    }
+
+    let v1 = c.drain(b"alpha").unwrap();
+    let v2 = c.drain(b"alpha").unwrap();
+    assert_eq!(v1, v2, "second drain returns the cached verdict verbatim");
+    assert!(!v1.evidence_bytes.is_empty());
+
+    let ack = c.ingest_seq(b"alpha", 3, 10, &packets[0]).unwrap();
+    assert_eq!(ack.code, AckCode::Drained);
+    assert!(!ack.code.is_counted());
+    assert!(!ack.code.is_retryable(), "drained is terminal");
+    let text = registry.metrics_text();
+    assert_eq!(
+        metric(
+            &text,
+            "pnm_gateway_rejected_total",
+            &["reason=\"drained\"", "tenant=\"alpha\""]
+        ),
+        Some(1)
+    );
+
+    // A retry of an already-counted frame still resolves as Duplicate
+    // even after the pool is gone: acked ≡ counted survives the drain.
+    let ack = c.ingest_seq(b"alpha", 3, 4, &packets[4]).unwrap();
+    assert_eq!(ack.code, AckCode::Duplicate);
+
+    handle.shutdown();
+}
+
+/// Graceful shutdown: health/readiness answer over the wire, the gateway
+/// stops accepting, in-flight connections flush, and every tenant's final
+/// evidence checkpoint lands durably — recoverable into the exact
+/// evidence a solo sequential run produces.
+#[test]
+fn graceful_shutdown_flushes_a_recoverable_final_checkpoint() {
+    const PACKETS: u64 = 30;
+    let dir = temp_path("graceful-logs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ks = keys(b"graceful-secret");
+    let packets = workload(&ks, PACKETS, 0x6F0D);
+    let registry = Arc::new(
+        TenantRegistry::builder()
+            .tenant(
+                "alpha",
+                TenantConfig::new(Arc::clone(&ks), ServiceConfig::new(sink_config()).shards(2)),
+            )
+            .evidence_dir(&dir)
+            .build()
+            .unwrap(),
+    );
+    let mut gw = Gateway::new(Arc::clone(&registry), fast_config());
+    let sock = temp_path("graceful.sock");
+    gw.listen_uds(&sock).unwrap();
+    let handle = gw.spawn().unwrap();
+
+    {
+        let mut c = GatewayClient::connect_uds(&sock).unwrap();
+        c.health().unwrap();
+        assert!(c.ready().unwrap(), "ready before drain");
+        for (seq, p) in packets.iter().enumerate() {
+            let ack = c.ingest_seq(b"alpha", 11, seq as u64, p).unwrap();
+            assert_eq!(ack.code, AckCode::Accepted);
+        }
+        assert!(!handle.is_draining());
+    } // connection closes here, so the drain has nothing in flight
+
+    assert!(
+        handle.shutdown_graceful(Duration::from_secs(30)),
+        "graceful shutdown flushes connections and pools within budget"
+    );
+    assert!(
+        GatewayClient::connect_uds(&sock).is_err(),
+        "listener is gone after shutdown"
+    );
+
+    // The final checkpoint recovers into exactly the evidence a solo
+    // sequential run of the same packets produces.
+    let (pool, stats) = ServicePool::recover_from_log(
+        Arc::clone(&ks),
+        ServiceConfig::new(sink_config()).shards(2),
+        dir.join("alpha.pnme"),
+    )
+    .unwrap();
+    assert_eq!(stats.packets_restored, PACKETS as usize);
+    let recovered = pool.drain().engine.evidence().to_bytes();
+
+    let mut seq_engine = SinkEngine::new(Arc::clone(&ks), sink_config().without_isolation());
+    for p in &packets {
+        seq_engine.ingest(&Packet::from_bytes(p).unwrap());
+    }
+    let mut merged = SinkEngine::new(Arc::clone(&ks), sink_config());
+    merged.absorb(&seq_engine);
+    merged.refresh_quarantine();
+    merged.quarantine_source_regions();
+    assert_eq!(recovered, merged.evidence().to_bytes());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Backpressure over the acked path: a full shard queue under `Shed`
+/// answers `Busy` with the tenant's configured retry hint, while a retry
+/// of an already-counted frame resolves `Duplicate` without needing queue
+/// space — dedup sits in front of admission.
+#[test]
+fn busy_shed_carries_retry_hint_and_dedup_needs_no_queue_space() {
+    let ks = keys(b"busy-secret");
+    let packets = workload(&ks, 6, 0xB059);
+    let registry = Arc::new(
+        TenantRegistry::builder()
+            .tenant(
+                "busy",
+                TenantConfig::new(
+                    Arc::clone(&ks),
+                    ServiceConfig::new(sink_config())
+                        .shards(1)
+                        .queue_capacity(1)
+                        .backpressure(BackpressurePolicy::Shed)
+                        .start_paused(true),
+                )
+                .busy_retry_after_ms(7),
+            )
+            .build()
+            .unwrap(),
+    );
+    let mut gw = Gateway::new(Arc::clone(&registry), fast_config());
+    let sock = temp_path("busy.sock");
+    gw.listen_uds(&sock).unwrap();
+    let handle = gw.spawn().unwrap();
+
+    let mut c = GatewayClient::connect_uds(&sock).unwrap();
+    let first = c.ingest_seq(b"busy", 9, 0, &packets[0]).unwrap();
+    assert_eq!(first.code, AckCode::Accepted);
+
+    // The paused shard drains nothing, so within a few more frames the
+    // bounded queue must shed one — with the configured hint attached.
+    let mut busy_ack = None;
+    let mut accepted = 1u64;
+    for (seq, p) in packets.iter().enumerate().skip(1) {
+        let ack = c.ingest_seq(b"busy", 9, seq as u64, p).unwrap();
+        match ack.code {
+            AckCode::Accepted => accepted += 1,
+            AckCode::Busy => {
+                busy_ack = Some(ack);
+                break;
+            }
+            other => panic!("unexpected ack {other:?}"),
+        }
+    }
+    let busy = busy_ack.expect("a capacity-1 queue under a paused shard must shed");
+    assert_eq!(busy.retry_after_ms, 7, "tenant's configured retry hint");
+    assert!(busy.code.is_retryable());
+    assert!(!busy.code.is_counted());
+
+    // Retrying the very first (already counted) frame while the queue is
+    // still full: Duplicate, no token burned, no queue slot needed.
+    let dup = c.ingest_seq(b"busy", 9, 0, &packets[0]).unwrap();
+    assert_eq!(dup.code, AckCode::Duplicate);
+
+    // Drain resumes the paused pool; exactly the accepted frames count.
+    let verdict = c.drain(b"busy").unwrap();
+    let ev = Evidence::from_bytes(&verdict.evidence_bytes).unwrap();
+    assert_eq!(ev.counters.packets, accepted as usize);
+    let text = registry.metrics_text();
+    assert_eq!(
+        metric(
+            &text,
+            "pnm_gateway_rejected_total",
+            &["reason=\"shed\"", "tenant=\"busy\""]
+        ),
+        Some(1)
+    );
+
+    handle.shutdown();
+}
+
+/// Version compatibility on the wire: a v1 envelope still ingests, and a
+/// v1 frame carrying a v2-only opcode is answered with a structured
+/// protocol error rather than being misread.
+#[test]
+fn v1_frames_interoperate_and_v2_opcodes_are_gated() {
+    let ks = keys(b"compat-secret");
+    let packets = workload(&ks, 1, 0xC0DE);
+    let registry = Arc::new(
+        TenantRegistry::builder()
+            .tenant(
+                "alpha",
+                TenantConfig::new(Arc::clone(&ks), ServiceConfig::new(sink_config()).shards(1)),
+            )
+            .build()
+            .unwrap(),
+    );
+    let mut gw = Gateway::new(Arc::clone(&registry), fast_config());
+    let sock = temp_path("compat.sock");
+    gw.listen_uds(&sock).unwrap();
+    let handle = gw.spawn().unwrap();
+
+    // A v1 client: same bytes, version byte 1. Plain ingest must work.
+    use std::io::{Read, Write};
+    let mut v1 = std::os::unix::net::UnixStream::connect(&sock).unwrap();
+    let mut frame = Envelope::ingest(b"alpha", &packets[0]).encode();
+    frame[2] = 1;
+    v1.write_all(&frame).unwrap();
+
+    // A v1 frame with a v2-only opcode (IngestSeq) is a protocol error.
+    let mut frame = Envelope::ingest_seq(b"alpha", 1, 0, &packets[0]).encode();
+    frame[2] = 1;
+    v1.write_all(&frame).unwrap();
+    let mut raw = Vec::new();
+    v1.read_to_end(&mut raw).unwrap();
+    let (resp, _) = Response::decode(&raw, 1 << 20).unwrap().unwrap();
+    assert_eq!(resp.status, Status::Error);
+
+    // The v1 ingest that preceded the bad frame was admitted.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let text = registry.metrics_text();
+        if metric(&text, "pnm_gateway_ingested_total", &["tenant=\"alpha\""]) == Some(1) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "v1 ingest never admitted");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    handle.shutdown();
+}

@@ -462,6 +462,38 @@ impl ServicePool {
         self.senders.lock().expect("senders lock").is_none()
     }
 
+    /// Closes ingestion and waits (until `deadline`) for every shard
+    /// worker to run its queue dry and exit — which flushes each shard's
+    /// **final durable checkpoint** to the attached store. Returns `true`
+    /// if every worker finished in time, `false` if the deadline passed
+    /// with a shard still busy (its thread keeps running; nothing is
+    /// detached or lost).
+    ///
+    /// Unlike [`drain`](Self::drain) this borrows the pool: the final
+    /// shard states stay queued on the done channel, so a later `drain`
+    /// still produces the merged verdict — this is the "flush in-flight
+    /// work before the process exits" half of a graceful shutdown, not a
+    /// teardown.
+    pub fn close_and_join(&self, deadline: Instant) -> bool {
+        self.resume();
+        self.close();
+        loop {
+            let all_done = self
+                .handles
+                .lock()
+                .expect("handles lock")
+                .iter()
+                .all(|h| h.is_finished());
+            if all_done {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
     /// Live cross-shard telemetry. Callable at any time; counters lag the
     /// queues by whatever is in flight.
     pub fn snapshot(&self) -> ServiceSnapshot {

@@ -118,6 +118,29 @@ fn recovery_json(r: &RecoveryRun) -> String {
     )
 }
 
+/// `chaos_gateway` merges a `"gateway"` section into this same artifact;
+/// carry it over when re-recording the soak's own fields so the two bins
+/// can run in either order without losing each other's results.
+fn keep_gateway_section(existing: Option<&str>, fresh: &str) -> String {
+    let Some(section) = existing.and_then(|text| {
+        let i = text.find("\n  \"gateway\":")?;
+        Some(
+            text[i..]
+                .trim_end()
+                .strip_suffix('}')?
+                .trim_end()
+                .to_string(),
+        )
+    }) else {
+        return fresh.to_string();
+    };
+    let Some(head) = fresh.trim_end().strip_suffix('}') else {
+        return fresh.to_string();
+    };
+    let head = head.trim_end().trim_end_matches(',');
+    format!("{head},{section}\n}}\n")
+}
+
 fn write_artifact(path: &str, json: &str) -> bool {
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
@@ -327,6 +350,8 @@ fn main() -> ExitCode {
         acceptance_json.trim_start(),
     );
 
+    let bench_json =
+        keep_gateway_section(std::fs::read_to_string(&out).ok().as_deref(), &bench_json);
     if !write_artifact(&degradation, &degradation_json) || !write_artifact(&out, &bench_json) {
         return ExitCode::FAILURE;
     }
@@ -355,4 +380,34 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::keep_gateway_section;
+
+    const FRESH: &str = "{\n  \"mode\": \"full\",\n  \"zero_panics\": true\n}\n";
+
+    #[test]
+    fn no_existing_file_passes_fresh_through() {
+        assert_eq!(keep_gateway_section(None, FRESH), FRESH);
+    }
+
+    #[test]
+    fn existing_without_gateway_passes_fresh_through() {
+        let old = "{\n  \"mode\": \"smoke\"\n}\n";
+        assert_eq!(keep_gateway_section(Some(old), FRESH), FRESH);
+    }
+
+    #[test]
+    fn gateway_section_survives_a_soak_rewrite() {
+        let old = "{\n  \"mode\": \"smoke\",\n  \"gateway\": {\n    \"points\": 5\n  }\n}\n";
+        let merged = keep_gateway_section(Some(old), FRESH);
+        assert_eq!(
+            merged,
+            "{\n  \"mode\": \"full\",\n  \"zero_panics\": true,\n  \"gateway\": {\n    \"points\": 5\n  }\n}\n"
+        );
+        // Idempotent: re-running the soak keeps the same section.
+        assert_eq!(keep_gateway_section(Some(&merged), FRESH), merged);
+    }
 }
