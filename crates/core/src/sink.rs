@@ -76,6 +76,7 @@ pub struct SinkConfig {
     min_support: usize,
     tracer: Tracer,
     stage_timing: bool,
+    lane_crypto: bool,
 }
 
 impl SinkConfig {
@@ -93,7 +94,20 @@ impl SinkConfig {
             min_support: 1,
             tracer: Tracer::noop(),
             stage_timing: false,
+            lane_crypto: true,
         }
+    }
+
+    /// Toggles lane-parallel (SIMD multi-buffer) crypto in the verify and
+    /// resolve stages: batched MAC checks
+    /// ([`SinkVerifier::verify_nested_with_table_batched`]) and lane
+    /// anonymous-ID table builds ([`AnonTable::build_parallel_lanes_with`]).
+    /// On by default; verdicts, chains, and counters are identical either
+    /// way (pinned by test) — `false` selects the scalar path, for
+    /// comparison benchmarks or debugging.
+    pub fn lane_crypto(mut self, on: bool) -> Self {
+        self.lane_crypto = on;
+        self
     }
 
     /// Sets how many per-report anonymous-ID tables stay cached (≥ 1).
@@ -366,6 +380,7 @@ pub struct SinkEngine {
     table_cache: Vec<(Vec<u8>, AnonTable)>,
     table_cache_capacity: usize,
     table_build_threads: usize,
+    lane_crypto: bool,
     /// Reusable MAC-message buffer (shared across marks and packets).
     scratch: Vec<u8>,
     /// Reusable candidate-id buffer for anonymous-ID disambiguation.
@@ -400,12 +415,14 @@ impl StageClock {
         StageClock(enabled.then(Instant::now))
     }
 
-    /// Microseconds since start/previous lap; 0 (and no clock read) when
-    /// disabled.
-    fn lap_us(&mut self) -> u64 {
+    /// Nanoseconds since start/previous lap; 0 (and no clock read) when
+    /// disabled. Nanosecond resolution matters: the classify and localize
+    /// stages run well under a microsecond, so coarser laps record 0 at
+    /// every percentile.
+    fn lap_ns(&mut self) -> u64 {
         match &mut self.0 {
             Some(t) => {
-                let elapsed = t.elapsed().as_micros() as u64;
+                let elapsed = t.elapsed().as_nanos() as u64;
                 *t = Instant::now();
                 elapsed
             }
@@ -444,6 +461,7 @@ impl SinkEngine {
             table_cache: Vec::new(),
             table_cache_capacity: config.table_cache_capacity,
             table_build_threads: config.table_build_threads,
+            lane_crypto: config.lane_crypto,
             scratch: Vec::new(),
             cand_buf: Vec::new(),
             counters: SinkCounters::default(),
@@ -519,7 +537,7 @@ impl SinkEngine {
                 classify_span.field("duplicate", true);
                 drop(classify_span);
                 if clock.enabled() {
-                    self.stages.classify.record(clock.lap_us());
+                    self.stages.classify.record(clock.lap_ns());
                 }
                 return SinkOutcome {
                     verdict: None,
@@ -540,7 +558,7 @@ impl SinkEngine {
                 classify_span.field("benign", true);
                 drop(classify_span);
                 if clock.enabled() {
-                    self.stages.classify.record(clock.lap_us());
+                    self.stages.classify.record(clock.lap_ns());
                 }
                 return SinkOutcome {
                     verdict,
@@ -553,21 +571,21 @@ impl SinkEngine {
         }
         drop(classify_span);
         if clock.enabled() {
-            self.stages.classify.record(clock.lap_us());
+            self.stages.classify.record(clock.lap_ns());
         }
 
         // Stages 2–3: verify marks, resolving anonymous IDs.
         let verify_span = tracer.span("sink.verify");
-        let (chain, resolve_us) = self.verify_stage(packet);
+        let (chain, resolve_ns) = self.verify_stage(packet);
         drop(verify_span);
         if clock.enabled() {
             // The verify histogram is net of resolution time, so
             // verify + resolve sums to the measured wall time.
-            let total_us = clock.lap_us();
-            self.stages.resolve.record(resolve_us);
+            let total_ns = clock.lap_ns();
+            self.stages.resolve.record(resolve_ns);
             self.stages
                 .verify
-                .record(total_us.saturating_sub(resolve_us));
+                .record(total_ns.saturating_sub(resolve_ns));
         }
         self.counters.marks_verified += chain.nodes.len();
         self.counters.marks_rejected += chain.total_marks - chain.nodes.len();
@@ -580,7 +598,7 @@ impl SinkEngine {
         }
         drop(reconstruct_span);
         if clock.enabled() {
-            self.stages.reconstruct.record(clock.lap_us());
+            self.stages.reconstruct.record(clock.lap_ns());
         }
 
         // Stage 5: quarantine maintenance (cheap: only runs on a new
@@ -589,7 +607,7 @@ impl SinkEngine {
         self.update_quarantine();
         drop(localize_span);
         if clock.enabled() {
-            self.stages.localize.record(clock.lap_us());
+            self.stages.localize.record(clock.lap_ns());
         }
 
         SinkOutcome {
@@ -649,7 +667,7 @@ impl SinkEngine {
     }
 
     /// Verify + anonymous-ID resolution for one admitted packet. Returns
-    /// the chain plus the microseconds spent on anonymous-ID resolution
+    /// the chain plus the nanoseconds spent on anonymous-ID resolution
     /// (0 when stage timing is off).
     fn verify_stage(&mut self, packet: &Packet) -> (VerifiedChain, u64) {
         if self.mode != VerifyMode::Nested {
@@ -690,7 +708,7 @@ impl SinkEngine {
             );
             self.counters.hash_count += hashes;
             self.counters.resolver_fallback_scans += fallbacks;
-            return (chain, (resolve_ns / 1000) as u64);
+            return (chain, resolve_ns as u64);
         }
         // Brute-force §4.2 resolution through the per-report table cache:
         // resolution cost is the table lookup/build, so that is what the
@@ -699,15 +717,24 @@ impl SinkEngine {
         let resolve_span = self.tracer.clone().span("sink.resolve");
         let idx = self.lookup_or_build_table(&report_bytes);
         drop(resolve_span);
-        let resolve_us = start.map_or(0, |s| s.elapsed().as_micros() as u64);
+        let resolve_ns = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
         let table = &self.table_cache[idx].1;
-        let chain = self.verifier.verify_nested_with(
-            packet,
-            &mut self.scratch,
-            &mut self.cand_buf,
-            &mut |aid, _anchor, out| out.extend_from_slice(table.resolve(aid)),
-        );
-        (chain, resolve_us)
+        let chain = if self.lane_crypto {
+            // Batched path: stage every mark's candidate MAC message, check
+            // all tags in one lane-parallel sweep, then replay the
+            // stop-at-first-invalid walk. Verdict-identical to the scalar
+            // walk (pinned by test).
+            self.verifier
+                .verify_batched_impl(packet, table, &mut self.scratch)
+        } else {
+            self.verifier.verify_nested_with(
+                packet,
+                &mut self.scratch,
+                &mut self.cand_buf,
+                &mut |aid, _anchor, out| out.extend_from_slice(table.resolve(aid)),
+            )
+        };
+        (chain, resolve_ns)
     }
 
     /// Returns the cache index of the table for `report_bytes`, building
@@ -726,8 +753,15 @@ impl SinkEngine {
             let entry = self.table_cache.remove(pos);
             self.table_cache.push(entry);
         } else {
-            let table =
-                AnonTable::build_parallel(&self.keys, report_bytes, self.table_build_threads);
+            let table = if self.lane_crypto {
+                AnonTable::build_parallel_lanes_with(
+                    &self.keys.schedule(),
+                    report_bytes,
+                    self.table_build_threads,
+                )
+            } else {
+                AnonTable::build_parallel(&self.keys, report_bytes, self.table_build_threads)
+            };
             self.counters.table_builds += 1;
             self.counters.hash_count += table.hash_count;
             self.tracer.event_with("sink.table_build", |f| {
@@ -1653,6 +1687,71 @@ mod tests {
 }
 
 #[cfg(test)]
+mod lane_tests {
+    use super::*;
+    use crate::config::MarkingConfig;
+    use crate::scheme::{MarkingScheme, NodeContext, ProbabilisticNestedMarking};
+    use pnm_wire::{Location, Report};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Engine-level pin for the batched verify path: with `lane_crypto` on
+    /// (the default) and off, every outcome, counter, and stage-sample
+    /// count matches — including tampered chains, where the batched sweep
+    /// must replay the scalar walk's stop-at-first-invalid semantics.
+    #[test]
+    fn lane_crypto_matches_scalar_engine() {
+        let keys = Arc::new(KeyStore::derive_from_master(b"lane-sink", 12));
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let scheme = ProbabilisticNestedMarking::new(cfg);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut packets = Vec::new();
+        for seq in 0..6u64 {
+            let report = Report::new(
+                format!("lane-{}", seq % 2).into_bytes(),
+                Location::new(seq as f32, 0.0),
+                seq % 2,
+            );
+            let mut pkt = Packet::new(report);
+            for hop in 0..12u16 {
+                let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+                scheme.mark(&ctx, &mut pkt, &mut rng);
+            }
+            packets.push(pkt.clone());
+            // Tampered variants: corrupted MAC, stripped MAC, missing mark.
+            let i = (seq as usize * 3) % pkt.marks.len();
+            let mut p = pkt.clone();
+            p.marks[i].mac = Some(p.marks[i].mac.unwrap().corrupted());
+            packets.push(p);
+            let mut p = pkt.clone();
+            p.marks[i].mac = None;
+            packets.push(p);
+            let mut p = pkt.clone();
+            p.marks.remove(i);
+            packets.push(p);
+        }
+
+        let cfg = SinkConfig::new(VerifyMode::Nested).stage_timing(true);
+        let mut lanes = SinkEngine::new(Arc::clone(&keys), cfg.clone());
+        let mut scalar = SinkEngine::new(Arc::clone(&keys), cfg.lane_crypto(false));
+        for pkt in &packets {
+            assert_eq!(lanes.ingest(pkt), scalar.ingest(pkt));
+        }
+        assert_eq!(lanes.counters(), scalar.counters());
+        assert_eq!(lanes.unequivocal_source(), scalar.unequivocal_source());
+        // Stage histograms saw the same packets (sample values differ —
+        // they are wall-clock — but every stage recorded equally often).
+        for ((name, a), (_, b)) in lanes
+            .stage_metrics()
+            .iter()
+            .zip(scalar.stage_metrics().iter())
+        {
+            assert_eq!(a.count(), b.count(), "stage {name}");
+        }
+    }
+}
+
+#[cfg(test)]
 mod proptests {
     use super::*;
     use crate::config::MarkingConfig;
@@ -1754,6 +1853,18 @@ mod proptests {
             prop_assert_eq!(&batch_out, &threaded_out);
             prop_assert_eq!(batch.counters(), threaded.counters());
             prop_assert_eq!(batch.localize(), threaded.localize());
+
+            // Lane-parallel crypto (the default) is likewise a pure
+            // optimization: disabling it selects the scalar verify/resolve
+            // path with byte-identical outcomes, counters, and localization.
+            let mut scalar = SinkEngine::new(
+                Arc::clone(&keys),
+                SinkConfig::new(mode).lane_crypto(false),
+            );
+            let scalar_out = scalar.ingest_batch(&packets);
+            prop_assert_eq!(&batch_out, &scalar_out);
+            prop_assert_eq!(batch.counters(), scalar.counters());
+            prop_assert_eq!(batch.localize(), scalar.localize());
 
             // Strict amortization vs independent engines whenever the
             // workload actually repeats a report under nested verification

@@ -15,7 +15,11 @@ use serde::{Deserialize, Serialize};
 /// breakdown and metric label uses.
 pub const STAGE_NAMES: [&str; 5] = ["classify", "verify", "resolve", "reconstruct", "localize"];
 
-/// Per-stage latency histograms for one engine (microsecond samples).
+/// Per-stage latency histograms for one engine (nanosecond samples).
+///
+/// Nanosecond resolution is load-bearing: classify and localize complete
+/// well under a microsecond, so µs-resolution laps recorded 0 for them at
+/// every percentile. The JSON breakdown carries `_ns`-suffixed keys.
 ///
 /// * `classify` — duplicate suppression plus the admission classifier.
 /// * `verify` — backward MAC verification, *excluding* time spent
@@ -72,11 +76,11 @@ impl StageMetrics {
     }
 
     /// The per-stage breakdown as a JSON tree: stage name → histogram
-    /// summary, in pipeline order.
+    /// summary (nanosecond-suffixed keys), in pipeline order.
     pub fn to_json_value(&self) -> JsonValue {
         JsonValue::Object(
             self.iter()
-                .map(|(name, h)| (name.to_string(), h.to_json_value()))
+                .map(|(name, h)| (name.to_string(), h.to_json_value_with_unit("ns")))
                 .collect(),
         )
     }
@@ -123,5 +127,9 @@ mod tests {
             assert!(pos >= last, "stages out of pipeline order");
             last = pos;
         }
+        // Stage samples are nanoseconds; the keys must say so.
+        assert!(json.contains("\"mean_ns\""));
+        assert!(json.contains("\"p99_ns\""));
+        assert!(!json.contains("_us\""), "stale microsecond key in {json}");
     }
 }

@@ -17,7 +17,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use pnm_crypto::{anon_id_prepared, verify_mark_mac_prepared, AnonId, KeySchedule, KeyStore};
+use pnm_crypto::{
+    anon_id_many_prepared, anon_id_prepared, verify_mark_mac_prepared, verify_mark_macs_prepared,
+    AnonId, HmacKey, KeySchedule, KeyStore,
+};
 use pnm_wire::{Mark, MarkId, NodeId, Packet};
 
 use crate::scheme::ExtendedAms;
@@ -261,15 +264,26 @@ impl AnonTable {
         Self::build_parallel_with(&keys.schedule(), report_bytes, threads)
     }
 
+    /// Minimum schedule size at which thread-parallel table builds pay off.
+    ///
+    /// Below this, spawn + join overhead exceeds the hashing work and the
+    /// thread-parallel build is *slower* than serial (measured: 120 µs
+    /// parallel vs 68 µs serial at 100 nodes, `BENCH_crypto.json` PR 7), so
+    /// [`AnonTable::parallel_workers`] falls back to one worker. Small
+    /// tables are lane-shaped, not thread-shaped: the SIMD lane build
+    /// ([`AnonTable::build_lanes`]) speeds them up with zero dispatch cost.
+    pub const PARALLEL_MIN_NODES: usize = 512;
+
     /// Number of workers [`AnonTable::build_parallel`] actually dispatches
     /// for a schedule of `n` keys and a requested `threads` count: one for
-    /// the serial fallback (`threads <= 1` or `n < 2`), otherwise one per
-    /// shard, `min(threads, n)`. The count is a property of the dispatch,
-    /// not of the host's core count — workers beyond the available cores
-    /// still run (interleaved by the OS scheduler), which is what lets a
-    /// benchmark exercise the real sharded path on any machine.
+    /// the serial fallback (`threads <= 1` or `n` below
+    /// [`AnonTable::PARALLEL_MIN_NODES`]), otherwise one per shard,
+    /// `min(threads, n)`. The count is a property of the dispatch, not of
+    /// the host's core count — workers beyond the available cores still run
+    /// (interleaved by the OS scheduler), which is what lets a benchmark
+    /// exercise the real sharded path on any machine.
     pub fn parallel_workers(n: usize, threads: usize) -> usize {
-        if threads <= 1 || n < 2 {
+        if threads <= 1 || n < Self::PARALLEL_MIN_NODES {
             1
         } else {
             threads.min(n)
@@ -326,6 +340,88 @@ impl AnonTable {
             for (aid, id) in shard {
                 hash_count += 1;
                 map.entry(aid).or_default().push(id);
+            }
+        }
+        AnonTable { map, hash_count }
+    }
+
+    /// Builds the table with the lane-parallel SIMD engine
+    /// ([`pnm_crypto::Sha256xN`]): all `H'` evaluations for the report run
+    /// as one batched call, 4/8 messages per compression. Map- and
+    /// `hash_count`-identical to [`AnonTable::build`] (pinned by test and
+    /// proptest).
+    ///
+    /// This is the right shape for small schedules where thread dispatch
+    /// costs more than it saves (see [`AnonTable::PARALLEL_MIN_NODES`]):
+    /// lanes have zero dispatch overhead.
+    pub fn build_lanes(keys: &KeyStore, report_bytes: &[u8]) -> Self {
+        Self::build_lanes_with(&keys.schedule(), report_bytes)
+    }
+
+    /// [`AnonTable::build_lanes`] over an already-shared [`KeySchedule`].
+    pub fn build_lanes_with(schedule: &KeySchedule, report_bytes: &[u8]) -> Self {
+        let aids = anon_id_many_prepared(schedule.prepared(), report_bytes, schedule.ids());
+        let mut map: HashMap<AnonId, CandidateSet, AnonIdBuildHasher> =
+            HashMap::with_capacity_and_hasher(schedule.len(), AnonIdBuildHasher);
+        for (aid, &id) in aids.iter().zip(schedule.ids()) {
+            map.entry(*aid).or_default().push(id);
+        }
+        AnonTable {
+            map,
+            hash_count: schedule.len(),
+        }
+    }
+
+    /// Lane-parallel build with optional thread sharding on top: each of
+    /// [`AnonTable::parallel_workers`] workers hashes its ascending-id
+    /// shard through the lane engine. Below the thread threshold this is
+    /// exactly [`AnonTable::build_lanes_with`]. Output is identical to the
+    /// serial build at any thread count.
+    pub fn build_parallel_lanes_with(
+        schedule: &KeySchedule,
+        report_bytes: &[u8],
+        threads: usize,
+    ) -> Self {
+        let n = schedule.len();
+        let workers = Self::parallel_workers(n, threads);
+        if workers == 1 {
+            return Self::build_lanes_with(schedule, report_bytes);
+        }
+        fn hash_shard_lanes(
+            ids: &[u16],
+            keys: &[pnm_crypto::HmacKey],
+            report_bytes: &[u8],
+        ) -> Vec<AnonId> {
+            anon_id_many_prepared(keys, report_bytes, ids)
+        }
+        let chunk = n.div_ceil(workers);
+        let shards: Vec<Vec<AnonId>> = std::thread::scope(|scope| {
+            let mut chunks = schedule
+                .ids()
+                .chunks(chunk)
+                .zip(schedule.prepared().chunks(chunk));
+            let own = chunks.next();
+            let handles: Vec<_> = chunks
+                .map(|(ids, keys)| scope.spawn(move || hash_shard_lanes(ids, keys, report_bytes)))
+                .collect();
+            let mut shards = Vec::with_capacity(handles.len() + 1);
+            if let Some((ids, keys)) = own {
+                shards.push(hash_shard_lanes(ids, keys, report_bytes));
+            }
+            shards.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("anon-table lane shard worker panicked")),
+            );
+            shards
+        });
+        let mut map: HashMap<AnonId, CandidateSet, AnonIdBuildHasher> =
+            HashMap::with_capacity_and_hasher(n, AnonIdBuildHasher);
+        let mut hash_count = 0;
+        for (shard, ids) in shards.iter().zip(schedule.ids().chunks(chunk)) {
+            for (aid, &id) in shard.iter().zip(ids) {
+                hash_count += 1;
+                map.entry(*aid).or_default().push(id);
             }
         }
         AnonTable { map, hash_count }
@@ -423,6 +519,166 @@ impl SinkVerifier {
             &mut Vec::new(),
             &mut |aid, _anchor, out| out.extend_from_slice(table.resolve(aid)),
         )
+    }
+
+    /// [`SinkVerifier::verify_nested_with_table`] with lane-parallel MAC
+    /// checking: collects every mark's candidate `(key, message, tag)` job
+    /// along the backward walk first, computes all MACs in one batched
+    /// [`pnm_crypto::verify_mark_macs_prepared`] call (4/8 lanes per
+    /// SHA-256 compression), then replays the stop-at-first-invalid walk
+    /// over the precomputed verdicts.
+    ///
+    /// Returns a [`VerifiedChain`] identical to the scalar path for every
+    /// packet (pinned by test and proptest): each mark's verdict depends
+    /// only on its own message prefix and the table, never on other
+    /// verdicts, so precomputing is observation-equivalent. The one
+    /// behavioral difference is wasted (never observed) work when an early
+    /// mark is invalid — the batch computes MACs the scalar walk would have
+    /// skipped — which is the right trade on benign traffic, where every
+    /// mark verifies and nothing is wasted.
+    pub fn verify_nested_with_table_batched(
+        &self,
+        packet: &Packet,
+        table: &AnonTable,
+    ) -> VerifiedChain {
+        self.verify_batched_impl(packet, table, &mut Vec::new())
+    }
+
+    /// Scratch-reusing body of [`SinkVerifier::verify_nested_with_table_batched`]:
+    /// `flat` stages every candidate message contiguously so a streaming
+    /// caller amortizes the allocation across packets.
+    pub(crate) fn verify_batched_impl(
+        &self,
+        packet: &Packet,
+        table: &AnonTable,
+        flat: &mut Vec<u8>,
+    ) -> VerifiedChain {
+        /// How one mark resolves once the batch verdicts are in.
+        enum MarkPlan {
+            /// No MAC on the mark: always invalid.
+            MissingMac,
+            /// Plain id; `job` is `None` when the id has no provisioned key
+            /// (invalid without hashing, same as the scalar path).
+            Plain { id: NodeId, job: Option<usize> },
+            /// Anon id candidates in table order, each with its job index.
+            /// The list is truncated at the first candidate without a key:
+            /// the scalar walk aborts the mark there, so later candidates
+            /// are never consulted.
+            Anon { cands: Vec<(u16, usize)> },
+        }
+
+        let total_marks = packet.marks.len();
+        if total_marks == 0 {
+            return VerifiedChain {
+                nodes: Vec::new(),
+                stop: StopReason::NoMarks,
+                total_marks,
+            };
+        }
+
+        // Pass 1 — backward walk collecting jobs: pop each mark, stage its
+        // candidate message(s) (`prefix ‖ id` or `prefix ‖ aid`) in `flat`,
+        // and remember (key, message range) per job. `plans[k]` describes
+        // mark index `total_marks - 1 - k`.
+        let mut prefix = Packet {
+            report: packet.report.clone(),
+            marks: packet.marks.clone(),
+        };
+        let mut plans: Vec<MarkPlan> = Vec::with_capacity(total_marks);
+        let mut marks_rev: Vec<Mark> = Vec::with_capacity(total_marks);
+        let mut job_keys: Vec<&HmacKey> = Vec::new();
+        let mut job_ranges: Vec<(usize, usize)> = Vec::new();
+        let mut job_marks: Vec<usize> = Vec::new();
+        flat.clear();
+        for _ in 0..total_marks {
+            let mark = prefix.marks.pop().expect("mark present by construction");
+            let msg_prefix = prefix.to_bytes();
+            let plan = if mark.mac.is_none() {
+                MarkPlan::MissingMac
+            } else {
+                match mark.id {
+                    MarkId::Plain(id) => match self.schedule.get(id.raw()) {
+                        None => MarkPlan::Plain { id, job: None },
+                        Some(key) => {
+                            let start = flat.len();
+                            flat.extend_from_slice(&msg_prefix);
+                            flat.extend_from_slice(&id.to_bytes());
+                            job_keys.push(key);
+                            job_ranges.push((start, flat.len()));
+                            job_marks.push(marks_rev.len());
+                            MarkPlan::Plain {
+                                id,
+                                job: Some(job_keys.len() - 1),
+                            }
+                        }
+                    },
+                    MarkId::Anon(aid) => {
+                        let start = flat.len();
+                        flat.extend_from_slice(&msg_prefix);
+                        flat.extend_from_slice(aid.as_bytes());
+                        let range = (start, flat.len());
+                        let mut cands = Vec::new();
+                        for &cand in table.resolve(&aid) {
+                            let Some(key) = self.schedule.get(cand) else {
+                                break;
+                            };
+                            job_keys.push(key);
+                            job_ranges.push(range);
+                            job_marks.push(marks_rev.len());
+                            cands.push((cand, job_keys.len() - 1));
+                        }
+                        MarkPlan::Anon { cands }
+                    }
+                }
+            };
+            plans.push(plan);
+            marks_rev.push(mark);
+        }
+
+        // Pass 2 — one lane-parallel MAC batch over every candidate job.
+        let jobs: Vec<(&HmacKey, &[u8], &pnm_crypto::MacTag)> = job_keys
+            .iter()
+            .zip(&job_ranges)
+            .zip(&job_marks)
+            .map(|((&key, &(start, end)), &mark_idx)| {
+                let tag = marks_rev[mark_idx]
+                    .mac
+                    .as_ref()
+                    .expect("jobs only collected for marks with a MAC");
+                (key, &flat[start..end], tag)
+            })
+            .collect();
+        let verdicts = verify_mark_macs_prepared(&jobs);
+
+        // Pass 3 — replay the scalar stop-at-first-invalid walk over the
+        // precomputed verdicts.
+        let mut verified_rev: Vec<NodeId> = Vec::new();
+        let mut stop = StopReason::AllVerified;
+        for (k, plan) in plans.iter().enumerate() {
+            let idx = total_marks - 1 - k;
+            let resolved = match plan {
+                MarkPlan::MissingMac => None,
+                MarkPlan::Plain { id, job } => job.and_then(|j| verdicts[j].then_some(*id)),
+                MarkPlan::Anon { cands } => cands
+                    .iter()
+                    .find(|&&(_, j)| verdicts[j])
+                    .map(|&(cand, _)| NodeId(cand)),
+            };
+            match resolved {
+                Some(id) => verified_rev.push(id),
+                None => {
+                    stop = StopReason::InvalidMac { mark_index: idx };
+                    break;
+                }
+            }
+        }
+
+        verified_rev.reverse();
+        VerifiedChain {
+            nodes: verified_rev,
+            stop,
+            total_marks,
+        }
     }
 
     /// Plain marks carry no MACs: the sink can only take the IDs at face
@@ -1088,6 +1344,105 @@ mod tests {
         assert!(Arc::ptr_eq(verifier.schedule(), &keys.schedule()));
     }
 
+    #[test]
+    fn small_inputs_fall_back_to_serial_dispatch() {
+        // The regression this guards: at 100 nodes the thread-parallel
+        // build measured ~1.8× *slower* than serial (BENCH_crypto.json),
+        // so below PARALLEL_MIN_NODES exactly one worker may dispatch.
+        assert_eq!(AnonTable::parallel_workers(100, 4), 1);
+        assert_eq!(
+            AnonTable::parallel_workers(AnonTable::PARALLEL_MIN_NODES - 1, 8),
+            1
+        );
+        assert_eq!(
+            AnonTable::parallel_workers(AnonTable::PARALLEL_MIN_NODES, 4),
+            4
+        );
+        assert_eq!(AnonTable::parallel_workers(1000, 8), 8);
+        assert_eq!(AnonTable::parallel_workers(1000, 1), 1);
+    }
+
+    #[test]
+    fn lane_build_matches_serial() {
+        let rb = report().to_bytes();
+        for n in [0u16, 1, 2, 7, 100, 600] {
+            let keys = keystore(n);
+            let serial = AnonTable::build(&keys, &rb);
+            let lanes = AnonTable::build_lanes(&keys, &rb);
+            assert_eq!(serial, lanes, "n={n}");
+            assert_eq!(lanes.hash_count, n as usize);
+            for threads in [1usize, 2, 4, 8] {
+                let sharded = AnonTable::build_parallel_lanes_with(&keys.schedule(), &rb, threads);
+                assert_eq!(serial, sharded, "n={n}, threads={threads}");
+                assert_eq!(sharded.hash_count, n as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_verify_matches_scalar_on_tampered_packets() {
+        let keys = keystore(12);
+        let verifier = SinkVerifier::new(keys.clone());
+        let cfg = MarkingConfig::builder().marking_probability(1.0).build();
+        let pnm = ProbabilisticNestedMarking::new(cfg);
+        let nested = NestedMarking::new(cfg);
+        for scheme in [&pnm as &dyn MarkingScheme, &nested] {
+            for seed in 0..4u64 {
+                let intact = marked_packet(&keys, scheme, 12, seed);
+                let mut variants: Vec<Packet> = vec![intact.clone()];
+                for i in [0usize, 5, 11] {
+                    // Corrupted MAC at position i.
+                    let mut p = intact.clone();
+                    p.marks[i].mac = Some(p.marks[i].mac.unwrap().corrupted());
+                    variants.push(p);
+                    // Mark stripped of its MAC entirely.
+                    let mut p = intact.clone();
+                    p.marks[i].mac = None;
+                    variants.push(p);
+                    // Mark removed mid-chain.
+                    let mut p = intact.clone();
+                    p.marks.remove(i);
+                    variants.push(p);
+                }
+                for pkt in &variants {
+                    let table = AnonTable::build(&keys, &pkt.report.to_bytes());
+                    assert_eq!(
+                        verifier.verify_nested_with_table_batched(pkt, &table),
+                        verifier.verify_nested_with_table(pkt, &table),
+                        "seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_verify_handles_empty_and_unknown() {
+        let keys = keystore(4);
+        let verifier = SinkVerifier::new(keys.clone());
+        let table = AnonTable::build(&keys, &report().to_bytes());
+        // Empty packet.
+        let empty = Packet::new(report());
+        assert_eq!(
+            verifier.verify_nested_with_table_batched(&empty, &table),
+            verifier.verify_nested_with_table(&empty, &table)
+        );
+        // Unknown plain id and unresolvable anon id.
+        let scheme = NestedMarking::new(MarkingConfig::default());
+        let mut pkt = Packet::new(report());
+        let mut rng = StdRng::seed_from_u64(0);
+        scheme.mark(&ctx(&keys, 0), &mut pkt, &mut rng);
+        let fake_key = MacKey::derive(b"attacker", 0);
+        let mac = fake_key.mark_mac(&pkt.to_bytes(), 8);
+        pkt.push_mark(Mark::plain(NodeId(4000), mac));
+        let mac2 = fake_key.mark_mac(&pkt.to_bytes(), 8);
+        pkt.push_mark(Mark::anon(AnonId::from_bytes([0xEE; 8]), mac2));
+        assert_eq!(
+            verifier.verify_nested_with_table_batched(&pkt, &table),
+            verifier.verify_nested_with_table(&pkt, &table)
+        );
+    }
+
     proptest! {
         /// `build_parallel` is map-identical to the serial build for any
         /// report bytes, network size, and thread count 1..=8.
@@ -1102,6 +1457,56 @@ mod tests {
             let parallel = AnonTable::build_parallel(&keys, &report, threads);
             prop_assert_eq!(&serial, &parallel);
             prop_assert_eq!(parallel.hash_count, n as usize);
+        }
+
+        /// The lane-parallel table build is map- and count-identical to the
+        /// serial build for any report and population, alone and under
+        /// thread sharding.
+        #[test]
+        fn prop_lane_table_equals_serial(
+            report in proptest::collection::vec(any::<u8>(), 0..64),
+            n in 0u16..64,
+            threads in 1usize..=8,
+        ) {
+            let keys = keystore(n);
+            let serial = AnonTable::build(&keys, &report);
+            prop_assert_eq!(&serial, &AnonTable::build_lanes(&keys, &report));
+            prop_assert_eq!(
+                &serial,
+                &AnonTable::build_parallel_lanes_with(&keys.schedule(), &report, threads)
+            );
+        }
+
+        /// Batched (lane-parallel) nested verification returns the exact
+        /// `VerifiedChain` of the scalar walk for arbitrary path lengths,
+        /// marking probabilities, and an arbitrary single tamper.
+        #[test]
+        fn prop_batched_verify_equals_scalar(
+            n in 1u16..24,
+            seed in any::<u64>(),
+            prob in 0.3f64..=1.0,
+            tamper in 0usize..4,
+            at in 0usize..24,
+        ) {
+            let keys = keystore(n);
+            let cfg = MarkingConfig::builder().marking_probability(prob).build();
+            let scheme = ProbabilisticNestedMarking::new(cfg);
+            let mut pkt = marked_packet(&keys, &scheme, n, seed);
+            if !pkt.marks.is_empty() {
+                let i = at % pkt.marks.len();
+                match tamper {
+                    1 => pkt.marks[i].mac = pkt.marks[i].mac.map(|m| m.corrupted()),
+                    2 => pkt.marks[i].mac = None,
+                    3 => { pkt.marks.remove(i); }
+                    _ => {}
+                }
+            }
+            let verifier = SinkVerifier::new(keys.clone());
+            let table = AnonTable::build(&keys, &pkt.report.to_bytes());
+            prop_assert_eq!(
+                verifier.verify_nested_with_table_batched(&pkt, &table),
+                verifier.verify_nested_with_table(&pkt, &table)
+            );
         }
     }
 }

@@ -81,6 +81,39 @@ pub fn anon_id_prepared(key: &HmacKey, report: &[u8], real_id: u16) -> AnonId {
     anon_id_from(key.begin(), report, real_id)
 }
 
+/// Batched [`anon_id_prepared`]: evaluates `H'_{k_i}(M | i)` for many
+/// `(key, id)` pairs against one report, lane-parallel (see
+/// [`crate::Sha256xN`]). This is exactly the anon-table build workload —
+/// N independent short HMACs under N different keys — and is element-wise
+/// equal to the scalar path.
+///
+/// # Panics
+///
+/// Panics if `keys` and `real_ids` differ in length.
+pub fn anon_id_many_prepared(keys: &[HmacKey], report: &[u8], real_ids: &[u16]) -> Vec<AnonId> {
+    assert_eq!(
+        keys.len(),
+        real_ids.len(),
+        "one key per real id ({} keys, {} ids)",
+        keys.len(),
+        real_ids.len()
+    );
+    let id_bytes: Vec<[u8; 2]> = real_ids.iter().map(|id| id.to_be_bytes()).collect();
+    let jobs: Vec<(&HmacKey, [&[u8]; 3])> = keys
+        .iter()
+        .zip(&id_bytes)
+        .map(|(key, id)| (key, [DOMAIN_ANON, report, &id[..]]))
+        .collect();
+    HmacKey::mac_many_parts(&jobs)
+        .into_iter()
+        .map(|d| {
+            let mut out = [0u8; ANON_ID_LEN];
+            out.copy_from_slice(&d.as_bytes()[..ANON_ID_LEN]);
+            AnonId(out)
+        })
+        .collect()
+}
+
 /// Shared `H'_{k}(M | i)` composition over an opened HMAC context.
 fn anon_id_from(mut h: HmacSha256, report: &[u8], real_id: u16) -> AnonId {
     h.update(DOMAIN_ANON);

@@ -34,6 +34,7 @@
 //! ```
 
 use crate::sha256::{constant_time_eq, Digest, Midstate, Sha256, BLOCK_LEN, DIGEST_LEN};
+use crate::sha256_lanes::{LaneJob, Sha256xN};
 
 const IPAD: u8 = 0x36;
 const OPAD: u8 = 0x5c;
@@ -126,6 +127,86 @@ impl HmacKey {
         }
         let full = self.mac(message);
         constant_time_eq(&full.as_bytes()[..tag.len()], tag)
+    }
+
+    /// Precomputes schedules for many keys at once, compressing the pad
+    /// blocks lane-parallel. Element-wise equal to [`HmacKey::new`].
+    pub fn new_many(keys: &[&[u8]]) -> Vec<HmacKey> {
+        let mut inner_blocks: Vec<[u8; BLOCK_LEN]> = Vec::with_capacity(keys.len());
+        let mut outer_blocks: Vec<[u8; BLOCK_LEN]> = Vec::with_capacity(keys.len());
+        for key in keys {
+            let mut k = [0u8; BLOCK_LEN];
+            if key.len() > BLOCK_LEN {
+                // Long keys are rare (provisioned keys are 16 bytes); the
+                // scalar pre-hash keeps this path simple.
+                let d = Sha256::digest(key);
+                k[..DIGEST_LEN].copy_from_slice(d.as_bytes());
+            } else {
+                k[..key.len()].copy_from_slice(key);
+            }
+            inner_blocks.push(core::array::from_fn(|i| k[i] ^ IPAD));
+            outer_blocks.push(core::array::from_fn(|i| k[i] ^ OPAD));
+        }
+        let inner = Sha256xN::midstate_many(&inner_blocks);
+        let outer = Sha256xN::midstate_many(&outer_blocks);
+        inner
+            .into_iter()
+            .zip(outer)
+            .map(|(inner, outer)| HmacKey { inner, outer })
+            .collect()
+    }
+
+    /// Computes the HMAC tags of many independent `(key, message)` jobs
+    /// lane-parallel: one [`Sha256xN`] round for the ragged inner hashes,
+    /// one perfectly uniform round for the 32-byte outer hashes.
+    /// Element-wise equal to [`HmacKey::mac`].
+    pub fn mac_many(jobs: &[(&HmacKey, &[u8])]) -> Vec<Digest> {
+        Self::mac_many_parts(
+            &jobs
+                .iter()
+                .map(|&(key, msg)| (key, [msg, &[][..], &[][..]]))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// [`HmacKey::mac_many`] over three-part messages (absorbed in order,
+    /// empty parts skipped) — lets callers MAC `domain ‖ report ‖ id`
+    /// compositions without materializing concatenated buffers.
+    pub fn mac_many_parts(jobs: &[(&HmacKey, [&[u8]; 3])]) -> Vec<Digest> {
+        let inner_jobs: Vec<LaneJob<'_>> = jobs
+            .iter()
+            .map(|&(key, parts)| LaneJob {
+                midstate: key.inner,
+                parts,
+            })
+            .collect();
+        let inner_digests = Sha256xN::finalize_many(&inner_jobs);
+        let outer_jobs: Vec<LaneJob<'_>> = jobs
+            .iter()
+            .zip(&inner_digests)
+            .map(|(&(key, _), d)| LaneJob::new(key.outer, d.as_bytes()))
+            .collect();
+        Sha256xN::finalize_many(&outer_jobs)
+    }
+
+    /// Verifies many truncated tags at once, computing all MACs
+    /// lane-parallel and comparing each in constant time. Element-wise
+    /// equal to [`HmacKey::verify`] (including the width rejection).
+    pub fn verify_many(jobs: &[(&HmacKey, &[u8], &[u8])]) -> Vec<bool> {
+        let macs = Self::mac_many(
+            &jobs
+                .iter()
+                .map(|&(key, msg, _)| (key, msg))
+                .collect::<Vec<_>>(),
+        );
+        jobs.iter()
+            .zip(&macs)
+            .map(|(&(_, _, tag), full)| {
+                tag.len() >= MIN_TAG_LEN
+                    && tag.len() <= DIGEST_LEN
+                    && constant_time_eq(&full.as_bytes()[..tag.len()], tag)
+            })
+            .collect()
     }
 }
 

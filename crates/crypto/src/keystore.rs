@@ -175,10 +175,10 @@ impl KeySchedule {
     fn build(keys: &HashMap<u16, MacKey>) -> Self {
         let mut ids: Vec<u16> = keys.keys().copied().collect();
         ids.sort_unstable();
-        let prepared: Vec<HmacKey> = ids
-            .iter()
-            .map(|id| HmacKey::new(keys[id].as_bytes()))
-            .collect();
+        // Pad-block compression for all nodes at once, lane-parallel —
+        // element-wise equal to per-key `HmacKey::new` (pinned by test).
+        let key_bytes: Vec<&[u8]> = ids.iter().map(|id| &keys[id].as_bytes()[..]).collect();
+        let prepared: Vec<HmacKey> = HmacKey::new_many(&key_bytes);
         let slot = ids
             .iter()
             .enumerate()

@@ -28,7 +28,10 @@
 //! assert!(key.verify_mark_mac(b"report|3", &tag));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD dispatch in `sha256_lanes` needs one
+// scoped `#[allow(unsafe_code)]` for the `#[target_feature]` kernels; every
+// other module still refuses unsafe at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod anon;
@@ -36,12 +39,17 @@ pub mod hmac;
 pub mod keystore;
 pub mod mac;
 pub mod sha256;
+pub mod sha256_lanes;
 
-pub use anon::{anon_id, anon_id_prepared, AnonId, ANON_ID_LEN};
+pub use anon::{anon_id, anon_id_many_prepared, anon_id_prepared, AnonId, ANON_ID_LEN};
 pub use hmac::{HmacKey, HmacSha256, MIN_TAG_LEN};
 pub use keystore::{KeySchedule, KeyStore};
-pub use mac::{mark_mac_prepared, verify_mark_mac_prepared, MacKey, MacTag, DEFAULT_MAC_LEN};
+pub use mac::{
+    mark_mac_many_prepared, mark_mac_prepared, verify_mark_mac_prepared, verify_mark_macs_prepared,
+    MacKey, MacTag, DEFAULT_MAC_LEN,
+};
 pub use sha256::{Digest, Midstate, Sha256};
+pub use sha256_lanes::{LaneBackend, LaneJob, Sha256xN, MAX_LANES};
 
 #[cfg(test)]
 mod proptests {
@@ -182,6 +190,131 @@ mod proptests {
             let mark = k.mark_mac(&msg, 8);
             let anon = crate::anon::anon_id(&k, &msg, node);
             prop_assert_ne!(mark.as_bytes(), anon.as_bytes());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Differential suite: lane-parallel ≡ scalar. Every batched API must be
+    // element-wise identical to its scalar counterpart for arbitrary
+    // message lengths (including 0, block boundaries, and >64-byte keys),
+    // ragged batch sizes (not a multiple of any lane width), and on every
+    // kernel the host supports — so the SIMD paths and the portable
+    // fallback can never drift from the proven scalar implementation.
+    // ------------------------------------------------------------------
+    use crate::sha256_lanes::{LaneBackend, LaneJob, Sha256xN};
+
+    fn backends() -> Vec<LaneBackend> {
+        [
+            LaneBackend::Portable,
+            LaneBackend::Sse2x4,
+            LaneBackend::Avx2x8,
+        ]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+    }
+
+    proptest! {
+        /// `Sha256xN::finalize_many` ≡ per-message scalar `Sha256`, for
+        /// ragged batches of arbitrary lengths on every available kernel.
+        /// Lengths are drawn 0..200 so block-boundary cases (55/56/64/119…)
+        /// occur constantly.
+        #[test]
+        fn lanes_equal_scalar_sha256(
+            msgs in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..200), 0..21),
+        ) {
+            let expected: Vec<Digest> = msgs.iter().map(|m| Sha256::digest(m)).collect();
+            for backend in backends() {
+                let jobs: Vec<LaneJob<'_>> = msgs
+                    .iter()
+                    .map(|m| LaneJob::new(crate::sha256::Midstate::initial(), m))
+                    .collect();
+                prop_assert_eq!(
+                    Sha256xN::finalize_many_with(backend, &jobs),
+                    expected.clone()
+                );
+            }
+        }
+
+        /// `HmacKey::mac_many`/`verify_many` ≡ scalar `mac`/`verify` for
+        /// arbitrary keys (including >64-byte keys that RFC 2104 pre-hashes)
+        /// and messages, at every truncation width.
+        #[test]
+        fn mac_many_equals_scalar(
+            keys in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..100), 1..13),
+            msgs in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..150), 1..13),
+            long_key in proptest::collection::vec(any::<u8>(), 65..200),
+            width in 1usize..=32,
+        ) {
+            let mut prepared: Vec<HmacKey> = keys.iter().map(|k| HmacKey::new(k)).collect();
+            prepared.push(HmacKey::new(&long_key));
+            let jobs: Vec<(&HmacKey, &[u8])> = prepared
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (k, msgs[i % msgs.len()].as_slice()))
+                .collect();
+            let batched = HmacKey::mac_many(&jobs);
+            for (i, &(key, msg)) in jobs.iter().enumerate() {
+                prop_assert_eq!(batched[i], key.mac(msg));
+            }
+            let verify_jobs: Vec<(&HmacKey, &[u8], &[u8])> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, &(k, m))| (k, m, &batched[i].as_bytes()[..width]))
+                .collect();
+            prop_assert!(HmacKey::verify_many(&verify_jobs).iter().all(|&ok| ok));
+        }
+
+        /// Batched mark MACs and anon IDs ≡ their scalar prepared forms for
+        /// an arbitrary node population and report.
+        #[test]
+        fn batched_domain_functions_equal_scalar(
+            master in proptest::collection::vec(any::<u8>(), 1..32),
+            report in proptest::collection::vec(any::<u8>(), 0..128),
+            nodes in proptest::collection::vec(any::<u16>(), 1..19),
+            width in 1usize..=32,
+        ) {
+            let prepared: Vec<HmacKey> = nodes
+                .iter()
+                .map(|&n| MacKey::derive(&master, n as u64).prepare())
+                .collect();
+            let mac_jobs: Vec<(&HmacKey, &[u8])> =
+                prepared.iter().map(|k| (k, report.as_slice())).collect();
+            let tags = crate::mac::mark_mac_many_prepared(&mac_jobs, width);
+            for (i, k) in prepared.iter().enumerate() {
+                prop_assert_eq!(tags[i], crate::mac::mark_mac_prepared(k, &report, width));
+            }
+            let verify_jobs: Vec<(&HmacKey, &[u8], &crate::MacTag)> = prepared
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (k, report.as_slice(), &tags[i]))
+                .collect();
+            prop_assert!(crate::mac::verify_mark_macs_prepared(&verify_jobs)
+                .iter()
+                .all(|&ok| ok));
+
+            let ids = crate::anon::anon_id_many_prepared(&prepared, &report, &nodes);
+            for (i, k) in prepared.iter().enumerate() {
+                prop_assert_eq!(ids[i], crate::anon::anon_id_prepared(k, &report, nodes[i]));
+            }
+        }
+
+        /// `HmacKey::new_many` ≡ per-key `HmacKey::new`, covering keys
+        /// shorter than, equal to, and longer than the 64-byte block.
+        #[test]
+        fn new_many_equals_new(
+            keys in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..130), 0..11),
+        ) {
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            let batched = HmacKey::new_many(&refs);
+            prop_assert_eq!(batched.len(), keys.len());
+            for (i, k) in keys.iter().enumerate() {
+                prop_assert_eq!(batched[i], HmacKey::new(k));
+            }
         }
     }
 }

@@ -29,7 +29,10 @@ pub const BLOCK_LEN: usize = 64;
 
 /// SHA-256 round constants: the first 32 bits of the fractional parts of the
 /// cube roots of the first 64 prime numbers (FIPS 180-4 §4.2.2).
-const K: [u32; 64] = [
+///
+/// Shared with the multi-lane kernels in [`crate::sha256_lanes`], which must
+/// use the exact same schedule to stay digest-identical to this scalar path.
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -195,6 +198,30 @@ impl Midstate {
     /// [`BLOCK_LEN`]).
     pub fn byte_len(&self) -> u64 {
         self.byte_len
+    }
+
+    /// The SHA-256 initial chaining value with no bytes absorbed.
+    ///
+    /// Finalizing from this midstate is exactly a one-shot hash; the lane
+    /// engine uses it for [`crate::Sha256xN::digest_many`].
+    pub(crate) fn initial() -> Self {
+        Midstate {
+            state: H0,
+            byte_len: 0,
+        }
+    }
+
+    /// Raw chaining value, for the lane kernels only. Never expose this
+    /// publicly: HMAC pad midstates are key material.
+    pub(crate) fn state(&self) -> [u32; 8] {
+        self.state
+    }
+
+    /// Reassemble a midstate from a raw chaining value. `byte_len` must be
+    /// the (block-aligned) byte count that produced `state`.
+    pub(crate) fn from_raw(state: [u32; 8], byte_len: u64) -> Self {
+        debug_assert_eq!(byte_len % BLOCK_LEN as u64, 0);
+        Midstate { state, byte_len }
     }
 }
 

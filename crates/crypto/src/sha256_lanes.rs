@@ -1,0 +1,855 @@
+//! Message-parallel multi-lane SHA-256: the [`Sha256xN`] engine.
+//!
+//! The sink's hot path is many *independent* short hashes (one HMAC per mark
+//! candidate, one per anon-table entry), not one long message — so the
+//! profitable axis is message parallelism: run N separate messages through
+//! the SHA-256 compression function simultaneously, one message per SIMD
+//! lane. Each 32-bit word of the working state becomes a vector holding that
+//! word for N messages ("struct of arrays"), and the 64 rounds execute once
+//! for all lanes.
+//!
+//! Three kernels implement the same compression:
+//!
+//! - an AVX2 8-lane kernel (`__m256i`, one `u32` per lane),
+//! - an SSE2 4-lane kernel (`__m128i`) — baseline on every `x86_64`,
+//! - a portable const-generic struct-of-arrays kernel over `[u32; N]` that
+//!   compiles everywhere, auto-vectorizes where possible, and serves as the
+//!   reference the SIMD paths are proven digest-identical to.
+//!
+//! Dispatch is by runtime detection (`is_x86_feature_detected!`), cached in
+//! a `OnceLock`. Setting `PNM_SHA256_FORCE_PORTABLE=1` in the environment
+//! pins the portable kernel regardless of CPU features (CI runs the whole
+//! suite both ways so the fallback cannot rot).
+//!
+//! Scheduling: a batch of [`LaneJob`]s may have ragged message lengths. Each
+//! lane's padded block stream is laid out in one flat buffer, lanes are
+//! sorted by descending block count, and compression proceeds block-step by
+//! block-step — because of the sort, the set of lanes still active at step
+//! `b` is always a *prefix* of the order, so every step compresses a
+//! contiguous run of lanes (chunks of 8, then 4, then scalar stragglers)
+//! with no gather/scatter. Digests are returned in the caller's original
+//! job order.
+//!
+//! Everything here resumes from [`Midstate`]s, so HMAC's precomputed
+//! pad-block midstates (see [`crate::HmacKey`]) drop straight in: a batched
+//! MAC is two lane-parallel rounds (inner hashes, then outer hashes over the
+//! 32-byte inner digests — a perfectly uniform second round).
+
+use std::sync::OnceLock;
+
+use crate::sha256::{Digest, Midstate, Sha256, BLOCK_LEN, DIGEST_LEN, K};
+
+/// Widest lane group any kernel processes at once.
+pub const MAX_LANES: usize = 8;
+
+/// Length of the padding suffix: one `0x80` byte plus the 64-bit bit length.
+const PAD_MIN: usize = 9;
+
+/// Which compression kernel a lane batch runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneBackend {
+    /// Portable struct-of-arrays `u32` kernel; compiles on every target.
+    Portable,
+    /// SSE2 4-lane kernel (`__m128i`); baseline on all `x86_64`.
+    Sse2x4,
+    /// AVX2 8-lane kernel (`__m256i`); requires runtime AVX2 detection.
+    Avx2x8,
+}
+
+impl LaneBackend {
+    /// Whether this backend can run on the current host.
+    pub fn is_available(self) -> bool {
+        match self {
+            LaneBackend::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            LaneBackend::Sse2x4 => true,
+            #[cfg(target_arch = "x86_64")]
+            LaneBackend::Avx2x8 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Short stable name for logs and bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            LaneBackend::Portable => "portable",
+            LaneBackend::Sse2x4 => "sse2x4",
+            LaneBackend::Avx2x8 => "avx2x8",
+        }
+    }
+}
+
+/// One independent message in a lane batch: a resume point plus up to three
+/// message parts hashed in order (empty parts are skipped).
+///
+/// Three parts cover every composition the hot path needs without
+/// materializing concatenated buffers: `domain ‖ message`,
+/// `domain ‖ report ‖ id`, or a plain single-slice message.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneJob<'a> {
+    /// Block-aligned chaining value to resume from (e.g. an HMAC pad
+    /// midstate, or [`Sha256xN::digest_many`]'s initial state).
+    pub midstate: Midstate,
+    /// Message parts, absorbed left to right.
+    pub parts: [&'a [u8]; 3],
+}
+
+impl<'a> LaneJob<'a> {
+    /// A job hashing a single contiguous message from `midstate`.
+    pub fn new(midstate: Midstate, message: &'a [u8]) -> Self {
+        LaneJob {
+            midstate,
+            parts: [message, &[], &[]],
+        }
+    }
+
+    fn msg_len(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+}
+
+/// The multi-lane SHA-256 engine. All methods are stateless entry points;
+/// see the module docs for the execution model.
+pub struct Sha256xN;
+
+impl Sha256xN {
+    /// The kernel batches run on, after runtime detection and the
+    /// `PNM_SHA256_FORCE_PORTABLE` override.
+    pub fn backend() -> LaneBackend {
+        static BACKEND: OnceLock<LaneBackend> = OnceLock::new();
+        *BACKEND.get_or_init(|| {
+            let forced = std::env::var_os("PNM_SHA256_FORCE_PORTABLE")
+                .is_some_and(|v| !v.is_empty() && v != "0");
+            if forced {
+                return LaneBackend::Portable;
+            }
+            detect_backend()
+        })
+    }
+
+    /// Finalizes every job and returns the digests in job order.
+    ///
+    /// Exactly equivalent to, for each job, resuming a [`Sha256`] from the
+    /// job's midstate, updating with each part, and finalizing.
+    pub fn finalize_many(jobs: &[LaneJob<'_>]) -> Vec<Digest> {
+        Self::finalize_many_with(Self::backend(), jobs)
+    }
+
+    /// [`Sha256xN::finalize_many`] on an explicit kernel. A backend that is
+    /// not available on this host silently degrades to the portable kernel,
+    /// so this is always safe to call.
+    pub fn finalize_many_with(backend: LaneBackend, jobs: &[LaneJob<'_>]) -> Vec<Digest> {
+        let backend = sanitize(backend);
+        let mut out = vec![Digest([0u8; DIGEST_LEN]); jobs.len()];
+        let mut flat = Vec::new();
+        finalize_many_into(backend, jobs, &mut flat, &mut out);
+        out
+    }
+
+    /// Scratch-reusing variant of [`Sha256xN::finalize_many`] for hot loops:
+    /// `flat` is the block-staging buffer (cleared and refilled), `out` is
+    /// resized to `jobs.len()` and overwritten.
+    pub fn finalize_many_into(jobs: &[LaneJob<'_>], flat: &mut Vec<u8>, out: &mut Vec<Digest>) {
+        out.clear();
+        out.resize(jobs.len(), Digest([0u8; DIGEST_LEN]));
+        finalize_many_into(Self::backend(), jobs, flat, out);
+    }
+
+    /// One-shot hash of independent messages, lane-parallel. Digest-equal to
+    /// [`Sha256::digest`] per message.
+    pub fn digest_many(messages: &[&[u8]]) -> Vec<Digest> {
+        let jobs: Vec<LaneJob<'_>> = messages
+            .iter()
+            .map(|m| LaneJob::new(Midstate::initial(), m))
+            .collect();
+        Self::finalize_many(&jobs)
+    }
+
+    /// Compresses one whole block per lane from the initial state and
+    /// returns the captured midstates — the batched form of feeding a
+    /// single 64-byte block to [`Sha256`] and calling
+    /// [`Sha256::midstate`]. Used to prepare many HMAC pad midstates at
+    /// once ([`crate::HmacKey::new_many`]).
+    pub fn midstate_many(blocks: &[[u8; BLOCK_LEN]]) -> Vec<Midstate> {
+        let backend = sanitize(Self::backend());
+        let n = blocks.len();
+        let mut states: Vec<[u32; 8]> = vec![Midstate::initial().state(); n];
+        let mut refs: Vec<&[u8]> = Vec::with_capacity(MAX_LANES);
+        let mut done = 0;
+        while done < n {
+            let take = (n - done).min(MAX_LANES);
+            refs.clear();
+            refs.extend(blocks[done..done + take].iter().map(|b| &b[..]));
+            compress_group(backend, &mut states[done..done + take], &refs);
+            done += take;
+        }
+        states
+            .into_iter()
+            .map(|s| Midstate::from_raw(s, BLOCK_LEN as u64))
+            .collect()
+    }
+}
+
+/// Clamp a requested backend to what the host supports.
+fn sanitize(backend: LaneBackend) -> LaneBackend {
+    if backend.is_available() {
+        backend
+    } else if LaneBackend::Sse2x4.is_available() {
+        LaneBackend::Sse2x4
+    } else {
+        LaneBackend::Portable
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_backend() -> LaneBackend {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        LaneBackend::Avx2x8
+    } else {
+        // SSE2 is part of the x86_64 baseline.
+        LaneBackend::Sse2x4
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_backend() -> LaneBackend {
+    LaneBackend::Portable
+}
+
+/// Core scheduler: stage padded block streams, sort lanes by descending
+/// block count, compress prefix groups in lockstep, write digests back in
+/// the caller's job order.
+fn finalize_many_into(
+    backend: LaneBackend,
+    jobs: &[LaneJob<'_>],
+    flat: &mut Vec<u8>,
+    out: &mut [Digest],
+) {
+    debug_assert_eq!(jobs.len(), out.len());
+    let n = jobs.len();
+    if n == 0 {
+        return;
+    }
+    if n == 1 {
+        // A single lane gains nothing from staging; defer to the scalar
+        // streaming path (identical output by the equivalence tests).
+        out[0] = scalar_finalize(&jobs[0]);
+        return;
+    }
+
+    // Per-lane layout: message parts, 0x80, zero padding, 64-bit bit length.
+    // `nblocks` counts only the blocks hashed *here* (the midstate already
+    // absorbed its own).
+    let mut offsets: Vec<usize> = Vec::with_capacity(n);
+    let mut nblocks: Vec<usize> = Vec::with_capacity(n);
+    let mut total = 0usize;
+    for job in jobs {
+        let nb = (job.msg_len() + PAD_MIN).div_ceil(BLOCK_LEN);
+        offsets.push(total);
+        nblocks.push(nb);
+        total += nb * BLOCK_LEN;
+    }
+    flat.clear();
+    flat.resize(total, 0);
+    for (i, job) in jobs.iter().enumerate() {
+        let mut pos = offsets[i];
+        for part in job.parts {
+            flat[pos..pos + part.len()].copy_from_slice(part);
+            pos += part.len();
+        }
+        flat[pos] = 0x80;
+        let end = offsets[i] + nblocks[i] * BLOCK_LEN;
+        let bit_len = job
+            .midstate
+            .byte_len()
+            .wrapping_add(job.msg_len() as u64)
+            .wrapping_mul(8);
+        flat[end - 8..end].copy_from_slice(&bit_len.to_be_bytes());
+    }
+
+    // Stable descending sort by block count: at block step `b`, lanes still
+    // active form a prefix of `order`, so every compression call sees a
+    // contiguous lane group.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| nblocks[b].cmp(&nblocks[a]));
+
+    let mut states: Vec<[u32; 8]> = order.iter().map(|&i| jobs[i].midstate.state()).collect();
+    let max_blocks = nblocks[order[0]];
+    let mut block_refs: Vec<&[u8]> = Vec::with_capacity(n);
+    let mut active = n;
+    for b in 0..max_blocks {
+        while active > 0 && nblocks[order[active - 1]] <= b {
+            active -= 1;
+        }
+        block_refs.clear();
+        for &i in &order[..active] {
+            let off = offsets[i] + b * BLOCK_LEN;
+            block_refs.push(&flat[off..off + BLOCK_LEN]);
+        }
+        compress_group(backend, &mut states[..active], &block_refs);
+    }
+
+    for (k, &i) in order.iter().enumerate() {
+        let mut bytes = [0u8; DIGEST_LEN];
+        for (j, word) in states[k].iter().enumerate() {
+            bytes[j * 4..j * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out[i] = Digest(bytes);
+    }
+}
+
+fn scalar_finalize(job: &LaneJob<'_>) -> Digest {
+    let mut h = Sha256::from_midstate(job.midstate);
+    for part in job.parts {
+        h.update(part);
+    }
+    h.finalize()
+}
+
+/// Compress one block for each of `states.len()` lanes, splitting the group
+/// into the widest runs the backend supports. `blocks[i]` is lane `i`'s
+/// 64-byte block.
+///
+/// The two `unsafe` call sites below are the crate's entire dispatch
+/// surface: `#[target_feature]` kernels must be called through `unsafe`
+/// even after runtime detection proved the feature present.
+#[cfg_attr(target_arch = "x86_64", allow(unsafe_code))]
+fn compress_group(backend: LaneBackend, states: &mut [[u32; 8]], blocks: &[&[u8]]) {
+    debug_assert_eq!(states.len(), blocks.len());
+    let n = states.len();
+    let mut i = 0;
+    #[cfg(target_arch = "x86_64")]
+    {
+        if backend == LaneBackend::Avx2x8 {
+            while n - i >= 8 {
+                // SAFETY: `Avx2x8` only survives `sanitize` when AVX2 was
+                // runtime-detected on this host.
+                unsafe { simd::compress8_avx2(&mut states[i..i + 8], &blocks[i..i + 8]) };
+                i += 8;
+            }
+        }
+        if backend != LaneBackend::Portable {
+            while n - i >= 4 {
+                // SAFETY: SSE2 is unconditionally present on x86_64.
+                unsafe { simd::compress4_sse2(&mut states[i..i + 4], &blocks[i..i + 4]) };
+                i += 4;
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = backend;
+    while n - i >= 8 {
+        compress_portable::<8>(&mut states[i..i + 8], &blocks[i..i + 8]);
+        i += 8;
+    }
+    if n - i >= 4 {
+        compress_portable::<4>(&mut states[i..i + 4], &blocks[i..i + 4]);
+        i += 4;
+    }
+    while i < n {
+        compress_portable::<1>(&mut states[i..i + 1], &blocks[i..i + 1]);
+        i += 1;
+    }
+}
+
+#[inline(always)]
+fn be_word(block: &[u8], t: usize) -> u32 {
+    u32::from_be_bytes([
+        block[4 * t],
+        block[4 * t + 1],
+        block[4 * t + 2],
+        block[4 * t + 3],
+    ])
+}
+
+/// Portable struct-of-arrays kernel: every working variable is `[u32; N]`
+/// (word `w` of lane `l` lives at `var[l]`), and each round's operations run
+/// as elementwise loops the compiler can vectorize. `N = 1` doubles as the
+/// scalar straggler path.
+// The index loops mirror the FIPS 180-4 schedule recurrence, which reads
+// `w` at four offsets while writing it — iterator form would need
+// split-borrow gymnastics for no clarity gain.
+#[allow(clippy::needless_range_loop)]
+fn compress_portable<const N: usize>(states: &mut [[u32; 8]], blocks: &[&[u8]]) {
+    debug_assert_eq!(states.len(), N);
+    debug_assert_eq!(blocks.len(), N);
+    let mut w = [[0u32; N]; 64];
+    for t in 0..16 {
+        for l in 0..N {
+            w[t][l] = be_word(blocks[l], t);
+        }
+    }
+    for t in 16..64 {
+        for l in 0..N {
+            let x = w[t - 15][l];
+            let y = w[t - 2][l];
+            let s0 = x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3);
+            let s1 = y.rotate_right(17) ^ y.rotate_right(19) ^ (y >> 10);
+            w[t][l] = w[t - 16][l]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7][l])
+                .wrapping_add(s1);
+        }
+    }
+
+    let mut va = [0u32; N];
+    let mut vb = [0u32; N];
+    let mut vc = [0u32; N];
+    let mut vd = [0u32; N];
+    let mut ve = [0u32; N];
+    let mut vf = [0u32; N];
+    let mut vg = [0u32; N];
+    let mut vh = [0u32; N];
+    for l in 0..N {
+        [va[l], vb[l], vc[l], vd[l], ve[l], vf[l], vg[l], vh[l]] = states[l];
+    }
+
+    for t in 0..64 {
+        for l in 0..N {
+            let e = ve[l];
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & vf[l]) ^ (!e & vg[l]);
+            let t1 = vh[l]
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t][l]);
+            let a = va[l];
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & vb[l]) ^ (a & vc[l]) ^ (vb[l] & vc[l]);
+            let t2 = s0.wrapping_add(maj);
+            vh[l] = vg[l];
+            vg[l] = vf[l];
+            vf[l] = e;
+            ve[l] = vd[l].wrapping_add(t1);
+            vd[l] = vc[l];
+            vc[l] = vb[l];
+            vb[l] = a;
+            va[l] = t1.wrapping_add(t2);
+        }
+    }
+
+    for l in 0..N {
+        let s = &mut states[l];
+        s[0] = s[0].wrapping_add(va[l]);
+        s[1] = s[1].wrapping_add(vb[l]);
+        s[2] = s[2].wrapping_add(vc[l]);
+        s[3] = s[3].wrapping_add(vd[l]);
+        s[4] = s[4].wrapping_add(ve[l]);
+        s[5] = s[5].wrapping_add(vf[l]);
+        s[6] = s[6].wrapping_add(vg[l]);
+        s[7] = s[7].wrapping_add(vh[l]);
+    }
+}
+
+/// Runtime-dispatched SIMD kernels. This module is the crate's only
+/// `unsafe` surface: `#[target_feature]` functions must be called through
+/// `unsafe` even when the feature was runtime-verified, and the vector
+/// load/store intrinsics take raw pointers (always into correctly sized
+/// local arrays here).
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    #![allow(unsafe_code)]
+
+    use core::arch::x86_64::*;
+
+    use super::be_word;
+    use crate::sha256::K;
+
+    #[inline(always)]
+    unsafe fn rotr256<const R: i32, const L: i32>(x: __m256i) -> __m256i {
+        debug_assert_eq!(R + L, 32);
+        // SAFETY: caller runs within an AVX2 context (inlined into the
+        // `target_feature(avx2)` kernel below).
+        unsafe { _mm256_or_si256(_mm256_srli_epi32::<R>(x), _mm256_slli_epi32::<L>(x)) }
+    }
+
+    #[inline(always)]
+    unsafe fn rotr128<const R: i32, const L: i32>(x: __m128i) -> __m128i {
+        debug_assert_eq!(R + L, 32);
+        // SAFETY: SSE2 is unconditionally available on x86_64.
+        unsafe { _mm_or_si128(_mm_srli_epi32::<R>(x), _mm_slli_epi32::<L>(x)) }
+    }
+
+    /// AVX2 kernel: one SHA-256 block for 8 lanes at once.
+    ///
+    /// # Safety
+    /// AVX2 must be available (runtime-detected by the dispatcher).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn compress8_avx2(states: &mut [[u32; 8]], blocks: &[&[u8]]) {
+        debug_assert_eq!(states.len(), 8);
+        debug_assert_eq!(blocks.len(), 8);
+        // SAFETY: all loads/stores go through `[u32; 8]` stack arrays via
+        // unaligned intrinsics; AVX2 is guaranteed by the caller.
+        unsafe {
+            let ld = |col: &[u32; 8]| _mm256_loadu_si256(col.as_ptr().cast());
+
+            let mut s = [_mm256_setzero_si256(); 8];
+            for (j, slot) in s.iter_mut().enumerate() {
+                let col: [u32; 8] = core::array::from_fn(|l| states[l][j]);
+                *slot = ld(&col);
+            }
+
+            let mut w = [_mm256_setzero_si256(); 64];
+            for (t, slot) in w.iter_mut().take(16).enumerate() {
+                let col: [u32; 8] = core::array::from_fn(|l| be_word(blocks[l], t));
+                *slot = ld(&col);
+            }
+            for t in 16..64 {
+                let x = w[t - 15];
+                let y = w[t - 2];
+                let s0 = _mm256_xor_si256(
+                    _mm256_xor_si256(rotr256::<7, 25>(x), rotr256::<18, 14>(x)),
+                    _mm256_srli_epi32::<3>(x),
+                );
+                let s1 = _mm256_xor_si256(
+                    _mm256_xor_si256(rotr256::<17, 15>(y), rotr256::<19, 13>(y)),
+                    _mm256_srli_epi32::<10>(y),
+                );
+                w[t] = _mm256_add_epi32(
+                    _mm256_add_epi32(w[t - 16], s0),
+                    _mm256_add_epi32(w[t - 7], s1),
+                );
+            }
+
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = s;
+            for t in 0..64 {
+                let s1 = _mm256_xor_si256(
+                    _mm256_xor_si256(rotr256::<6, 26>(e), rotr256::<11, 21>(e)),
+                    rotr256::<25, 7>(e),
+                );
+                let ch = _mm256_xor_si256(_mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+                let t1 = _mm256_add_epi32(
+                    _mm256_add_epi32(_mm256_add_epi32(h, s1), _mm256_add_epi32(ch, w[t])),
+                    _mm256_set1_epi32(K[t] as i32),
+                );
+                let s0 = _mm256_xor_si256(
+                    _mm256_xor_si256(rotr256::<2, 30>(a), rotr256::<13, 19>(a)),
+                    rotr256::<22, 10>(a),
+                );
+                let maj = _mm256_xor_si256(
+                    _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+                    _mm256_and_si256(b, c),
+                );
+                let t2 = _mm256_add_epi32(s0, maj);
+                h = g;
+                g = f;
+                f = e;
+                e = _mm256_add_epi32(d, t1);
+                d = c;
+                c = b;
+                b = a;
+                a = _mm256_add_epi32(t1, t2);
+            }
+
+            let vars = [a, b, c, d, e, f, g, h];
+            for j in 0..8 {
+                let sum = _mm256_add_epi32(s[j], vars[j]);
+                let mut col = [0u32; 8];
+                _mm256_storeu_si256(col.as_mut_ptr().cast(), sum);
+                for l in 0..8 {
+                    states[l][j] = col[l];
+                }
+            }
+        }
+    }
+
+    /// SSE2 kernel: one SHA-256 block for 4 lanes at once.
+    ///
+    /// # Safety
+    /// SSE2 is part of the x86_64 baseline; callers on x86_64 are always in
+    /// a valid context.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn compress4_sse2(states: &mut [[u32; 8]], blocks: &[&[u8]]) {
+        debug_assert_eq!(states.len(), 4);
+        debug_assert_eq!(blocks.len(), 4);
+        // SAFETY: all loads/stores go through `[u32; 4]` stack arrays via
+        // unaligned intrinsics; SSE2 is baseline on x86_64.
+        unsafe {
+            let ld = |col: &[u32; 4]| _mm_loadu_si128(col.as_ptr().cast());
+
+            let mut s = [_mm_setzero_si128(); 8];
+            for (j, slot) in s.iter_mut().enumerate() {
+                let col: [u32; 4] = core::array::from_fn(|l| states[l][j]);
+                *slot = ld(&col);
+            }
+
+            let mut w = [_mm_setzero_si128(); 64];
+            for (t, slot) in w.iter_mut().take(16).enumerate() {
+                let col: [u32; 4] = core::array::from_fn(|l| be_word(blocks[l], t));
+                *slot = ld(&col);
+            }
+            for t in 16..64 {
+                let x = w[t - 15];
+                let y = w[t - 2];
+                let s0 = _mm_xor_si128(
+                    _mm_xor_si128(rotr128::<7, 25>(x), rotr128::<18, 14>(x)),
+                    _mm_srli_epi32::<3>(x),
+                );
+                let s1 = _mm_xor_si128(
+                    _mm_xor_si128(rotr128::<17, 15>(y), rotr128::<19, 13>(y)),
+                    _mm_srli_epi32::<10>(y),
+                );
+                w[t] = _mm_add_epi32(_mm_add_epi32(w[t - 16], s0), _mm_add_epi32(w[t - 7], s1));
+            }
+
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = s;
+            for t in 0..64 {
+                let s1 = _mm_xor_si128(
+                    _mm_xor_si128(rotr128::<6, 26>(e), rotr128::<11, 21>(e)),
+                    rotr128::<25, 7>(e),
+                );
+                let ch = _mm_xor_si128(_mm_and_si128(e, f), _mm_andnot_si128(e, g));
+                let t1 = _mm_add_epi32(
+                    _mm_add_epi32(_mm_add_epi32(h, s1), _mm_add_epi32(ch, w[t])),
+                    _mm_set1_epi32(K[t] as i32),
+                );
+                let s0 = _mm_xor_si128(
+                    _mm_xor_si128(rotr128::<2, 30>(a), rotr128::<13, 19>(a)),
+                    rotr128::<22, 10>(a),
+                );
+                let maj = _mm_xor_si128(
+                    _mm_xor_si128(_mm_and_si128(a, b), _mm_and_si128(a, c)),
+                    _mm_and_si128(b, c),
+                );
+                let t2 = _mm_add_epi32(s0, maj);
+                h = g;
+                g = f;
+                f = e;
+                e = _mm_add_epi32(d, t1);
+                d = c;
+                c = b;
+                b = a;
+                a = _mm_add_epi32(t1, t2);
+            }
+
+            let vars = [a, b, c, d, e, f, g, h];
+            for j in 0..8 {
+                let sum = _mm_add_epi32(s[j], vars[j]);
+                let mut col = [0u32; 4];
+                _mm_storeu_si128(col.as_mut_ptr().cast(), sum);
+                for l in 0..4 {
+                    states[l][j] = col[l];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_digest_of(job: &LaneJob<'_>) -> Digest {
+        let mut h = Sha256::from_midstate(job.midstate);
+        for part in job.parts {
+            h.update(part);
+        }
+        h.finalize()
+    }
+
+    fn available_backends() -> Vec<LaneBackend> {
+        [
+            LaneBackend::Portable,
+            LaneBackend::Sse2x4,
+            LaneBackend::Avx2x8,
+        ]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+    }
+
+    #[test]
+    fn nist_vectors_through_lanes() {
+        // FIPS 180-2 test vectors, run through every available kernel at a
+        // batch size that exercises the 8/4/scalar splits.
+        let msgs: Vec<&[u8]> = vec![
+            b"abc",
+            b"",
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+              ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            b"a",
+        ];
+        let expected: Vec<Digest> = msgs.iter().map(|m| Sha256::digest(m)).collect();
+        assert_eq!(
+            expected[0].to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        for backend in available_backends() {
+            let jobs: Vec<LaneJob<'_>> = msgs
+                .iter()
+                .map(|m| LaneJob::new(Midstate::initial(), m))
+                .collect();
+            let got = Sha256xN::finalize_many_with(backend, &jobs);
+            assert_eq!(got, expected, "backend {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn boundary_lengths_digest_identical() {
+        // Lengths around every padding boundary: 0, 1, 54..=66 (straddles
+        // the one-vs-two-block padding split), 119..=130 (two-vs-three).
+        let lengths: Vec<usize> = std::iter::once(0)
+            .chain(std::iter::once(1))
+            .chain(54..=66)
+            .chain(119..=130)
+            .collect();
+        let bufs: Vec<Vec<u8>> = lengths
+            .iter()
+            .map(|&len| (0..len).map(|i| (i * 37 + len) as u8).collect())
+            .collect();
+        let expected: Vec<Digest> = bufs.iter().map(|b| Sha256::digest(b)).collect();
+        for backend in available_backends() {
+            let jobs: Vec<LaneJob<'_>> = bufs
+                .iter()
+                .map(|b| LaneJob::new(Midstate::initial(), b))
+                .collect();
+            assert_eq!(
+                Sha256xN::finalize_many_with(backend, &jobs),
+                expected,
+                "backend {}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_batch_size_up_to_3x_max_lanes() {
+        // Ragged batches: each lane gets a different length so the
+        // descending-block-count schedule actually reorders.
+        for n in 0..=(3 * MAX_LANES) {
+            let bufs: Vec<Vec<u8>> = (0..n)
+                .map(|i| (0..(i * 29) % 150).map(|j| (i + j) as u8).collect())
+                .collect();
+            let expected: Vec<Digest> = bufs.iter().map(|b| Sha256::digest(b)).collect();
+            for backend in available_backends() {
+                let jobs: Vec<LaneJob<'_>> = bufs
+                    .iter()
+                    .map(|b| LaneJob::new(Midstate::initial(), b))
+                    .collect();
+                assert_eq!(
+                    Sha256xN::finalize_many_with(backend, &jobs),
+                    expected,
+                    "n={n} backend {}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resumes_from_midstates_with_parts() {
+        // Jobs resuming from distinct nontrivial midstates, with the message
+        // split across all three parts.
+        let prefixes: Vec<Vec<u8>> = (0..9).map(|i| vec![i as u8; 64 * (1 + i % 3)]).collect();
+        let mut jobs = Vec::new();
+        let mut expected = Vec::new();
+        let p1: Vec<Vec<u8>> = (0..9).map(|i| vec![0xA0 | i as u8; i]).collect();
+        let p2: Vec<Vec<u8>> = (0..9)
+            .map(|i| vec![0x50 | i as u8; (i * 13) % 40])
+            .collect();
+        let p3: Vec<Vec<u8>> = (0..9).map(|i| vec![i as u8; (i * 7) % 70]).collect();
+        for i in 0..9 {
+            let mut h = Sha256::new();
+            h.update(&prefixes[i]);
+            let mid = h.midstate();
+            let mut scalar = Sha256::from_midstate(mid);
+            scalar.update(&p1[i]);
+            scalar.update(&p2[i]);
+            scalar.update(&p3[i]);
+            expected.push(scalar.finalize());
+            jobs.push(LaneJob {
+                midstate: mid,
+                parts: [&p1[i], &p2[i], &p3[i]],
+            });
+        }
+        for backend in available_backends() {
+            assert_eq!(
+                Sha256xN::finalize_many_with(backend, &jobs),
+                expected,
+                "backend {}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn simd_and_portable_agree() {
+        // On hosts with SIMD, the portable kernel is the reference: both
+        // must produce bit-identical digests for the same ragged batch.
+        let bufs: Vec<Vec<u8>> = (0..23)
+            .map(|i| (0..(i * 31) % 200).map(|j| (i ^ j) as u8).collect())
+            .collect();
+        let jobs: Vec<LaneJob<'_>> = bufs
+            .iter()
+            .map(|b| LaneJob::new(Midstate::initial(), b))
+            .collect();
+        let reference = Sha256xN::finalize_many_with(LaneBackend::Portable, &jobs);
+        for backend in available_backends() {
+            assert_eq!(
+                Sha256xN::finalize_many_with(backend, &jobs),
+                reference,
+                "backend {}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn midstate_many_matches_scalar_capture() {
+        let blocks: Vec<[u8; BLOCK_LEN]> = (0..11)
+            .map(|i| core::array::from_fn(|j| (i * 67 + j) as u8))
+            .collect();
+        let got = Sha256xN::midstate_many(&blocks);
+        for (i, block) in blocks.iter().enumerate() {
+            let mut h = Sha256::new();
+            h.update(block);
+            let want = h.midstate();
+            assert_eq!(got[i].state(), want.state());
+            assert_eq!(got[i].byte_len(), want.byte_len());
+        }
+    }
+
+    #[test]
+    fn digest_many_matches_scalar() {
+        let bufs: Vec<Vec<u8>> = (0..7).map(|i| vec![i as u8; i * 11]).collect();
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let got = Sha256xN::digest_many(&refs);
+        for (i, b) in bufs.iter().enumerate() {
+            assert_eq!(got[i], Sha256::digest(b));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(Sha256xN::finalize_many(&[]).is_empty());
+        assert!(Sha256xN::midstate_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn scalar_single_job_path_matches() {
+        let job = LaneJob::new(Midstate::initial(), b"single-lane fast path");
+        assert_eq!(Sha256xN::finalize_many(&[job])[0], scalar_digest_of(&job));
+    }
+
+    #[test]
+    fn unavailable_backend_degrades_safely() {
+        // Requesting any backend must never crash; on hosts without the
+        // feature it silently falls back and still returns correct digests.
+        let jobs = [
+            LaneJob::new(Midstate::initial(), b"fallback"),
+            LaneJob::new(Midstate::initial(), b"check"),
+        ];
+        for backend in [
+            LaneBackend::Avx2x8,
+            LaneBackend::Sse2x4,
+            LaneBackend::Portable,
+        ] {
+            let got = Sha256xN::finalize_many_with(backend, &jobs);
+            assert_eq!(got[0], Sha256::digest(b"fallback"));
+            assert_eq!(got[1], Sha256::digest(b"check"));
+        }
+    }
+}

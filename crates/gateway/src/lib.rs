@@ -68,7 +68,7 @@ mod tenant;
 mod transport;
 
 pub use admission::{ConnLimits, TokenBucket};
-pub use backoff::{BackoffPolicy, BackoffSchedule};
+pub use backoff::{BackoffPolicy, BackoffSchedule, MAX_JITTER};
 pub use chaos::{ChaosCounters, ChaosPlan, ChaosTransport};
 pub use client::{ClientConfig, GatewayClient, CLIENT_MAX_RESPONSE};
 pub use envelope::{

@@ -22,7 +22,13 @@ use serde::{Deserialize, Serialize};
 /// 40 buckets cover up to ~2^40 µs ≈ 12.7 days, far past any real latency.
 pub const BUCKETS: usize = 40;
 
-/// A mergeable power-of-two latency histogram (microsecond samples).
+/// A mergeable power-of-two latency histogram.
+///
+/// Samples are plain `u64` ticks — the histogram never converts units, so
+/// a recorder picks one (the service layer records microseconds, the sink
+/// stage metrics nanoseconds) and renders with the matching unit suffix
+/// ([`LatencyHistogram::to_json_value_with_unit`]). The `_us` accessor
+/// names are historical; they mean "in the recorder's unit".
 ///
 /// Recording is a couple of integer ops; merging across shards is
 /// element-wise addition; quantile queries return conservative
@@ -138,15 +144,33 @@ impl LatencyHistogram {
     }
 
     /// The histogram's summary as a JSON tree (count, mean, p50/p90/p99,
-    /// max) — compose into larger documents before rendering.
+    /// max) with microsecond key suffixes — compose into larger documents
+    /// before rendering. Equivalent to `to_json_value_with_unit("us")`.
     pub fn to_json_value(&self) -> JsonValue {
-        JsonValue::obj(vec![
-            ("count", JsonValue::UInt(self.count)),
-            ("mean_us", JsonValue::f1(self.mean_us())),
-            ("p50_us", JsonValue::UInt(self.quantile_us(0.50))),
-            ("p90_us", JsonValue::UInt(self.quantile_us(0.90))),
-            ("p99_us", JsonValue::UInt(self.quantile_us(0.99))),
-            ("max_us", JsonValue::UInt(self.max_us)),
+        self.to_json_value_with_unit("us")
+    }
+
+    /// [`LatencyHistogram::to_json_value`] with an explicit unit suffix on
+    /// the keys (`mean_ns`, `p50_ns`, … for `unit = "ns"`). The histogram
+    /// stores whatever the recorder fed it; the suffix documents that
+    /// choice — no conversion happens here.
+    pub fn to_json_value_with_unit(&self, unit: &str) -> JsonValue {
+        JsonValue::Object(vec![
+            ("count".to_string(), JsonValue::UInt(self.count)),
+            (format!("mean_{unit}"), JsonValue::f1(self.mean_us())),
+            (
+                format!("p50_{unit}"),
+                JsonValue::UInt(self.quantile_us(0.50)),
+            ),
+            (
+                format!("p90_{unit}"),
+                JsonValue::UInt(self.quantile_us(0.90)),
+            ),
+            (
+                format!("p99_{unit}"),
+                JsonValue::UInt(self.quantile_us(0.99)),
+            ),
+            (format!("max_{unit}"), JsonValue::UInt(self.max_us)),
         ])
     }
 

@@ -597,7 +597,7 @@ impl ServicePool {
         }
         for (stage, hist) in snap.stage_metrics().iter() {
             self.registry
-                .histogram("pnm_sink_stage_us", &[("stage", stage)])
+                .histogram("pnm_sink_stage_ns", &[("stage", stage)])
                 .set(hist.clone());
         }
         self.registry.prometheus_text_with(extra)
@@ -986,7 +986,7 @@ mod tests {
         assert!(text.contains("pnm_service_total_us_bucket"));
         for stage in pnm_core::STAGE_NAMES {
             assert!(
-                text.contains(&format!("pnm_sink_stage_us_count{{stage=\"{stage}\"}} 30")),
+                text.contains(&format!("pnm_sink_stage_ns_count{{stage=\"{stage}\"}} 30")),
                 "missing stage series for {stage}:\n{text}"
             );
         }

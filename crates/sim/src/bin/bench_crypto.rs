@@ -1,37 +1,45 @@
-//! Measures the precomputed-key HMAC pipeline against the one-shot baseline
-//! and serial vs parallel anonymous-ID table builds, recording the results
+//! Measures the precomputed-key HMAC pipeline against the one-shot baseline,
+//! serial vs parallel vs lane-parallel anonymous-ID table builds, and the
+//! lane-parallel (SIMD multi-buffer) batched MAC path, recording the results
 //! in `BENCH_crypto.json`.
 //!
 //! ```text
 //! bench-crypto [--out FILE] [--smoke]
 //! ```
 //!
-//! Two hot paths are timed:
+//! Three hot paths are timed:
 //!
 //! 1. **Mark-sized MAC**: `H_k` over a mark-sized message (report bytes plus
 //!    an 8-byte anonymous ID), one-shot (`MacKey::mark_mac`, which re-derives
 //!    the RFC 2104 pad blocks on every call) vs precomputed
 //!    (`mark_mac_prepared` over a cached `HmacKey`, two SHA-256 compressions
 //!    cheaper).
-//! 2. **Anon-table build** at N ∈ {100, 300, 1000} nodes: the pre-change
+//! 2. **Batched mark MACs** (`lanes` section): `mark_mac_many_prepared` at
+//!    batch ∈ {4, 8, 16, 64} distinct keys vs a scalar `mark_mac_prepared`
+//!    loop over the same jobs. The batched path compresses up to
+//!    [`pnm_crypto::MAX_LANES`] independent messages per SHA-256 round
+//!    ([`pnm_crypto::Sha256xN`]); the recorded `backend` says which engine
+//!    ran (AVX2/SSE2/portable — `PNM_SHA256_FORCE_PORTABLE=1` forces the
+//!    struct-of-arrays fallback).
+//! 3. **Anon-table build** at N ∈ {100, 300, 1000} nodes: the pre-change
 //!    serial baseline (one-shot `anon_id` per node into a `Vec`-per-entry
-//!    map), the precomputed serial build (`AnonTable::build`), and the
-//!    4-thread sharded build (`AnonTable::build_parallel`).
+//!    map), the precomputed serial build (`AnonTable::build`), the sharded
+//!    build (`AnonTable::build_parallel`, 4 threads requested), and the
+//!    lane-parallel build (`AnonTable::build_parallel_lanes_with`).
 //!
 //! Every variant is checked for output equivalence before timing — the fast
 //! paths must be pure optimizations. `--smoke` runs the equivalence checks
 //! with tiny iteration counts and writes nothing, for CI.
 //!
 //! The parallel builds dispatch the requested worker count **without**
-//! clamping to `available_parallelism`. An earlier revision clamped, which
-//! silently rerouted the "parallel" series through `build_parallel`'s
-//! serial fallback on small hosts and recorded
-//! `parallel_threads_effective: 1` under a 4-thread label. Scoped workers
-//! are scheduled by the OS regardless of core count, so dispatching all 4
-//! measures the real sharded path everywhere; `parallel_threads_effective`
-//! now reports the workers actually dispatched
-//! ([`AnonTable::parallel_workers`]) and `host_cores` records the machine
-//! so a reader can judge how much true concurrency backed the number.
+//! clamping to `available_parallelism`; `parallel_workers` per table entry
+//! reports what [`AnonTable::parallel_workers`] actually dispatched. Since
+//! the small-input regression fix, builds under
+//! [`AnonTable::PARALLEL_MIN_NODES`] nodes dispatch serially (workers = 1):
+//! at 100 nodes the 4-thread spawn+join overhead cost ~1.8× the serial
+//! build. That dispatch threshold is asserted here so it cannot silently
+//! regress; `host_cores` records the machine so a reader can judge how much
+//! true concurrency backed the parallel numbers.
 
 use std::collections::HashMap;
 use std::env;
@@ -39,25 +47,42 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use pnm_core::AnonTable;
-use pnm_crypto::{anon_id, mark_mac_prepared, AnonId, KeyStore, MacKey};
+use pnm_crypto::{
+    anon_id, mark_mac_many_prepared, mark_mac_prepared, AnonId, HmacKey, KeyStore, MacKey, Sha256xN,
+};
 
 const TABLE_SIZES: [u16; 3] = [100, 300, 1000];
 const PARALLEL_THREADS: usize = 4;
 const MAC_WIDTH: usize = 8;
+/// Batch sizes swept by the lanes section: one SIMD group (4/8), a
+/// two-group batch, and a chain-of-marks-sized batch.
+const LANE_BATCHES: [usize; 4] = [4, 8, 16, 64];
 
-/// Worker count the timed parallel builds actually dispatch: one shard per
-/// requested thread (every bench table has at least `PARALLEL_THREADS`
-/// nodes, so nothing is clamped by table size). Deliberately independent
-/// of `available_parallelism` — see the module docs.
-fn effective_threads() -> usize {
-    let min_nodes = *TABLE_SIZES.iter().min().expect("non-empty") as usize;
-    AnonTable::parallel_workers(min_nodes, PARALLEL_THREADS)
-}
-
-/// The host's core count, recorded alongside the dispatch count so the
-/// artifact is honest about how much true concurrency backed it.
+/// The host's core count, recorded alongside the dispatch counts so the
+/// artifact is honest about how much true concurrency backed them.
 fn host_cores() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Pins the small-input dispatch threshold (the 100-node parallel-build
+/// regression fix): bench-sized small tables must dispatch serially, the
+/// 1000-node table must actually shard.
+fn check_dispatch_thresholds() {
+    assert_eq!(
+        AnonTable::parallel_workers(100, PARALLEL_THREADS),
+        1,
+        "small builds must fall back to serial dispatch"
+    );
+    assert_eq!(
+        AnonTable::parallel_workers(AnonTable::PARALLEL_MIN_NODES - 1, 8),
+        1,
+        "below-threshold builds must fall back to serial dispatch"
+    );
+    assert_eq!(
+        AnonTable::parallel_workers(1000, PARALLEL_THREADS),
+        PARALLEL_THREADS,
+        "large builds must shard across all requested threads"
+    );
 }
 
 /// A mark-sized message: the canonical bench report bytes plus the 8-byte
@@ -112,16 +137,26 @@ fn build_oneshot_baseline(keys: &KeyStore, report_bytes: &[u8]) -> HashMap<AnonI
     map
 }
 
-/// Asserts the three table-build variants resolve identically.
+/// Asserts the table-build variants — serial, thread-parallel, and
+/// lane-parallel — resolve identically to the one-shot baseline.
 fn check_table_equivalence(keys: &KeyStore, report_bytes: &[u8]) {
     let baseline = build_oneshot_baseline(keys, report_bytes);
     let serial = AnonTable::build(keys, report_bytes);
     let parallel = AnonTable::build_parallel(keys, report_bytes, PARALLEL_THREADS);
+    let lanes = AnonTable::build_lanes(keys, report_bytes);
+    let lanes_parallel =
+        AnonTable::build_parallel_lanes_with(&keys.schedule(), report_bytes, PARALLEL_THREADS);
     assert_eq!(serial, parallel, "parallel build must be map-identical");
+    assert_eq!(serial, lanes, "lane build must be map-identical");
+    assert_eq!(
+        serial, lanes_parallel,
+        "parallel lane build must be map-identical"
+    );
     assert_eq!(serial.len(), baseline.len());
     for (aid, cands) in &baseline {
         assert_eq!(serial.resolve(aid), cands.as_slice(), "aid {aid}");
         assert_eq!(parallel.resolve(aid), cands.as_slice(), "aid {aid}");
+        assert_eq!(lanes.resolve(aid), cands.as_slice(), "aid {aid}");
     }
 }
 
@@ -157,11 +192,75 @@ fn bench_mac(repeats: usize, iters: usize) -> MacResult {
     }
 }
 
+/// The lane keyset: one distinct prepared key per batch slot, like a chain
+/// of marks from distinct nodes.
+fn lane_keys() -> Vec<HmacKey> {
+    (0..*LANE_BATCHES.iter().max().expect("non-empty"))
+        .map(|i| MacKey::derive(b"bench-crypto-lanes", i as u64).prepare())
+        .collect()
+}
+
+/// Asserts `mark_mac_many_prepared` tags equal per-job scalar tags at every
+/// swept batch size — lane ≡ scalar before any timing.
+fn check_lane_equivalence(keys: &[HmacKey], msg: &[u8]) {
+    for &batch in &LANE_BATCHES {
+        let jobs: Vec<(&HmacKey, &[u8])> = keys[..batch].iter().map(|k| (k, msg)).collect();
+        let lane_tags = mark_mac_many_prepared(&jobs, MAC_WIDTH);
+        assert_eq!(lane_tags.len(), batch);
+        for ((key, m), tag) in jobs.iter().zip(&lane_tags) {
+            assert_eq!(
+                *tag,
+                mark_mac_prepared(key, m, MAC_WIDTH),
+                "lane MAC must equal scalar (batch {batch})"
+            );
+        }
+    }
+}
+
+struct LaneResult {
+    batch: usize,
+    serial_ns_per_mac: f64,
+    lanes_ns_per_mac: f64,
+}
+
+fn bench_lanes(repeats: usize, iters: usize) -> Vec<LaneResult> {
+    let keys = lane_keys();
+    let msg = mark_message();
+    check_lane_equivalence(&keys, &msg);
+
+    LANE_BATCHES
+        .iter()
+        .map(|&batch| {
+            let jobs: Vec<(&HmacKey, &[u8])> =
+                keys[..batch].iter().map(|k| (k, &msg[..])).collect();
+            let [serial_ns, lanes_ns] = time_interleaved(
+                repeats,
+                iters,
+                &mut [
+                    &mut || {
+                        jobs.iter()
+                            .map(|(k, m)| mark_mac_prepared(k, m, MAC_WIDTH))
+                            .collect::<Vec<_>>()
+                    },
+                    &mut || mark_mac_many_prepared(&jobs, MAC_WIDTH),
+                ],
+            );
+            LaneResult {
+                batch,
+                serial_ns_per_mac: serial_ns / batch as f64,
+                lanes_ns_per_mac: lanes_ns / batch as f64,
+            }
+        })
+        .collect()
+}
+
 struct TableResult {
     nodes: u16,
+    workers: usize,
     oneshot_ns: f64,
     serial_ns: f64,
     parallel_ns: f64,
+    lanes_ns: f64,
 }
 
 fn bench_table(nodes: u16, repeats: usize, iters: usize) -> TableResult {
@@ -170,23 +269,28 @@ fn bench_table(nodes: u16, repeats: usize, iters: usize) -> TableResult {
     check_table_equivalence(&keys, &report_bytes);
     // Prewarm the schedule so the timed builds measure the steady state
     // (the schedule is built once per deployment, not per report).
-    let _ = keys.schedule();
+    let schedule = keys.schedule();
 
-    let threads = effective_threads();
-    let [oneshot_ns, serial_ns, parallel_ns] = time_interleaved(
+    let [oneshot_ns, serial_ns, parallel_ns, lanes_ns] = time_interleaved(
         repeats,
         iters,
         &mut [
             &mut || build_oneshot_baseline(&keys, &report_bytes).len(),
             &mut || AnonTable::build(&keys, &report_bytes).len(),
-            &mut || AnonTable::build_parallel(&keys, &report_bytes, threads).len(),
+            &mut || AnonTable::build_parallel(&keys, &report_bytes, PARALLEL_THREADS).len(),
+            &mut || {
+                AnonTable::build_parallel_lanes_with(&schedule, &report_bytes, PARALLEL_THREADS)
+                    .len()
+            },
         ],
     );
     TableResult {
         nodes,
+        workers: AnonTable::parallel_workers(nodes as usize, PARALLEL_THREADS),
         oneshot_ns,
         serial_ns,
         parallel_ns,
+        lanes_ns,
     }
 }
 
@@ -211,19 +315,27 @@ fn main() -> ExitCode {
         }
     }
 
+    check_dispatch_thresholds();
+    let backend = Sha256xN::backend();
+
     if smoke {
         // Equivalence only, tiny sizes, no file output.
         let mac = bench_mac(1, 16);
         assert!(mac.oneshot_ns > 0.0 && mac.precomputed_ns > 0.0);
+        check_lane_equivalence(&lane_keys(), &mark_message());
         for nodes in [1u16, 7, 64] {
             let keys = KeyStore::derive_from_master(b"bench-crypto-smoke", nodes);
             check_table_equivalence(&keys, &mark_message());
         }
-        println!("bench-crypto smoke: all fast paths equivalent");
+        println!(
+            "bench-crypto smoke: all fast paths equivalent (sha256 backend: {})",
+            backend.name()
+        );
         return ExitCode::SUCCESS;
     }
 
     let mac = bench_mac(7, 20_000);
+    let lanes = bench_lanes(9, 4_000);
     let tables: Vec<TableResult> = TABLE_SIZES
         .iter()
         .map(|&n| {
@@ -233,6 +345,21 @@ fn main() -> ExitCode {
         })
         .collect();
 
+    let lane_json: Vec<String> = lanes
+        .iter()
+        .map(|l| {
+            format!(
+                concat!(
+                    "      {{\"batch\": {}, \"serial_ns_per_mac\": {:.1}, ",
+                    "\"lanes_ns_per_mac\": {:.1}, \"speedup_vs_precomputed\": {:.2}}}"
+                ),
+                l.batch,
+                l.serial_ns_per_mac,
+                l.lanes_ns_per_mac,
+                l.serial_ns_per_mac / l.lanes_ns_per_mac,
+            )
+        })
+        .collect();
     let table_json: Vec<String> = tables
         .iter()
         .map(|t| {
@@ -240,19 +367,25 @@ fn main() -> ExitCode {
                 concat!(
                     "    {{\n",
                     "      \"nodes\": {},\n",
+                    "      \"parallel_workers\": {},\n",
                     "      \"serial_oneshot_ns\": {:.0},\n",
                     "      \"serial_precomputed_ns\": {:.0},\n",
                     "      \"parallel_precomputed_ns\": {:.0},\n",
+                    "      \"lanes_ns\": {:.0},\n",
                     "      \"speedup_serial_precomputed\": {:.2},\n",
-                    "      \"speedup_parallel_vs_oneshot\": {:.2}\n",
+                    "      \"speedup_parallel_vs_oneshot\": {:.2},\n",
+                    "      \"speedup_lanes_vs_serial\": {:.2}\n",
                     "    }}"
                 ),
                 t.nodes,
+                t.workers,
                 t.oneshot_ns,
                 t.serial_ns,
                 t.parallel_ns,
+                t.lanes_ns,
                 t.oneshot_ns / t.serial_ns,
                 t.oneshot_ns / t.parallel_ns,
+                t.serial_ns / t.lanes_ns,
             )
         })
         .collect();
@@ -261,9 +394,9 @@ fn main() -> ExitCode {
             "{{\n",
             "  \"scenario\": \"precomputed-key HMAC pipeline vs one-shot baseline\",\n",
             "  \"note\": \"serial_oneshot is the pre-change path: RFC 2104 pads re-derived per hash; ",
-            "precomputed paths reuse the keystore's cached midstate schedule\",\n",
+            "precomputed paths reuse the keystore's cached midstate schedule; lane paths additionally ",
+            "hash up to MAX_LANES independent messages per SHA-256 compression\",\n",
             "  \"parallel_threads_requested\": {},\n",
-            "  \"parallel_threads_effective\": {},\n",
             "  \"host_cores\": {},\n",
             "  \"mac\": {{\n",
             "    \"message_len\": {},\n",
@@ -272,17 +405,24 @@ fn main() -> ExitCode {
             "    \"precomputed_ns_per_op\": {:.1},\n",
             "    \"speedup\": {:.2}\n",
             "  }},\n",
+            "  \"lanes\": {{\n",
+            "    \"backend\": \"{}\",\n",
+            "    \"forced_portable\": {},\n",
+            "    \"mark_mac_batches\": [\n{}\n    ]\n",
+            "  }},\n",
             "  \"anon_table_builds\": [\n{}\n  ]\n",
             "}}\n"
         ),
         PARALLEL_THREADS,
-        effective_threads(),
         host_cores(),
         mac.message_len,
         MAC_WIDTH,
         mac.oneshot_ns,
         mac.precomputed_ns,
         mac.oneshot_ns / mac.precomputed_ns,
+        backend.name(),
+        env::var("PNM_SHA256_FORCE_PORTABLE").is_ok_and(|v| !v.is_empty() && v != "0"),
+        lane_json.join(",\n"),
         table_json.join(",\n"),
     );
     if let Err(e) = std::fs::write(&out, &json) {

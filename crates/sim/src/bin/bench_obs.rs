@@ -195,7 +195,7 @@ fn main() -> ExitCode {
         ("noop_overhead_limit_pct", JsonValue::f1(limit_pct)),
         ("counters_identical_across_variants", JsonValue::Bool(true)),
         ("variants", JsonValue::Object(variant_entries)),
-        ("stage_us", timed_stages.to_json_value()),
+        ("stage_ns", timed_stages.to_json_value()),
     ]);
     let json = doc.render_pretty();
     if let Err(e) = std::fs::write(&out, &json) {

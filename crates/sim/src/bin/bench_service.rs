@@ -28,7 +28,7 @@
 //!
 //! `--trace FILE` attaches a ring-buffer trace collector to every shard
 //! engine and writes the pipeline spans as JSONL to FILE. Each run also
-//! records the per-stage latency breakdown (`stage_us`) from the shard
+//! records the per-stage latency breakdown (`stage_ns`) from the shard
 //! engines' [`StageMetrics`](pnm_core::StageMetrics); neither changes the
 //! output digest the sweep checks.
 
@@ -203,7 +203,7 @@ fn run_json(r: &RunResult) -> String {
             "    {{\"shards\": {}, \"wall_ms\": {:.1}, \"pkts_per_sec\": {:.0}, ",
             "\"table_builds\": {}, \"table_cache_hits\": {}, \"table_cache_hit_rate\": {}, ",
             "\"hash_count\": {}, \"service_p50_us\": {}, \"service_p99_us\": {},\n",
-            "     \"stage_us\": {}}}"
+            "     \"stage_ns\": {}}}"
         ),
         r.shards,
         r.wall_ms,

@@ -11,7 +11,8 @@
 //! packet is a distinct report) — plus a batched same-report workload (200
 //! packets over 8 reports) that exercises the anon-table cache. Both runs
 //! are fully seeded, so the counters are deterministic; the stage
-//! latencies (`stage_us`) are wall-clock measurements and vary run to run.
+//! latencies (`stage_ns`, nanosecond resolution) are wall-clock
+//! measurements and vary run to run.
 //!
 //! `--smoke` runs a CI-sized workload (60 packets). `--trace FILE` writes
 //! every pipeline span as JSONL to FILE. Neither changes any counter.
@@ -39,7 +40,7 @@ const SEED: u64 = 2007;
 fn section(c: &SinkCounters, stages: &StageMetrics) -> JsonValue {
     match pnm_service::counters_json_value(c) {
         JsonValue::Object(mut entries) => {
-            entries.push(("stage_us".to_string(), stages.to_json_value()));
+            entries.push(("stage_ns".to_string(), stages.to_json_value()));
             JsonValue::Object(entries)
         }
         other => other,

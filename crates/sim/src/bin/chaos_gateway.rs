@@ -8,7 +8,7 @@
 //! ```
 //!
 //! At every sweep point a [`ResilientClient`] pushes the same marked
-//! packet stream through a [`ChaosTransport`]-wrapped wire into a fresh
+//! packet stream through a [`ChaosTransport`](pnm_gateway::ChaosTransport)-wrapped wire into a fresh
 //! gateway, then the tenant is drained and the gateway shut down
 //! gracefully. The gates, all of which must hold at every intensity:
 //!
