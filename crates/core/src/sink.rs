@@ -38,7 +38,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use pnm_crypto::KeyStore;
-use pnm_obs::Tracer;
+use pnm_obs::{TraceContext, Tracer};
 use pnm_wire::{NodeId, Packet, WireError};
 use serde::{Deserialize, Serialize};
 
@@ -170,19 +170,26 @@ impl SinkConfig {
         self
     }
 
-    /// Attaches a tracer: the engine then emits per-stage spans
-    /// (`sink.classify`, `sink.verify`, `sink.resolve`, `sink.reconstruct`,
-    /// `sink.localize`) and table-build/cache instant events. The default
-    /// [`Tracer::noop`] is inert — the pipeline pays one branch per stage.
+    /// Attaches a tracer. Untraced ingest emits one packet-level
+    /// `sink.ingest` span plus table-build instants — cheap enough to
+    /// keep armed permanently for the flight recorder. Packets carrying
+    /// a [`TraceContext`] additionally get per-stage spans
+    /// (`sink.classify`, `sink.verify`, `sink.resolve`,
+    /// `sink.reconstruct`, `sink.localize`) as children of the trace.
+    /// The default [`Tracer::noop`] is inert — the pipeline pays one
+    /// branch per stage.
     pub fn tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
         self
     }
 
     /// Enables per-stage latency histograms
-    /// ([`SinkEngine::stage_metrics`]) without requiring a tracer.
-    /// Attaching a tracer implies stage timing. Default off: the
-    /// uninstrumented pipeline never reads the clock.
+    /// ([`SinkEngine::stage_metrics`]) without requiring a tracer — and a
+    /// tracer does not imply them: spans already carry their own
+    /// durations, so the histograms are a separate, explicit opt-in
+    /// rather than a second set of clock reads taxing every traced
+    /// packet. Default off: the uninstrumented pipeline never reads the
+    /// clock.
     pub fn stage_timing(mut self, on: bool) -> Self {
         self.stage_timing = on;
         self
@@ -395,6 +402,11 @@ pub struct SinkEngine {
     stage_timing: bool,
     stages: StageMetrics,
     store: Option<EngineStore>,
+    /// Trace context of the packet currently in the pipeline
+    /// ([`TraceContext::NONE`] outside [`SinkEngine::ingest_ctx`]):
+    /// stage spans open as its children, so one wire-carried context
+    /// turns the whole staged pass into one correlated trace.
+    current_ctx: TraceContext,
 }
 
 /// An attached evidence store plus the high-water mark of what it has
@@ -474,6 +486,7 @@ impl SinkEngine {
             stage_timing: config.stage_timing,
             stages: StageMetrics::new(),
             store: None,
+            current_ctx: TraceContext::NONE,
         }
     }
 
@@ -522,15 +535,58 @@ impl SinkEngine {
     /// Runs one packet through the full pipeline with an explicit arrival
     /// clock for the classifier's rate window.
     pub fn ingest_at(&mut self, packet: &Packet, now_us: u64) -> SinkOutcome {
+        self.ingest_ctx(packet, now_us, TraceContext::NONE)
+    }
+
+    /// [`SinkEngine::ingest_at`] inside a caller-supplied trace context.
+    ///
+    /// With a traced context and an attached tracer, the pass opens one
+    /// `sink.ingest` span as a child of `ctx` and every stage span
+    /// (`sink.classify` … `sink.localize`) opens under it — so a context
+    /// carried from the gateway wire renders the packet's whole shard
+    /// pass inside its originating trace. With [`TraceContext::NONE`]
+    /// (or no tracer) this is byte-for-byte [`SinkEngine::ingest_at`]:
+    /// counters, outcomes, and evidence never depend on tracing.
+    pub fn ingest_ctx(&mut self, packet: &Packet, now_us: u64, ctx: TraceContext) -> SinkOutcome {
+        let ingest_span = if ctx.is_traced() && self.tracer.enabled() {
+            let span = self.tracer.span_in("sink.ingest", ctx);
+            self.current_ctx = span.context().unwrap_or(TraceContext::NONE);
+            Some(span)
+        } else {
+            None
+        };
+        let outcome = self.ingest_staged(packet, now_us);
+        drop(ingest_span);
+        self.current_ctx = TraceContext::NONE;
+        outcome
+    }
+
+    /// The staged pipeline body shared by every ingest entry point.
+    fn ingest_staged(&mut self, packet: &Packet, now_us: u64) -> SinkOutcome {
         self.counters.packets += 1;
+        let ctx = self.current_ctx;
         let tracer = self.tracer.clone();
-        let mut clock = StageClock::start(self.stage_timing || tracer.enabled());
+        let mut clock = StageClock::start(self.stage_timing);
+
+        // Untraced ingest under an armed collector records one
+        // packet-level span, so a flight-recorder black-box still shows
+        // the packet timeline around an anomaly. Per-stage spans (below,
+        // via `span_traced`) open only inside a carried trace: without a
+        // trace id they would be orphan detail nobody can correlate, and
+        // on the hot path they are the difference between a ~2% and a
+        // ~8% always-on overhead (see `bench_obs`). Traced entry points
+        // already opened `sink.ingest` inside the trace.
+        let _packet_span = if ctx.is_traced() {
+            None
+        } else {
+            Some(tracer.span("sink.ingest"))
+        };
 
         // Stage 0: idempotent duplicate suppression (when configured).
         // Runs before the classifier so duplicated frames cannot skew its
         // rate window, and before verification so they cost no hashes.
         // Timed as part of classify: both are admission gates.
-        let mut classify_span = tracer.span("sink.classify");
+        let mut classify_span = tracer.span_traced("sink.classify", ctx);
         if let Some(dedup) = &mut self.dedup {
             if !dedup.observe(&packet.to_bytes()) {
                 self.counters.duplicates_suppressed += 1;
@@ -575,7 +631,7 @@ impl SinkEngine {
         }
 
         // Stages 2–3: verify marks, resolving anonymous IDs.
-        let verify_span = tracer.span("sink.verify");
+        let verify_span = tracer.span_traced("sink.verify", ctx);
         let (chain, resolve_ns) = self.verify_stage(packet);
         drop(verify_span);
         if clock.enabled() {
@@ -591,7 +647,7 @@ impl SinkEngine {
         self.counters.marks_rejected += chain.total_marks - chain.nodes.len();
 
         // Stage 4: fold into the reconstructed route.
-        let reconstruct_span = tracer.span("sink.reconstruct");
+        let reconstruct_span = tracer.span_traced("sink.reconstruct", ctx);
         self.reconstructor.observe_chain(&chain.nodes);
         if self.first_unequivocal.is_none() && self.reconstructor.is_unequivocal() {
             self.first_unequivocal = Some(self.counters.packets);
@@ -603,7 +659,7 @@ impl SinkEngine {
 
         // Stage 5: quarantine maintenance (cheap: only runs on a new
         // unequivocal source).
-        let localize_span = tracer.span("sink.localize");
+        let localize_span = tracer.span_traced("sink.localize", ctx);
         self.update_quarantine();
         drop(localize_span);
         if clock.enabled() {
@@ -673,7 +729,7 @@ impl SinkEngine {
         if self.mode != VerifyMode::Nested {
             return (self.verifier.verify(packet, self.mode), 0);
         }
-        let timed = self.stage_timing || self.tracer.enabled();
+        let timed = self.stage_timing;
         let report_bytes = packet.report.to_bytes();
         if let Some(resolver) = &self.resolver {
             // §7 topology-guided resolution: no table build at all; each
@@ -714,7 +770,10 @@ impl SinkEngine {
         // resolution cost is the table lookup/build, so that is what the
         // resolve stage measures.
         let start = timed.then(Instant::now);
-        let resolve_span = self.tracer.clone().span("sink.resolve");
+        let resolve_span = self
+            .tracer
+            .clone()
+            .span_traced("sink.resolve", self.current_ctx);
         let idx = self.lookup_or_build_table(&report_bytes);
         drop(resolve_span);
         let resolve_ns = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
@@ -745,10 +804,10 @@ impl SinkEngine {
             .iter()
             .position(|(rb, _)| rb == report_bytes)
         {
+            // No instant event on a hit: hits are the per-packet common
+            // case and the counter already tells the story; only the rare
+            // (expensive) table build below is worth a trace line.
             self.counters.table_cache_hits += 1;
-            self.tracer.event_with("sink.table_cache_hit", |f| {
-                f.push(("cached_tables", self.table_cache.len().into()));
-            });
             // Move to the back: most recently used.
             let entry = self.table_cache.remove(pos);
             self.table_cache.push(entry);
@@ -764,10 +823,11 @@ impl SinkEngine {
             };
             self.counters.table_builds += 1;
             self.counters.hash_count += table.hash_count;
-            self.tracer.event_with("sink.table_build", |f| {
-                f.push(("hashes", table.hash_count.into()));
-                f.push(("threads", self.table_build_threads.into()));
-            });
+            self.tracer
+                .event_in("sink.table_build", self.current_ctx, |f| {
+                    f.push(("hashes", table.hash_count.into()));
+                    f.push(("threads", self.table_build_threads.into()));
+                });
             if self.table_cache.len() >= self.table_cache_capacity {
                 self.table_cache.remove(0);
             }
@@ -842,7 +902,7 @@ impl SinkEngine {
     }
 
     /// Per-stage latency histograms. Empty unless
-    /// [`SinkConfig::stage_timing`] was enabled or a tracer is attached.
+    /// [`SinkConfig::stage_timing`] was enabled.
     pub fn stage_metrics(&self) -> &StageMetrics {
         &self.stages
     }
@@ -1635,6 +1695,74 @@ mod tests {
         assert_eq!(opens, closes);
         assert!(events.iter().any(|e| e.name == "sink.table_build"));
         assert_eq!(ring.dropped(), 0);
+    }
+
+    /// A wire-carried [`TraceContext`] turns one staged pass into one
+    /// correlated trace: a `sink.ingest` child of the caller's span,
+    /// every stage span a child of `sink.ingest`, all in the same
+    /// trace — and the outcome is identical to the untraced pass.
+    #[test]
+    fn ingest_ctx_correlates_stage_spans_under_one_trace() {
+        let n = 8u16;
+        let ks = keys(n);
+        let scheme = ProbabilisticNestedMarking::paper_default(n as usize);
+        let mut rng = StdRng::seed_from_u64(9);
+        let pkt = packet(&ks, &scheme, n, 0, &mut rng);
+
+        let base_cfg = SinkConfig::new(VerifyMode::Nested).table_cache_capacity(4);
+        let mut plain = SinkEngine::new(Arc::clone(&ks), base_cfg.clone());
+        let plain_out = plain.ingest(&pkt);
+
+        let (tracer, ring) = pnm_obs::Tracer::ring(1024);
+        let mut traced = SinkEngine::new(Arc::clone(&ks), base_cfg.tracer(tracer.clone()));
+        let wire_ctx = {
+            let root = tracer.span_root("client.send");
+            root.context().expect("recording")
+        };
+        let traced_out = traced.ingest_ctx(&pkt, pkt.report.timestamp, wire_ctx);
+        assert_eq!(plain_out, traced_out);
+        assert_eq!(plain.counters(), traced.counters());
+
+        use pnm_obs::EventKind;
+        let events = ring.events();
+        assert!(
+            events.iter().all(|e| e.trace == wire_ctx.trace),
+            "every event joins the wire trace"
+        );
+        let ingest_open = events
+            .iter()
+            .find(|e| e.name == "sink.ingest" && e.kind == EventKind::SpanOpen)
+            .expect("sink.ingest span present");
+        assert_eq!(ingest_open.parent, wire_ctx.parent);
+        for stage in crate::STAGE_NAMES {
+            let name = format!("sink.{stage}");
+            let open = events
+                .iter()
+                .find(|e| e.name == name && e.kind == EventKind::SpanOpen)
+                .unwrap_or_else(|| panic!("{name} span present"));
+            assert_eq!(open.parent, ingest_open.span, "{name} parents sink.ingest");
+        }
+        // Instants (table builds) ride the same trace too.
+        let build = events
+            .iter()
+            .find(|e| e.name == "sink.table_build")
+            .expect("table build instant");
+        assert_eq!(build.trace, wire_ctx.trace);
+        assert_eq!(build.span, ingest_open.span);
+
+        // An untraced pass on the same engine records a packet-level
+        // span only: per-stage detail is reserved for carried traces.
+        let mut rng2 = StdRng::seed_from_u64(10);
+        let pkt2 = packet(&ks, &scheme, n, 1, &mut rng2);
+        traced.ingest(&pkt2);
+        let untraced: Vec<_> = ring.events().into_iter().filter(|e| e.trace == 0).collect();
+        assert!(untraced
+            .iter()
+            .any(|e| e.kind == EventKind::SpanOpen && e.name == "sink.ingest"));
+        assert!(
+            !untraced.iter().any(|e| e.name == "sink.classify"),
+            "stage spans never open without a trace"
+        );
     }
 
     /// Stage timing alone (no tracer) fills histograms; topology-guided

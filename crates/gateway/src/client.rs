@@ -167,6 +167,55 @@ impl GatewayClient {
         Ok(ack)
     }
 
+    /// Sends one **traced** sequenced packet and waits for its
+    /// [`IngestAck`] — [`ingest_seq`](Self::ingest_seq) carrying the
+    /// client's trace context (`trace`, `parent`) across the wire. The
+    /// ack's echoed trace id is verified against `trace` in addition to
+    /// the sequence check, so an ack cannot close the wrong trace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ingest_traced(
+        &mut self,
+        tenant: &[u8],
+        trace: u64,
+        parent: u64,
+        session: u64,
+        seq: u64,
+        packet_bytes: &[u8],
+    ) -> io::Result<IngestAck> {
+        let payload = self.request(Envelope::ingest_traced(
+            tenant,
+            trace,
+            parent,
+            session,
+            seq,
+            packet_bytes,
+        ))?;
+        let ack = IngestAck::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if ack.seq != seq && ack.seq != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("ack echoes seq {} for request seq {seq}", ack.seq),
+            ));
+        }
+        // Corrupt acks (seq 0) carry no trace; everything else must echo
+        // ours.
+        if ack.trace != trace && ack.seq != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("ack echoes trace {:#x} for trace {trace:#x}", ack.trace),
+            ));
+        }
+        Ok(ack)
+    }
+
+    /// Requests the tenant's live ops snapshot (health/SLO JSON); tenant
+    /// `*` returns every tenant keyed by name.
+    pub fn ops_snapshot(&mut self, tenant: &[u8]) -> io::Result<String> {
+        let payload = self.request(Envelope::control(OpCode::Ops, tenant))?;
+        String::from_utf8(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
     /// Liveness probe: `Ok(())` means a worker answered.
     pub fn health(&mut self) -> io::Result<()> {
         self.request(Envelope::control(OpCode::Health, b"_"))

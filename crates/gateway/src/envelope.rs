@@ -32,9 +32,11 @@ pub const MAGIC: [u8; 2] = *b"PG";
 
 /// Protocol version this build speaks. Version 2 added the resilience
 /// opcodes ([`OpCode::IngestSeq`], [`OpCode::Health`], [`OpCode::Ready`]);
-/// version-1 frames are still decoded (see [`MIN_VERSION`]) so a PR-7
-/// client keeps working unchanged against a version-2 server.
-pub const VERSION: u8 = 2;
+/// version 3 adds the observability opcodes ([`OpCode::IngestTraced`],
+/// [`OpCode::Ops`]). Version-1 and version-2 frames are still decoded
+/// (see [`MIN_VERSION`]) so earlier clients keep working unchanged
+/// against a version-3 server.
+pub const VERSION: u8 = 3;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_VERSION: u8 = 1;
@@ -83,6 +85,19 @@ pub enum OpCode {
     /// accepts new work, `Rejected` with `"draining"` once graceful
     /// shutdown has begun.
     Ready = 6,
+    /// Sequenced, acknowledged **and traced** ingest (version 3). Payload
+    /// is a [`TracedFrame`]: a [`SeqFrame`] extended with a 64-bit trace
+    /// id and parent span id, so the client's causal context crosses the
+    /// wire and every span the gateway, shard queue, and sink emit for
+    /// this packet lands in one trace. Acked exactly like
+    /// [`OpCode::IngestSeq`], except the [`IngestAck`] echoes the trace
+    /// id back.
+    IngestTraced = 7,
+    /// Live ops surface (version 3): respond `Ok` with the tenant's
+    /// health/SLO snapshot as JSON — rolling stage p99s, error-budget
+    /// counters, backlog, and the last anomaly the tenant's flight
+    /// recorder dumped. Tenant `*` returns every tenant keyed by id.
+    Ops = 8,
 }
 
 impl OpCode {
@@ -95,14 +110,20 @@ impl OpCode {
             4 => Some(OpCode::IngestSeq),
             5 => Some(OpCode::Health),
             6 => Some(OpCode::Ready),
+            7 => Some(OpCode::IngestTraced),
+            8 => Some(OpCode::Ops),
             _ => None,
         }
     }
 
     /// Whether `version` frames may carry this opcode (the resilience
-    /// opcodes require version 2).
+    /// opcodes require version 2, the observability opcodes version 3).
     fn in_version(self, version: u8) -> bool {
-        version >= 2 || (self as u8) <= OpCode::Drain as u8
+        match version {
+            0..=1 => (self as u8) <= OpCode::Drain as u8,
+            2 => (self as u8) <= OpCode::Ready as u8,
+            _ => true,
+        }
     }
 }
 
@@ -148,6 +169,25 @@ impl Envelope {
             opcode: OpCode::IngestSeq,
             tenant: tenant.to_vec(),
             payload: SeqFrame::encode_payload(tenant, session, seq, packet_bytes),
+        }
+    }
+
+    /// Builds a sequenced, acknowledged, traced ingest frame (see
+    /// [`TracedFrame`]): `trace` is the client's 64-bit trace id and
+    /// `parent` the span id the server-side spans should hang under.
+    pub fn ingest_traced(
+        tenant: &[u8],
+        trace: u64,
+        parent: u64,
+        session: u64,
+        seq: u64,
+        packet_bytes: &[u8],
+    ) -> Self {
+        Envelope {
+            version: VERSION,
+            opcode: OpCode::IngestTraced,
+            tenant: tenant.to_vec(),
+            payload: TracedFrame::encode_payload(tenant, trace, parent, session, seq, packet_bytes),
         }
     }
 
@@ -313,6 +353,101 @@ impl SeqFrame {
     }
 }
 
+/// The payload of an [`OpCode::IngestTraced`] frame:
+///
+/// ```text
+/// trace(8, BE) | parent(8, BE) | session(8, BE) | seq(8, BE) |
+/// crc32(4, BE) | packet bytes
+/// ```
+///
+/// A [`SeqFrame`] extended with the client's causal context: `trace` is
+/// the 64-bit trace id minted once per logical send (retries reuse it, so
+/// one packet is one trace no matter how many times the wire ate it), and
+/// `parent` is the client-side span the gateway's `gateway.ingest` span
+/// becomes a child of. The CRC is CRC-32/IEEE over
+/// `tenant | trace(8) | parent(8) | session(8) | seq(8) | packet` — the
+/// trace identity is integrity-bound like everything else, so a
+/// bit-flipped trace id surfaces as [`AckCode::Corrupt`] instead of
+/// silently splicing the packet into someone else's trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracedFrame {
+    /// Trace id minted by the client (nonzero for a real trace).
+    pub trace: u64,
+    /// Client-side parent span id (0 = root the server spans directly
+    /// under the trace).
+    pub parent: u64,
+    /// Client session id (stable across reconnects).
+    pub session: u64,
+    /// Monotone per-session sequence number.
+    pub seq: u64,
+    /// Canonical packet bytes.
+    pub packet: Vec<u8>,
+}
+
+/// Fixed prefix of a [`TracedFrame`] payload: trace + parent + session +
+/// seq + crc.
+pub const TRACED_FRAME_HEADER: usize = 8 + 8 + 8 + 8 + 4;
+
+impl TracedFrame {
+    fn crc(tenant: &[u8], trace: u64, parent: u64, session: u64, seq: u64, packet: &[u8]) -> u32 {
+        let mut bound = Vec::with_capacity(tenant.len() + 32 + packet.len());
+        bound.extend_from_slice(tenant);
+        bound.extend_from_slice(&trace.to_be_bytes());
+        bound.extend_from_slice(&parent.to_be_bytes());
+        bound.extend_from_slice(&session.to_be_bytes());
+        bound.extend_from_slice(&seq.to_be_bytes());
+        bound.extend_from_slice(packet);
+        pnm_core::store::crc32(&bound)
+    }
+
+    /// Encodes the payload for [`Envelope::ingest_traced`].
+    pub fn encode_payload(
+        tenant: &[u8],
+        trace: u64,
+        parent: u64,
+        session: u64,
+        seq: u64,
+        packet: &[u8],
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(TRACED_FRAME_HEADER + packet.len());
+        out.extend_from_slice(&trace.to_be_bytes());
+        out.extend_from_slice(&parent.to_be_bytes());
+        out.extend_from_slice(&session.to_be_bytes());
+        out.extend_from_slice(&seq.to_be_bytes());
+        out.extend_from_slice(
+            &Self::crc(tenant, trace, parent, session, seq, packet).to_be_bytes(),
+        );
+        out.extend_from_slice(packet);
+        out
+    }
+
+    /// Decodes and integrity-checks an `IngestTraced` payload against the
+    /// envelope's tenant. Total: too-short payloads and CRC mismatches
+    /// come back as `Err` (the caller answers [`AckCode::Corrupt`]),
+    /// never a panic.
+    pub fn decode_payload(tenant: &[u8], payload: &[u8]) -> Result<Self, &'static str> {
+        if payload.len() < TRACED_FRAME_HEADER {
+            return Err("traced frame shorter than its header");
+        }
+        let trace = u64::from_be_bytes(payload[0..8].try_into().expect("sized"));
+        let parent = u64::from_be_bytes(payload[8..16].try_into().expect("sized"));
+        let session = u64::from_be_bytes(payload[16..24].try_into().expect("sized"));
+        let seq = u64::from_be_bytes(payload[24..32].try_into().expect("sized"));
+        let crc = u32::from_be_bytes(payload[32..36].try_into().expect("sized"));
+        let packet = &payload[TRACED_FRAME_HEADER..];
+        if Self::crc(tenant, trace, parent, session, seq, packet) != crc {
+            return Err("traced frame crc mismatch");
+        }
+        Ok(TracedFrame {
+            trace,
+            parent,
+            session,
+            seq,
+            packet: packet.to_vec(),
+        })
+    }
+}
+
 /// Outcome code inside an [`IngestAck`].
 ///
 /// `Accepted` and `Duplicate` both mean **counted exactly once** — the
@@ -389,16 +524,22 @@ impl AckCode {
     }
 }
 
-/// The response payload to an [`OpCode::IngestSeq`] frame:
+/// The response payload to an [`OpCode::IngestSeq`] or
+/// [`OpCode::IngestTraced`] frame:
 ///
 /// ```text
-/// code(1) | seq(8, BE) | retry_after_ms(4, BE) | crc32(4, BE)
+/// code(1) | seq(8, BE) | retry_after_ms(4, BE) | crc32(4, BE)            (legacy)
+/// code(1) | seq(8, BE) | retry_after_ms(4, BE) | trace(8, BE) | crc32(4) (traced)
 /// ```
 ///
-/// The CRC covers the first 13 bytes, so a bit-flipped ack (say,
+/// The CRC covers every byte before it, so a bit-flipped ack (say,
 /// `Malformed` damaged into `Duplicate`, which would make the client
 /// book an uncounted packet as counted) is rejected by the client and
-/// retried instead of trusted.
+/// retried instead of trusted. A traced ingest is answered with the
+/// 25-byte form echoing the request's trace id — the client checks the
+/// echo so a misrouted ack cannot close the wrong trace; a plain
+/// `IngestSeq` keeps the original 17-byte form, byte-identical to what a
+/// version-2 server sent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IngestAck {
     /// Admission outcome.
@@ -409,10 +550,16 @@ pub struct IngestAck {
     /// For [`AckCode::Busy`]: suggested wait before retrying, in
     /// milliseconds. Zero otherwise.
     pub retry_after_ms: u32,
+    /// Echo of the request's trace id (version 3). Zero for a plain
+    /// `IngestSeq` ack, which also selects the legacy 17-byte encoding.
+    pub trace: u64,
 }
 
-/// Exact byte length of an encoded [`IngestAck`].
+/// Exact byte length of a legacy (untraced) encoded [`IngestAck`].
 pub const INGEST_ACK_LEN: usize = 1 + 8 + 4 + 4;
+
+/// Exact byte length of a trace-echoing encoded [`IngestAck`].
+pub const INGEST_ACK_TRACED_LEN: usize = 1 + 8 + 4 + 8 + 4;
 
 impl IngestAck {
     /// An ack with no retry hint.
@@ -421,6 +568,7 @@ impl IngestAck {
             code,
             seq,
             retry_after_ms: 0,
+            trace: 0,
         }
     }
 
@@ -431,31 +579,51 @@ impl IngestAck {
         self
     }
 
-    /// Canonical encoding (see type docs).
+    /// Echoes the request's trace id (selects the 25-byte encoding when
+    /// nonzero).
+    pub fn with_trace(mut self, trace: u64) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Canonical encoding (see type docs): the legacy 17-byte form when
+    /// `trace` is zero, the 25-byte trace-echoing form otherwise.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(INGEST_ACK_LEN);
+        let mut out = Vec::with_capacity(INGEST_ACK_TRACED_LEN);
         out.push(self.code as u8);
         out.extend_from_slice(&self.seq.to_be_bytes());
         out.extend_from_slice(&self.retry_after_ms.to_be_bytes());
-        out.extend_from_slice(&pnm_core::store::crc32(&out[..13]).to_be_bytes());
+        if self.trace != 0 {
+            out.extend_from_slice(&self.trace.to_be_bytes());
+        }
+        let crc = pnm_core::store::crc32(&out);
+        out.extend_from_slice(&crc.to_be_bytes());
         out
     }
 
-    /// Decodes and integrity-checks an ack payload. Total: wrong length,
-    /// unknown code, and CRC damage are `Err`, never a panic.
+    /// Decodes and integrity-checks an ack payload, accepting both the
+    /// 17-byte legacy form and the 25-byte traced form. Total: wrong
+    /// length, unknown code, and CRC damage are `Err`, never a panic.
     pub fn decode(payload: &[u8]) -> Result<Self, &'static str> {
-        if payload.len() != INGEST_ACK_LEN {
-            return Err("ack payload has the wrong length");
-        }
-        let crc = u32::from_be_bytes(payload[13..17].try_into().expect("sized"));
-        if pnm_core::store::crc32(&payload[..13]) != crc {
+        let trace = match payload.len() {
+            INGEST_ACK_LEN => 0,
+            INGEST_ACK_TRACED_LEN => u64::from_be_bytes(payload[13..21].try_into().expect("sized")),
+            _ => return Err("ack payload has the wrong length"),
+        };
+        let body = payload.len() - 4;
+        let crc = u32::from_be_bytes(payload[body..].try_into().expect("sized"));
+        if pnm_core::store::crc32(&payload[..body]) != crc {
             return Err("ack crc mismatch");
+        }
+        if payload.len() == INGEST_ACK_TRACED_LEN && trace == 0 {
+            return Err("traced ack with zero trace id");
         }
         let code = AckCode::from_u8(payload[0]).ok_or("unknown ack code")?;
         Ok(IngestAck {
             code,
             seq: u64::from_be_bytes(payload[1..9].try_into().expect("sized")),
             retry_after_ms: u32::from_be_bytes(payload[9..13].try_into().expect("sized")),
+            trace,
         })
     }
 }
@@ -786,6 +954,7 @@ mod tests {
                 code: AckCode::Busy,
                 seq: 12,
                 retry_after_ms: 250,
+                trace: 0,
             },
         ] {
             let bytes = ack.encode();
@@ -802,6 +971,85 @@ mod tests {
             assert!(IngestAck::decode(&damaged).is_err(), "flip at {i}");
         }
         assert!(IngestAck::decode(&bytes[..7]).is_err());
+    }
+
+    #[test]
+    fn v3_frames_round_trip() {
+        for env in [
+            Envelope::ingest_traced(b"alpha", 0xdead_beef, 0x77, 0xfeed, 42, b"packet bytes"),
+            Envelope::control(OpCode::Ops, b"alpha"),
+            Envelope::control(OpCode::Ops, b"*"),
+        ] {
+            let bytes = env.encode();
+            let (decoded, used) = Envelope::decode(&bytes, DEFAULT_MAX_PAYLOAD)
+                .unwrap()
+                .unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, env);
+        }
+    }
+
+    #[test]
+    fn version_2_frames_still_decode_but_not_v3_opcodes() {
+        let mut v2 = Envelope::ingest_seq(b"alpha", 1, 2, b"pkt");
+        v2.version = 2;
+        let (decoded, _) = Envelope::decode(&v2.encode(), DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decoded.version, 2);
+        assert_eq!(decoded.opcode, OpCode::IngestSeq);
+        for opcode in [OpCode::IngestTraced, OpCode::Ops] {
+            let mut bad = Envelope::control(opcode, b"alpha");
+            bad.version = 2;
+            assert_eq!(
+                Envelope::decode(&bad.encode(), DEFAULT_MAX_PAYLOAD)
+                    .unwrap_err()
+                    .reason(),
+                "bad_opcode"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_frame_binds_trace_identity_too() {
+        let payload = TracedFrame::encode_payload(b"alpha", 0xabc, 0x11, 7, 9, b"pkt");
+        let frame = TracedFrame::decode_payload(b"alpha", &payload).unwrap();
+        assert_eq!(
+            (frame.trace, frame.parent, frame.session, frame.seq),
+            (0xabc, 0x11, 7, 9)
+        );
+        assert_eq!(frame.packet, b"pkt");
+        // Wrong tenant → CRC mismatch.
+        assert!(TracedFrame::decode_payload(b"alphb", &payload).is_err());
+        // Any flipped byte — including the trace id — is detected, so a
+        // damaged trace id cannot splice the packet into another trace.
+        for i in 0..payload.len() {
+            let mut damaged = payload.clone();
+            damaged[i] ^= 0x10;
+            assert!(
+                TracedFrame::decode_payload(b"alpha", &damaged).is_err(),
+                "flip at {i} must not verify"
+            );
+        }
+        assert!(TracedFrame::decode_payload(b"alpha", &payload[..20]).is_err());
+    }
+
+    #[test]
+    fn traced_ack_round_trips_and_rejects_damage() {
+        let ack = IngestAck::new(AckCode::Accepted, 3).with_trace(0xfeed_f00d);
+        let bytes = ack.encode();
+        assert_eq!(bytes.len(), INGEST_ACK_TRACED_LEN);
+        assert_eq!(IngestAck::decode(&bytes).unwrap(), ack);
+        for i in 0..bytes.len() {
+            let mut damaged = bytes.clone();
+            damaged[i] ^= 0x02;
+            assert!(IngestAck::decode(&damaged).is_err(), "flip at {i}");
+        }
+        // An untraced ack still encodes to the legacy 17-byte form, so a
+        // version-2 client reading this server sees identical bytes.
+        let legacy = IngestAck::new(AckCode::Accepted, 3).encode();
+        assert_eq!(legacy.len(), INGEST_ACK_LEN);
+        assert_eq!(IngestAck::decode(&legacy).unwrap().trace, 0);
     }
 
     #[test]

@@ -72,9 +72,9 @@ pub use backoff::{BackoffPolicy, BackoffSchedule, MAX_JITTER};
 pub use chaos::{ChaosCounters, ChaosPlan, ChaosTransport};
 pub use client::{ClientConfig, GatewayClient, CLIENT_MAX_RESPONSE};
 pub use envelope::{
-    AckCode, Envelope, EnvelopeError, IngestAck, OpCode, Response, SeqFrame, Status,
-    DEFAULT_MAX_PAYLOAD, FIXED_HEADER, INGEST_ACK_LEN, MAGIC, MAX_TENANT_LEN, MIN_VERSION,
-    SEQ_FRAME_HEADER, VERSION,
+    AckCode, Envelope, EnvelopeError, IngestAck, OpCode, Response, SeqFrame, Status, TracedFrame,
+    DEFAULT_MAX_PAYLOAD, FIXED_HEADER, INGEST_ACK_LEN, INGEST_ACK_TRACED_LEN, MAGIC,
+    MAX_TENANT_LEN, MIN_VERSION, SEQ_FRAME_HEADER, TRACED_FRAME_HEADER, VERSION,
 };
 pub use resilient::{ClientReport, Connector, ResilientClient, ResilientConfig, SendOutcome};
 pub use server::{Gateway, GatewayConfig, GatewayHandle};

@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-use pnm_obs::Registry;
+use pnm_obs::{Registry, Tracer};
 
 use crate::backoff::{BackoffPolicy, BackoffSchedule};
 use crate::chaos::{splitmix64, ChaosCounters, ChaosPlan, ChaosTransport};
@@ -204,6 +204,11 @@ pub enum SendOutcome {
         code: AckCode,
         /// Wire attempts spent.
         attempts: u32,
+        /// Trace id the send travelled under (0 when the client has no
+        /// tracer attached). Minted once per logical send — every retry
+        /// reuses it, so a packet is one trace no matter how the wire
+        /// behaved.
+        trace: u64,
     },
     /// The server answered with a terminal rejection; the packet is not
     /// (and will never be) counted.
@@ -212,6 +217,8 @@ pub enum SendOutcome {
         code: AckCode,
         /// Wire attempts spent.
         attempts: u32,
+        /// Trace id the send travelled under (0 without a tracer).
+        trace: u64,
     },
 }
 
@@ -219,6 +226,13 @@ impl SendOutcome {
     /// Whether the packet ended up counted.
     pub fn is_counted(&self) -> bool {
         matches!(self, SendOutcome::Counted { .. })
+    }
+
+    /// The trace id the send travelled under (0 without a tracer).
+    pub fn trace(&self) -> u64 {
+        match *self {
+            SendOutcome::Counted { trace, .. } | SendOutcome::Rejected { trace, .. } => trace,
+        }
     }
 }
 
@@ -255,6 +269,7 @@ pub struct ResilientClient {
     client: Option<GatewayClient>,
     report: ClientReport,
     metrics: Option<Metrics>,
+    tracer: Option<Tracer>,
 }
 
 impl ResilientClient {
@@ -272,7 +287,19 @@ impl ResilientClient {
             client: None,
             report: ClientReport::default(),
             metrics: None,
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer: every [`send`](Self::send) opens a root
+    /// `client.send` span, mints a trace id under it, and ships the
+    /// packet as an [`crate::OpCode::IngestTraced`] frame — the client
+    /// end of end-to-end causal tracing. Retries stay inside the same
+    /// span and resend the same trace id, and the server's ack must echo
+    /// it back. Without a tracer, sends stay plain `IngestSeq` frames.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Mirrors the report counters into `registry` as
@@ -335,6 +362,16 @@ impl ResilientClient {
     pub fn send(&mut self, tenant: &[u8], packet_bytes: &[u8]) -> io::Result<SendOutcome> {
         let seq = self.next_seq;
         self.next_seq += 1;
+        // One root span per logical send: the trace id is minted here,
+        // once, and every retry below resends the same (trace, parent) —
+        // so reconnects and resends stay inside one trace.
+        let span = self
+            .tracer
+            .as_ref()
+            .filter(|t| t.enabled())
+            .map(|t| t.span_root("client.send"));
+        let ctx = span.as_ref().and_then(|s| s.context());
+        let trace = ctx.map(|c| c.trace).unwrap_or(0);
         let mut hint = Duration::ZERO;
         for attempt in 0..self.max_attempts {
             if attempt > 0 {
@@ -346,9 +383,12 @@ impl ResilientClient {
             self.report.attempts += 1;
             self.mark("pnm_client_attempts_total");
             let session = self.session;
-            let ack: io::Result<IngestAck> = self
-                .client_mut()
-                .and_then(|c| c.ingest_seq(tenant, session, seq, packet_bytes));
+            let ack: io::Result<IngestAck> = self.client_mut().and_then(|c| match ctx {
+                Some(ctx) => {
+                    c.ingest_traced(tenant, ctx.trace, ctx.parent, session, seq, packet_bytes)
+                }
+                None => c.ingest_seq(tenant, session, seq, packet_bytes),
+            });
             let ack = match ack {
                 Ok(ack) => ack,
                 Err(_) => {
@@ -373,6 +413,7 @@ impl ResilientClient {
                 return Ok(SendOutcome::Counted {
                     code: ack.code,
                     attempts: attempt + 1,
+                    trace,
                 });
             }
             if ack.code.is_retryable() {
@@ -384,6 +425,7 @@ impl ResilientClient {
             return Ok(SendOutcome::Rejected {
                 code: ack.code,
                 attempts: attempt + 1,
+                trace,
             });
         }
         Err(io::Error::new(
@@ -457,5 +499,16 @@ impl ResilientClient {
     /// The last transport error once the attempt budget is spent.
     pub fn metrics_text(&mut self) -> io::Result<String> {
         self.with_retry(|c| c.metrics_text())
+    }
+
+    /// Live ops snapshot (health/SLO JSON) with reconnect; tenant `*`
+    /// returns every tenant keyed by name.
+    ///
+    /// # Errors
+    ///
+    /// The gateway's rejection, or the last transport error once the
+    /// attempt budget is spent.
+    pub fn ops_snapshot(&mut self, tenant: &[u8]) -> io::Result<String> {
+        self.with_retry(|c| c.ops_snapshot(tenant))
     }
 }

@@ -597,6 +597,28 @@ impl Worker {
                     .ingest_seq(&env.tenant, &env.payload, Instant::now());
                 Response::new(Status::Ok, ack.encode())
             }
+            OpCode::IngestTraced => {
+                // Traced acked ingest: same exactly-once admission as
+                // IngestSeq, with the client's trace context threaded
+                // through to the tenant's shard engine and echoed in the
+                // ack.
+                let ack = self
+                    .registry
+                    .ingest_traced(&env.tenant, &env.payload, Instant::now());
+                Response::new(Status::Ok, ack.encode())
+            }
+            OpCode::Ops => {
+                // Live ops surface: per-tenant health/SLO snapshot, or
+                // the whole fleet for tenant "*".
+                if env.tenant == b"*" {
+                    Response::new(Status::Ok, self.registry.ops_snapshot_all_json())
+                } else {
+                    match self.registry.ops_snapshot_json(&env.tenant) {
+                        Some(json) => Response::new(Status::Ok, json),
+                        None => Response::new(Status::Rejected, "unknown tenant"),
+                    }
+                }
+            }
             // Liveness: the worker answered, so the process serves.
             OpCode::Health => Response::new(Status::Ok, "ok"),
             // Readiness: flips to Rejected the moment a graceful

@@ -22,13 +22,13 @@ use std::time::Instant;
 
 use pnm_core::store::{LogStore, StoreError};
 use pnm_crypto::KeyStore;
-use pnm_obs::{Counter, JsonValue, Registry};
+use pnm_obs::{Counter, FlightRecorder, JsonValue, Registry, TraceContext, Tracer};
 use pnm_service::{IngestError, ServiceConfig, ServicePool};
 use pnm_wire::Packet;
 
 use crate::admission::TokenBucket;
 use crate::dedup::{DedupState, DedupVerdict, DEFAULT_MAX_SESSIONS, DEFAULT_WINDOW};
-use crate::envelope::{AckCode, IngestAck, SeqFrame, MAX_TENANT_LEN};
+use crate::envelope::{AckCode, IngestAck, SeqFrame, TracedFrame, MAX_TENANT_LEN};
 
 /// Per-tenant ingest rate limit (token bucket parameters).
 #[derive(Clone, Copy, Debug)]
@@ -179,6 +179,13 @@ struct Tenant {
     bucket: Option<Mutex<TokenBucket>>,
     /// Exactly-once window for sequenced ingest.
     dedup: Mutex<DedupState>,
+    /// The tenant pool's tracer — traced ingest opens its
+    /// `gateway.ingest` span here so the gateway span and the shard
+    /// engine's stage spans land in the same collector.
+    tracer: Tracer,
+    /// The tenant pool's flight recorder, if armed (for the ops
+    /// snapshot's last-anomaly summary).
+    flight: Option<Arc<FlightRecorder>>,
     busy_retry_after_ms: u32,
     ingested: Counter,
     duplicate: Counter,
@@ -261,8 +268,12 @@ impl TenantRegistryBuilder {
                     &[("tenant", &name), ("reason", reason)],
                 )
             };
+            let tracer = service.tracer_handle().clone();
+            let flight = service.flight_recorder_handle().cloned();
             let tenant = Tenant {
                 pool: Mutex::new(Some(ServicePool::new(config.keys, service))),
+                tracer,
+                flight,
                 bucket: config
                     .rate_limit
                     .map(|r| Mutex::new(TokenBucket::new(r.packets_per_sec, r.burst))),
@@ -447,6 +458,110 @@ impl TenantRegistry {
         }
     }
 
+    /// Admits one **traced** sequenced ingest frame and returns the ack
+    /// (which echoes the frame's trace id) — [`ingest_seq`] plus causal
+    /// context.
+    ///
+    /// Admission order, dedup semantics, and "acked ≡ counted exactly
+    /// once" are identical to [`ingest_seq`]; the only addition is that
+    /// when the pool absorbs the packet, a `gateway.ingest` span is
+    /// opened inside the client's wire context and the packet rides the
+    /// shard queue under that span — so the client span, the gateway
+    /// span, and every sink stage span form one trace. Tracing changes
+    /// no admission outcome and no evidence byte: a traced run's
+    /// artifacts are byte-identical to an untraced run of the same
+    /// stream.
+    ///
+    /// [`ingest_seq`]: Self::ingest_seq
+    pub fn ingest_traced(&self, tenant: &[u8], payload: &[u8], now: Instant) -> IngestAck {
+        let t = self.tenants.get(tenant);
+        let frame = match TracedFrame::decode_payload(tenant, payload) {
+            Ok(f) => f,
+            Err(_) => {
+                match t {
+                    Some(t) => t.rejected_corrupt.inc(),
+                    None => self.rejected_corrupt_unattributed.inc(),
+                }
+                // The trace id itself is inside the damaged region, so
+                // the corrupt ack cannot echo it.
+                return IngestAck::new(AckCode::Corrupt, 0);
+            }
+        };
+        let (seq, trace) = (frame.seq, frame.trace);
+        let Some(t) = t else {
+            self.rejected_unknown.inc();
+            return IngestAck::new(AckCode::UnknownTenant, seq).with_trace(trace);
+        };
+        if t.dedup
+            .lock()
+            .expect("dedup lock")
+            .lookup(frame.session, seq)
+            == DedupVerdict::Duplicate
+        {
+            t.duplicate.inc();
+            return IngestAck::new(AckCode::Duplicate, seq).with_trace(trace);
+        }
+        if let Some(bucket) = &t.bucket {
+            if !bucket.lock().expect("bucket lock").try_take_at(now) {
+                t.rejected_rate.inc();
+                return IngestAck::new(AckCode::RateLimited, seq)
+                    .with_retry_after(t.busy_retry_after_ms)
+                    .with_trace(trace);
+            }
+        }
+        let packet = match Packet::from_bytes(&frame.packet) {
+            Ok(p) => p,
+            Err(_) => {
+                t.rejected_malformed.inc();
+                return IngestAck::new(AckCode::Malformed, seq).with_trace(trace);
+            }
+        };
+        let wire_ctx = TraceContext {
+            trace,
+            parent: frame.parent,
+        };
+        let pool = t.pool.lock().expect("pool lock");
+        let outcome = match pool.as_ref() {
+            Some(pool) => {
+                // Open the gateway's span inside the client's context and
+                // enqueue under it, so queue hand-off and sink stages hang
+                // off this span. The span closes when the packet is
+                // enqueued — shard-side time is the sink spans' own.
+                let span = (wire_ctx.is_traced() && t.tracer.enabled())
+                    .then(|| t.tracer.span_in("gateway.ingest", wire_ctx));
+                let ctx = span.as_ref().and_then(|s| s.context()).unwrap_or(wire_ctx);
+                let now_us = packet.report.timestamp;
+                match pool.ingest_ctx(packet, now_us, ctx) {
+                    Ok(_) => {
+                        let mut dedup = t.dedup.lock().expect("dedup lock");
+                        dedup.record(frame.session, seq);
+                        t.dedup_evicted.store(dedup.evicted_sessions());
+                        t.ingested.inc();
+                        AckCode::Accepted
+                    }
+                    Err(IngestError::Shed) => {
+                        t.rejected_shed.inc();
+                        AckCode::Busy
+                    }
+                    Err(IngestError::Closed) => {
+                        t.rejected_drained.inc();
+                        AckCode::Drained
+                    }
+                }
+            }
+            None => {
+                t.rejected_drained.inc();
+                AckCode::Drained
+            }
+        };
+        let ack = IngestAck::new(outcome, seq).with_trace(trace);
+        if outcome == AckCode::Busy {
+            ack.with_retry_after(t.busy_retry_after_ms)
+        } else {
+            ack
+        }
+    }
+
     /// Closes every running tenant pool to new packets and waits (until
     /// `deadline`) for the shard workers to finish their backlog and
     /// flush their **final durable checkpoint** — the per-tenant flush
@@ -554,6 +669,100 @@ impl TenantRegistry {
             }
         }
         out
+    }
+
+    /// The tenant's live ops snapshot — the payload behind
+    /// [`OpCode::Ops`](crate::OpCode::Ops) — as pretty JSON. `None` for
+    /// unknown tenants.
+    ///
+    /// One object per tenant: lifecycle state, backlog, the admission
+    /// error budget (every rejection counter next to the accept
+    /// counters), rolling latency p99s (end-to-end, queue wait, and each
+    /// sink stage), fault counters (panics, store errors, wedged-shard
+    /// detaches show up as backlog + last anomaly), and the last
+    /// black-box the tenant's flight recorder dumped.
+    pub fn ops_snapshot_json(&self, tenant: &[u8]) -> Option<String> {
+        let t = self.tenants.get(tenant)?;
+        Some(self.ops_value(t).render_pretty())
+    }
+
+    /// Ops snapshots for every tenant, keyed by tenant name (the
+    /// `tenant = "*"` form of [`OpCode::Ops`](crate::OpCode::Ops)).
+    pub fn ops_snapshot_all_json(&self) -> String {
+        JsonValue::Object(
+            self.tenants
+                .values()
+                .map(|t| (t.name.clone(), self.ops_value(t)))
+                .collect(),
+        )
+        .render_pretty()
+    }
+
+    fn ops_value(&self, t: &Tenant) -> JsonValue {
+        let pool = t.pool.lock().expect("pool lock");
+        let snap = pool.as_ref().map(|p| p.snapshot());
+        drop(pool);
+        let state = if snap.is_some() { "running" } else { "drained" };
+        let mut entries = vec![
+            ("tenant", JsonValue::Str(t.name.clone())),
+            ("state", JsonValue::Str(state.to_string())),
+            (
+                "error_budget",
+                JsonValue::obj(vec![
+                    ("ingested", JsonValue::UInt(t.ingested.get())),
+                    ("duplicate", JsonValue::UInt(t.duplicate.get())),
+                    ("malformed", JsonValue::UInt(t.rejected_malformed.get())),
+                    ("rate_limited", JsonValue::UInt(t.rejected_rate.get())),
+                    ("shed", JsonValue::UInt(t.rejected_shed.get())),
+                    ("drained", JsonValue::UInt(t.rejected_drained.get())),
+                    ("corrupt", JsonValue::UInt(t.rejected_corrupt.get())),
+                ]),
+            ),
+        ];
+        if let Some(snap) = &snap {
+            let mut queue_wait = pnm_obs::LatencyHistogram::default();
+            for shard in &snap.shards {
+                queue_wait.merge(&shard.queue_wait_us);
+            }
+            let mut p99 = vec![
+                (
+                    "total_us".to_string(),
+                    JsonValue::UInt(snap.total_latency().quantile_us(0.99)),
+                ),
+                (
+                    "queue_wait_us".to_string(),
+                    JsonValue::UInt(queue_wait.quantile_us(0.99)),
+                ),
+            ];
+            for (stage, hist) in snap.stage_metrics().iter() {
+                p99.push((
+                    format!("stage_{stage}_us"),
+                    JsonValue::UInt(hist.quantile_us(0.99)),
+                ));
+            }
+            entries.push(("backlog", JsonValue::UInt(snap.backlog())));
+            entries.push(("processed", JsonValue::UInt(snap.processed)));
+            entries.push(("p99", JsonValue::Object(p99)));
+            entries.push(("panics", JsonValue::UInt(snap.panics)));
+            entries.push(("store_errors", JsonValue::UInt(snap.store_errors)));
+        }
+        match &t.flight {
+            Some(flight) => {
+                entries.push(("flight_dumps", JsonValue::UInt(flight.dumps())));
+                entries.push((
+                    "last_anomaly",
+                    flight
+                        .last_anomaly()
+                        .map(|a| a.to_json_value())
+                        .unwrap_or(JsonValue::Null),
+                ));
+            }
+            None => {
+                entries.push(("flight_dumps", JsonValue::UInt(0)));
+                entries.push(("last_anomaly", JsonValue::Null));
+            }
+        }
+        JsonValue::obj(entries)
     }
 
     /// Total backlog across every running tenant pool (packets admitted

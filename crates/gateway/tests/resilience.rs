@@ -125,7 +125,8 @@ fn acked_ingest_under_full_chaos_is_exactly_once() {
             out,
             SendOutcome::Counted {
                 code: AckCode::Accepted,
-                attempts: 1
+                attempts: 1,
+                trace: 0
             }
         ));
     }

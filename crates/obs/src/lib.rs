@@ -9,6 +9,13 @@
 //!   inert — instrumented code pays one `Option` check, pinned < 2%
 //!   end-to-end by the `bench_obs` bin in `pnm-sim`. The bounded
 //!   [`RingCollector`] buffers the newest events and exports JSONL.
+//!   Spans carry causal identity: a [`TraceContext`] (trace id + parent
+//!   span) crosses threads, queues, and the gateway wire, so one
+//!   packet's journey is one trace.
+//! * **Flight recording** ([`flight`]): the sharded
+//!   [`ShardedRingCollector`] is cheap enough to leave armed always-on
+//!   (pinned < 5% by `bench_obs`); [`FlightRecorder`] dumps its recent
+//!   history as an anomaly-tagged JSONL black-box when something breaks.
 //! * **Metrics** ([`metrics`]): a labeled [`Registry`] of counters,
 //!   gauges, and histograms with deterministic Prometheus-text and JSON
 //!   exposition. [`LatencyHistogram`] (formerly in `pnm-service`) lives
@@ -47,12 +54,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use flight::{AnomalySummary, FlightRecorder, ShardedRingCollector};
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, LatencyHistogram, Registry, BUCKETS};
 pub use trace::{
-    Collector, Event, EventKind, FieldValue, NoopCollector, RingCollector, Span, Tracer,
+    Collector, Event, EventKind, FieldValue, NoopCollector, RingCollector, Span, TraceContext,
+    Tracer,
 };

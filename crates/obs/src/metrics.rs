@@ -454,9 +454,18 @@ fn label_text(labels: &LabelSet, le: Option<&str>) -> String {
     if labels.is_empty() && le.is_none() {
         return String::new();
     }
+    // Prometheus text exposition escapes: backslash first, then the
+    // quote, then newline as the two-character sequence `\n`.
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            format!(
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+            )
+        })
         .collect();
     if let Some(le) = le {
         parts.push(format!("le=\"{le}\""));
@@ -540,6 +549,21 @@ mod tests {
         let i0 = text.find("shard=\"0\"").unwrap();
         let i1 = text.find("shard=\"1\"").unwrap();
         assert!(i0 < i1);
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        let reg = Registry::new();
+        reg.counter("pnm_weird", &[("path", "a\\b\"c\nd")]).add(1);
+        let text = reg.prometheus_text();
+        // The exposition format wants the literal two-character
+        // sequences \\, \", and \n inside the quoted value — never a
+        // raw newline, which would tear the series line in half.
+        assert!(
+            text.contains("pnm_weird{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            "escaping wrong in {text:?}"
+        );
+        assert!(!text.contains("c\nd"), "raw newline leaked into {text:?}");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pnm_core::{EvidenceStore, SinkConfig};
-use pnm_obs::Tracer;
+use pnm_obs::{FlightRecorder, Tracer};
 use pnm_wire::Packet;
 
 /// A fault-injection predicate evaluated by each shard worker before a
@@ -44,6 +44,7 @@ pub struct ServiceConfig {
     tracer: Tracer,
     stage_timing: bool,
     store: Option<Arc<dyn EvidenceStore>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl std::fmt::Debug for ServiceConfig {
@@ -61,6 +62,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("tracer", &self.tracer)
             .field("stage_timing", &self.stage_timing)
             .field("store", &self.store.as_ref().map(|_| "<store>"))
+            .field("flight", &self.flight.as_ref().map(|_| "<recorder>"))
             .finish()
     }
 }
@@ -85,6 +87,7 @@ impl ServiceConfig {
             tracer: Tracer::noop(),
             stage_timing: true,
             store: None,
+            flight: None,
         }
     }
 
@@ -192,6 +195,22 @@ impl ServiceConfig {
     /// The attached evidence store, if any.
     pub fn store_handle(&self) -> Option<&Arc<dyn EvidenceStore>> {
         self.store.as_ref()
+    }
+
+    /// Arms a flight recorder: shard workers dump its ring as an
+    /// anomaly-tagged black-box when a poison packet is quarantined,
+    /// a drain watchdog detaches a wedged shard, or a store append
+    /// fails. Pair it with [`ServiceConfig::tracer`] fed by the same
+    /// recorder so the black-box holds the events leading up to the
+    /// anomaly. Unset by default: no recording, no dumps.
+    pub fn flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(recorder);
+        self
+    }
+
+    /// The armed flight recorder, if any.
+    pub fn flight_recorder_handle(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
     }
 
     /// The per-shard sink pipeline configuration.

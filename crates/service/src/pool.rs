@@ -15,7 +15,7 @@ use std::path::Path;
 use pnm_core::store::{Evidence, EvidenceStore, LogStore, StoreError};
 use pnm_core::{SinkConfig, SinkEngine, SinkOutcome, StageMetrics};
 use pnm_crypto::KeyStore;
-use pnm_obs::{Counter, Registry};
+use pnm_obs::{Counter, FieldValue, FlightRecorder, Registry, TraceContext};
 use pnm_wire::Packet;
 
 use crate::config::{BackpressurePolicy, PoisonHook, ServiceConfig};
@@ -49,6 +49,10 @@ struct Job {
     seq: u64,
     now_us: u64,
     enqueued: Instant,
+    /// Trace context carried across the queue hand-off: the shard engine
+    /// opens its `sink.ingest` span inside it, so the packet's pool pass
+    /// stays in the trace the caller (gateway/client) started.
+    ctx: TraceContext,
     packet: Packet,
 }
 
@@ -98,6 +102,9 @@ struct ShardContext {
     keep_outcomes: bool,
     poison: Option<PoisonHook>,
     checkpoint_interval: u64,
+    /// Armed black-box: dumped on poison quarantine and store-append
+    /// failure, tagged with the offending trace id.
+    flight: Option<Arc<FlightRecorder>>,
     done: Sender<(usize, ShardFinal)>,
     /// Durable evidence backend; when set, checkpoints append deltas here
     /// instead of staying purely in-memory.
@@ -318,6 +325,7 @@ impl ServicePool {
                 keep_outcomes: config.keeps_outcomes(),
                 poison: config.poison_hook_fn().cloned(),
                 checkpoint_interval: config.checkpoint_interval_packets(),
+                flight: config.flight_recorder_handle().cloned(),
                 done: done_tx.clone(),
                 store: config.store_handle().cloned(),
                 recover: recover.remove(&shard),
@@ -381,6 +389,20 @@ impl ServicePool {
     /// are admission tickets: a shed ticket never reappears, so retained
     /// outcomes may have gaps under shedding.
     pub fn ingest_at(&self, packet: Packet, now_us: u64) -> Result<u64, IngestError> {
+        self.ingest_ctx(packet, now_us, TraceContext::NONE)
+    }
+
+    /// [`ServicePool::ingest_at`] inside a caller-supplied trace
+    /// context. The context rides the shard queue with the packet and
+    /// the worker's engine opens its spans inside it — parentage
+    /// survives the thread hand-off. [`TraceContext::NONE`] makes this
+    /// identical to `ingest_at`.
+    pub fn ingest_ctx(
+        &self,
+        packet: Packet,
+        now_us: u64,
+        ctx: TraceContext,
+    ) -> Result<u64, IngestError> {
         let shard = self.shard_of(&packet);
         // Clone the sender out of the lock so a blocking send never holds
         // the senders mutex against `close`.
@@ -396,6 +418,7 @@ impl ServicePool {
             seq,
             now_us,
             enqueued: Instant::now(),
+            ctx,
             packet,
         };
         match self.config.backpressure_policy() {
@@ -655,6 +678,19 @@ impl ServicePool {
                 drop(handle);
             }
         }
+        if !wedged.is_empty() {
+            // A detached shard is an anomaly: its evidence is gone from
+            // the merge. Black-box the run-up for the post-mortem.
+            if let Some(flight) = self.config.flight_recorder_handle() {
+                let _ = flight.dump(
+                    "watchdog_detach",
+                    &[
+                        ("wedged_shards", FieldValue::U64(wedged.len() as u64)),
+                        ("first_shard", FieldValue::U64(wedged[0] as u64)),
+                    ],
+                );
+            }
+        }
         let mut merged = SinkEngine::new(Arc::clone(&self.keys), self.config.sink().clone());
         let mut outcomes: Vec<(u64, SinkOutcome)> = Vec::new();
         let mut poisoned: Vec<PoisonRecord> = Vec::new();
@@ -726,7 +762,7 @@ fn shard_worker(rx: Receiver<Job>, ctx: ShardContext) {
                     panic!("injected poison packet (seq {})", job.seq);
                 }
             }
-            engine.ingest_at(&job.packet, job.now_us)
+            engine.ingest_ctx(&job.packet, job.now_us, job.ctx)
         }));
         let service = dequeued.elapsed().as_micros() as u64;
         match result {
@@ -742,6 +778,20 @@ fn shard_worker(rx: Receiver<Job>, ctx: ShardContext) {
                     // retries the cumulative delta.
                     if engine.store_attached() {
                         store_failed = engine.checkpoint_to_store().is_err();
+                    }
+                }
+                if store_failed {
+                    // Growing store_errors is an anomaly: black-box the
+                    // events that led to the failed append.
+                    if let Some(flight) = &ctx.flight {
+                        let _ = flight.dump(
+                            "store_error",
+                            &[
+                                ("trace", FieldValue::U64(job.ctx.trace)),
+                                ("seq", FieldValue::U64(job.seq)),
+                                ("shard", FieldValue::U64(ctx.shard as u64)),
+                            ],
+                        );
                     }
                 }
                 {
@@ -773,12 +823,27 @@ fn shard_worker(rx: Receiver<Job>, ctx: ShardContext) {
                 }
                 engine = fresh;
                 since_checkpoint = 0;
-                poisoned.push(PoisonRecord {
+                let record = PoisonRecord {
                     seq: job.seq,
                     shard: ctx.shard,
                     bytes: job.packet.to_bytes(),
                     panic: panic_message(payload.as_ref()),
-                });
+                };
+                // Black-box the quarantine: the dump names the poisoned
+                // trace so an operator can walk the packet's whole
+                // journey up to the crash.
+                if let Some(flight) = &ctx.flight {
+                    let _ = flight.dump(
+                        "poison_quarantine",
+                        &[
+                            ("trace", FieldValue::U64(job.ctx.trace)),
+                            ("seq", FieldValue::U64(job.seq)),
+                            ("shard", FieldValue::U64(ctx.shard as u64)),
+                            ("panic", FieldValue::Str(record.panic.clone())),
+                        ],
+                    );
+                }
+                poisoned.push(record);
                 let mut t = ctx.slot.lock().expect("telemetry lock");
                 t.panics += 1;
                 t.counters = engine.counters();

@@ -23,7 +23,11 @@
 //!   fault/retry/duplicate counter is zero;
 //! - **zero panics**: neither the client loop nor any shard worker
 //!   panics (the drain summary's `panics` field is part of the gate);
-//! - **graceful drain**: `shutdown_graceful` flushes within budget.
+//! - **graceful drain**: `shutdown_graceful` flushes within budget;
+//! - **coherent ops**: a live ops snapshot fetched over the same
+//!   chaos-wrapped connection names the tenant as running, counts
+//!   exactly the acked packets, and shows a clean flight recorder
+//!   (re-requested on garbled bodies — ops replies are read-only).
 //!
 //! The summary is merged into `BENCH_chaos.json` as a `"gateway"`
 //! section, next to the network-layer soak written by `chaos_soak`.
@@ -45,7 +49,7 @@ use pnm_gateway::{
     BackoffPolicy, ChaosPlan, ClientConfig, ClientReport, Connector, Gateway, GatewayClient,
     GatewayConfig, ResilientClient, ResilientConfig, TenantConfig, TenantRegistry,
 };
-use pnm_obs::Registry;
+use pnm_obs::{JsonValue, Registry};
 use pnm_service::ServiceConfig;
 use pnm_wire::{Location, NodeId, Packet, Report};
 use rand::rngs::StdRng;
@@ -120,6 +124,7 @@ struct PointResult {
     drain_panics: u64,
     graceful: bool,
     mirrored_consistent: bool,
+    ops_consistent: bool,
 }
 
 impl PointResult {
@@ -151,7 +156,8 @@ impl PointResult {
                 "\"corruptions\": {}, \"stalls\": {}, \"delays\": {},\n",
                 "     \"server_ingested\": {}, \"server_duplicates\": {}, ",
                 "\"drain_panics\": {}, \"all_acked_counted\": {}, ",
-                "\"evidence_identical\": {}, \"graceful_shutdown\": {}}}"
+                "\"evidence_identical\": {}, \"graceful_shutdown\": {}, ",
+                "\"ops_consistent\": {}}}"
             ),
             self.intensity,
             r.counted,
@@ -174,6 +180,7 @@ impl PointResult {
             self.all_counted,
             self.evidence_identical,
             self.graceful,
+            self.ops_consistent,
         )
     }
 }
@@ -236,6 +243,33 @@ fn run_point(
             Ok(_) | Err(_) => all_counted = false,
         }
     }
+
+    // The live ops surface must agree with the wire: a snapshot fetched
+    // over the same chaos-wrapped connection as the ingest traffic
+    // names this tenant as running, counts exactly the acked packets,
+    // and shows a clean flight recorder. Ops replies are read-only and
+    // carry no ingest-style CRC, so a fault can garble one body; the
+    // reader's contract is to re-request until a snapshot parses — the
+    // gate fails only if no coherent snapshot arrives at all.
+    let ops_consistent = (0..5).any(|_| {
+        client
+            .ops_snapshot(TENANT)
+            .ok()
+            .and_then(|text| pnm_obs::json::parse(&text).ok())
+            .is_some_and(|v| {
+                let str_field = |k: &str| v.get(k).and_then(|x| x.as_str().map(str::to_string));
+                let ingested = v
+                    .get("error_budget")
+                    .and_then(|b| b.get("ingested"))
+                    .and_then(JsonValue::as_u64);
+                str_field("tenant").as_deref() == Some("edge")
+                    && str_field("state").as_deref() == Some("running")
+                    && ingested == Some(packets.len() as u64)
+                    && v.get("flight_dumps").and_then(JsonValue::as_u64) == Some(0)
+                    && v.get("panics").and_then(JsonValue::as_u64) == Some(0)
+            })
+    });
+
     let report = client.report();
     drop(client);
 
@@ -291,6 +325,7 @@ fn run_point(
         drain_panics,
         graceful,
         mirrored_consistent,
+        ops_consistent,
     }
 }
 
@@ -376,6 +411,7 @@ fn main() -> ExitCode {
     let counters_balanced = points.iter().all(PointResult::balanced);
     let calm_quiet = points.iter().all(PointResult::quiet_if_calm);
     let graceful = points.iter().all(|p| p.graceful);
+    let ops_consistent = points.iter().all(|p| p.ops_consistent);
     let chaos_fired = points
         .iter()
         .any(|p| p.intensity >= 1.0 && p.faults.iter().sum::<u64>() > 0);
@@ -395,6 +431,7 @@ fn main() -> ExitCode {
             "    \"counters_balanced\": {},\n",
             "    \"calm_point_quiet\": {},\n",
             "    \"graceful_shutdown\": {},\n",
+            "    \"ops_consistent\": {},\n",
             "    \"chaos_fired\": {},\n",
             "    \"points\": [\n{}\n    ]\n",
             "  }}"
@@ -409,6 +446,7 @@ fn main() -> ExitCode {
         counters_balanced,
         calm_quiet,
         graceful,
+        ops_consistent,
         chaos_fired,
         points
             .iter()
@@ -430,6 +468,7 @@ fn main() -> ExitCode {
         && counters_balanced
         && calm_quiet
         && graceful
+        && ops_consistent
         && chaos_fired
     {
         println!(
@@ -441,7 +480,8 @@ fn main() -> ExitCode {
         eprintln!(
             "chaos-gateway: FAIL (zero_panics={zero_panics} all_acked_counted={all_counted} \
              evidence_identical={evidence_identical} counters_balanced={counters_balanced} \
-             calm_point_quiet={calm_quiet} graceful_shutdown={graceful} chaos_fired={chaos_fired})"
+             calm_point_quiet={calm_quiet} graceful_shutdown={graceful} \
+             ops_consistent={ops_consistent} chaos_fired={chaos_fired})"
         );
         ExitCode::FAILURE
     }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! chaos-soak [--smoke] [--out FILE] [--degradation FILE] [--trace FILE]
+//!            [--flight DIR]
 //! ```
 //!
 //! Every sweep point runs under `catch_unwind`: the soak's first job is
@@ -37,17 +38,109 @@
 //! span and fault event as JSONL to FILE. Tracing is observation only:
 //! the degradation rows and both JSON artifacts are bit-identical with or
 //! without it.
+//!
+//! `--flight DIR` runs the poison drill: a traced [`ServicePool`] armed
+//! with a [`FlightRecorder`] ingests a clean stream plus one poison
+//! packet, the shard worker quarantines it, and the recorder must dump a
+//! black-box into DIR whose anomaly summary names the poisoned packet's
+//! trace id. The dump path is printed so CI can hand it to
+//! `obs_check --flight`.
 
 use std::env;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use pnm_obs::Tracer;
+use pnm_core::{MarkingScheme, NodeContext, ProbabilisticNestedMarking, SinkConfig, VerifyMode};
+use pnm_crypto::KeyStore;
+use pnm_obs::{FlightRecorder, Tracer};
+use pnm_service::{ServiceConfig, ServicePool};
 use pnm_sim::chaos::{
     recovery_sweep, run_point_traced, run_recovery_point, sweep_points, ChaosConfig, ChaosPoint,
     ChaosRun, RecoveryRun,
 };
+use pnm_wire::{Location, NodeId, Packet, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Poison drill: ingest a traced stream with one poison packet through a
+/// flight-recorder-armed pool, and return the black-box path after
+/// checking the dump names the poisoned trace. Everything is asserted
+/// here; the caller only prints and propagates failure.
+fn flight_drill(dir: &str) -> Result<std::path::PathBuf, String> {
+    const NODES: u16 = 6;
+    const CLEAN: usize = 12;
+    let keys = Arc::new(KeyStore::derive_from_master(b"flight-drill", NODES));
+    let scheme = ProbabilisticNestedMarking::paper_default(NODES as usize);
+    let mut rng = StdRng::seed_from_u64(0xF11);
+    let mut mk = |payload: Vec<u8>, seq: u64| {
+        let mut pkt = Packet::new(Report::new(payload, Location::new(seq as f32, 0.0), seq));
+        for hop in 0..NODES {
+            let ctx = NodeContext::new(NodeId(hop), *keys.key(hop).unwrap());
+            scheme.mark(&ctx, &mut pkt, &mut rng);
+        }
+        pkt
+    };
+    let clean: Vec<Packet> = (0..CLEAN)
+        .map(|i| mk(format!("fd-{i}").into_bytes(), i as u64))
+        .collect();
+    let poison = mk(b"poison-me".to_vec(), CLEAN as u64);
+
+    let recorder = Arc::new(FlightRecorder::new(dir, 4, 1 << 12));
+    let tracer = Tracer::new(recorder.clone());
+    let pool = ServicePool::new(
+        Arc::clone(&keys),
+        ServiceConfig::new(SinkConfig::new(VerifyMode::Nested))
+            .shards(2)
+            .tracer(tracer.clone())
+            .poison_hook(|pkt: &Packet| pkt.report.event.starts_with(b"poison"))
+            .flight_recorder(recorder.clone()),
+    );
+
+    for pkt in clean {
+        let span = tracer.span_root("soak.ingest");
+        let ctx = span.context().expect("root span carries a context");
+        pool.ingest_ctx(pkt, 0, ctx)
+            .map_err(|e| format!("clean ingest shed: {e:?}"))?;
+    }
+    let poison_span = tracer.span_root("soak.ingest");
+    let poison_ctx = poison_span.context().expect("root span carries a context");
+    let poison_trace = poison_ctx.trace;
+    pool.ingest_ctx(poison, 0, poison_ctx)
+        .map_err(|e| format!("poison ingest shed: {e:?}"))?;
+    drop(poison_span);
+    let report = pool.drain();
+
+    if report.poisoned.len() != 1 {
+        return Err(format!(
+            "expected exactly one quarantined packet, got {}",
+            report.poisoned.len()
+        ));
+    }
+    if recorder.dumps() == 0 {
+        return Err("poison quarantine produced no black-box dump".to_string());
+    }
+    let last = recorder
+        .last_anomaly()
+        .ok_or_else(|| "recorder dumped but kept no anomaly summary".to_string())?;
+    if last.reason != "poison_quarantine" {
+        return Err(format!(
+            "anomaly reason {:?}, wanted poison_quarantine",
+            last.reason
+        ));
+    }
+    if last.trace != poison_trace {
+        return Err(format!(
+            "black-box names trace {:#x}, poisoned packet was {poison_trace:#x}",
+            last.trace
+        ));
+    }
+    if !last.path.is_file() {
+        return Err(format!("dump path {} missing on disk", last.path.display()));
+    }
+    Ok(last.path)
+}
 
 fn run_json(r: &ChaosRun) -> String {
     let implicated = r
@@ -161,6 +254,7 @@ fn main() -> ExitCode {
     let mut out = "BENCH_chaos.json".to_string();
     let mut degradation = "results/chaos_degradation.json".to_string();
     let mut trace: Option<String> = None;
+    let mut flight: Option<String> = None;
     let mut smoke = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -184,6 +278,13 @@ fn main() -> ExitCode {
                 Some(v) => trace = Some(v),
                 None => {
                     eprintln!("error: --trace needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--flight" => match args.next() {
+                Some(v) => flight = Some(v),
+                None => {
+                    eprintln!("error: --flight needs a value");
                     return ExitCode::FAILURE;
                 }
             },
@@ -369,6 +470,16 @@ fn main() -> ExitCode {
         if ring.dropped() > 0 {
             eprintln!("trace ring overflowed; enlarge the capacity");
             return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(dir) = &flight {
+        match flight_drill(dir) {
+            Ok(path) => println!("flight drill ok: black-box at {}", path.display()),
+            Err(e) => {
+                eprintln!("flight drill failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 

@@ -603,9 +603,11 @@ mod tests {
         assert_eq!(plain.annotated, traced.annotated);
         assert_eq!(plain.implicated, traced.implicated);
         // The trace saw both the fault layer and the sink pipeline.
+        // Untraced ingest records packet-level spans only — per-stage
+        // detail is reserved for packets carrying a trace context.
         let events = ring.events();
         assert!(events.iter().any(|e| e.name.starts_with("net.fault.")));
-        assert!(events.iter().any(|e| e.name == "sink.classify"));
+        assert!(events.iter().any(|e| e.name == "sink.ingest"));
         assert_eq!(ring.dropped(), 0);
     }
 
